@@ -1,0 +1,48 @@
+//! # apt-baselines
+//!
+//! The Table I comparators, re-implemented at the level the paper compares
+//! them on: **what precision the model is stored at during BPROP, how
+//! gradients are quantised, and what that costs in training memory**.
+//!
+//! | spec | weights during BPROP | view | gradients | mirrors |
+//! |---|---|---|---|---|
+//! | [`BaselineSpec::fp32`] | fp32 | fp32 | raw | the 32-bit reference arm |
+//! | [`BaselineSpec::fixed`] | `k`-bit codes | same | raw (Eq. 3 step) | the 8/12/14/16-bit arms |
+//! | [`BaselineSpec::bnn`] | fp32 master | binary `{−s,+s}` | raw | BNN \[9\] |
+//! | [`BaselineSpec::twn`] | fp32 master | ternary `{−s,0,+s}` | raw | TWN \[16\] |
+//! | [`BaselineSpec::ttq`] | fp32 master | 2-bit affine | raw | TTQ \[30\] |
+//! | [`BaselineSpec::dorefa`] | fp32 master | `k`-bit affine | `g`-bit fixed-point | DoReFa-Net \[28\] |
+//! | [`BaselineSpec::terngrad`] | fp32 | fp32 | ternary | TernGrad \[20\] |
+//! | [`BaselineSpec::wage`] | 8-bit codes | same | 8-bit fixed-point | WAGE \[22\] |
+//! | [`BaselineSpec::apt`] | adaptive codes | same | raw (Eq. 3 step) | **the paper** |
+//!
+//! Every spec runs through the same [`apt_core::Trainer`], so accuracy,
+//! energy and memory comparisons differ only in the parameter storage and
+//! gradient treatment — exactly the paper's experimental control.
+//!
+//! ```no_run
+//! use apt_baselines::{run_baseline, BaselineSpec};
+//! use apt_core::TrainConfig;
+//! use apt_data::{SynthCifar, SynthCifarConfig};
+//! use apt_nn::models;
+//!
+//! let data = SynthCifar::generate(&SynthCifarConfig::default())?;
+//! let spec = BaselineSpec::apt(6.0, f64::INFINITY);
+//! let report = run_baseline(
+//!     &spec,
+//!     |scheme, rng| models::resnet20(10, 0.25, scheme, rng),
+//!     &data.train,
+//!     &data.test,
+//!     &TrainConfig::default(),
+//!     0,
+//! )?;
+//! println!("{}: {:.1}%", spec.name(), 100.0 * report.final_accuracy);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod spec;
+
+pub use spec::{run_baseline, BaselineSpec};

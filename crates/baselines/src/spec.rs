@@ -1,0 +1,344 @@
+use apt_core::{GradQuant, OptimizerKind, PolicyConfig, TrainConfig, TrainReport, Trainer};
+use apt_data::Dataset;
+use apt_nn::{Network, Projection, QuantScheme};
+use apt_optim::AdamConfig;
+use apt_quant::Bitwidth;
+use apt_tensor::rng as trng;
+use rand::rngs::StdRng;
+
+/// A fully-specified training arm: storage scheme + gradient treatment +
+/// (for APT) the precision policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineSpec {
+    name: String,
+    scheme: QuantScheme,
+    grad_quant: GradQuant,
+    policy: Option<PolicyConfig>,
+    optimizer: OptimizerKind,
+}
+
+impl BaselineSpec {
+    /// The fp32 reference arm.
+    pub fn fp32() -> Self {
+        BaselineSpec {
+            name: "fp32".into(),
+            scheme: QuantScheme::float32(),
+            grad_quant: GradQuant::None,
+            policy: None,
+            optimizer: OptimizerKind::Sgd,
+        }
+    }
+
+    /// Fixed `k`-bit integer-codes weights (no master copy) — the
+    /// 8/12/14/16-bit arms of Figures 2 and 4.
+    pub fn fixed(bits: Bitwidth) -> Self {
+        BaselineSpec {
+            name: format!("{}bit-fixed", bits.get()),
+            scheme: QuantScheme::fixed(bits),
+            grad_quant: GradQuant::None,
+            policy: None,
+            optimizer: OptimizerKind::Sgd,
+        }
+    }
+
+    /// BNN-style: fp32 master, binary forward view.
+    pub fn bnn() -> Self {
+        BaselineSpec {
+            name: "bnn".into(),
+            scheme: QuantScheme::projected(Projection::Binary),
+            grad_quant: GradQuant::None,
+            policy: None,
+            optimizer: OptimizerKind::Adam(AdamConfig::default()),
+        }
+    }
+
+    /// TWN-style: fp32 master, ternary forward view.
+    pub fn twn() -> Self {
+        BaselineSpec {
+            name: "twn".into(),
+            scheme: QuantScheme::projected(Projection::Ternary),
+            grad_quant: GradQuant::None,
+            policy: None,
+            optimizer: OptimizerKind::Adam(AdamConfig::default()),
+        }
+    }
+
+    /// TTQ-style: fp32 master, 2-bit affine view.
+    pub fn ttq() -> Self {
+        BaselineSpec {
+            name: "ttq".into(),
+            scheme: QuantScheme::master_copy(Bitwidth::MIN),
+            grad_quant: GradQuant::None,
+            policy: None,
+            optimizer: OptimizerKind::Adam(AdamConfig::default()),
+        }
+    }
+
+    /// DoReFa-style: fp32 master with a `weight_bits` view and
+    /// `grad_bits` fixed-point gradient quantisation.
+    pub fn dorefa(weight_bits: Bitwidth, grad_bits: Bitwidth) -> Self {
+        BaselineSpec {
+            name: format!("dorefa-w{}g{}", weight_bits.get(), grad_bits.get()),
+            scheme: QuantScheme::master_copy(weight_bits),
+            grad_quant: GradQuant::Fixed(grad_bits),
+            policy: None,
+            optimizer: OptimizerKind::Adam(AdamConfig::default()),
+        }
+    }
+
+    /// TernGrad-style: fp32 weights, ternary gradients.
+    pub fn terngrad() -> Self {
+        BaselineSpec {
+            name: "terngrad".into(),
+            scheme: QuantScheme::float32(),
+            grad_quant: GradQuant::Ternary,
+            policy: None,
+            optimizer: OptimizerKind::Adam(AdamConfig::default()),
+        }
+    }
+
+    /// WAGE-style: 8-bit integer-code weights (no master copy) with 8-bit
+    /// gradients.
+    pub fn wage() -> Self {
+        let eight = Bitwidth::new(8).expect("8 is valid");
+        BaselineSpec {
+            name: "wage".into(),
+            scheme: QuantScheme::fixed(eight),
+            grad_quant: GradQuant::Fixed(eight),
+            policy: None,
+            optimizer: OptimizerKind::Sgd,
+        }
+    }
+
+    /// The paper's method: 6-bit initial integer-code weights plus the
+    /// Algorithm 1 policy at `(t_min, t_max)`.
+    pub fn apt(t_min: f64, t_max: f64) -> Self {
+        BaselineSpec {
+            name: "apt".into(),
+            scheme: QuantScheme::paper_apt(),
+            grad_quant: GradQuant::None,
+            policy: Some(PolicyConfig { t_min, t_max }),
+            optimizer: OptimizerKind::Sgd,
+        }
+    }
+
+    /// The arm's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Overrides the display name (e.g. to distinguish two APT arms with
+    /// different thresholds in one figure).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The parameter-storage scheme.
+    pub fn scheme(&self) -> &QuantScheme {
+        &self.scheme
+    }
+
+    /// The gradient treatment.
+    pub fn grad_quant(&self) -> GradQuant {
+        self.grad_quant
+    }
+
+    /// The precision policy, if this arm adapts.
+    pub fn policy(&self) -> Option<&PolicyConfig> {
+        self.policy.as_ref()
+    }
+
+    /// The optimiser this arm trains with (Table I's "Optimizer" column —
+    /// Adam for the BNN/TWN/TTQ/DoReFa/TernGrad comparators, SGD for
+    /// WAGE and APT, as in the paper).
+    pub fn optimizer(&self) -> OptimizerKind {
+        self.optimizer
+    }
+
+    /// Display name of the optimiser for Table I.
+    pub fn optimizer_name(&self) -> &'static str {
+        match self.optimizer {
+            OptimizerKind::Sgd => "SGD",
+            OptimizerKind::Adam(_) => "Adam",
+        }
+    }
+
+    /// Table I's "Model Precision in BPROP" column for this arm.
+    pub fn bprop_precision(&self) -> String {
+        use apt_nn::ParamPrecision as P;
+        match (self.scheme.weights, self.policy.is_some()) {
+            (_, true) => "Adaptive".into(),
+            (P::Float32, _) | (P::MasterCopy(_), _) | (P::Projected(_), _) => "FP32".into(),
+            (P::Quantized(b), _) => format!("{}-bit", b.get()),
+            (P::PerChannel(b), _) => format!("{}-bit/ch", b.get()),
+        }
+    }
+}
+
+/// Trains one baseline arm: builds the backbone with the arm's storage
+/// scheme (seeded deterministically), overlays the arm's gradient/policy
+/// settings on `base` and runs the shared trainer.
+///
+/// # Errors
+///
+/// Propagates model-construction and training errors.
+pub fn run_baseline<F>(
+    spec: &BaselineSpec,
+    build: F,
+    train: &Dataset,
+    test: &Dataset,
+    base: &TrainConfig,
+    seed: u64,
+) -> apt_core::Result<TrainReport>
+where
+    F: FnOnce(&QuantScheme, &mut StdRng) -> apt_nn::Result<Network>,
+{
+    let mut rng = trng::substream(seed, 0xBA5E);
+    let net = build(&spec.scheme, &mut rng)?;
+    let mut cfg = TrainConfig {
+        policy: spec.policy,
+        grad_quant: spec.grad_quant,
+        optimizer: spec.optimizer,
+        seed,
+        ..base.clone()
+    };
+    // Adam arms use the conventional 1e-3 base rate decayed on the same
+    // milestones — SGD's 0.1 would blow Adam's ≈lr-per-step updates up.
+    // This mirrors the comparators' own recipes in their papers.
+    if matches!(spec.optimizer, OptimizerKind::Adam(_)) {
+        cfg.schedule = apt_optim::LrSchedule::StepDecay {
+            base: 1e-3,
+            milestones: vec![cfg.epochs / 2, cfg.epochs * 3 / 4],
+            gamma: 0.1,
+        };
+    }
+    let mut trainer = Trainer::new(net, cfg)?;
+    trainer.train(train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_data::blobs;
+    use apt_nn::models;
+    use apt_optim::{LrSchedule, SgdConfig};
+
+    fn toy() -> (Dataset, Dataset) {
+        blobs(3, 40, 6, 0.4, 5)
+            .unwrap()
+            .split_shuffled(90, 1)
+            .unwrap()
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            schedule: LrSchedule::Constant(0.05),
+            sgd: SgdConfig {
+                momentum: 0.9,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+            augment: None,
+            ..Default::default()
+        }
+    }
+
+    fn all_specs() -> Vec<BaselineSpec> {
+        vec![
+            BaselineSpec::fp32(),
+            BaselineSpec::fixed(Bitwidth::new(8).unwrap()),
+            BaselineSpec::bnn(),
+            BaselineSpec::twn(),
+            BaselineSpec::ttq(),
+            BaselineSpec::dorefa(Bitwidth::new(8).unwrap(), Bitwidth::new(8).unwrap()),
+            BaselineSpec::terngrad(),
+            BaselineSpec::wage(),
+            BaselineSpec::apt(6.0, f64::INFINITY),
+        ]
+    }
+
+    #[test]
+    fn bprop_precision_column_matches_table1() {
+        let by_name: std::collections::HashMap<String, String> = all_specs()
+            .into_iter()
+            .map(|s| (s.name().to_string(), s.bprop_precision()))
+            .collect();
+        assert_eq!(by_name["fp32"], "FP32");
+        assert_eq!(by_name["bnn"], "FP32");
+        assert_eq!(by_name["twn"], "FP32");
+        assert_eq!(by_name["ttq"], "FP32");
+        assert_eq!(by_name["dorefa-w8g8"], "FP32");
+        assert_eq!(by_name["terngrad"], "FP32");
+        assert_eq!(by_name["wage"], "8-bit");
+        assert_eq!(by_name["apt"], "Adaptive");
+        assert_eq!(by_name["8bit-fixed"], "8-bit");
+    }
+
+    #[test]
+    fn every_arm_trains_without_error_on_a_toy_mlp() {
+        let (train, test) = toy();
+        for spec in all_specs() {
+            let report = run_baseline(
+                &spec,
+                |scheme, rng| models::mlp("m", &[6, 16, 3], scheme, rng),
+                &train,
+                &test,
+                &quick_cfg(),
+                3,
+            )
+            .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name()));
+            assert_eq!(report.epochs.len(), 8, "{}", spec.name());
+            assert!(
+                report.final_accuracy > 0.34,
+                "{} acc={}",
+                spec.name(),
+                report.final_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn apt_beats_low_fixed_bit_memory_while_master_copies_exceed_fp32() {
+        let (train, test) = toy();
+        let mem = |spec: &BaselineSpec| -> u64 {
+            run_baseline(
+                &spec.clone(),
+                |scheme, rng| models::mlp("m", &[6, 16, 3], scheme, rng),
+                &train,
+                &test,
+                &quick_cfg(),
+                3,
+            )
+            .unwrap()
+            .peak_memory_bits
+        };
+        let fp32 = mem(&BaselineSpec::fp32());
+        let apt = mem(&BaselineSpec::apt(6.0, f64::INFINITY));
+        let ttq = mem(&BaselineSpec::ttq());
+        let bnn = mem(&BaselineSpec::bnn());
+        assert!(apt < fp32, "APT must save memory: {apt} vs {fp32}");
+        assert!(ttq > fp32, "TTQ keeps master + view: {ttq} vs {fp32}");
+        assert!(bnn > fp32, "BNN keeps master + view: {bnn} vs {fp32}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (train, test) = toy();
+        let spec = BaselineSpec::apt(6.0, f64::INFINITY);
+        let run = || {
+            run_baseline(
+                &spec,
+                |scheme, rng| models::mlp("m", &[6, 12, 3], scheme, rng),
+                &train,
+                &test,
+                &quick_cfg(),
+                11,
+            )
+            .unwrap()
+        };
+        assert_eq!(run().final_accuracy, run().final_accuracy);
+    }
+}

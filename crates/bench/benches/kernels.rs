@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the compute kernels that dominate
+//! training time: GEMM, conv2d forward/backward, pooling and softmax.
+//! These back the energy model's MAC accounting with wall-clock evidence
+//! and catch kernel regressions.
+
+use apt_tensor::ops::conv::{conv2d, conv2d_backward_input, conv2d_backward_weight, Conv2dParams};
+use apt_tensor::ops::{matmul, pool, softmax};
+use apt_tensor::rng::{normal, seeded};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[16usize, 64, 128] {
+        let a = normal(&[n, n], 1.0, &mut seeded(1));
+        let b = normal(&[n, n], 1.0, &mut seeded(2));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv2d");
+    let p = Conv2dParams::new(1, 1, 1);
+    let x = normal(&[4, 16, 16, 16], 1.0, &mut seeded(3));
+    let w = normal(&[16, 16, 3, 3], 1.0, &mut seeded(4));
+    let y = conv2d(&x, &w, &p).unwrap();
+    g.bench_function("forward_16c_16x16", |b| {
+        b.iter(|| conv2d(&x, &w, &p).unwrap())
+    });
+    g.bench_function("backward_input_16c_16x16", |b| {
+        b.iter(|| conv2d_backward_input(&y, &w, x.dims(), &p).unwrap())
+    });
+    g.bench_function("backward_weight_16c_16x16", |b| {
+        b.iter(|| conv2d_backward_weight(&x, &y, w.dims(), &p).unwrap())
+    });
+    // depthwise (MobileNetV2's dominant op)
+    let pdw = Conv2dParams::new(1, 1, 16);
+    let wdw = normal(&[16, 1, 3, 3], 1.0, &mut seeded(5));
+    g.bench_function("depthwise_16c_16x16", |b| {
+        b.iter(|| conv2d(&x, &wdw, &pdw).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_misc(c: &mut Criterion) {
+    let x = normal(&[8, 32, 16, 16], 1.0, &mut seeded(6));
+    c.bench_function("max_pool2d_8n32c", |b| {
+        b.iter(|| pool::max_pool2d(&x, 2).unwrap())
+    });
+    let logits = normal(&[128, 100], 1.0, &mut seeded(7));
+    let labels: Vec<usize> = (0..128).map(|i| i % 100).collect();
+    c.bench_function("cross_entropy_128x100", |b| {
+        b.iter(|| softmax::cross_entropy(&logits, &labels).unwrap())
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_matmul, bench_conv, bench_misc
+}
+criterion_main!(benches);

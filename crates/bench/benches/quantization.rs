@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the quantisation substrate: calibration,
+//! quantise/dequantise, the Eq. 3 SGD update across bitwidths and rounding
+//! modes, and the fake-quant/ternarise kernels the baselines use.
+
+use apt_quant::{fake, AffineQuantizer, Bitwidth, QuantizedTensor, RoundingMode};
+use apt_tensor::rng::{normal, seeded};
+use apt_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const N: usize = 16_384;
+
+fn bench_calibrate_and_roundtrip(c: &mut Criterion) {
+    let t = normal(&[N], 1.0, &mut seeded(1));
+    c.bench_function("calibrate_16k", |b| {
+        b.iter(|| AffineQuantizer::from_tensor(&t, Bitwidth::new(8).unwrap()).unwrap())
+    });
+    let q = QuantizedTensor::from_tensor(&t, Bitwidth::new(8).unwrap()).unwrap();
+    c.bench_function("quantize_16k", |b| {
+        b.iter(|| QuantizedTensor::from_tensor(&t, Bitwidth::new(8).unwrap()).unwrap())
+    });
+    c.bench_function("dequantize_16k", |b| b.iter(|| q.to_tensor()));
+}
+
+fn bench_sgd_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eq3_sgd_update_16k");
+    let t = normal(&[N], 1.0, &mut seeded(2));
+    let grad = normal(&[N], 0.01, &mut seeded(3));
+    for &bits in &[4u32, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            let mut q = QuantizedTensor::from_tensor(&t, Bitwidth::new(bits).unwrap()).unwrap();
+            let mut rng = seeded(4);
+            b.iter(|| {
+                q.sgd_update(&grad, 0.1, RoundingMode::Truncate, &mut rng)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("rounding_modes_16k");
+    for mode in [
+        RoundingMode::Truncate,
+        RoundingMode::Nearest,
+        RoundingMode::Stochastic,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            let mut q = QuantizedTensor::from_tensor(&t, Bitwidth::new(8).unwrap()).unwrap();
+            let mut rng = seeded(5);
+            b.iter(|| q.sgd_update(&grad, 0.1, mode, &mut rng).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_baseline_kernels(c: &mut Criterion) {
+    let t = normal(&[N], 1.0, &mut seeded(6));
+    c.bench_function("fake_quantize_16k", |b| {
+        b.iter(|| fake::fake_quantize(&t, Bitwidth::new(8).unwrap()).unwrap())
+    });
+    c.bench_function("ternarize_16k", |b| b.iter(|| fake::ternarize(&t)));
+    c.bench_function("binarize_16k", |b| b.iter(|| fake::binarize(&t)));
+    // Gavg metric (Eq. 4) over a 16k gradient.
+    let grad = normal(&[N], 0.01, &mut seeded(7));
+    c.bench_function("gavg_16k", |b| {
+        b.iter(|| {
+            let inv = 1.0f64 / 0.01;
+            grad.data()
+                .iter()
+                .map(|&g| (g as f64).abs() * inv)
+                .sum::<f64>()
+                / grad.len() as f64
+        })
+    });
+    let _unused: Tensor = Tensor::zeros(&[1]);
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_calibrate_and_roundtrip, bench_sgd_update, bench_baseline_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benchmarks of whole training steps (forward, loss, backward,
+//! SGD) for the paper's backbones under the different storage schemes:
+//! the end-to-end cost each figure's arms pay per iteration.
+
+use apt_nn::{models, Mode, Network, QuantScheme};
+use apt_optim::{Sgd, SgdConfig};
+use apt_quant::Bitwidth;
+use apt_tensor::ops::softmax::cross_entropy;
+use apt_tensor::rng::{normal, seeded};
+use apt_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn step(net: &mut Network, sgd: &mut Sgd, x: &Tensor, labels: &[usize]) {
+    net.zero_grads();
+    let logits = net.forward(x, Mode::Train).unwrap();
+    let ce = cross_entropy(&logits, labels).unwrap();
+    net.backward(&ce.grad_logits).unwrap();
+    sgd.step(net, 0.1).unwrap();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cifarnet_step_by_scheme");
+    let x = normal(&[8, 3, 8, 8], 1.0, &mut seeded(1));
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let schemes: Vec<(&str, QuantScheme)> = vec![
+        ("fp32", QuantScheme::float32()),
+        ("q6", QuantScheme::paper_apt()),
+        ("q16", QuantScheme::fixed(Bitwidth::new(16).unwrap())),
+        (
+            "master8",
+            QuantScheme::master_copy(Bitwidth::new(8).unwrap()),
+        ),
+    ];
+    for (name, scheme) in schemes {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, scheme| {
+            let mut net = models::cifarnet(10, 8, 0.25, scheme, &mut seeded(2)).unwrap();
+            let mut sgd = Sgd::new(SgdConfig::default(), 0);
+            b.iter(|| step(&mut net, &mut sgd, &x, &labels))
+        });
+    }
+    g.finish();
+}
+
+fn bench_backbones(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backbone_step_q6");
+    let x = normal(&[4, 3, 8, 8], 1.0, &mut seeded(3));
+    let labels: Vec<usize> = (0..4).map(|i| i % 10).collect();
+    let scheme = QuantScheme::paper_apt();
+    g.bench_function("resnet20_w0.25", |b| {
+        let mut net = models::resnet20(10, 0.25, &scheme, &mut seeded(4)).unwrap();
+        let mut sgd = Sgd::new(SgdConfig::default(), 0);
+        b.iter(|| step(&mut net, &mut sgd, &x, &labels))
+    });
+    g.bench_function("mobilenetv2_w0.25", |b| {
+        let mut net = models::mobilenet_v2(10, 0.25, &scheme, &mut seeded(5)).unwrap();
+        let mut sgd = Sgd::new(SgdConfig::default(), 0);
+        b.iter(|| step(&mut net, &mut sgd, &x, &labels))
+    });
+    g.bench_function("cifarnet_w0.25", |b| {
+        let mut net = models::cifarnet(10, 8, 0.25, &scheme, &mut seeded(6)).unwrap();
+        let mut sgd = Sgd::new(SgdConfig::default(), 0);
+        b.iter(|| step(&mut net, &mut sgd, &x, &labels))
+    });
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_schemes, bench_backbones
+}
+criterion_main!(benches);

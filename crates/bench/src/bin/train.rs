@@ -1,0 +1,235 @@
+//! General-purpose training CLI over the public API — train any backbone
+//! under any storage scheme on a SynthCifar task and write the trained
+//! checkpoint plus a per-epoch CSV.
+//!
+//! ```text
+//! cargo run --release -p apt-bench --bin train -- \
+//!     --model resnet20 --scheme apt --t-min 6 --epochs 40 \
+//!     --classes 10 --img-size 12 --per-class 80 --seed 42 \
+//!     --out results/run
+//! ```
+//!
+//! Schemes: `fp32`, `apt` (adaptive, needs `--t-min`), `fixed:<bits>`,
+//! `master:<bits>`, `per-channel:<bits>`. Models: `resnet20`, `resnet110`,
+//! `mobilenetv2`, `cifarnet`, `vgg`.
+
+use apt_core::{PolicyConfig, TrainConfig, Trainer};
+use apt_data::{SynthCifar, SynthCifarConfig};
+use apt_metrics::Table;
+use apt_nn::{checkpoint, models, Network, QuantScheme};
+use apt_optim::LrSchedule;
+use apt_quant::Bitwidth;
+use apt_tensor::rng;
+use std::process::exit;
+
+struct Args {
+    model: String,
+    scheme: String,
+    t_min: f64,
+    epochs: usize,
+    classes: usize,
+    img_size: usize,
+    per_class: usize,
+    width_mult: f32,
+    batch_size: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        model: "cifarnet".into(),
+        scheme: "apt".into(),
+        t_min: 6.0,
+        epochs: 20,
+        classes: 10,
+        img_size: 12,
+        per_class: 60,
+        width_mult: 0.25,
+        batch_size: 32,
+        seed: 42,
+        out: "results/train".into(),
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let take = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| {
+                eprintln!("missing value for {}", argv[*i - 1]);
+                exit(2);
+            })
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--model" => a.model = take(&mut i),
+            "--scheme" => a.scheme = take(&mut i),
+            "--t-min" => a.t_min = take(&mut i).parse().unwrap_or(6.0),
+            "--epochs" => a.epochs = take(&mut i).parse().unwrap_or(a.epochs),
+            "--classes" => a.classes = take(&mut i).parse().unwrap_or(a.classes),
+            "--img-size" => a.img_size = take(&mut i).parse().unwrap_or(a.img_size),
+            "--per-class" => a.per_class = take(&mut i).parse().unwrap_or(a.per_class),
+            "--width-mult" => a.width_mult = take(&mut i).parse().unwrap_or(a.width_mult),
+            "--batch-size" => a.batch_size = take(&mut i).parse().unwrap_or(a.batch_size),
+            "--seed" => a.seed = take(&mut i).parse().unwrap_or(a.seed),
+            "--out" => a.out = take(&mut i),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: train [--model resnet20|resnet110|mobilenetv2|cifarnet|vgg]\n\
+                     \x20            [--scheme fp32|apt|fixed:<bits>|master:<bits>|per-channel:<bits>]\n\
+                     \x20            [--t-min F] [--epochs N] [--classes N] [--img-size N]\n\
+                     \x20            [--per-class N] [--width-mult F] [--batch-size N]\n\
+                     \x20            [--seed N] [--out PATH]"
+                );
+                exit(0);
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (see --help)");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    a
+}
+
+fn parse_scheme(spec: &str, t_min: f64) -> (QuantScheme, Option<PolicyConfig>) {
+    let bits = |s: &str| -> Bitwidth {
+        Bitwidth::new(s.parse().unwrap_or(0)).unwrap_or_else(|e| {
+            eprintln!("bad bitwidth in scheme `{spec}`: {e}");
+            exit(2);
+        })
+    };
+    match spec.split_once(':') {
+        None => match spec {
+            "fp32" => (QuantScheme::float32(), None),
+            "apt" => (
+                QuantScheme::paper_apt(),
+                Some(PolicyConfig::new(t_min, f64::INFINITY).unwrap_or_else(|e| {
+                    eprintln!("bad --t-min: {e}");
+                    exit(2);
+                })),
+            ),
+            other => {
+                eprintln!("unknown scheme `{other}`");
+                exit(2);
+            }
+        },
+        Some(("fixed", b)) => (QuantScheme::fixed(bits(b)), None),
+        Some(("master", b)) => (QuantScheme::master_copy(bits(b)), None),
+        Some(("per-channel", b)) => (QuantScheme::per_channel(bits(b)), None),
+        Some((other, _)) => {
+            eprintln!("unknown scheme `{other}`");
+            exit(2);
+        }
+    }
+}
+
+fn build_model(a: &Args, scheme: &QuantScheme) -> apt_nn::Result<Network> {
+    let mut r = rng::substream(a.seed, 0x7121);
+    match a.model.as_str() {
+        "resnet20" => models::resnet20(a.classes, a.width_mult, scheme, &mut r),
+        "resnet110" => models::resnet110(a.classes, a.width_mult, scheme, &mut r),
+        "mobilenetv2" => models::mobilenet_v2(a.classes, a.width_mult, scheme, &mut r),
+        "cifarnet" => models::cifarnet(a.classes, a.img_size, a.width_mult, scheme, &mut r),
+        "vgg" => models::vgg_small(a.classes, a.img_size, a.width_mult, scheme, &mut r),
+        other => {
+            eprintln!("unknown model `{other}`");
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let a = parse_args();
+    let (scheme, policy) = parse_scheme(&a.scheme, a.t_min);
+
+    let data = SynthCifar::generate(&SynthCifarConfig {
+        num_classes: a.classes,
+        train_per_class: a.per_class,
+        test_per_class: (a.per_class / 4).max(1),
+        img_size: a.img_size,
+        seed: a.seed,
+        ..Default::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("dataset generation failed: {e}");
+        exit(1);
+    });
+
+    let net = build_model(&a, &scheme).unwrap_or_else(|e| {
+        eprintln!("model construction failed: {e}");
+        exit(1);
+    });
+    println!(
+        "training {} ({} params, scheme {}) on {} train / {} test images for {} epochs",
+        a.model,
+        net.num_params(),
+        a.scheme,
+        data.train.len(),
+        data.test.len(),
+        a.epochs
+    );
+
+    let cfg = TrainConfig {
+        epochs: a.epochs,
+        batch_size: a.batch_size,
+        schedule: LrSchedule::paper_cifar10(a.epochs),
+        policy,
+        seed: a.seed,
+        ..Default::default()
+    };
+    let mut trainer = Trainer::new(net, cfg).unwrap_or_else(|e| {
+        eprintln!("trainer config error: {e}");
+        exit(1);
+    });
+    let report = trainer.train(&data.train, &data.test).unwrap_or_else(|e| {
+        eprintln!("training failed: {e}");
+        exit(1);
+    });
+
+    let mut table = Table::new(&[
+        "epoch",
+        "lr",
+        "train_loss",
+        "test_acc",
+        "energy_pj",
+        "mean_bits",
+    ]);
+    for e in &report.epochs {
+        let mean_bits = if e.layer_bits.is_empty() {
+            0.0
+        } else {
+            e.layer_bits.iter().map(|&(_, b)| b as f64).sum::<f64>() / e.layer_bits.len() as f64
+        };
+        table.push_row(vec![
+            e.epoch.to_string(),
+            format!("{:.4}", e.lr),
+            format!("{:.4}", e.train_loss),
+            format!("{:.4}", e.test_accuracy),
+            format!("{:.4e}", e.cumulative_energy_pj),
+            format!("{mean_bits:.2}"),
+        ]);
+    }
+    let csv_path = format!("{}.csv", a.out);
+    if let Err(e) = table.write_csv(&csv_path) {
+        eprintln!("could not write {csv_path}: {e}");
+    }
+    let blob = checkpoint::save_full(trainer.network_mut());
+    let ckpt_path = format!("{}.aptc", a.out);
+    if let Some(parent) = std::path::Path::new(&ckpt_path).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    if let Err(e) = std::fs::write(&ckpt_path, &blob) {
+        eprintln!("could not write {ckpt_path}: {e}");
+    }
+    println!(
+        "final accuracy {:.1}% | best {:.1}% | energy {:.2} µJ | peak memory {:.1} KiB",
+        100.0 * report.final_accuracy,
+        100.0 * report.best_accuracy,
+        report.total_energy_pj / 1e6,
+        report.peak_memory_bits as f64 / 8192.0
+    );
+    println!("wrote {csv_path} and {ckpt_path} ({} bytes)", blob.len());
+}

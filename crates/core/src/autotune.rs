@@ -1,0 +1,370 @@
+//! Automatic `T_min` selection — the paper's stated future work
+//! (§V: *"In future, we are going to find automatic ways for choosing a
+//! proper T_min in order to ease the use of APT."*).
+//!
+//! The Figure 5 frontier is monotone: raising `T_min` buys accuracy with
+//! energy/memory, with a knee near the threshold where layers stop
+//! starving. That monotonicity makes the selection problem a 1-D search
+//! over `log T_min`, which this module solves with short **pilot runs**
+//! (a truncated training budget) under either objective:
+//!
+//! * [`TuneObjective::ReachAccuracy`] — smallest `T_min` whose pilot
+//!   accuracy meets a target (binary search on the log grid, rounding up
+//!   on failure). Use when the application has a quality bar.
+//! * [`TuneObjective::EnergyBudget`] — largest-accuracy `T_min` whose
+//!   pilot energy stays within a budget relative to the fp32 pilot (linear
+//!   scan from cheap to expensive, keeping the last affordable point).
+//!   Use when the battery is the bar.
+
+use crate::{CoreError, PolicyConfig, TrainConfig, Trainer};
+use apt_data::Dataset;
+use apt_nn::{Network, QuantScheme};
+use rand::rngs::StdRng;
+
+/// What the tuner optimises for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TuneObjective {
+    /// Find the smallest `T_min` whose pilot run reaches this test
+    /// accuracy (0–1).
+    ReachAccuracy(f64),
+    /// Find the highest-accuracy `T_min` whose pilot training energy is at
+    /// most `fraction` of the fp32 pilot's energy.
+    EnergyBudget {
+        /// Maximum allowed energy as a fraction of the fp32 pilot (e.g.
+        /// 0.5 = half of fp32).
+        fraction: f64,
+    },
+}
+
+/// Configuration of the automatic search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoTuneConfig {
+    /// Candidate grid (ascending). Defaults to the paper's Figure 5 sweep,
+    /// `0.1 … 100` in half-decade steps.
+    pub grid: Vec<f64>,
+    /// Epochs of each pilot run (shorter than a real run; the frontier
+    /// ordering stabilises early).
+    pub pilot_epochs: usize,
+    /// The objective to satisfy.
+    pub objective: TuneObjective,
+}
+
+impl AutoTuneConfig {
+    /// Default grid with a given objective.
+    pub fn new(objective: TuneObjective) -> Self {
+        AutoTuneConfig {
+            grid: vec![0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0],
+            pilot_epochs: 6,
+            objective,
+        }
+    }
+}
+
+/// One pilot measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PilotResult {
+    /// The `T_min` evaluated.
+    pub t_min: f64,
+    /// Pilot test accuracy.
+    pub accuracy: f64,
+    /// Pilot training energy, pJ.
+    pub energy_pj: f64,
+    /// Pilot peak memory, bits.
+    pub memory_bits: u64,
+}
+
+/// The tuner's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoTuneReport {
+    /// The selected `T_min` (the recommendation).
+    pub chosen_t_min: f64,
+    /// Every pilot run evaluated, in evaluation order.
+    pub pilots: Vec<PilotResult>,
+    /// Energy of the fp32 reference pilot, pJ (for budget objectives).
+    pub fp32_energy_pj: f64,
+}
+
+/// Searches the `T_min` grid with pilot runs.
+///
+/// `build` constructs a fresh network for a scheme (so every pilot starts
+/// from identical initial weights); `base` supplies everything except the
+/// policy and epoch budget.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadConfig`] for an empty grid or zero pilot epochs
+/// and propagates training errors.
+pub fn autotune_t_min<F>(
+    cfg: &AutoTuneConfig,
+    mut build: F,
+    train: &Dataset,
+    test: &Dataset,
+    base: &TrainConfig,
+) -> crate::Result<AutoTuneReport>
+where
+    F: FnMut(&QuantScheme, &mut StdRng) -> apt_nn::Result<Network>,
+{
+    if cfg.grid.is_empty() || cfg.pilot_epochs == 0 {
+        return Err(CoreError::BadConfig {
+            reason: "autotune needs a non-empty grid and ≥1 pilot epoch".into(),
+        });
+    }
+    if cfg.grid.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(CoreError::BadConfig {
+            reason: "autotune grid must be strictly ascending".into(),
+        });
+    }
+    let mut pilot = |scheme: &QuantScheme, policy: Option<PolicyConfig>| -> crate::Result<_> {
+        let mut rng = apt_tensor::rng::substream(base.seed, 0x7u64);
+        let net = build(scheme, &mut rng)?;
+        let mut c = base.clone();
+        c.epochs = cfg.pilot_epochs;
+        c.policy = policy;
+        let mut t = Trainer::new(net, c)?;
+        t.train(train, test)
+    };
+
+    // fp32 reference pilot (needed for energy budgets; cheap to always run).
+    let fp32 = pilot(&QuantScheme::float32(), None)?;
+    let fp32_energy_pj = fp32.total_energy_pj;
+
+    let run_t = |t_min: f64,
+                 pilot: &mut dyn FnMut(
+        &QuantScheme,
+        Option<PolicyConfig>,
+    ) -> crate::Result<crate::TrainReport>|
+     -> crate::Result<PilotResult> {
+        let policy = PolicyConfig::new(t_min, f64::INFINITY)?;
+        let r = pilot(&QuantScheme::paper_apt(), Some(policy))?;
+        Ok(PilotResult {
+            t_min,
+            accuracy: r.best_accuracy,
+            energy_pj: r.total_energy_pj,
+            memory_bits: r.peak_memory_bits,
+        })
+    };
+
+    let mut pilots: Vec<PilotResult> = Vec::new();
+    let chosen = match cfg.objective {
+        TuneObjective::ReachAccuracy(target) => {
+            // Binary search on the ascending grid: accuracy is (noisily)
+            // non-decreasing in T_min, so find the leftmost success.
+            let (mut lo, mut hi) = (0usize, cfg.grid.len() - 1);
+            let mut best: Option<f64> = None;
+            while lo <= hi {
+                let mid = (lo + hi) / 2;
+                let p = run_t(cfg.grid[mid], &mut pilot)?;
+                let hit = p.accuracy >= target;
+                pilots.push(p);
+                if hit {
+                    best = Some(cfg.grid[mid]);
+                    if mid == 0 {
+                        break;
+                    }
+                    hi = mid - 1;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            // If nothing on the grid reaches the target, recommend the
+            // most accurate (largest) candidate.
+            best.unwrap_or(*cfg.grid.last().expect("non-empty grid"))
+        }
+        TuneObjective::EnergyBudget { fraction } => {
+            if !(fraction.is_finite() && fraction > 0.0) {
+                return Err(CoreError::BadConfig {
+                    reason: format!("invalid energy fraction {fraction}"),
+                });
+            }
+            let budget = fraction * fp32_energy_pj;
+            let mut best = cfg.grid[0];
+            for &t_min in &cfg.grid {
+                let p = run_t(t_min, &mut pilot)?;
+                let affordable = p.energy_pj <= budget;
+                pilots.push(p);
+                if affordable {
+                    best = t_min; // grid ascending ⇒ later = more accurate
+                } else {
+                    break; // energy is increasing in T_min; stop early
+                }
+            }
+            best
+        }
+    };
+
+    Ok(AutoTuneReport {
+        chosen_t_min: chosen,
+        pilots,
+        fp32_energy_pj,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_data::blobs;
+    use apt_nn::models;
+    use apt_optim::{LrSchedule, SgdConfig};
+
+    fn toy() -> (Dataset, Dataset) {
+        blobs(3, 40, 6, 0.35, 2)
+            .unwrap()
+            .split_shuffled(90, 3)
+            .unwrap()
+    }
+
+    fn base() -> TrainConfig {
+        TrainConfig {
+            epochs: 6,
+            batch_size: 16,
+            schedule: LrSchedule::Constant(0.05),
+            sgd: SgdConfig {
+                momentum: 0.9,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+            augment: None,
+            seed: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn accuracy_objective_picks_a_grid_point() {
+        let (train, test) = toy();
+        let cfg = AutoTuneConfig {
+            grid: vec![0.1, 1.0, 10.0, 100.0],
+            pilot_epochs: 6,
+            objective: TuneObjective::ReachAccuracy(0.6),
+        };
+        let report = autotune_t_min(
+            &cfg,
+            |scheme, rng| models::mlp("m", &[6, 16, 3], scheme, rng),
+            &train,
+            &test,
+            &base(),
+        )
+        .unwrap();
+        assert!(cfg.grid.contains(&report.chosen_t_min));
+        // Binary search evaluates at most ⌈log2⌉+1 pilots.
+        assert!(report.pilots.len() <= 3, "{} pilots", report.pilots.len());
+        assert!(report.fp32_energy_pj > 0.0);
+    }
+
+    #[test]
+    fn unreachable_accuracy_falls_back_to_max_tmin() {
+        let (train, test) = toy();
+        let cfg = AutoTuneConfig {
+            grid: vec![0.1, 1.0, 10.0],
+            pilot_epochs: 2,
+            objective: TuneObjective::ReachAccuracy(1.1), // impossible
+        };
+        let report = autotune_t_min(
+            &cfg,
+            |scheme, rng| models::mlp("m", &[6, 12, 3], scheme, rng),
+            &train,
+            &test,
+            &base(),
+        )
+        .unwrap();
+        assert_eq!(report.chosen_t_min, 10.0);
+    }
+
+    #[test]
+    fn energy_budget_respects_the_budget() {
+        let (train, test) = toy();
+        let cfg = AutoTuneConfig {
+            grid: vec![0.1, 1.0, 10.0, 100.0],
+            pilot_epochs: 4,
+            objective: TuneObjective::EnergyBudget { fraction: 0.2 },
+        };
+        let report = autotune_t_min(
+            &cfg,
+            |scheme, rng| models::mlp("m", &[6, 16, 3], scheme, rng),
+            &train,
+            &test,
+            &base(),
+        )
+        .unwrap();
+        let chosen = report
+            .pilots
+            .iter()
+            .find(|p| p.t_min == report.chosen_t_min)
+            .expect("chosen pilot recorded");
+        assert!(
+            chosen.energy_pj <= 0.2 * report.fp32_energy_pj,
+            "chosen arm must fit the budget: {} vs {}",
+            chosen.energy_pj,
+            0.2 * report.fp32_energy_pj
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        let (train, test) = toy();
+        let bad_grid = AutoTuneConfig {
+            grid: vec![],
+            pilot_epochs: 2,
+            objective: TuneObjective::ReachAccuracy(0.5),
+        };
+        assert!(autotune_t_min(
+            &bad_grid,
+            |scheme, rng| models::mlp("m", &[6, 8, 3], scheme, rng),
+            &train,
+            &test,
+            &base(),
+        )
+        .is_err());
+        let unsorted = AutoTuneConfig {
+            grid: vec![1.0, 0.5],
+            pilot_epochs: 2,
+            objective: TuneObjective::ReachAccuracy(0.5),
+        };
+        assert!(autotune_t_min(
+            &unsorted,
+            |scheme, rng| models::mlp("m", &[6, 8, 3], scheme, rng),
+            &train,
+            &test,
+            &base(),
+        )
+        .is_err());
+        let bad_fraction = AutoTuneConfig {
+            grid: vec![1.0, 2.0],
+            pilot_epochs: 2,
+            objective: TuneObjective::EnergyBudget { fraction: -0.5 },
+        };
+        assert!(autotune_t_min(
+            &bad_fraction,
+            |scheme, rng| models::mlp("m", &[6, 8, 3], scheme, rng),
+            &train,
+            &test,
+            &base(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pilots_share_initial_weights() {
+        // Every pilot rebuilds from the same substream, so two tuner runs
+        // are bitwise identical.
+        let (train, test) = toy();
+        let cfg = AutoTuneConfig {
+            grid: vec![0.5, 5.0],
+            pilot_epochs: 3,
+            objective: TuneObjective::EnergyBudget { fraction: 0.9 },
+        };
+        let run = || {
+            autotune_t_min(
+                &cfg,
+                |scheme, rng| models::mlp("m", &[6, 12, 3], scheme, rng),
+                &train,
+                &test,
+                &base(),
+            )
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.chosen_t_min, b.chosen_t_min);
+        assert_eq!(a.pilots, b.pilots);
+    }
+}

@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the APT training stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A trainer/policy configuration field was out of its domain.
+    BadConfig {
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// A dataset error (empty split, bad shapes, …).
+    Data(apt_data::DataError),
+    /// A network error.
+    Nn(apt_nn::NnError),
+    /// An optimiser error.
+    Optim(apt_optim::OptimError),
+    /// A quantisation error.
+    Quant(apt_quant::QuantError),
+    /// A tensor kernel error.
+    Tensor(apt_tensor::TensorError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadConfig { reason } => write!(f, "bad training config: {reason}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::Nn(e) => write!(f, "network error: {e}"),
+            CoreError::Optim(e) => write!(f, "optimiser error: {e}"),
+            CoreError::Quant(e) => write!(f, "quantisation error: {e}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Data(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            CoreError::Optim(e) => Some(e),
+            CoreError::Quant(e) => Some(e),
+            CoreError::Tensor(e) => Some(e),
+            CoreError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<apt_data::DataError> for CoreError {
+    fn from(e: apt_data::DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+impl From<apt_nn::NnError> for CoreError {
+    fn from(e: apt_nn::NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+impl From<apt_optim::OptimError> for CoreError {
+    fn from(e: apt_optim::OptimError) -> Self {
+        CoreError::Optim(e)
+    }
+}
+impl From<apt_quant::QuantError> for CoreError {
+    fn from(e: apt_quant::QuantError) -> Self {
+        CoreError::Quant(e)
+    }
+}
+impl From<apt_tensor::TensorError> for CoreError {
+    fn from(e: apt_tensor::TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_for_all_variants() {
+        let errs: Vec<CoreError> = vec![
+            CoreError::BadConfig { reason: "x".into() },
+            apt_data::DataError::BadConfig { reason: "y".into() }.into(),
+            apt_nn::NnError::BadConfig { reason: "z".into() }.into(),
+            apt_optim::OptimError::BadConfig { reason: "w".into() }.into(),
+            apt_quant::QuantError::InvalidBitwidth { bits: 1 }.into(),
+            apt_tensor::TensorError::IndexOutOfBounds { index: 0, bound: 0 }.into(),
+        ];
+        for (i, e) in errs.iter().enumerate() {
+            assert!(!e.to_string().is_empty());
+            assert_eq!(e.source().is_some(), i != 0);
+        }
+    }
+}

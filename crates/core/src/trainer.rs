@@ -1,0 +1,607 @@
+//! Algorithm 2 — the APT training loop.
+//!
+//! One [`Trainer`] drives every experimental arm of the paper:
+//!
+//! * **APT** — `policy: Some(...)` on a network built with
+//!   [`apt_nn::QuantScheme::paper_apt`] (6-bit initial weights).
+//! * **Fixed-bitwidth** — `policy: None` on
+//!   [`apt_nn::QuantScheme::fixed`] networks (the 8/12/14/16-bit arms).
+//! * **fp32** — `policy: None` on [`apt_nn::QuantScheme::float32`].
+//! * **Master-copy baselines** — `policy: None` on
+//!   [`apt_nn::QuantScheme::master_copy`], optionally with
+//!   [`GradQuant`] for TernGrad/DoReFa-style gradient quantisation.
+//!
+//! so every Figure 2–5 comparison shares identical data order,
+//! augmentation draws, loss, and metering code.
+
+use crate::{apply_policy, CoreError, GavgProfiler, PolicyConfig, PrecisionChange};
+use apt_data::{AugmentConfig, Batcher, Dataset};
+use apt_energy::EnergyMeter;
+use apt_metrics::accuracy;
+use apt_nn::{Mode, Network, ParamKind};
+use apt_optim::{Adam, LrSchedule, Sgd, SgdConfig};
+use apt_quant::{fake, Bitwidth};
+use apt_tensor::ops::{reduce::argmax_rows, softmax::cross_entropy};
+
+/// Which optimiser drives the parameter updates.
+///
+/// The paper trains APT with plain SGD "to show the potential of saving
+/// energy and memory usage" (§IV) while most Table I comparators use Adam;
+/// §III-B keeps Gavg optimiser-agnostic precisely so both compose.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum OptimizerKind {
+    /// SGD with momentum/weight decay from [`TrainConfig::sgd`].
+    #[default]
+    Sgd,
+    /// Adam with the given configuration ([`TrainConfig::sgd`] is ignored).
+    Adam(apt_optim::AdamConfig),
+}
+
+/// Optional gradient quantisation applied to weight gradients before the
+/// optimiser step — models the BPROP side of the Table I comparators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GradQuant {
+    /// Raw gradients (APT and the fixed/fp32 arms).
+    #[default]
+    None,
+    /// TernGrad-style ternarisation to `{−s, 0, +s}`.
+    Ternary,
+    /// DoReFa-style fixed-point gradient quantisation at `k` bits.
+    Fixed(Bitwidth),
+}
+
+/// Full configuration of one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of epochs (paper: 200 at full scale).
+    pub epochs: usize,
+    /// Mini-batch size (paper: 128).
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// SGD hyper-parameters (used when `optimizer` is
+    /// [`OptimizerKind::Sgd`]).
+    pub sgd: SgdConfig,
+    /// Which optimiser to use (default SGD, the paper's choice).
+    pub optimizer: OptimizerKind,
+    /// `Some` enables Algorithm 1 between epochs (APT); `None` trains at
+    /// fixed precision.
+    pub policy: Option<PolicyConfig>,
+    /// Gavg sampling interval in iterations (Algorithm 2's `INTERVAL`).
+    pub interval: usize,
+    /// EMA smoothing for Gavg samples.
+    pub ema_alpha: f64,
+    /// Training-time augmentation (`None` disables).
+    pub augment: Option<AugmentConfig>,
+    /// Gradient quantisation for baseline arms.
+    pub grad_quant: GradQuant,
+    /// Master seed for shuffling/augmentation/stochastic rounding.
+    pub seed: u64,
+    /// Evaluate on the test set every `eval_every` epochs (1 = each epoch).
+    pub eval_every: usize,
+    /// Stop early once test accuracy has not improved for this many
+    /// consecutive *evaluated* epochs (`None` disables). Saves the energy
+    /// the paper's Figure 4 shows fixed-precision arms waste grinding out
+    /// the last fractions of a percent.
+    pub early_stop_patience: Option<usize>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 20,
+            batch_size: 32,
+            schedule: LrSchedule::paper_cifar10(20),
+            sgd: SgdConfig::default(),
+            optimizer: OptimizerKind::Sgd,
+            policy: None,
+            interval: 4,
+            ema_alpha: 0.3,
+            augment: Some(AugmentConfig::default()),
+            grad_quant: GradQuant::None,
+            seed: 42,
+            eval_every: 1,
+            early_stop_patience: None,
+        }
+    }
+}
+
+/// Everything recorded about one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Learning rate used this epoch.
+    pub lr: f32,
+    /// Mean training cross-entropy over the epoch.
+    pub train_loss: f64,
+    /// Test accuracy after this epoch (carried forward between
+    /// evaluations when `eval_every > 1`).
+    pub test_accuracy: f64,
+    /// Cumulative training energy up to and including this epoch, pJ.
+    pub cumulative_energy_pj: f64,
+    /// Model training-memory footprint at epoch end, bits.
+    pub memory_bits: u64,
+    /// Per-layer bitwidths at epoch end (quantised weights only).
+    pub layer_bits: Vec<(String, u32)>,
+    /// Smoothed per-layer Gavg at epoch end (quantised weights only).
+    pub gavg: Vec<(String, f64)>,
+    /// Fraction of quantised updates that underflowed this epoch.
+    pub underflow_rate: f64,
+    /// Precision changes Algorithm 1 made at this epoch boundary.
+    pub changes: Vec<PrecisionChange>,
+}
+
+/// The result of a full training run — the raw material of every figure.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainReport {
+    /// One record per epoch, in order.
+    pub epochs: Vec<EpochRecord>,
+    /// Final test accuracy.
+    pub final_accuracy: f64,
+    /// Best test accuracy across epochs.
+    pub best_accuracy: f64,
+    /// Total training energy, pJ.
+    pub total_energy_pj: f64,
+    /// Peak model training-memory footprint, bits.
+    pub peak_memory_bits: u64,
+}
+
+impl TrainReport {
+    /// The first epoch whose test accuracy reaches `target`, with the
+    /// cumulative energy spent to get there (Figure 4's quantity).
+    /// `None` if never reached.
+    pub fn energy_to_accuracy(&self, target: f64) -> Option<(usize, f64)> {
+        self.epochs
+            .iter()
+            .find(|e| e.test_accuracy >= target)
+            .map(|e| (e.epoch, e.cumulative_energy_pj))
+    }
+}
+
+enum AnyOptimizer {
+    Sgd(Box<Sgd>),
+    Adam(Box<Adam>),
+}
+
+impl AnyOptimizer {
+    fn step(&mut self, net: &mut Network, lr: f32) -> apt_optim::Result<apt_optim::StepStats> {
+        match self {
+            AnyOptimizer::Sgd(o) => o.step(net, lr),
+            AnyOptimizer::Adam(o) => o.step(net, lr),
+        }
+    }
+}
+
+impl std::fmt::Debug for AnyOptimizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnyOptimizer::Sgd(_) => f.write_str("Sgd"),
+            AnyOptimizer::Adam(_) => f.write_str("Adam"),
+        }
+    }
+}
+
+/// The APT trainer (Algorithm 2).
+#[derive(Debug)]
+pub struct Trainer {
+    net: Network,
+    cfg: TrainConfig,
+    optimizer: AnyOptimizer,
+    meter: EnergyMeter,
+    profiler: GavgProfiler,
+}
+
+impl Trainer {
+    /// Wraps a network for training under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] for zero epochs/batch/interval or a
+    /// non-finite EMA factor.
+    pub fn new(net: Network, cfg: TrainConfig) -> crate::Result<Self> {
+        if cfg.epochs == 0 || cfg.batch_size == 0 || cfg.interval == 0 || cfg.eval_every == 0 {
+            return Err(CoreError::BadConfig {
+                reason: "epochs, batch_size, interval and eval_every must be ≥ 1".into(),
+            });
+        }
+        if !(cfg.ema_alpha.is_finite() && cfg.ema_alpha > 0.0 && cfg.ema_alpha <= 1.0) {
+            return Err(CoreError::BadConfig {
+                reason: format!("ema_alpha {} outside (0, 1]", cfg.ema_alpha),
+            });
+        }
+        let optimizer = match cfg.optimizer {
+            OptimizerKind::Sgd => AnyOptimizer::Sgd(Box::new(Sgd::new(cfg.sgd, cfg.seed))),
+            OptimizerKind::Adam(acfg) => AnyOptimizer::Adam(Box::new(Adam::new(acfg, cfg.seed))),
+        };
+        let profiler = GavgProfiler::new(cfg.ema_alpha);
+        Ok(Trainer {
+            net,
+            cfg,
+            optimizer,
+            meter: EnergyMeter::default(),
+            profiler,
+        })
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access to the wrapped network.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Consumes the trainer, returning the trained network.
+    pub fn into_network(self) -> Network {
+        self.net
+    }
+
+    /// Runs Algorithm 2: train on `train` for the configured epochs,
+    /// evaluating on `test`, profiling Gavg and (if enabled) adjusting
+    /// layer-wise precision between epochs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] for an empty training split and
+    /// propagates any substrate error.
+    pub fn train(&mut self, train: &Dataset, test: &Dataset) -> crate::Result<TrainReport> {
+        if train.is_empty() {
+            return Err(CoreError::BadConfig {
+                reason: "empty training split".into(),
+            });
+        }
+        let batcher = Batcher::new(self.cfg.batch_size, self.cfg.augment, self.cfg.seed)?;
+        let mut report = TrainReport::default();
+        let mut last_acc = 0.0f64;
+        let mut best_seen = f64::NEG_INFINITY;
+        let mut evals_since_best = 0usize;
+
+        for epoch in 0..self.cfg.epochs {
+            let lr = self.cfg.schedule.lr_at(epoch);
+            let mut loss_sum = 0.0f64;
+            let mut loss_count = 0usize;
+            let mut underflowed = 0usize;
+            let mut quantized_total = 0usize;
+
+            for (iter, batch) in batcher.epoch(train, epoch)?.into_iter().enumerate() {
+                self.net.zero_grads();
+                let logits = self.net.forward(&batch.images, Mode::Train)?;
+                let ce = cross_entropy(&logits, &batch.labels)?;
+                loss_sum += ce.loss as f64;
+                loss_count += 1;
+                self.net.backward(&ce.grad_logits)?;
+
+                // Algorithm 2 lines 6-9: profile Gavg on raw gradients.
+                if iter % self.cfg.interval == 0 {
+                    self.profiler.sample(&self.net);
+                }
+                self.apply_grad_quant()?;
+
+                let stats = self.optimizer.step(&mut self.net, lr)?;
+                underflowed += stats.underflowed;
+                quantized_total += stats.quantized_total;
+                self.meter.record_iteration(&self.net);
+            }
+
+            // Algorithm 2 line 11: adjust precision between epochs.
+            let changes = match &self.cfg.policy {
+                Some(policy) => apply_policy(&mut self.net, &self.profiler.profile(), policy)?,
+                None => Vec::new(),
+            };
+
+            let mut evaluated = false;
+            if epoch % self.cfg.eval_every == 0 || epoch + 1 == self.cfg.epochs {
+                last_acc = self.evaluate(test)?;
+                evaluated = true;
+                if last_acc > best_seen {
+                    best_seen = last_acc;
+                    evals_since_best = 0;
+                } else {
+                    evals_since_best += 1;
+                }
+            }
+            let memory_bits = self.net.memory_bits();
+            report.peak_memory_bits = report.peak_memory_bits.max(memory_bits);
+            report.epochs.push(EpochRecord {
+                epoch,
+                lr,
+                train_loss: if loss_count == 0 {
+                    0.0
+                } else {
+                    loss_sum / loss_count as f64
+                },
+                test_accuracy: last_acc,
+                cumulative_energy_pj: self.meter.total_pj(),
+                memory_bits,
+                layer_bits: self.layer_bits(),
+                gavg: self.profiler.profile(),
+                underflow_rate: if quantized_total == 0 {
+                    0.0
+                } else {
+                    underflowed as f64 / quantized_total as f64
+                },
+                changes,
+            });
+            if let Some(patience) = self.cfg.early_stop_patience {
+                if evaluated && evals_since_best >= patience {
+                    break;
+                }
+            }
+        }
+        report.final_accuracy = last_acc;
+        report.best_accuracy = report
+            .epochs
+            .iter()
+            .map(|e| e.test_accuracy)
+            .fold(0.0, f64::max);
+        report.total_energy_pj = self.meter.total_pj();
+        Ok(report)
+    }
+
+    /// Evaluates top-1 accuracy on `data` (single view, per the paper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn evaluate(&mut self, data: &Dataset) -> crate::Result<f64> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let batcher = Batcher::new(self.cfg.batch_size, None, 0)?;
+        let mut preds = Vec::with_capacity(data.len());
+        let mut labels = Vec::with_capacity(data.len());
+        for batch in batcher.eval_batches(data)? {
+            let logits = self.net.forward(&batch.images, Mode::Eval)?;
+            preds.extend(argmax_rows(&logits)?);
+            labels.extend(batch.labels);
+        }
+        Ok(accuracy(&preds, &labels))
+    }
+
+    /// Current per-layer bitwidths (quantised weight tensors only), sorted
+    /// by name.
+    pub fn layer_bits(&self) -> Vec<(String, u32)> {
+        let mut out = Vec::new();
+        self.net.visit_params_ref(&mut |p| {
+            if p.kind() == ParamKind::Weight {
+                if let Some(b) = p.bits() {
+                    out.push((p.name().to_string(), b.get()));
+                }
+            }
+        });
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The energy meter (cumulative account of the run so far).
+    pub fn energy(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    fn apply_grad_quant(&mut self) -> crate::Result<()> {
+        match self.cfg.grad_quant {
+            GradQuant::None => Ok(()),
+            GradQuant::Ternary => {
+                self.net.visit_params(&mut |p| {
+                    if p.kind() != ParamKind::Weight {
+                        return;
+                    }
+                    let t = fake::ternarize(p.grad());
+                    *p.grad_mut() = t;
+                });
+                Ok(())
+            }
+            GradQuant::Fixed(bits) => {
+                let mut first_err: Option<CoreError> = None;
+                self.net.visit_params(&mut |p| {
+                    if first_err.is_some() || p.kind() != ParamKind::Weight {
+                        return;
+                    }
+                    match fake::fake_quantize(p.grad(), bits) {
+                        Ok(t) => *p.grad_mut() = t,
+                        Err(e) => first_err = Some(e.into()),
+                    }
+                });
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_data::blobs;
+    use apt_nn::{models, QuantScheme};
+    use apt_tensor::rng::seeded;
+
+    fn toy_data() -> (Dataset, Dataset) {
+        // One corpus, shuffled-split, so train and test share class centres.
+        let all = blobs(3, 40, 6, 0.4, 1).unwrap();
+        all.split_shuffled(90, 9).unwrap()
+    }
+
+    fn base_cfg(epochs: usize) -> TrainConfig {
+        TrainConfig {
+            epochs,
+            batch_size: 16,
+            schedule: LrSchedule::Constant(0.05),
+            sgd: SgdConfig {
+                momentum: 0.9,
+                weight_decay: 1e-4,
+                ..Default::default()
+            },
+            augment: None,
+            interval: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fp32_trainer_learns_blobs() {
+        let (train, test) = toy_data();
+        let net = models::mlp("m", &[6, 16, 3], &QuantScheme::float32(), &mut seeded(0)).unwrap();
+        let mut t = Trainer::new(net, base_cfg(15)).unwrap();
+        let report = t.train(&train, &test).unwrap();
+        assert!(report.final_accuracy > 0.8, "acc={}", report.final_accuracy);
+        assert_eq!(report.epochs.len(), 15);
+        assert!(report.total_energy_pj > 0.0);
+        assert!(report.best_accuracy >= report.final_accuracy);
+    }
+
+    #[test]
+    fn apt_trainer_adapts_precision_upward_when_starving() {
+        let (train, test) = toy_data();
+        // Start at 3 bits: Gavg will be far below T_min=6 once the model
+        // starts converging, so the policy must add precision.
+        let scheme = QuantScheme::fixed(Bitwidth::new(3).unwrap());
+        let net = models::mlp("m", &[6, 16, 3], &scheme, &mut seeded(1)).unwrap();
+        let mut cfg = base_cfg(12);
+        cfg.policy = Some(PolicyConfig::paper_default());
+        let mut t = Trainer::new(net, cfg).unwrap();
+        let report = t.train(&train, &test).unwrap();
+        let first_bits: u32 = report.epochs[0].layer_bits.iter().map(|&(_, b)| b).sum();
+        let last_bits: u32 = report
+            .epochs
+            .last()
+            .unwrap()
+            .layer_bits
+            .iter()
+            .map(|&(_, b)| b)
+            .sum();
+        assert!(last_bits > first_bits, "policy should raise precision");
+        let total_changes: usize = report.epochs.iter().map(|e| e.changes.len()).sum();
+        assert!(total_changes > 0);
+        assert!(!report.epochs.last().unwrap().gavg.is_empty());
+    }
+
+    #[test]
+    fn fixed_precision_run_never_changes_bits() {
+        let (train, test) = toy_data();
+        let scheme = QuantScheme::fixed(Bitwidth::new(8).unwrap());
+        let net = models::mlp("m", &[6, 12, 3], &scheme, &mut seeded(2)).unwrap();
+        let mut t = Trainer::new(net, base_cfg(5)).unwrap();
+        let report = t.train(&train, &test).unwrap();
+        for e in &report.epochs {
+            assert!(e.changes.is_empty());
+            assert!(e.layer_bits.iter().all(|&(_, b)| b == 8));
+        }
+    }
+
+    #[test]
+    fn quantized_uses_less_memory_than_fp32_and_master_copy_more() {
+        let (train, test) = toy_data();
+        let mem_of = |scheme: &QuantScheme| -> u64 {
+            let net = models::mlp("m", &[6, 12, 3], scheme, &mut seeded(3)).unwrap();
+            let mut t = Trainer::new(net, base_cfg(2)).unwrap();
+            t.train(&train, &test).unwrap().peak_memory_bits
+        };
+        let q8 = mem_of(&QuantScheme::fixed(Bitwidth::new(8).unwrap()));
+        let f32m = mem_of(&QuantScheme::float32());
+        let mc8 = mem_of(&QuantScheme::master_copy(Bitwidth::new(8).unwrap()));
+        assert!(q8 < f32m, "8-bit codes beat fp32: {q8} vs {f32m}");
+        assert!(mc8 > f32m, "master copy pays for both: {mc8} vs {f32m}");
+    }
+
+    #[test]
+    fn energy_monotonically_accumulates() {
+        let (train, test) = toy_data();
+        let net = models::mlp("m", &[6, 12, 3], &QuantScheme::paper_apt(), &mut seeded(4)).unwrap();
+        let mut t = Trainer::new(net, base_cfg(4)).unwrap();
+        let report = t.train(&train, &test).unwrap();
+        for w in report.epochs.windows(2) {
+            assert!(w[1].cumulative_energy_pj > w[0].cumulative_energy_pj);
+        }
+        assert_eq!(
+            report.total_energy_pj,
+            report.epochs.last().unwrap().cumulative_energy_pj
+        );
+    }
+
+    #[test]
+    fn energy_to_accuracy_query() {
+        let mut report = TrainReport::default();
+        for (i, (acc, e)) in [(0.2, 10.0), (0.5, 20.0), (0.8, 30.0)].iter().enumerate() {
+            report.epochs.push(EpochRecord {
+                epoch: i,
+                lr: 0.1,
+                train_loss: 1.0,
+                test_accuracy: *acc,
+                cumulative_energy_pj: *e,
+                memory_bits: 0,
+                layer_bits: vec![],
+                gavg: vec![],
+                underflow_rate: 0.0,
+                changes: vec![],
+            });
+        }
+        assert_eq!(report.energy_to_accuracy(0.5), Some((1, 20.0)));
+        assert_eq!(report.energy_to_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn ternary_grad_quant_trains() {
+        let (train, test) = toy_data();
+        let net = models::mlp(
+            "m",
+            &[6, 16, 3],
+            &QuantScheme::master_copy(Bitwidth::new(2).unwrap()),
+            &mut seeded(5),
+        )
+        .unwrap();
+        let mut cfg = base_cfg(10);
+        cfg.grad_quant = GradQuant::Ternary;
+        let mut t = Trainer::new(net, cfg).unwrap();
+        let report = t.train(&train, &test).unwrap();
+        // Ternary gradients on a binary-ish view still learn something.
+        assert!(report.final_accuracy > 0.4, "acc={}", report.final_accuracy);
+    }
+
+    #[test]
+    fn config_validation() {
+        let net = models::mlp("m", &[2, 2], &QuantScheme::float32(), &mut seeded(6)).unwrap();
+        let mut cfg = base_cfg(0);
+        assert!(Trainer::new(net, cfg.clone()).is_err());
+        cfg.epochs = 1;
+        cfg.ema_alpha = 0.0;
+        let net = models::mlp("m", &[2, 2], &QuantScheme::float32(), &mut seeded(6)).unwrap();
+        assert!(Trainer::new(net, cfg).is_err());
+        // empty training split
+        let net = models::mlp("m", &[2, 2], &QuantScheme::float32(), &mut seeded(6)).unwrap();
+        let mut t = Trainer::new(net, base_cfg(1)).unwrap();
+        let empty = apt_data::Dataset::new(vec![], vec![], 2).unwrap();
+        assert!(t.train(&empty, &empty).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (train, test) = toy_data();
+        let run = || {
+            let net =
+                models::mlp("m", &[6, 12, 3], &QuantScheme::paper_apt(), &mut seeded(7)).unwrap();
+            let mut cfg = base_cfg(3);
+            cfg.policy = Some(PolicyConfig::paper_default());
+            let mut t = Trainer::new(net, cfg).unwrap();
+            t.train(&train, &test).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_accuracy, b.final_accuracy);
+        assert_eq!(a.total_energy_pj, b.total_energy_pj);
+        assert_eq!(
+            a.epochs.last().unwrap().layer_bits,
+            b.epochs.last().unwrap().layer_bits
+        );
+    }
+}

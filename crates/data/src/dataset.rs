@@ -1,0 +1,206 @@
+use crate::DataError;
+use apt_tensor::Tensor;
+
+/// An in-memory labelled image dataset (CHW float images).
+///
+/// Both SynthCifar splits and any user-provided data use this container;
+/// the [`crate::Batcher`] iterates it in shuffled mini-batches.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Vec<Tensor>,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from parallel image/label vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] if lengths differ, a label is
+    /// `≥ num_classes`, or image shapes are not all identical.
+    pub fn new(images: Vec<Tensor>, labels: Vec<usize>, num_classes: usize) -> crate::Result<Self> {
+        if images.len() != labels.len() {
+            return Err(DataError::Inconsistent {
+                reason: format!("{} images vs {} labels", images.len(), labels.len()),
+            });
+        }
+        if num_classes == 0 {
+            return Err(DataError::Inconsistent {
+                reason: "num_classes == 0".into(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::Inconsistent {
+                reason: format!("label {bad} >= num_classes {num_classes}"),
+            });
+        }
+        if let Some(first) = images.first() {
+            if let Some(mismatch) = images.iter().find(|img| img.dims() != first.dims()) {
+                return Err(DataError::Inconsistent {
+                    reason: format!(
+                        "image shape {:?} != first shape {:?}",
+                        mismatch.dims(),
+                        first.dims()
+                    ),
+                });
+            }
+        }
+        Ok(Dataset {
+            images,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// `true` if the dataset holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of label classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The `i`-th image (CHW).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn image(&self, i: usize) -> &Tensor {
+        &self.images[i]
+    }
+
+    /// The `i`-th label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Shape of one image, or `None` for an empty dataset.
+    pub fn image_dims(&self) -> Option<&[usize]> {
+        self.images.first().map(|t| t.dims())
+    }
+
+    /// Standardises this dataset *and* `other` using this dataset's global
+    /// mean/std (the usual train-statistics normalisation).
+    ///
+    /// Returns `(mean, std)` used.
+    pub fn standardize_with(&mut self, other: &mut Dataset) -> (f32, f32) {
+        let (mean, std) = self.mean_std();
+        let inv = 1.0 / std;
+        for img in self.images.iter_mut().chain(other.images.iter_mut()) {
+            img.map_in_place(|x| (x - mean) * inv);
+        }
+        (mean, std)
+    }
+
+    /// Splits the dataset into `(first, rest)` after a deterministic
+    /// shuffle — the standard way to carve a held-out set from one
+    /// generated corpus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] if `first > len()`.
+    pub fn split_shuffled(self, first: usize, seed: u64) -> crate::Result<(Dataset, Dataset)> {
+        if first > self.len() {
+            return Err(DataError::BadConfig {
+                reason: format!("split point {first} > dataset size {}", self.len()),
+            });
+        }
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let mut rng = apt_tensor::rng::substream(seed, 0x59117);
+        apt_tensor::rng::shuffle_indices(&mut indices, &mut rng);
+        let take = |idx: &[usize]| -> (Vec<Tensor>, Vec<usize>) {
+            (
+                idx.iter().map(|&i| self.images[i].clone()).collect(),
+                idx.iter().map(|&i| self.labels[i]).collect(),
+            )
+        };
+        let (img_a, lab_a) = take(&indices[..first]);
+        let (img_b, lab_b) = take(&indices[first..]);
+        Ok((
+            Dataset::new(img_a, lab_a, self.num_classes)?,
+            Dataset::new(img_b, lab_b, self.num_classes)?,
+        ))
+    }
+
+    fn mean_std(&self) -> (f32, f32) {
+        let mut count = 0usize;
+        let mut sum = 0.0f64;
+        for img in &self.images {
+            sum += img.data().iter().map(|&x| x as f64).sum::<f64>();
+            count += img.len();
+        }
+        if count == 0 {
+            return (0.0, 1.0);
+        }
+        let mean = sum / count as f64;
+        let mut sq = 0.0f64;
+        for img in &self.images {
+            sq += img
+                .data()
+                .iter()
+                .map(|&x| (x as f64 - mean).powi(2))
+                .sum::<f64>();
+        }
+        let std = (sq / count as f64).sqrt().max(1e-8);
+        (mean as f32, std as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(v: f32) -> Tensor {
+        Tensor::full(&[1, 2, 2], v)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Dataset::new(vec![img(0.0)], vec![0, 1], 2).is_err());
+        assert!(Dataset::new(vec![img(0.0)], vec![5], 2).is_err());
+        assert!(Dataset::new(vec![img(0.0)], vec![0], 0).is_err());
+        assert!(Dataset::new(vec![img(0.0), Tensor::zeros(&[1, 3, 3])], vec![0, 1], 2).is_err());
+        let d = Dataset::new(vec![img(1.0), img(2.0)], vec![0, 1], 2).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.label(1), 1);
+        assert_eq!(d.image_dims().unwrap(), &[1, 2, 2]);
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let d = Dataset::new(vec![], vec![], 3).unwrap();
+        assert!(d.is_empty());
+        assert!(d.image_dims().is_none());
+    }
+
+    #[test]
+    fn standardize_centres_train_statistics() {
+        let mut train = Dataset::new(vec![img(2.0), img(4.0)], vec![0, 1], 2).unwrap();
+        let mut test = Dataset::new(vec![img(3.0)], vec![0], 2).unwrap();
+        let (mean, std) = train.standardize_with(&mut test);
+        assert_eq!(mean, 3.0);
+        assert!(std > 0.0);
+        let total: f32 = (0..train.len()).map(|i| train.image(i).sum()).sum();
+        assert!(total.abs() < 1e-4);
+        // test transformed with the same statistics
+        assert!(test.image(0).data().iter().all(|&x| x.abs() < 1e-6));
+    }
+}

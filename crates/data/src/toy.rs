@@ -1,0 +1,135 @@
+//! Toy vector datasets for MLP-scale tests and examples.
+
+use crate::{DataError, Dataset};
+use apt_tensor::{rng as trng, Tensor};
+use rand::Rng;
+
+/// Gaussian blobs: `num_classes` isotropic clusters in `dim` dimensions.
+///
+/// Images are degenerate CHW tensors of shape `[1, 1, dim]` so the standard
+/// [`Dataset`]/[`crate::Batcher`] machinery applies; flatten to `[n, dim]`
+/// before an MLP.
+///
+/// # Errors
+///
+/// Returns [`DataError::BadConfig`] for zero-sized arguments.
+pub fn blobs(
+    num_classes: usize,
+    per_class: usize,
+    dim: usize,
+    spread: f32,
+    seed: u64,
+) -> crate::Result<Dataset> {
+    if num_classes == 0 || per_class == 0 || dim == 0 {
+        return Err(DataError::BadConfig {
+            reason: "blobs: all sizes must be ≥ 1".into(),
+        });
+    }
+    let mut rng = trng::substream(seed, 0xB10B);
+    // Class centres on a scaled hypercube diagonal pattern.
+    let centres: Vec<Vec<f32>> = (0..num_classes)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let mut images = Vec::with_capacity(num_classes * per_class);
+    let mut labels = Vec::with_capacity(num_classes * per_class);
+    for (class, centre) in centres.iter().enumerate() {
+        for _ in 0..per_class {
+            let data: Vec<f32> = centre
+                .iter()
+                .map(|&c| c + spread * trng::standard_normal(&mut rng))
+                .collect();
+            images.push(Tensor::from_vec(data, &[1, 1, dim])?);
+            labels.push(class);
+        }
+    }
+    Dataset::new(images, labels, num_classes)
+}
+
+/// A 2-class XOR-style point cloud in 2-D — not linearly separable, so it
+/// exercises hidden-layer learning in the smallest possible setting.
+///
+/// # Errors
+///
+/// Returns [`DataError::BadConfig`] for `per_quadrant == 0`.
+pub fn xor_cloud(per_quadrant: usize, noise: f32, seed: u64) -> crate::Result<Dataset> {
+    if per_quadrant == 0 {
+        return Err(DataError::BadConfig {
+            reason: "per_quadrant must be ≥ 1".into(),
+        });
+    }
+    let mut rng = trng::substream(seed, 0x0A0B);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for (sx, sy, label) in [
+        (1.0, 1.0, 0),
+        (-1.0, -1.0, 0),
+        (1.0, -1.0, 1),
+        (-1.0, 1.0, 1),
+    ] {
+        for _ in 0..per_quadrant {
+            let x = sx * (1.0 + noise * trng::standard_normal(&mut rng));
+            let y = sy * (1.0 + noise * trng::standard_normal(&mut rng));
+            images.push(Tensor::from_vec(vec![x, y], &[1, 1, 2])?);
+            labels.push(label);
+        }
+    }
+    Dataset::new(images, labels, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shape_and_determinism() {
+        let a = blobs(3, 5, 4, 0.3, 1).unwrap();
+        assert_eq!(a.len(), 15);
+        assert_eq!(a.num_classes(), 3);
+        assert_eq!(a.image_dims().unwrap(), &[1, 1, 4]);
+        let b = blobs(3, 5, 4, 0.3, 1).unwrap();
+        assert_eq!(a.image(7).data(), b.image(7).data());
+        assert!(blobs(0, 5, 4, 0.3, 1).is_err());
+    }
+
+    #[test]
+    fn blobs_classes_cluster() {
+        let d = blobs(2, 50, 2, 0.1, 3).unwrap();
+        // mean intra-class distance < mean inter-class distance
+        let dist = |a: &Tensor, b: &Tensor| -> f32 {
+            a.data()
+                .iter()
+                .zip(b.data())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
+        };
+        let (mut intra, mut inter, mut ni, mut nx) = (0.0, 0.0, 0, 0);
+        for i in 0..d.len() {
+            for j in (i + 1)..d.len() {
+                let v = dist(d.image(i), d.image(j));
+                if d.label(i) == d.label(j) {
+                    intra += v;
+                    ni += 1;
+                } else {
+                    inter += v;
+                    nx += 1;
+                }
+            }
+        }
+        assert!((intra / ni as f32) < (inter / nx as f32));
+    }
+
+    #[test]
+    fn xor_is_balanced_and_not_linearly_separable_by_axes() {
+        let d = xor_cloud(10, 0.05, 2).unwrap();
+        assert_eq!(d.len(), 40);
+        assert_eq!(d.labels().iter().filter(|&&l| l == 0).count(), 20);
+        // label correlates with the product sign, not either coordinate
+        for i in 0..d.len() {
+            let v = d.image(i).data();
+            let expected = if v[0] * v[1] > 0.0 { 0 } else { 1 };
+            assert_eq!(d.label(i), expected);
+        }
+        assert!(xor_cloud(0, 0.1, 1).is_err());
+    }
+}

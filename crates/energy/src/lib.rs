@@ -1,0 +1,40 @@
+//! # apt-energy
+//!
+//! Analytic energy and memory cost model for the APT reproduction.
+//!
+//! The paper reports training energy and "model size for training"
+//! **normalised to the 32-bit model** (Figures 4 and 5), measured on their
+//! testbed. We reproduce the accounting with a bit-accurate analytic model
+//! whose constants follow the widely used 45 nm estimates of Horowitz
+//! (ISSCC 2014 keynote, "Computing's energy problem"):
+//!
+//! * `k`-bit integer multiply ≈ `C_MUL · k²` (int32 ≈ 3.1 pJ),
+//! * `k`-bit integer add ≈ `C_ADD · k` (int32 ≈ 0.1 pJ),
+//! * fp32 MAC carries a ~1.3× overhead over int32,
+//! * on-chip SRAM traffic ≈ `C_MEM` per bit (32-bit read ≈ 5 pJ).
+//!
+//! Because every figure is reported as a *ratio to the fp32 arm*, the
+//! absolute constants cancel; only the `k²` multiplier scaling, the linear
+//! memory scaling and the float overhead shape the results — all three are
+//! standard. See DESIGN.md §2 for the substitution argument.
+//!
+//! [`EnergyMeter`] walks a network after each training iteration, pairing
+//! every weight tensor's **current adaptive bitwidth** with the MACs it
+//! executed (via [`apt_nn::Network::visit_compute`]) and with its storage
+//! traffic, and accumulates joules across the run.
+//!
+//! ```
+//! use apt_energy::EnergyModel;
+//! let m = EnergyModel::default();
+//! // Lower precision ⇒ cheaper MAC, superlinearly.
+//! assert!(m.mac_energy(8, false) < m.mac_energy(16, false) / 3.0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod meter;
+mod model;
+
+pub use meter::{EnergyBreakdown, EnergyMeter};
+pub use model::EnergyModel;

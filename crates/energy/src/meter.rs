@@ -1,0 +1,181 @@
+use crate::EnergyModel;
+use apt_nn::{Network, ParamKind, ParamStore};
+use std::collections::HashMap;
+
+/// Energy accumulated by an [`EnergyMeter`], split by origin.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// MAC (compute) energy, pJ.
+    pub compute_pj: f64,
+    /// Parameter-traffic energy, pJ.
+    pub memory_pj: f64,
+    /// Training iterations recorded.
+    pub iterations: u64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.memory_pj
+    }
+}
+
+/// Accumulates the training-energy account of a run.
+///
+/// Call [`record_iteration`](EnergyMeter::record_iteration) once per
+/// training step, *after* the forward/backward pass (so the layers'
+/// last-forward MAC counters and the weights' current bitwidths are fresh).
+/// The meter then charges, per weight tensor:
+///
+/// * compute — `(1 + backward_factor) · macs · mac_energy(k)`, where `k` is
+///   the tensor's **current** bitwidth (32 + float overhead for fp32
+///   stores);
+/// * parameter traffic — read for forward, read for backward, write for the
+///   update (3 passes over `N·k` bits), plus a full fp32 read+write of the
+///   master copy for [`ParamStore::MasterCopy`] stores — the structural
+///   reason those baselines save no training memory or traffic (paper
+///   §IV-C).
+///
+/// Non-weight parameters (BN affine, biases) are charged traffic at their
+/// storage width; their compute is negligible and identical across arms.
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    model: EnergyModel,
+    breakdown: EnergyBreakdown,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with the given cost model.
+    pub fn new(model: EnergyModel) -> Self {
+        EnergyMeter {
+            model,
+            breakdown: EnergyBreakdown::default(),
+        }
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// Charges one training iteration of `net` to the account.
+    pub fn record_iteration(&mut self, net: &Network) {
+        // Inventory: weight-param name → (bits, is_float, len, master_copy)
+        let mut params: HashMap<String, (u32, bool, u64, bool)> = HashMap::new();
+        net.visit_params_ref(&mut |p| {
+            let (bits, float, master) = match p.store() {
+                ParamStore::Float(_) => (32, true, false),
+                ParamStore::Quantized(q) => (q.bits().get(), false, false),
+                ParamStore::MasterCopy { bits, .. } => (bits.get(), false, true),
+                ParamStore::Projected { projection, .. } => (projection.view_bits(), false, true),
+                ParamStore::PerChannel(pc) => (pc.bits().get(), false, false),
+            };
+            params.insert(p.name().to_string(), (bits, float, p.len() as u64, master));
+            if p.kind() != ParamKind::Weight {
+                // Traffic for non-weight learnables: read + read + write.
+                let width = if float { 32 } else { bits };
+                self.breakdown.memory_pj +=
+                    self.model.mem_energy(3 * p.len() as u64 * u64::from(width));
+            }
+        });
+        // Compute + weight traffic, per weight tensor.
+        net.visit_compute(&mut |name, macs| {
+            if let Some(&(bits, float, len, master)) = params.get(name) {
+                self.breakdown.compute_pj += self.model.train_mac_energy(macs, bits, float);
+                let width = if float { 32 } else { bits };
+                // forward read + backward read + update write
+                self.breakdown.memory_pj += self.model.mem_energy(3 * len * u64::from(width));
+                if master {
+                    // fp32 master read-modify-write during the update
+                    self.breakdown.memory_pj += self.model.mem_energy(2 * len * 32);
+                }
+            }
+        });
+        self.breakdown.iterations += 1;
+    }
+
+    /// The running account.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        self.breakdown
+    }
+
+    /// Total energy so far, pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.breakdown.total_pj()
+    }
+
+    /// Resets the account to zero.
+    pub fn reset(&mut self) {
+        self.breakdown = EnergyBreakdown::default();
+    }
+}
+
+impl Default for EnergyMeter {
+    fn default() -> Self {
+        EnergyMeter::new(EnergyModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_nn::{models, Mode, QuantScheme};
+    use apt_quant::Bitwidth;
+    use apt_tensor::rng::{normal, seeded};
+
+    fn run_one_iter(scheme: &QuantScheme, seed: u64) -> EnergyBreakdown {
+        let mut net = models::cifarnet(4, 8, 0.25, scheme, &mut seeded(seed)).unwrap();
+        let x = normal(&[2, 3, 8, 8], 1.0, &mut seeded(1));
+        let _ = net.forward(&x, Mode::Train).unwrap();
+        let mut meter = EnergyMeter::default();
+        meter.record_iteration(&net);
+        meter.breakdown()
+    }
+
+    #[test]
+    fn lower_precision_costs_less() {
+        let e32 = run_one_iter(&QuantScheme::float32(), 0);
+        let e16 = run_one_iter(&QuantScheme::fixed(Bitwidth::new(16).unwrap()), 0);
+        let e6 = run_one_iter(&QuantScheme::paper_apt(), 0);
+        assert!(e16.total_pj() < e32.total_pj());
+        assert!(e6.total_pj() < e16.total_pj());
+        assert!(
+            e6.compute_pj < e32.compute_pj / 10.0,
+            "6-bit MACs ≈ 28x cheaper"
+        );
+    }
+
+    #[test]
+    fn master_copy_pays_more_traffic_than_quantized() {
+        let eq = run_one_iter(&QuantScheme::fixed(Bitwidth::new(8).unwrap()), 0);
+        let em = run_one_iter(&QuantScheme::master_copy(Bitwidth::new(8).unwrap()), 0);
+        assert!((em.compute_pj - eq.compute_pj).abs() < 1e-6, "same compute");
+        assert!(em.memory_pj > eq.memory_pj, "master copy pays fp32 traffic");
+    }
+
+    #[test]
+    fn iterations_accumulate_linearly() {
+        let mut net =
+            models::mlp("m", &[4, 8, 2], &QuantScheme::float32(), &mut seeded(3)).unwrap();
+        let x = normal(&[2, 4], 1.0, &mut seeded(4));
+        let _ = net.forward(&x, Mode::Train).unwrap();
+        let mut meter = EnergyMeter::default();
+        meter.record_iteration(&net);
+        let one = meter.total_pj();
+        meter.record_iteration(&net);
+        assert!((meter.total_pj() - 2.0 * one).abs() < 1e-9);
+        assert_eq!(meter.breakdown().iterations, 2);
+        meter.reset();
+        assert_eq!(meter.total_pj(), 0.0);
+    }
+
+    #[test]
+    fn no_forward_no_compute_charge() {
+        let net = models::mlp("m", &[4, 8, 2], &QuantScheme::float32(), &mut seeded(5)).unwrap();
+        let mut meter = EnergyMeter::default();
+        meter.record_iteration(&net);
+        assert_eq!(meter.breakdown().compute_pj, 0.0);
+        // parameter traffic is still charged
+        assert!(meter.breakdown().memory_pj > 0.0);
+    }
+}

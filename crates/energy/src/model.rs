@@ -1,0 +1,111 @@
+/// Bit-accurate per-operation energy model (constants in picojoules).
+///
+/// See the crate docs for provenance. All experiment outputs are ratios, so
+/// only the *scaling laws* matter: multiplier energy quadratic in bitwidth,
+/// adder and memory traffic linear, fp32 with a constant overhead factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Multiplier energy coefficient, pJ per bit² (int32 multiply ≈ 3.1 pJ
+    /// ⇒ 3.1/32² ≈ 3.0e-3).
+    pub mul_pj_per_bit2: f64,
+    /// Adder energy coefficient, pJ per bit (int32 add ≈ 0.1 pJ ⇒
+    /// 0.1/32 ≈ 3.1e-3).
+    pub add_pj_per_bit: f64,
+    /// Memory-traffic energy, pJ per bit (32-bit SRAM read ≈ 5 pJ ⇒
+    /// 5/32 ≈ 0.156).
+    pub mem_pj_per_bit: f64,
+    /// Multiplicative overhead of floating-point over integer arithmetic at
+    /// the same width (fp32 MAC ≈ 4.6 pJ vs int32 ≈ 3.2 pJ ⇒ ≈ 1.3).
+    pub float_overhead: f64,
+    /// How many MAC-equivalent passes the backward pass costs relative to
+    /// forward (grad-input + grad-weight ⇒ 2.0, the usual estimate).
+    pub backward_factor: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            mul_pj_per_bit2: 3.0e-3,
+            add_pj_per_bit: 3.1e-3,
+            mem_pj_per_bit: 0.156,
+            float_overhead: 1.3,
+            backward_factor: 2.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy of one multiply-accumulate at `bits` precision, in pJ.
+    /// `float` applies the floating-point overhead (used for the fp32 arm).
+    pub fn mac_energy(&self, bits: u32, float: bool) -> f64 {
+        let b = f64::from(bits);
+        let e = self.mul_pj_per_bit2 * b * b + self.add_pj_per_bit * b;
+        if float {
+            e * self.float_overhead
+        } else {
+            e
+        }
+    }
+
+    /// Energy of moving `bits` bits of parameter/activation traffic, in pJ.
+    pub fn mem_energy(&self, bits: u64) -> f64 {
+        self.mem_pj_per_bit * bits as f64
+    }
+
+    /// Energy of one training iteration's compute for a weight tensor that
+    /// executed `macs` MACs at `bits` precision: forward plus
+    /// `backward_factor`× backward.
+    pub fn train_mac_energy(&self, macs: u64, bits: u32, float: bool) -> f64 {
+        self.mac_energy(bits, float) * macs as f64 * (1.0 + self.backward_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_multiplier_scaling() {
+        let m = EnergyModel::default();
+        let e8 = m.mac_energy(8, false);
+        let e16 = m.mac_energy(16, false);
+        let e32 = m.mac_energy(32, false);
+        assert!(e8 < e16 && e16 < e32);
+        // dominated by the quadratic term: ratio between ~3.5x and 4x
+        assert!(e16 / e8 > 3.5 && e16 / e8 <= 4.0, "ratio={}", e16 / e8);
+        assert!(e32 / e16 > 3.5 && e32 / e16 <= 4.0);
+    }
+
+    #[test]
+    fn float_overhead_applies() {
+        let m = EnergyModel::default();
+        assert!(m.mac_energy(32, true) > m.mac_energy(32, false));
+        assert!(
+            (m.mac_energy(32, true) / m.mac_energy(32, false) - m.float_overhead).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn default_absolute_values_match_horowitz_scale() {
+        let m = EnergyModel::default();
+        // int32 MAC ≈ 3.1 + 0.1 pJ
+        let int32 = m.mac_energy(32, false);
+        assert!((int32 - 3.17).abs() < 0.15, "int32 MAC = {int32} pJ");
+        // 32-bit SRAM read ≈ 5 pJ
+        assert!((m.mem_energy(32) - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn train_energy_counts_backward() {
+        let m = EnergyModel::default();
+        let fwd_only = m.mac_energy(8, false) * 1000.0;
+        assert!((m.train_mac_energy(1000, 8, false) - 3.0 * fwd_only).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mem_energy_linear() {
+        let m = EnergyModel::default();
+        assert!((m.mem_energy(64) - 2.0 * m.mem_energy(32)).abs() < 1e-12);
+        assert_eq!(m.mem_energy(0), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration tests of the energy meter under mixed per-layer precision —
+//! the accounting situation APT actually creates (every layer at its own
+//! adaptive bitwidth).
+
+use apt_energy::{EnergyMeter, EnergyModel};
+use apt_nn::{models, Mode, ParamKind, QuantScheme};
+use apt_quant::Bitwidth;
+use apt_tensor::rng::{normal, seeded};
+
+fn forwarded_net(scheme: &QuantScheme) -> apt_nn::Network {
+    let mut net = models::cifarnet(4, 8, 0.25, scheme, &mut seeded(1)).unwrap();
+    let x = normal(&[2, 3, 8, 8], 1.0, &mut seeded(2));
+    let _ = net.forward(&x, Mode::Train).unwrap();
+    net
+}
+
+fn energy_of(net: &apt_nn::Network) -> f64 {
+    let mut meter = EnergyMeter::default();
+    meter.record_iteration(net);
+    meter.total_pj()
+}
+
+#[test]
+fn raising_one_layer_raises_energy_between_the_extremes() {
+    let all6 = forwarded_net(&QuantScheme::paper_apt());
+    let all16 = forwarded_net(&QuantScheme::fixed(Bitwidth::new(16).unwrap()));
+    let (e6, e16) = (energy_of(&all6), energy_of(&all16));
+    assert!(e6 < e16);
+
+    // Adapt exactly one conv layer from 6 to 16 bits: energy strictly
+    // between the all-6 and all-16 arms.
+    let mut mixed = forwarded_net(&QuantScheme::paper_apt());
+    mixed.visit_params(&mut |p| {
+        if p.name() == "conv2.weight" {
+            p.set_bits(Bitwidth::new(16).unwrap()).unwrap();
+        }
+    });
+    let em = energy_of(&mixed);
+    assert!(e6 < em && em < e16, "e6={e6} mixed={em} e16={e16}");
+}
+
+#[test]
+fn energy_scales_with_the_adapted_layers_mac_share() {
+    // Raising the big conv should cost more than raising the small fc2.
+    let base = energy_of(&forwarded_net(&QuantScheme::paper_apt()));
+    let raise = |layer: &str| -> f64 {
+        let mut net = forwarded_net(&QuantScheme::paper_apt());
+        net.visit_params(&mut |p| {
+            if p.name() == layer {
+                p.set_bits(Bitwidth::new(16).unwrap()).unwrap();
+            }
+        });
+        energy_of(&net) - base
+    };
+    let d_conv = raise("conv2.weight");
+    let d_fc = raise("fc2.weight");
+    assert!(
+        d_conv > d_fc * 3.0,
+        "conv2 dominates the MACs: d_conv={d_conv} d_fc={d_fc}"
+    );
+}
+
+#[test]
+fn custom_model_constants_flow_through() {
+    let net = forwarded_net(&QuantScheme::paper_apt());
+    let mut cheap_mem = EnergyMeter::new(EnergyModel {
+        mem_pj_per_bit: 0.0,
+        ..EnergyModel::default()
+    });
+    cheap_mem.record_iteration(&net);
+    assert_eq!(cheap_mem.breakdown().memory_pj, 0.0);
+    assert!(cheap_mem.breakdown().compute_pj > 0.0);
+
+    let mut no_backward = EnergyMeter::new(EnergyModel {
+        backward_factor: 0.0,
+        ..EnergyModel::default()
+    });
+    no_backward.record_iteration(&net);
+    let mut with_backward = EnergyMeter::default();
+    with_backward.record_iteration(&net);
+    let ratio = with_backward.breakdown().compute_pj / no_backward.breakdown().compute_pj;
+    assert!((ratio - 3.0).abs() < 1e-9, "fwd+2×bwd vs fwd only: {ratio}");
+}
+
+#[test]
+fn per_channel_store_is_metered_like_quantized() {
+    let pc = forwarded_net(&QuantScheme::per_channel(Bitwidth::new(6).unwrap()));
+    let pt = forwarded_net(&QuantScheme::paper_apt());
+    let (e_pc, e_pt) = (energy_of(&pc), energy_of(&pt));
+    // Same bit count for MACs and code traffic — energies match closely
+    // (per-channel's extra (S,Z) metadata is not charged as traffic).
+    assert!((e_pc - e_pt).abs() / e_pt < 1e-6, "e_pc={e_pc} e_pt={e_pt}");
+    let mut quantized = 0;
+    pc.visit_params_ref(&mut |p| {
+        if p.kind() == ParamKind::Weight {
+            assert!(p.bits().is_some());
+            quantized += 1;
+        }
+    });
+    assert!(quantized > 0);
+}

@@ -1,0 +1,127 @@
+/// A named 2-D data series — one curve of a paper figure (e.g. "APT test
+/// accuracy vs epoch").
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The recorded points, in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Final y value, if any.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+
+    /// Maximum y value, if any.
+    pub fn max_y(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, y)| y).reduce(f64::max)
+    }
+
+    /// The smallest x whose y reaches `target` (`None` if never reached) —
+    /// used by the "energy to reach accuracy X" sweeps of Figure 4.
+    pub fn first_x_reaching(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(_, y)| y >= target)
+            .map(|&(x, _)| x)
+    }
+
+    /// Renders `x,y` CSV lines (no header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for &(x, y) in &self.points {
+            out.push_str(&format!("{x},{y}\n"));
+        }
+        out
+    }
+}
+
+impl FromIterator<(f64, f64)> for Series {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        Series {
+            name: String::new(),
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(f64, f64)> for Series {
+    fn extend<I: IntoIterator<Item = (f64, f64)>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = Series::new("acc");
+        assert!(s.is_empty());
+        s.push(0.0, 0.1);
+        s.push(1.0, 0.5);
+        s.push(2.0, 0.4);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.name(), "acc");
+        assert_eq!(s.last_y(), Some(0.4));
+        assert_eq!(s.max_y(), Some(0.5));
+    }
+
+    #[test]
+    fn first_x_reaching_threshold() {
+        let s: Series = vec![(0.0, 0.2), (1.0, 0.6), (2.0, 0.9)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.first_x_reaching(0.5), Some(1.0));
+        assert_eq!(s.first_x_reaching(0.95), None);
+        assert_eq!(s.first_x_reaching(0.0), Some(0.0));
+    }
+
+    #[test]
+    fn csv_format() {
+        let mut s = Series::new("x");
+        s.push(1.0, 2.5);
+        assert_eq!(s.to_csv(), "1,2.5\n");
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut s = Series::new("e");
+        s.extend(vec![(0.0, 1.0), (1.0, 2.0)]);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,547 @@
+//! Model checkpointing: serialise a trained network's parameters (in their
+//! native representation — integer codes stay integer codes) and batch-norm
+//! running statistics to a compact binary blob, and load it back into an
+//! architecturally identical network.
+//!
+//! This is the deployment path the paper's edge scenario needs: a model
+//! trained with APT is shipped *at its adapted per-layer bitwidths*, so the
+//! on-flash footprint matches the training-memory footprint Figure 5
+//! reports.
+//!
+//! ## Format (little-endian)
+//!
+//! ```text
+//! magic "APTC" | version u16 | param_count u32 | buffer_count u32
+//! per param : name (u32 len + utf8) | tag u8 | dims (u32 count + u32s) | payload
+//!   tag 0 Float      : f32 × volume
+//!   tag 1 Quantized  : bits u8 | scale f32 | zero i64 |
+//!                      codes bit-packed at `bits` bits each (LSB-first),
+//!                      padded to a byte boundary
+//!   tag 2 MasterCopy : bits u8 | f32 × volume
+//!   tag 3 Projected  : proj u8 (0=binary, 1=ternary) | f32 × volume
+//!   tag 4 PerChannel : bits u8 | channels u32 |
+//!                      (scale f32, zero i64) × channels | packed codes
+//! per buffer: name (u32 len + utf8) | dims | f32 × volume
+//! ```
+//!
+//! Quantised payloads are bit-packed, so a 6-bit layer costs 6 bits per
+//! weight on flash — the checkpoint size *is* the Figure 5 memory story.
+
+use crate::{Network, NnError, ParamStore, Projection};
+use apt_quant::{AffineQuantizer, Bitwidth, QuantizedTensor};
+use apt_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"APTC";
+const VERSION: u16 = 1;
+
+/// Serialises `net`'s parameters and buffers to a checkpoint blob.
+pub fn save(net: &Network) -> Vec<u8> {
+    let mut params: Vec<(String, ParamStore, Vec<usize>)> = Vec::new();
+    net.visit_params_ref(&mut |p| {
+        params.push((p.name().to_string(), p.store().clone(), p.dims().to_vec()));
+    });
+    // Buffers need mutable visitation by API shape; clone through a scan.
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    // Buffer count: zero for a params-only checkpoint; `save_full` patches
+    // this field and appends the buffers.
+    out.extend_from_slice(&0u32.to_le_bytes());
+
+    for (name, store, dims) in &params {
+        write_str(&mut out, name);
+        match store {
+            ParamStore::Float(t) => {
+                out.push(0);
+                write_dims(&mut out, dims);
+                write_f32s(&mut out, t.data());
+            }
+            ParamStore::Quantized(q) => {
+                out.push(1);
+                write_dims(&mut out, dims);
+                out.push(q.bits().get() as u8);
+                out.extend_from_slice(&q.quantizer().eps().to_le_bytes());
+                out.extend_from_slice(&q.quantizer().zero_point().to_le_bytes());
+                out.extend_from_slice(&pack_codes(q.codes(), q.bits().get()));
+            }
+            ParamStore::MasterCopy { master, bits } => {
+                out.push(2);
+                write_dims(&mut out, dims);
+                out.push(bits.get() as u8);
+                write_f32s(&mut out, master.data());
+            }
+            ParamStore::Projected { master, projection } => {
+                out.push(3);
+                write_dims(&mut out, dims);
+                out.push(match projection {
+                    Projection::Binary => 0,
+                    Projection::Ternary => 1,
+                });
+                write_f32s(&mut out, master.data());
+            }
+            ParamStore::PerChannel(pc) => {
+                out.push(4);
+                write_dims(&mut out, dims);
+                out.push(pc.bits().get() as u8);
+                out.extend_from_slice(&(pc.channels() as u32).to_le_bytes());
+                for q in pc.quantizers() {
+                    out.extend_from_slice(&q.eps().to_le_bytes());
+                    out.extend_from_slice(&q.zero_point().to_le_bytes());
+                }
+                out.extend_from_slice(&pack_codes(pc.codes(), pc.bits().get()));
+            }
+        }
+    }
+    out
+}
+
+/// Serialises `net` including batch-norm running statistics (requires
+/// `&mut` because buffer visitation is mutable by trait design).
+pub fn save_full(net: &mut Network) -> Vec<u8> {
+    let mut blob = save(net);
+    // Re-patch buffer count and append buffers.
+    let mut buffers: Vec<(String, Tensor)> = Vec::new();
+    net.visit_buffers(&mut |name, t| buffers.push((name.to_string(), t.clone())));
+    let buf_count_pos = MAGIC.len() + 2 + 4;
+    blob[buf_count_pos..buf_count_pos + 4].copy_from_slice(&(buffers.len() as u32).to_le_bytes());
+    for (name, t) in &buffers {
+        write_str(&mut blob, name);
+        write_dims(&mut blob, t.dims());
+        write_f32s(&mut blob, t.data());
+    }
+    blob
+}
+
+/// Restores a checkpoint produced by [`save_full`] (or [`save`]) into an
+/// architecturally identical network: parameters are matched by name and
+/// replaced with their stored representation; buffers likewise.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadConfig`] for a malformed blob, unknown parameter
+/// names, or shape mismatches.
+pub fn load(net: &mut Network, blob: &[u8]) -> crate::Result<()> {
+    let mut r = Reader { blob, pos: 0 };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(bad("not an APTC checkpoint"));
+    }
+    let version = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(bad(&format!("unsupported checkpoint version {version}")));
+    }
+    let param_count = r.read_u32()? as usize;
+    let buffer_count = r.read_u32()? as usize;
+
+    let mut stores: Vec<(String, ParamStore)> = Vec::with_capacity(param_count);
+    for _ in 0..param_count {
+        let name = r.read_str()?;
+        let tag = r.read_u8()?;
+        let dims = r.read_dims()?;
+        let volume: usize = dims.iter().product();
+        let store = match tag {
+            0 => ParamStore::Float(Tensor::from_vec(r.read_f32s(volume)?, &dims)?),
+            1 => {
+                let bits = Bitwidth::new(u32::from(r.read_u8()?))?;
+                let scale = r.read_f32()?;
+                let zero = r.read_i64()?;
+                let quantizer = AffineQuantizer::from_parts(scale, zero, bits)?;
+                let packed_len = packed_byte_len(volume, bits.get());
+                let codes = unpack_codes(r.take(packed_len)?, volume, bits.get());
+                ParamStore::Quantized(QuantizedTensor::from_parts(codes, dims, quantizer)?)
+            }
+            2 => {
+                let bits = Bitwidth::new(u32::from(r.read_u8()?))?;
+                ParamStore::MasterCopy {
+                    master: Tensor::from_vec(r.read_f32s(volume)?, &dims)?,
+                    bits,
+                }
+            }
+            3 => {
+                let projection = match r.read_u8()? {
+                    0 => Projection::Binary,
+                    1 => Projection::Ternary,
+                    other => return Err(bad(&format!("unknown projection {other}"))),
+                };
+                ParamStore::Projected {
+                    master: Tensor::from_vec(r.read_f32s(volume)?, &dims)?,
+                    projection,
+                }
+            }
+            4 => {
+                let bits = Bitwidth::new(u32::from(r.read_u8()?))?;
+                let channels = r.read_u32()? as usize;
+                let mut quantizers = Vec::with_capacity(channels);
+                for _ in 0..channels {
+                    let scale = r.read_f32()?;
+                    let zero = r.read_i64()?;
+                    quantizers.push(AffineQuantizer::from_parts(scale, zero, bits)?);
+                }
+                let packed_len = packed_byte_len(volume, bits.get());
+                let codes = unpack_codes(r.take(packed_len)?, volume, bits.get());
+                ParamStore::PerChannel(apt_quant::PerChannelQuantized::from_parts(
+                    codes, dims, quantizers,
+                )?)
+            }
+            other => return Err(bad(&format!("unknown store tag {other}"))),
+        };
+        stores.push((name, store));
+    }
+    let mut buffers: Vec<(String, Tensor)> = Vec::with_capacity(buffer_count);
+    for _ in 0..buffer_count {
+        let name = r.read_str()?;
+        let dims = r.read_dims()?;
+        let volume: usize = dims.iter().product();
+        buffers.push((name, Tensor::from_vec(r.read_f32s(volume)?, &dims)?));
+    }
+
+    // Apply parameters by name.
+    let mut store_map: std::collections::HashMap<String, ParamStore> = stores.into_iter().collect();
+    let mut first_err: Option<NnError> = None;
+    let mut applied = 0usize;
+    net.visit_params(&mut |p| {
+        if first_err.is_some() {
+            return;
+        }
+        match store_map.remove(p.name()) {
+            Some(store) => match p.set_store(store) {
+                Ok(()) => applied += 1,
+                Err(e) => first_err = Some(e),
+            },
+            None => first_err = Some(bad(&format!("checkpoint missing parameter `{}`", p.name()))),
+        }
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    if let Some(extra) = store_map.keys().next() {
+        return Err(bad(&format!("checkpoint has unknown parameter `{extra}`")));
+    }
+    // Apply buffers by name (missing buffers are an error; extra too).
+    let mut buffer_map: std::collections::HashMap<String, Tensor> = buffers.into_iter().collect();
+    let mut buf_err: Option<NnError> = None;
+    net.visit_buffers(&mut |name, t| {
+        if buf_err.is_some() {
+            return;
+        }
+        match buffer_map.remove(name) {
+            Some(saved) if saved.dims() == t.dims() => *t = saved,
+            Some(saved) => {
+                buf_err = Some(bad(&format!(
+                    "buffer `{name}` shape {:?} != {:?}",
+                    saved.dims(),
+                    t.dims()
+                )))
+            }
+            // Buffers are optional: a params-only checkpoint leaves the
+            // network's current statistics in place.
+            None => {}
+        }
+    });
+    if let Some(e) = buf_err {
+        return Err(e);
+    }
+    if let Some(extra) = buffer_map.keys().next() {
+        return Err(bad(&format!("checkpoint has unknown buffer `{extra}`")));
+    }
+    Ok(())
+}
+
+fn bad(reason: &str) -> NnError {
+    NnError::BadConfig {
+        reason: reason.to_string(),
+    }
+}
+
+/// Bytes needed to hold `n` codes of `bits` bits each.
+fn packed_byte_len(n: usize, bits: u32) -> usize {
+    (n * bits as usize).div_ceil(8)
+}
+
+/// Packs codes LSB-first into a bitstream, `bits` bits per code.
+fn pack_codes(codes: &[i64], bits: u32) -> Vec<u8> {
+    let mut out = vec![0u8; packed_byte_len(codes.len(), bits)];
+    let mut bit_pos = 0usize;
+    for &code in codes {
+        let mut value = code as u64;
+        let mut remaining = bits as usize;
+        while remaining > 0 {
+            let byte = bit_pos / 8;
+            let offset = bit_pos % 8;
+            let take = remaining.min(8 - offset);
+            out[byte] |= ((value & ((1u64 << take) - 1)) as u8) << offset;
+            value >>= take;
+            bit_pos += take;
+            remaining -= take;
+        }
+    }
+    out
+}
+
+/// Inverse of [`pack_codes`].
+fn unpack_codes(bytes: &[u8], n: usize, bits: u32) -> Vec<i64> {
+    let mut codes = Vec::with_capacity(n);
+    let mut bit_pos = 0usize;
+    for _ in 0..n {
+        let mut value = 0u64;
+        let mut filled = 0usize;
+        let mut remaining = bits as usize;
+        while remaining > 0 {
+            let byte = bit_pos / 8;
+            let offset = bit_pos % 8;
+            let take = remaining.min(8 - offset);
+            let chunk = (u64::from(bytes[byte]) >> offset) & ((1u64 << take) - 1);
+            value |= chunk << filled;
+            filled += take;
+            bit_pos += take;
+            remaining -= take;
+        }
+        codes.push(value as i64);
+    }
+    codes
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_dims(out: &mut Vec<u8>, dims: &[usize]) {
+    out.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+    for &d in dims {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+}
+
+fn write_f32s(out: &mut Vec<u8>, vals: &[f32]) {
+    for &v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    blob: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> crate::Result<&'a [u8]> {
+        if self.pos + n > self.blob.len() {
+            return Err(bad("truncated checkpoint"));
+        }
+        let s = &self.blob[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn read_u8(&mut self) -> crate::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn read_u32(&mut self) -> crate::Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn read_i64(&mut self) -> crate::Result<i64> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn read_f32(&mut self) -> crate::Result<f32> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn read_str(&mut self) -> crate::Result<String> {
+        let len = self.read_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("invalid utf8 in checkpoint"))
+    }
+    fn read_dims(&mut self) -> crate::Result<Vec<usize>> {
+        let rank = self.read_u32()? as usize;
+        if rank > 8 {
+            return Err(bad("implausible tensor rank in checkpoint"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(self.read_u32()? as usize);
+        }
+        Ok(dims)
+    }
+    fn read_f32s(&mut self, n: usize) -> crate::Result<Vec<f32>> {
+        let bytes = self.take(n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{models, Mode, QuantScheme};
+    use apt_tensor::rng::{normal, seeded};
+
+    fn trained_net(scheme: &QuantScheme) -> Network {
+        let mut net = models::cifarnet(4, 8, 0.25, scheme, &mut seeded(1)).unwrap();
+        // Run a forward in train mode so BN statistics move off defaults.
+        let x = normal(&[4, 3, 8, 8], 1.0, &mut seeded(2));
+        let _ = net.forward(&x, Mode::Train).unwrap();
+        net
+    }
+
+    fn outputs(net: &mut Network) -> Vec<f32> {
+        let x = normal(&[2, 3, 8, 8], 1.0, &mut seeded(3));
+        net.forward(&x, Mode::Eval).unwrap().into_vec()
+    }
+
+    #[test]
+    fn roundtrip_preserves_eval_outputs_quantized() {
+        let mut net = trained_net(&QuantScheme::paper_apt());
+        let expected = outputs(&mut net);
+        let blob = save_full(&mut net);
+        let mut fresh =
+            models::cifarnet(4, 8, 0.25, &QuantScheme::paper_apt(), &mut seeded(9)).unwrap();
+        assert_ne!(outputs(&mut fresh), expected, "fresh net must differ");
+        load(&mut fresh, &blob).unwrap();
+        assert_eq!(
+            outputs(&mut fresh),
+            expected,
+            "loaded net must match exactly"
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_adapted_bitwidths() {
+        let mut net = trained_net(&QuantScheme::paper_apt());
+        // Simulate APT having adapted one layer to 11 bits.
+        net.visit_params(&mut |p| {
+            if p.name() == "conv1.weight" {
+                p.set_bits(apt_quant::Bitwidth::new(11).unwrap()).unwrap();
+            }
+        });
+        let blob = save_full(&mut net);
+        let mut fresh =
+            models::cifarnet(4, 8, 0.25, &QuantScheme::paper_apt(), &mut seeded(9)).unwrap();
+        load(&mut fresh, &blob).unwrap();
+        let mut bits = None;
+        fresh.visit_params_ref(&mut |p| {
+            if p.name() == "conv1.weight" {
+                bits = p.bits();
+            }
+        });
+        assert_eq!(bits.unwrap().get(), 11);
+    }
+
+    #[test]
+    fn roundtrip_all_store_kinds() {
+        for scheme in [
+            QuantScheme::float32(),
+            QuantScheme::master_copy(apt_quant::Bitwidth::new(5).unwrap()),
+            QuantScheme::projected(Projection::Binary),
+            QuantScheme::projected(Projection::Ternary),
+        ] {
+            let mut net = trained_net(&scheme);
+            let expected = outputs(&mut net);
+            let blob = save_full(&mut net);
+            let mut fresh = models::cifarnet(4, 8, 0.25, &scheme, &mut seeded(7)).unwrap();
+            load(&mut fresh, &blob).unwrap();
+            assert_eq!(outputs(&mut fresh), expected);
+        }
+    }
+
+    #[test]
+    fn checkpoint_size_tracks_bitwidth_representation() {
+        // Quantised checkpoints bit-pack codes, so a 6-bit model's blob is
+        // far smaller than the fp32 one — the Figure 5 memory story on
+        // flash.
+        let mut q = trained_net(&QuantScheme::paper_apt());
+        let mut f = trained_net(&QuantScheme::float32());
+        let (bq, bf) = (save_full(&mut q), save_full(&mut f));
+        assert!(
+            bq.len() * 2 < bf.len(),
+            "6-bit blob {} should be well under half the fp32 blob {}",
+            bq.len(),
+            bf.len()
+        );
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_all_bitwidths() {
+        for bits in [2u32, 3, 5, 6, 7, 8, 11, 16, 24, 32] {
+            let max = if bits == 32 {
+                u32::MAX as u64
+            } else {
+                (1u64 << bits) - 1
+            };
+            let codes: Vec<i64> = (0..57)
+                .map(|i| ((i * 2_654_435_761u64) % (max + 1)) as i64)
+                .collect();
+            let packed = pack_codes(&codes, bits);
+            assert_eq!(packed.len(), packed_byte_len(codes.len(), bits));
+            let back = unpack_codes(&packed, codes.len(), bits);
+            assert_eq!(back, codes, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn malformed_blobs_are_rejected() {
+        let mut net = trained_net(&QuantScheme::float32());
+        assert!(load(&mut net, b"nope").is_err());
+        assert!(load(&mut net, b"APTC").is_err()); // truncated
+        let mut blob = save_full(&mut net);
+        blob[4] = 99; // bad version
+        assert!(load(&mut net, &blob).is_err());
+        let mut blob2 = save_full(&mut net);
+        let cut = blob2.len() / 2;
+        blob2.truncate(cut);
+        assert!(load(&mut net, &blob2).is_err());
+    }
+
+    #[test]
+    fn architecture_mismatch_is_detected() {
+        let mut net = trained_net(&QuantScheme::float32());
+        let blob = save_full(&mut net);
+        // Different architecture: MLP has different parameter names.
+        let mut other =
+            models::mlp("m", &[4, 4, 2], &QuantScheme::float32(), &mut seeded(5)).unwrap();
+        assert!(load(&mut other, &blob).is_err());
+        // Same layer names but different widths ⇒ shape error.
+        let mut wider =
+            models::cifarnet(4, 8, 0.5, &QuantScheme::float32(), &mut seeded(6)).unwrap();
+        assert!(load(&mut wider, &blob).is_err());
+    }
+
+    #[test]
+    fn bn_running_stats_are_restored() {
+        let mut net = trained_net(&QuantScheme::float32());
+        let mut saved_means = Vec::new();
+        net.visit_buffers(&mut |name, t| {
+            if name.ends_with("running_mean") {
+                saved_means.push((name.to_string(), t.clone()));
+            }
+        });
+        assert!(!saved_means.is_empty());
+        let blob = save_full(&mut net);
+        let mut fresh =
+            models::cifarnet(4, 8, 0.25, &QuantScheme::float32(), &mut seeded(8)).unwrap();
+        load(&mut fresh, &blob).unwrap();
+        fresh.visit_buffers(&mut |name, t| {
+            if let Some((_, expected)) = saved_means.iter().find(|(n, _)| n == name) {
+                assert_eq!(t.data(), expected.data(), "{name}");
+            }
+        });
+    }
+
+    #[test]
+    fn params_only_params_count_matches() {
+        let net = trained_net(&QuantScheme::paper_apt());
+        let blob = save(&net);
+        assert_eq!(&blob[..4], MAGIC);
+        let count = u32::from_le_bytes(blob[6..10].try_into().unwrap());
+        let mut expected = 0u32;
+        net.visit_params_ref(&mut |_| expected += 1);
+        assert_eq!(count, expected);
+    }
+}

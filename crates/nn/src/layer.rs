@@ -1,0 +1,94 @@
+use crate::Param;
+use apt_tensor::Tensor;
+
+/// Whether a forward pass is part of training (batch-norm uses batch
+/// statistics and caches activations) or evaluation (running statistics, no
+/// caching requirements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Training: batch statistics, activations cached for backward.
+    #[default]
+    Train,
+    /// Inference: running statistics, gradients not required.
+    Eval,
+}
+
+/// A differentiable network layer with manual forward/backward passes.
+///
+/// The contract mirrors classic define-by-run frameworks:
+///
+/// 1. [`forward`](Layer::forward) consumes an input batch and caches
+///    whatever it needs for the backward pass (in [`Mode::Train`]).
+/// 2. [`backward`](Layer::backward) consumes `∂L/∂output`, **accumulates**
+///    parameter gradients into its [`Param`]s, and returns `∂L/∂input`.
+///
+/// Layers also self-report the multiply-accumulate count of their last
+/// forward pass ([`macs_last_forward`](Layer::macs_last_forward)), which the
+/// energy model multiplies by the bit-dependent per-MAC cost.
+///
+/// The trait is object-safe; networks store `Box<dyn Layer>`.
+pub trait Layer {
+    /// Unique (within the network) layer name, e.g. `"stage1.block0.conv1"`.
+    fn name(&self) -> &str;
+
+    /// Runs the layer on `input`, caching activations when `mode` is
+    /// [`Mode::Train`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError`] for shape mismatches.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor>;
+
+    /// Back-propagates `grad_output`, accumulating parameter gradients and
+    /// returning the gradient w.r.t. the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::BackwardBeforeForward`] if no activations
+    /// are cached, and shape errors for mismatched gradients.
+    fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor>;
+
+    /// Visits every learnable parameter mutably (optimiser / precision
+    /// controller entry point).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visits every learnable parameter immutably (metrics / accounting).
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param));
+
+    /// Multiply-accumulate operations executed by the most recent forward
+    /// pass (whole batch). Layers without arithmetic return 0.
+    fn macs_last_forward(&self) -> u64 {
+        0
+    }
+
+    /// Visits each (weight-parameter name, MACs of the last forward pass)
+    /// pair — the association the energy model needs, since a composite
+    /// block's convolutions may carry *different* adaptive bitwidths.
+    /// Layers without weight arithmetic visit nothing.
+    fn visit_compute(&self, f: &mut dyn FnMut(&str, u64)) {
+        let _ = f;
+    }
+
+    /// Visits every non-learnable state buffer mutably (batch-norm running
+    /// statistics), for checkpointing. Layers without buffers visit
+    /// nothing.
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        let _ = f;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_default_is_train() {
+        assert_eq!(Mode::default(), Mode::Train);
+        assert_ne!(Mode::Train, Mode::Eval);
+    }
+
+    #[test]
+    fn layer_is_object_safe() {
+        fn _takes_dyn(_: &dyn Layer) {}
+    }
+}

@@ -1,0 +1,26 @@
+//! Layer implementations.
+//!
+//! Primitive layers ([`Linear`], [`Conv2d`], [`BatchNorm2d`], [`Relu`],
+//! [`Relu6`], [`MaxPool2d`], [`AvgPool2d`], [`GlobalAvgPool`], [`Flatten`])
+//! plus the composite residual blocks used by the paper's backbones
+//! ([`BasicBlock`] for ResNet, [`InvertedResidual`] for MobileNetV2).
+
+mod activation;
+mod actquant;
+mod batchnorm;
+mod block;
+mod conv;
+mod flatten;
+mod inverted;
+mod linear;
+mod pool;
+
+pub use activation::{Relu, Relu6};
+pub use actquant::ActQuant;
+pub use batchnorm::BatchNorm2d;
+pub use block::BasicBlock;
+pub use conv::Conv2d;
+pub use flatten::Flatten;
+pub use inverted::InvertedResidual;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};

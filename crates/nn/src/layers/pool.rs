@@ -1,0 +1,196 @@
+use crate::{Layer, Mode, NnError, Param};
+use apt_tensor::ops::pool;
+use apt_tensor::Tensor;
+
+/// Non-overlapping max pooling with window and stride `k`.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    name: String,
+    k: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input dims)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with square window `k`.
+    pub fn new(name: impl Into<String>, k: usize) -> Self {
+        MaxPool2d {
+            name: name.into(),
+            k,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+        let out = pool::max_pool2d(input, self.k)?;
+        self.cache = if mode == Mode::Train {
+            Some((out.argmax, input.dims().to_vec()))
+        } else {
+            None
+        };
+        Ok(out.output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {
+        let (argmax, dims) = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        Ok(pool::max_pool2d_backward(grad_output, argmax, dims)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
+}
+
+/// Non-overlapping average pooling with window and stride `k`.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    name: String,
+    k: usize,
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with square window `k`.
+    pub fn new(name: impl Into<String>, k: usize) -> Self {
+        AvgPool2d {
+            name: name.into(),
+            k,
+            cached_dims: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+        let y = pool::avg_pool2d(input, self.k)?;
+        self.cached_dims = if mode == Mode::Train {
+            Some(input.dims().to_vec())
+        } else {
+            None
+        };
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        Ok(pool::avg_pool2d_backward(grad_output, dims, self.k)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
+}
+
+/// Global average pooling `[n, c, h, w] → [n, c]` (the ResNet/MobileNet
+/// head).
+#[derive(Debug)]
+pub struct GlobalAvgPool {
+    name: String,
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pool layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        GlobalAvgPool {
+            name: name.into(),
+            cached_dims: None,
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+        let y = pool::global_avg_pool(input)?;
+        self.cached_dims = if mode == Mode::Train {
+            Some(input.dims().to_vec())
+        } else {
+            None
+        };
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        Ok(pool::global_avg_pool_backward(grad_output, dims)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_tensor::rng::{normal, seeded};
+
+    #[test]
+    fn max_pool_layer_roundtrip() {
+        let mut p = MaxPool2d::new("mp", 2);
+        let x = normal(&[1, 2, 4, 4], 1.0, &mut seeded(1));
+        let y = p.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 2, 2]);
+        let dx = p.backward(&Tensor::ones(&[1, 2, 2, 2])).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+        assert_eq!(dx.sum(), 8.0);
+    }
+
+    #[test]
+    fn avg_pool_layer_roundtrip() {
+        let mut p = AvgPool2d::new("ap", 2);
+        let x = normal(&[2, 1, 4, 4], 1.0, &mut seeded(2));
+        let y = p.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 1, 2, 2]);
+        let dx = p.backward(&Tensor::ones(&[2, 1, 2, 2])).unwrap();
+        assert!((dx.sum() - 8.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn global_pool_layer_roundtrip() {
+        let mut p = GlobalAvgPool::new("gap");
+        let x = normal(&[3, 4, 2, 2], 1.0, &mut seeded(3));
+        let y = p.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[3, 4]);
+        let dx = p.backward(&Tensor::ones(&[3, 4])).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        assert!(MaxPool2d::new("a", 2)
+            .backward(&Tensor::zeros(&[1, 1, 1, 1]))
+            .is_err());
+        assert!(AvgPool2d::new("b", 2)
+            .backward(&Tensor::zeros(&[1, 1, 1, 1]))
+            .is_err());
+        assert!(GlobalAvgPool::new("c")
+            .backward(&Tensor::zeros(&[1, 1]))
+            .is_err());
+    }
+}

@@ -1,0 +1,689 @@
+use crate::NnError;
+use apt_quant::{fake, Bitwidth, QuantizedTensor, RoundingMode, UpdateStats};
+use apt_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// What role a learnable tensor plays in its layer.
+///
+/// The paper quantises **weights** ("the weights of all models are quantised
+/// for both forward pass and backward pass", §IV-A); biases and batch-norm
+/// affine parameters stay in fp32 by default, but [`QuantScheme`] lets each
+/// kind be configured independently (§III-B notes Gavg applies to any
+/// learnable parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// Convolution / linear weight — the tensors Algorithm 1 adapts.
+    Weight,
+    /// Additive bias.
+    Bias,
+    /// Batch-norm scale (γ).
+    BnGamma,
+    /// Batch-norm shift (β).
+    BnBeta,
+    /// Learnable activation clipping point (§III-B: "the clipping point of
+    /// activation" is among the parameters Gavg applies to).
+    ActClip,
+}
+
+impl std::fmt::Display for ParamKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ParamKind::Weight => "weight",
+            ParamKind::Bias => "bias",
+            ParamKind::BnGamma => "bn_gamma",
+            ParamKind::BnBeta => "bn_beta",
+            ParamKind::ActClip => "act_clip",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Extreme-quantisation projections for master-copy weight views.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Projection {
+    /// BNN-style `{−s, +s}` (1-bit view).
+    Binary,
+    /// TWN-style `{−s, 0, +s}` (2-bit view).
+    Ternary,
+}
+
+impl Projection {
+    /// Bits of the projected view (what the forward pass reads).
+    pub fn view_bits(self) -> u32 {
+        match self {
+            Projection::Binary => 1,
+            Projection::Ternary => 2,
+        }
+    }
+}
+
+/// Requested storage precision for a parameter kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamPrecision {
+    /// Plain fp32 storage and updates.
+    Float32,
+    /// Integer-codes-only storage (APT / fixed-bit baselines); updates go
+    /// through the Eq. 3 quantised step.
+    Quantized(Bitwidth),
+    /// fp32 master copy updated in float, viewed through a `k`-bit
+    /// fake-quantisation for forward/backward (DoReFa/TTQ-style).
+    MasterCopy(Bitwidth),
+    /// fp32 master copy viewed through a sign/ternary projection
+    /// (BNN/TWN-style, Table I).
+    Projected(Projection),
+    /// Integer-codes-only storage with **per-output-channel** calibration
+    /// (Krishnamoorthi \[13\]) — an ablation of the paper's per-tensor
+    /// scheme.
+    PerChannel(Bitwidth),
+}
+
+/// Per-kind precision configuration used by model constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantScheme {
+    /// Precision for conv/linear weights.
+    pub weights: ParamPrecision,
+    /// Precision for biases.
+    pub biases: ParamPrecision,
+    /// Precision for batch-norm γ/β.
+    pub batch_norm: ParamPrecision,
+}
+
+impl QuantScheme {
+    /// The paper's APT setup: weights start quantised at 6 bits (§IV),
+    /// biases and batch-norm affine parameters in fp32.
+    pub fn paper_apt() -> Self {
+        QuantScheme {
+            weights: ParamPrecision::Quantized(Bitwidth::PAPER_INITIAL),
+            biases: ParamPrecision::Float32,
+            batch_norm: ParamPrecision::Float32,
+        }
+    }
+
+    /// Everything quantised — weights, biases *and* batch-norm affine all
+    /// start at `bits` integer codes. §III-B notes Gavg "applies to other
+    /// parameters that need to be learned during training, e.g. bias", and
+    /// under this scheme the APT policy adapts all of them.
+    pub fn fully_quantized(bits: Bitwidth) -> Self {
+        QuantScheme {
+            weights: ParamPrecision::Quantized(bits),
+            biases: ParamPrecision::Quantized(bits),
+            batch_norm: ParamPrecision::Quantized(bits),
+        }
+    }
+
+    /// Fixed-bitwidth quantised weights (the 8/12/14/16-bit arms of
+    /// Figures 2 and 4).
+    pub fn fixed(bits: Bitwidth) -> Self {
+        QuantScheme {
+            weights: ParamPrecision::Quantized(bits),
+            biases: ParamPrecision::Float32,
+            batch_norm: ParamPrecision::Float32,
+        }
+    }
+
+    /// Everything in fp32 (the paper's 32-bit reference arm).
+    pub fn float32() -> Self {
+        QuantScheme {
+            weights: ParamPrecision::Float32,
+            biases: ParamPrecision::Float32,
+            batch_norm: ParamPrecision::Float32,
+        }
+    }
+
+    /// fp32 master copy with a `k`-bit forward/backward view — the storage
+    /// layout of the Table I comparators that "keep an fp32 copy".
+    pub fn master_copy(bits: Bitwidth) -> Self {
+        QuantScheme {
+            weights: ParamPrecision::MasterCopy(bits),
+            biases: ParamPrecision::Float32,
+            batch_norm: ParamPrecision::Float32,
+        }
+    }
+
+    /// Per-output-channel quantised weights (the calibration ablation);
+    /// biases and batch-norm affine stay fp32 as in the paper scheme.
+    pub fn per_channel(bits: Bitwidth) -> Self {
+        QuantScheme {
+            weights: ParamPrecision::PerChannel(bits),
+            biases: ParamPrecision::Float32,
+            batch_norm: ParamPrecision::Float32,
+        }
+    }
+
+    /// fp32 master copy with a binary/ternary projected view (BNN/TWN-style
+    /// Table I comparators).
+    pub fn projected(projection: Projection) -> Self {
+        QuantScheme {
+            weights: ParamPrecision::Projected(projection),
+            biases: ParamPrecision::Float32,
+            batch_norm: ParamPrecision::Float32,
+        }
+    }
+
+    /// The precision configured for a given parameter kind.
+    pub fn precision_for(&self, kind: ParamKind) -> ParamPrecision {
+        match kind {
+            ParamKind::Weight => self.weights,
+            ParamKind::Bias => self.biases,
+            ParamKind::BnGamma | ParamKind::BnBeta => self.batch_norm,
+            // The activation clip is a scalar; it follows the bias setting.
+            ParamKind::ActClip => self.biases,
+        }
+    }
+}
+
+impl Default for QuantScheme {
+    fn default() -> Self {
+        QuantScheme::paper_apt()
+    }
+}
+
+/// Physical storage of a learnable tensor.
+#[derive(Debug, Clone)]
+pub enum ParamStore {
+    /// Plain fp32 values.
+    Float(Tensor),
+    /// Integer codes only — no fp32 copy anywhere (APT's memory saving).
+    Quantized(QuantizedTensor),
+    /// fp32 master plus the bitwidth of the fake-quantised compute view.
+    MasterCopy {
+        /// The fp32 master copy updated by the optimiser.
+        master: Tensor,
+        /// Precision of the forward/backward view.
+        bits: Bitwidth,
+    },
+    /// fp32 master viewed through a binary/ternary projection.
+    Projected {
+        /// The fp32 master copy updated by the optimiser.
+        master: Tensor,
+        /// The extreme-quantisation projection of the compute view.
+        projection: Projection,
+    },
+    /// Integer codes with per-output-channel calibration, no fp32 copy.
+    PerChannel(apt_quant::PerChannelQuantized),
+}
+
+/// A named learnable tensor with its gradient accumulator and (optional)
+/// momentum buffer.
+///
+/// `Param` is the unit the APT policy operates on: Algorithm 1's "layers"
+/// map to the [`ParamKind::Weight`] params of a [`crate::Network`], each
+/// carrying its own bitwidth `k_i` and resolution `ε_i`.
+#[derive(Debug, Clone)]
+pub struct Param {
+    name: String,
+    kind: ParamKind,
+    store: ParamStore,
+    grad: Tensor,
+    velocity: Option<Tensor>,
+}
+
+impl Param {
+    /// Creates a parameter from initial float values under a precision
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns quantisation errors for empty/non-finite initial values when
+    /// a quantised precision is requested.
+    pub fn new(
+        name: impl Into<String>,
+        kind: ParamKind,
+        init: Tensor,
+        precision: ParamPrecision,
+    ) -> crate::Result<Self> {
+        let grad = Tensor::zeros(init.dims());
+        let store = match precision {
+            ParamPrecision::Float32 => ParamStore::Float(init),
+            ParamPrecision::Quantized(bits) => {
+                ParamStore::Quantized(QuantizedTensor::from_tensor(&init, bits)?)
+            }
+            ParamPrecision::MasterCopy(bits) => ParamStore::MasterCopy { master: init, bits },
+            ParamPrecision::Projected(projection) => ParamStore::Projected {
+                master: init,
+                projection,
+            },
+            ParamPrecision::PerChannel(bits) => {
+                ParamStore::PerChannel(apt_quant::PerChannelQuantized::from_tensor(&init, bits)?)
+            }
+        };
+        Ok(Param {
+            name: name.into(),
+            kind,
+            store,
+            grad,
+            velocity: None,
+        })
+    }
+
+    /// The parameter's unique (within a network) name, e.g.
+    /// `"stage2.block0.conv1.weight"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter's role.
+    pub fn kind(&self) -> ParamKind {
+        self.kind
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Replaces the store with a deserialised one of identical shape
+    /// (checkpoint loading). The store *kind* may change — a checkpoint
+    /// records the trained state, including any bitwidths APT adapted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if the replacement's element count
+    /// differs.
+    pub fn set_store(&mut self, store: ParamStore) -> crate::Result<()> {
+        let len = match &store {
+            ParamStore::Float(t) => t.len(),
+            ParamStore::Quantized(q) => q.len(),
+            ParamStore::MasterCopy { master, .. } => master.len(),
+            ParamStore::Projected { master, .. } => master.len(),
+            ParamStore::PerChannel(pc) => pc.len(),
+        };
+        if len != self.len() {
+            return Err(NnError::BadConfig {
+                reason: format!(
+                    "parameter `{}`: checkpoint has {} elements, expected {}",
+                    self.name,
+                    len,
+                    self.len()
+                ),
+            });
+        }
+        self.store = store;
+        Ok(())
+    }
+
+    /// Materialises the float view used for compute:
+    ///
+    /// * `Float` — the values themselves,
+    /// * `Quantized` — the dequantised grid values,
+    /// * `MasterCopy` — the master fake-quantised at the view bitwidth.
+    pub fn value(&self) -> Tensor {
+        match &self.store {
+            ParamStore::Float(t) => t.clone(),
+            ParamStore::Quantized(q) => q.to_tensor(),
+            ParamStore::MasterCopy { master, bits } => {
+                fake::fake_quantize(master, *bits).unwrap_or_else(|_| master.clone())
+            }
+            ParamStore::Projected { master, projection } => match projection {
+                Projection::Binary => fake::binarize(master),
+                Projection::Ternary => fake::ternarize(master),
+            },
+            ParamStore::PerChannel(pc) => pc.to_tensor(),
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.grad.len()
+    }
+
+    /// `true` if the parameter holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.grad.is_empty()
+    }
+
+    /// Shape of the parameter tensor.
+    pub fn dims(&self) -> &[usize] {
+        self.grad.dims()
+    }
+
+    /// The accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Mutable access to the gradient accumulator.
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        &mut self.grad
+    }
+
+    /// Adds `g` into the gradient accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape-mismatch error if `g` differs in shape.
+    pub fn accumulate_grad(&mut self, g: &Tensor) -> crate::Result<()> {
+        apt_tensor::ops::add_in_place(&mut self.grad, g)?;
+        Ok(())
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// The parameter's quantisation step `ε_i`, if it is quantised.
+    pub fn eps(&self) -> Option<f32> {
+        match &self.store {
+            ParamStore::Quantized(q) => Some(q.eps()),
+            ParamStore::PerChannel(pc) => Some(pc.mean_eps()),
+            _ => None,
+        }
+    }
+
+    /// The Gavg metric (paper Eq. 4) of the accumulated gradient against
+    /// this parameter's quantisation resolution — per-tensor `ε` for
+    /// [`ParamStore::Quantized`], per-channel `ε_c` for
+    /// [`ParamStore::PerChannel`]. `None` for stores without a live `ε`
+    /// (fp32, master-copy, projected).
+    pub fn gavg(&self) -> Option<f64> {
+        match &self.store {
+            ParamStore::Quantized(q) => {
+                let grad = &self.grad;
+                if grad.is_empty() {
+                    return Some(0.0);
+                }
+                let inv = 1.0 / f64::from(q.eps());
+                Some(
+                    grad.data()
+                        .iter()
+                        .map(|&g| f64::from(g).abs() * inv)
+                        .sum::<f64>()
+                        / grad.len() as f64,
+                )
+            }
+            ParamStore::PerChannel(pc) => pc.gavg(&self.grad).ok(),
+            _ => None,
+        }
+    }
+
+    /// Current storage bitwidth: `Some(k)` for quantised stores, `None` for
+    /// fp32 and projected stores (whose view widths are 1–2 bits but fixed).
+    pub fn bits(&self) -> Option<Bitwidth> {
+        match &self.store {
+            ParamStore::Float(_) | ParamStore::Projected { .. } => None,
+            ParamStore::Quantized(q) => Some(q.bits()),
+            ParamStore::PerChannel(pc) => Some(pc.bits()),
+            ParamStore::MasterCopy { bits, .. } => Some(*bits),
+        }
+    }
+
+    /// Re-quantises a [`ParamStore::Quantized`] parameter at a new
+    /// precision (Algorithm 1's `k_i := k_i ± 1`), or changes the view
+    /// bitwidth of a master-copy parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for fp32 parameters.
+    pub fn set_bits(&mut self, bits: Bitwidth) -> crate::Result<()> {
+        match &mut self.store {
+            ParamStore::Quantized(q) => {
+                q.set_bits(bits)?;
+                Ok(())
+            }
+            ParamStore::PerChannel(pc) => {
+                pc.set_bits(bits)?;
+                Ok(())
+            }
+            ParamStore::MasterCopy { bits: b, .. } => {
+                *b = bits;
+                Ok(())
+            }
+            ParamStore::Float(_) | ParamStore::Projected { .. } => Err(NnError::BadConfig {
+                reason: format!(
+                    "parameter `{}` has no adjustable bitwidth (fp32/projected)",
+                    self.name
+                ),
+            }),
+        }
+    }
+
+    /// Training-memory footprint of this parameter's *model state* in bits
+    /// (the quantity Figure 5 reports):
+    ///
+    /// * `Float` — `32·N`
+    /// * `Quantized` — `k·N`
+    /// * `MasterCopy` — `32·N + k·N` (master **and** view live in memory)
+    pub fn memory_bits(&self) -> u64 {
+        let n = self.len() as u64;
+        match &self.store {
+            ParamStore::Float(_) => 32 * n,
+            ParamStore::Quantized(q) => q.memory_bits(),
+            ParamStore::MasterCopy { bits, .. } => 32 * n + u64::from(bits.get()) * n,
+            ParamStore::Projected { projection, .. } => {
+                32 * n + u64::from(projection.view_bits()) * n
+            }
+            ParamStore::PerChannel(pc) => pc.memory_bits(),
+        }
+    }
+
+    /// Applies an SGD step with the already-combined effective gradient
+    /// (momentum / weight decay folded in by the optimiser).
+    ///
+    /// * `Float` / `MasterCopy` — plain fp32 `w −= lr·g` (master copy then
+    ///   re-views through fake quantisation on the next [`value`] call).
+    /// * `Quantized` — the paper's Eq. 3 quantised step.
+    ///
+    /// Returns underflow statistics for quantised stores.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/finiteness errors from the underlying stores.
+    ///
+    /// [`value`]: Param::value
+    pub fn apply_update(
+        &mut self,
+        effective_grad: &Tensor,
+        lr: f32,
+        mode: RoundingMode,
+        rng: &mut StdRng,
+    ) -> crate::Result<Option<UpdateStats>> {
+        match &mut self.store {
+            ParamStore::Float(t) => {
+                apt_tensor::ops::axpy(-lr, effective_grad, t)?;
+                Ok(None)
+            }
+            ParamStore::MasterCopy { master, .. } | ParamStore::Projected { master, .. } => {
+                apt_tensor::ops::axpy(-lr, effective_grad, master)?;
+                Ok(None)
+            }
+            ParamStore::Quantized(q) => {
+                let stats = q.sgd_update(effective_grad, lr, mode, rng)?;
+                Ok(Some(stats))
+            }
+            ParamStore::PerChannel(pc) => {
+                let stats = pc.sgd_update(effective_grad, lr, mode, rng)?;
+                Ok(Some(stats))
+            }
+        }
+    }
+
+    /// Mutable access to the momentum buffer, creating it (zeroed) on first
+    /// use.
+    pub fn velocity_mut(&mut self) -> &mut Tensor {
+        let dims = self.grad.dims().to_vec();
+        self.velocity.get_or_insert_with(|| Tensor::zeros(&dims))
+    }
+
+    /// The momentum buffer, if one has been created.
+    pub fn velocity(&self) -> Option<&Tensor> {
+        self.velocity.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_tensor::rng::{normal, seeded};
+
+    fn b(k: u32) -> Bitwidth {
+        Bitwidth::new(k).unwrap()
+    }
+
+    #[test]
+    fn float_param_roundtrip() {
+        let init = Tensor::from_slice(&[1.0, -1.0]);
+        let p = Param::new(
+            "w",
+            ParamKind::Weight,
+            init.clone(),
+            ParamPrecision::Float32,
+        )
+        .unwrap();
+        assert_eq!(p.value().data(), init.data());
+        assert_eq!(p.bits(), None);
+        assert_eq!(p.eps(), None);
+        assert_eq!(p.memory_bits(), 64);
+    }
+
+    #[test]
+    fn quantized_param_is_on_grid_and_small() {
+        let init = normal(&[100], 1.0, &mut seeded(1));
+        let p = Param::new(
+            "w",
+            ParamKind::Weight,
+            init,
+            ParamPrecision::Quantized(b(6)),
+        )
+        .unwrap();
+        assert_eq!(p.bits().unwrap().get(), 6);
+        assert!(p.eps().unwrap() > 0.0);
+        assert_eq!(p.memory_bits(), 600);
+    }
+
+    #[test]
+    fn master_copy_counts_both_copies() {
+        let init = normal(&[100], 1.0, &mut seeded(2));
+        let p = Param::new(
+            "w",
+            ParamKind::Weight,
+            init,
+            ParamPrecision::MasterCopy(b(8)),
+        )
+        .unwrap();
+        assert_eq!(p.memory_bits(), 100 * (32 + 8));
+        assert_eq!(p.bits().unwrap().get(), 8);
+    }
+
+    #[test]
+    fn master_copy_view_is_quantised_but_update_is_float() {
+        let init = normal(&[256], 1.0, &mut seeded(3));
+        let mut p = Param::new(
+            "w",
+            ParamKind::Weight,
+            init.clone(),
+            ParamPrecision::MasterCopy(b(3)),
+        )
+        .unwrap();
+        // 3-bit view has ≤ 8 distinct values
+        let view = p.value();
+        let mut vals: Vec<i64> = view.data().iter().map(|&x| (x * 1e6) as i64).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert!(vals.len() <= 8);
+        // A tiny float update still lands on the master (no underflow).
+        let g = Tensor::full(&[256], 1e-6);
+        let stats = p
+            .apply_update(&g, 1.0, RoundingMode::Truncate, &mut seeded(0))
+            .unwrap();
+        assert!(stats.is_none());
+        if let ParamStore::MasterCopy { master, .. } = p.store() {
+            assert!((master.data()[0] - (init.data()[0] - 1e-6)).abs() < 1e-9);
+        } else {
+            panic!("wrong store kind");
+        }
+    }
+
+    #[test]
+    fn quantized_update_reports_underflow() {
+        let init = Tensor::from_slice(&[-1.0, 0.0, 1.0]);
+        let mut p = Param::new(
+            "w",
+            ParamKind::Weight,
+            init,
+            ParamPrecision::Quantized(b(4)),
+        )
+        .unwrap();
+        let eps = p.eps().unwrap();
+        let g = Tensor::full(&[3], eps * 0.1);
+        let stats = p
+            .apply_update(&g, 1.0, RoundingMode::Truncate, &mut seeded(0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(stats.underflowed, 3);
+    }
+
+    #[test]
+    fn set_bits_rules() {
+        let init = normal(&[10], 1.0, &mut seeded(4));
+        let mut q = Param::new(
+            "w",
+            ParamKind::Weight,
+            init.clone(),
+            ParamPrecision::Quantized(b(6)),
+        )
+        .unwrap();
+        q.set_bits(b(7)).unwrap();
+        assert_eq!(q.bits().unwrap().get(), 7);
+        let mut m = Param::new(
+            "w",
+            ParamKind::Weight,
+            init.clone(),
+            ParamPrecision::MasterCopy(b(6)),
+        )
+        .unwrap();
+        m.set_bits(b(9)).unwrap();
+        assert_eq!(m.bits().unwrap().get(), 9);
+        let mut f = Param::new("w", ParamKind::Weight, init, ParamPrecision::Float32).unwrap();
+        assert!(f.set_bits(b(8)).is_err());
+    }
+
+    #[test]
+    fn grad_accumulation_and_zeroing() {
+        let init = Tensor::zeros(&[2]);
+        let mut p = Param::new("b", ParamKind::Bias, init, ParamPrecision::Float32).unwrap();
+        p.accumulate_grad(&Tensor::from_slice(&[1.0, 2.0])).unwrap();
+        p.accumulate_grad(&Tensor::from_slice(&[1.0, 2.0])).unwrap();
+        assert_eq!(p.grad().data(), &[2.0, 4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+        assert!(p.accumulate_grad(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn velocity_lazily_created() {
+        let mut p = Param::new(
+            "w",
+            ParamKind::Weight,
+            Tensor::zeros(&[4]),
+            ParamPrecision::Float32,
+        )
+        .unwrap();
+        assert!(p.velocity().is_none());
+        p.velocity_mut().fill(1.0);
+        assert_eq!(p.velocity().unwrap().sum(), 4.0);
+    }
+
+    #[test]
+    fn scheme_presets() {
+        let s = QuantScheme::paper_apt();
+        assert_eq!(
+            s.precision_for(ParamKind::Weight),
+            ParamPrecision::Quantized(b(6))
+        );
+        assert_eq!(s.precision_for(ParamKind::Bias), ParamPrecision::Float32);
+        assert_eq!(s.precision_for(ParamKind::BnGamma), ParamPrecision::Float32);
+        let f = QuantScheme::fixed(b(12));
+        assert_eq!(
+            f.precision_for(ParamKind::Weight),
+            ParamPrecision::Quantized(b(12))
+        );
+        let m = QuantScheme::master_copy(b(2));
+        assert_eq!(
+            m.precision_for(ParamKind::Weight),
+            ParamPrecision::MasterCopy(b(2))
+        );
+        assert_eq!(QuantScheme::default(), QuantScheme::paper_apt());
+        assert_eq!(QuantScheme::float32().weights, ParamPrecision::Float32);
+    }
+}

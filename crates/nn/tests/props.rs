@@ -1,0 +1,113 @@
+//! Property-based tests of layer semantics.
+
+use apt_nn::layers::{BatchNorm2d, Conv2d, Linear};
+use apt_nn::{Layer, Mode, ParamPrecision};
+use apt_tensor::{ops, rng, Tensor};
+use proptest::prelude::*;
+
+fn linear(inp: usize, out: usize, seed: u64) -> Linear {
+    Linear::new(
+        "fc",
+        inp,
+        out,
+        ParamPrecision::Float32,
+        None,
+        &mut rng::seeded(seed),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn linear_without_bias_is_linear(seed in 0u64..500, alpha in -2.0f32..2.0) {
+        let mut l = linear(4, 3, seed);
+        let a = rng::normal(&[2, 4], 1.0, &mut rng::seeded(seed + 1));
+        let b = rng::normal(&[2, 4], 1.0, &mut rng::seeded(seed + 2));
+        let lhs = l
+            .forward(&ops::add(&a, &ops::scale(&b, alpha)).unwrap(), Mode::Eval)
+            .unwrap();
+        let ya = l.forward(&a, Mode::Eval).unwrap();
+        let yb = l.forward(&b, Mode::Eval).unwrap();
+        let rhs = ops::add(&ya, &ops::scale(&yb, alpha)).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn linear_rows_are_independent(seed in 0u64..500) {
+        // Permuting the batch permutes the outputs identically.
+        let mut l = linear(5, 2, seed);
+        let x = rng::normal(&[3, 5], 1.0, &mut rng::seeded(seed + 1));
+        let y = l.forward(&x, Mode::Eval).unwrap();
+        // reversed batch
+        let mut rev_data = Vec::new();
+        for row in (0..3).rev() {
+            rev_data.extend_from_slice(&x.data()[row * 5..(row + 1) * 5]);
+        }
+        let xr = Tensor::from_vec(rev_data, &[3, 5]).unwrap();
+        let yr = l.forward(&xr, Mode::Eval).unwrap();
+        for row in 0..3 {
+            prop_assert_eq!(
+                &y.data()[row * 2..(row + 1) * 2],
+                &yr.data()[(2 - row) * 2..(2 - row + 1) * 2]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_eval_rows_are_independent(seed in 0u64..200) {
+        let mut c = Conv2d::new(
+            "c", 2, 3, 3, 1, 1, 1,
+            ParamPrecision::Float32,
+            None,
+            &mut rng::seeded(seed),
+        )
+        .unwrap();
+        let x = rng::normal(&[2, 2, 4, 4], 1.0, &mut rng::seeded(seed + 1));
+        let y = c.forward(&x, Mode::Eval).unwrap();
+        // swap the two images
+        let item = 2 * 4 * 4;
+        let mut sw = x.data()[item..].to_vec();
+        sw.extend_from_slice(&x.data()[..item]);
+        let xs = Tensor::from_vec(sw, &[2, 2, 4, 4]).unwrap();
+        let ys = c.forward(&xs, Mode::Eval).unwrap();
+        let oitem = 3 * 4 * 4;
+        prop_assert_eq!(&y.data()[..oitem], &ys.data()[oitem..]);
+        prop_assert_eq!(&y.data()[oitem..], &ys.data()[..oitem]);
+    }
+
+    #[test]
+    fn batchnorm_train_output_is_scale_invariant(seed in 0u64..200, c in 0.5f32..4.0) {
+        // BN(c·x) == BN(x) in train mode (normalisation cancels the scale).
+        let mut bn = BatchNorm2d::new("bn", 2, ParamPrecision::Float32).unwrap();
+        let x = rng::normal(&[3, 2, 3, 3], 1.0, &mut rng::seeded(seed));
+        let y1 = bn.forward(&x, Mode::Train).unwrap();
+        let mut bn2 = BatchNorm2d::new("bn", 2, ParamPrecision::Float32).unwrap();
+        let y2 = bn2.forward(&ops::scale(&x, c), Mode::Train).unwrap();
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((a - b).abs() < 1e-2, "{a} vs {b} (c={c})");
+        }
+    }
+
+    #[test]
+    fn backward_shapes_always_match_inputs(
+        seed in 0u64..200,
+        batch in 1usize..4,
+        hw in 3usize..6,
+    ) {
+        let mut c = Conv2d::new(
+            "c", 3, 4, 3, 1, 1, 1,
+            ParamPrecision::Float32,
+            Some(ParamPrecision::Float32),
+            &mut rng::seeded(seed),
+        )
+        .unwrap();
+        let x = rng::normal(&[batch, 3, hw, hw], 1.0, &mut rng::seeded(seed + 1));
+        let y = c.forward(&x, Mode::Train).unwrap();
+        let dx = c.backward(&Tensor::ones(y.dims())).unwrap();
+        prop_assert_eq!(dx.dims(), x.dims());
+    }
+}

@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for optimiser operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimError {
+    /// An optimiser hyper-parameter was out of its documented domain.
+    BadConfig {
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// An underlying network/parameter operation failed.
+    Nn(apt_nn::NnError),
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::BadConfig { reason } => write!(f, "bad optimiser config: {reason}"),
+            OptimError::Nn(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for OptimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OptimError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<apt_nn::NnError> for OptimError {
+    fn from(e: apt_nn::NnError) -> Self {
+        OptimError::Nn(e)
+    }
+}
+
+impl From<apt_quant::QuantError> for OptimError {
+    fn from(e: apt_quant::QuantError) -> Self {
+        OptimError::Nn(apt_nn::NnError::Quant(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(!OptimError::BadConfig {
+            reason: "lr".into()
+        }
+        .to_string()
+        .is_empty());
+        let e = OptimError::from(apt_nn::NnError::BadConfig { reason: "x".into() });
+        assert!(e.source().is_some());
+        let e = OptimError::from(apt_quant::QuantError::InvalidBitwidth { bits: 1 });
+        assert!(e.to_string().contains("bitwidth"));
+    }
+}

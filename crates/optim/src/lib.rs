@@ -1,0 +1,38 @@
+//! # apt-optim
+//!
+//! Optimiser substrate for the APT reproduction: SGD with momentum and
+//! weight decay (the paper's deliberate choice — §IV: *"We use SGD to show
+//! the potential of saving energy and memory usage"*), plus the paper's
+//! learning-rate schedules.
+//!
+//! The optimiser is quantisation-aware by construction: it folds momentum
+//! and weight decay into an *effective gradient* and hands that to each
+//! parameter's store, so fp32 parameters take a plain step while quantised
+//! parameters take the paper's Eq. 3 step (underflow and all). The Gavg
+//! metric upstream deliberately uses **raw** gradients, not these effective
+//! ones (§III-B), so the two stay decoupled.
+//!
+//! ```
+//! use apt_optim::{LrSchedule, Sgd, SgdConfig};
+//! let sched = LrSchedule::paper_cifar10(200);
+//! assert_eq!(sched.lr_at(0), 0.1);
+//! assert!((sched.lr_at(100) - 0.01).abs() < 1e-6); // ÷10 at 50%
+//! assert!((sched.lr_at(150) - 0.001).abs() < 1e-6); // ÷10 at 75%
+//! let _sgd = Sgd::new(SgdConfig::default(), 42);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod adam;
+mod error;
+mod schedule;
+mod sgd;
+
+pub use adam::{Adam, AdamConfig};
+pub use error::OptimError;
+pub use schedule::LrSchedule;
+pub use sgd::{Sgd, SgdConfig, StepStats};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, OptimError>;

@@ -1,0 +1,141 @@
+/// Learning-rate schedule evaluated per epoch.
+///
+/// The paper's recipes (§IV):
+///
+/// * CIFAR-10: lr 0.1, ÷10 at epoch 100 and 150 of 200 —
+///   [`LrSchedule::paper_cifar10`] generalises this to "÷10 at 50 % and
+///   75 % of the run" for scaled epoch budgets.
+/// * CIFAR-100: the same plus a 2-epoch warm-up at lr 0.01 —
+///   [`LrSchedule::paper_cifar100`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant(f32),
+    /// `base` multiplied by `gamma` at each milestone epoch.
+    StepDecay {
+        /// Initial learning rate.
+        base: f32,
+        /// Epochs at which the rate is multiplied by `gamma`.
+        milestones: Vec<usize>,
+        /// Decay multiplier (paper: 0.1).
+        gamma: f32,
+    },
+    /// Step decay preceded by a constant low-rate warm-up.
+    WarmupStepDecay {
+        /// Warm-up duration in epochs.
+        warmup_epochs: usize,
+        /// Learning rate during warm-up.
+        warmup_lr: f32,
+        /// Initial post-warm-up learning rate.
+        base: f32,
+        /// Epochs at which the rate is multiplied by `gamma`.
+        milestones: Vec<usize>,
+        /// Decay multiplier.
+        gamma: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The paper's CIFAR-10 recipe scaled to `total_epochs`: lr 0.1, ÷10 at
+    /// 50 % and 75 % of the run.
+    pub fn paper_cifar10(total_epochs: usize) -> Self {
+        LrSchedule::StepDecay {
+            base: 0.1,
+            milestones: vec![total_epochs / 2, total_epochs * 3 / 4],
+            gamma: 0.1,
+        }
+    }
+
+    /// The paper's CIFAR-100 recipe scaled to `total_epochs`: 2-epoch
+    /// warm-up at 0.01, then the CIFAR-10 schedule.
+    pub fn paper_cifar100(total_epochs: usize) -> Self {
+        LrSchedule::WarmupStepDecay {
+            warmup_epochs: 2,
+            warmup_lr: 0.01,
+            base: 0.1,
+            milestones: vec![total_epochs / 2, total_epochs * 3 / 4],
+            gamma: 0.1,
+        }
+    }
+
+    /// The learning rate for `epoch` (0-based).
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant(lr) => *lr,
+            LrSchedule::StepDecay {
+                base,
+                milestones,
+                gamma,
+            } => {
+                let decays = milestones.iter().filter(|&&m| epoch >= m).count();
+                base * gamma.powi(decays as i32)
+            }
+            LrSchedule::WarmupStepDecay {
+                warmup_epochs,
+                warmup_lr,
+                base,
+                milestones,
+                gamma,
+            } => {
+                if epoch < *warmup_epochs {
+                    *warmup_lr
+                } else {
+                    let decays = milestones.iter().filter(|&&m| epoch >= m).count();
+                    base * gamma.powi(decays as i32)
+                }
+            }
+        }
+    }
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.05);
+        assert_eq!(s.lr_at(0), 0.05);
+        assert_eq!(s.lr_at(1000), 0.05);
+    }
+
+    #[test]
+    fn step_decay_boundaries() {
+        let s = LrSchedule::paper_cifar10(200);
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(99), 0.1);
+        assert!((s.lr_at(100) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(149) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(150) - 0.001).abs() < 1e-9);
+        assert!((s.lr_at(199) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_then_decay() {
+        let s = LrSchedule::paper_cifar100(200);
+        assert_eq!(s.lr_at(0), 0.01);
+        assert_eq!(s.lr_at(1), 0.01);
+        assert_eq!(s.lr_at(2), 0.1);
+        assert!((s.lr_at(100) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(150) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_milestones() {
+        let s = LrSchedule::paper_cifar10(40);
+        assert_eq!(s.lr_at(19), 0.1);
+        assert!((s.lr_at(20) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(30) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_matches_paper_base_lr() {
+        assert_eq!(LrSchedule::default().lr_at(0), 0.1);
+    }
+}

@@ -1,0 +1,452 @@
+use crate::OptimError;
+use apt_nn::{Network, Param, ParamKind};
+use apt_quant::RoundingMode;
+use apt_tensor::{ops, rng as trng, Tensor};
+use rand::rngs::StdRng;
+
+/// SGD hyper-parameters (paper §IV: momentum 0.9, weight decay 1e-4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Momentum coefficient µ (0 disables the velocity buffer).
+    pub momentum: f32,
+    /// L2 weight decay λ, applied to [`ParamKind::Weight`] tensors only
+    /// (the usual convention — BN affine and biases are not decayed).
+    pub weight_decay: f32,
+    /// Rounding mode for quantised parameter updates (paper: truncation,
+    /// Eq. 3).
+    pub rounding: RoundingMode,
+    /// Per-tensor gradient-norm clipping threshold (`None` disables).
+    /// Clipping rescales a gradient whose L2 norm exceeds the threshold —
+    /// the usual guard against the loss spikes small-batch edge training
+    /// is prone to. Applied *before* weight decay and momentum.
+    pub clip_grad_norm: Option<f32>,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig {
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            rounding: RoundingMode::Truncate,
+            clip_grad_norm: None,
+        }
+    }
+}
+
+/// Aggregate statistics of one optimisation step across all parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepStats {
+    /// Quantised elements whose update underflowed (Eq. 3 quantised to 0).
+    pub underflowed: usize,
+    /// Quantised elements that triggered range expansion.
+    pub expanded: usize,
+    /// Total quantised elements updated.
+    pub quantized_total: usize,
+    /// Parameters (tensors) visited.
+    pub params: usize,
+}
+
+impl StepStats {
+    /// Fraction of quantised elements that underflowed this step.
+    pub fn underflow_rate(&self) -> f64 {
+        if self.quantized_total == 0 {
+            0.0
+        } else {
+            self.underflowed as f64 / self.quantized_total as f64
+        }
+    }
+}
+
+/// Stochastic gradient descent with momentum and weight decay, aware of
+/// quantised parameter stores.
+///
+/// The velocity buffer `v ← µ·v + (g + λ·w)` is kept in fp32 on every
+/// store kind — it is optimiser state, not model state, and the paper's
+/// memory figure (Fig. 5) counts the *model* representation. The update
+/// actually applied to a quantised store still goes through Eq. 3, so
+/// velocity cannot smuggle sub-ε changes into the weights.
+#[derive(Debug)]
+pub struct Sgd {
+    cfg: SgdConfig,
+    rng: StdRng,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser; `seed` drives stochastic rounding (unused
+    /// by the default truncation mode, but kept so runs are reproducible
+    /// under every [`RoundingMode`]).
+    pub fn new(cfg: SgdConfig, seed: u64) -> Self {
+        Sgd {
+            cfg,
+            rng: trng::substream(seed, 0x56D),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SgdConfig {
+        &self.cfg
+    }
+
+    /// Applies one step to every parameter of `net` at learning rate `lr`,
+    /// consuming the accumulated gradients (which are left untouched — call
+    /// [`Network::zero_grads`] before the next accumulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::BadConfig`] for a non-finite/negative `lr` and
+    /// propagates parameter-store errors (e.g. NaN gradients).
+    pub fn step(&mut self, net: &mut Network, lr: f32) -> crate::Result<StepStats> {
+        if !lr.is_finite() || lr < 0.0 {
+            return Err(OptimError::BadConfig {
+                reason: format!("invalid lr {lr}"),
+            });
+        }
+        let mut stats = StepStats::default();
+        let mut first_err: Option<OptimError> = None;
+        let cfg = self.cfg;
+        let rng = &mut self.rng;
+        net.visit_params(&mut |p: &mut Param| {
+            if first_err.is_some() {
+                return;
+            }
+            if let Err(e) = Self::step_param(p, lr, &cfg, rng, &mut stats) {
+                first_err = Some(e);
+            }
+        });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        }
+    }
+
+    fn step_param(
+        p: &mut Param,
+        lr: f32,
+        cfg: &SgdConfig,
+        rng: &mut StdRng,
+        stats: &mut StepStats,
+    ) -> crate::Result<()> {
+        stats.params += 1;
+        // Effective gradient: clip, then g + λ·w (weights only), then
+        // momentum.
+        let mut g = p.grad().clone();
+        if let Some(max_norm) = cfg.clip_grad_norm {
+            if !(max_norm.is_finite() && max_norm > 0.0) {
+                return Err(OptimError::BadConfig {
+                    reason: format!("invalid clip_grad_norm {max_norm}"),
+                });
+            }
+            let norm = g.l2_norm();
+            if norm > max_norm {
+                ops::scale_in_place(&mut g, max_norm / norm);
+            }
+        }
+        if cfg.weight_decay != 0.0 && p.kind() == ParamKind::Weight {
+            let w = p.value();
+            ops::axpy(cfg.weight_decay, &w, &mut g).map_err(apt_nn::NnError::from)?;
+        }
+        let effective: Tensor = if cfg.momentum != 0.0 {
+            let v = p.velocity_mut();
+            ops::scale_in_place(v, cfg.momentum);
+            ops::add_in_place(v, &g).map_err(apt_nn::NnError::from)?;
+            v.clone()
+        } else {
+            g
+        };
+        if let Some(us) = p.apply_update(&effective, lr, cfg.rounding, rng)? {
+            stats.underflowed += us.underflowed;
+            stats.expanded += us.expanded;
+            stats.quantized_total += us.total;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_nn::{models, Mode, QuantScheme};
+    use apt_tensor::ops::softmax::cross_entropy;
+    use apt_tensor::rng::{normal, seeded};
+
+    fn loss_of(net: &mut Network, x: &Tensor, labels: &[usize]) -> f32 {
+        let logits = net.forward(x, Mode::Eval).unwrap();
+        cross_entropy(&logits, labels).unwrap().loss
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_float_mlp() {
+        let mut net =
+            models::mlp("m", &[4, 16, 3], &QuantScheme::float32(), &mut seeded(0)).unwrap();
+        let x = normal(&[8, 4], 1.0, &mut seeded(1));
+        let labels = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let mut sgd = Sgd::new(
+            SgdConfig {
+                momentum: 0.9,
+                weight_decay: 0.0,
+                rounding: RoundingMode::Truncate,
+                clip_grad_norm: None,
+            },
+            0,
+        );
+        let before = loss_of(&mut net, &x, &labels);
+        for _ in 0..50 {
+            net.zero_grads();
+            let logits = net.forward(&x, Mode::Train).unwrap();
+            let ce = cross_entropy(&logits, &labels).unwrap();
+            net.backward(&ce.grad_logits).unwrap();
+            sgd.step(&mut net, 0.1).unwrap();
+        }
+        let after = loss_of(&mut net, &x, &labels);
+        assert!(after < before * 0.5, "before={before} after={after}");
+    }
+
+    #[test]
+    fn sgd_trains_quantized_mlp_and_reports_underflow() {
+        let mut net =
+            models::mlp("m", &[4, 16, 3], &QuantScheme::paper_apt(), &mut seeded(2)).unwrap();
+        let x = normal(&[8, 4], 1.0, &mut seeded(3));
+        let labels = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let mut sgd = Sgd::new(SgdConfig::default(), 0);
+        let mut total_underflow = 0usize;
+        let before = loss_of(&mut net, &x, &labels);
+        for _ in 0..60 {
+            net.zero_grads();
+            let logits = net.forward(&x, Mode::Train).unwrap();
+            let ce = cross_entropy(&logits, &labels).unwrap();
+            net.backward(&ce.grad_logits).unwrap();
+            let stats = sgd.step(&mut net, 0.1).unwrap();
+            assert!(stats.quantized_total > 0);
+            total_underflow += stats.underflowed;
+        }
+        let after = loss_of(&mut net, &x, &labels);
+        assert!(after < before, "before={before} after={after}");
+        assert!(
+            total_underflow > 0,
+            "6-bit weights should underflow sometimes"
+        );
+    }
+
+    #[test]
+    fn momentum_accelerates_on_quadratic() {
+        // One fp32 weight, constant gradient: with momentum the effective
+        // step grows ⇒ larger total displacement after k steps.
+        let run = |momentum: f32| -> f32 {
+            let mut net =
+                models::mlp("m", &[2, 2], &QuantScheme::float32(), &mut seeded(4)).unwrap();
+            let mut sgd = Sgd::new(
+                SgdConfig {
+                    momentum,
+                    weight_decay: 0.0,
+                    rounding: RoundingMode::Truncate,
+                    clip_grad_norm: None,
+                },
+                0,
+            );
+            let mut first = Tensor::default();
+            net.visit_params_ref(&mut |p| {
+                if p.kind() == ParamKind::Weight {
+                    first = p.value();
+                }
+            });
+            for _ in 0..10 {
+                net.zero_grads();
+                net.visit_params(&mut |p| {
+                    let ones = Tensor::ones(p.dims());
+                    p.accumulate_grad(&ones).unwrap();
+                });
+                sgd.step(&mut net, 0.01).unwrap();
+            }
+            let mut moved = 0.0;
+            net.visit_params_ref(&mut |p| {
+                if p.kind() == ParamKind::Weight {
+                    moved += ops::sub(&p.value(), &first).unwrap().l2_norm();
+                }
+            });
+            moved
+        };
+        assert!(run(0.9) > run(0.0) * 2.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_not_biases() {
+        let mut net = models::mlp("m", &[3, 3], &QuantScheme::float32(), &mut seeded(5)).unwrap();
+        let mut sgd = Sgd::new(
+            SgdConfig {
+                momentum: 0.0,
+                weight_decay: 0.1,
+                rounding: RoundingMode::Truncate,
+                clip_grad_norm: None,
+            },
+            0,
+        );
+        // give the bias a non-zero value first
+        net.visit_params(&mut |p| {
+            if p.kind() == ParamKind::Bias {
+                let g = Tensor::full(p.dims(), -1.0);
+                p.apply_update(&g, 1.0, RoundingMode::Truncate, &mut seeded(0))
+                    .unwrap();
+            }
+        });
+        let mut w_before = 0.0;
+        let mut b_before = 0.0;
+        net.visit_params_ref(&mut |p| match p.kind() {
+            ParamKind::Weight => w_before += p.value().l2_norm(),
+            ParamKind::Bias => b_before += p.value().l2_norm(),
+            _ => {}
+        });
+        for _ in 0..20 {
+            net.zero_grads();
+            sgd.step(&mut net, 0.1).unwrap(); // zero gradients, decay only
+        }
+        let mut w_after = 0.0;
+        let mut b_after = 0.0;
+        net.visit_params_ref(&mut |p| match p.kind() {
+            ParamKind::Weight => w_after += p.value().l2_norm(),
+            ParamKind::Bias => b_after += p.value().l2_norm(),
+            _ => {}
+        });
+        assert!(w_after < w_before * 0.9, "weights should decay");
+        assert!((b_after - b_before).abs() < 1e-6, "biases must not decay");
+    }
+
+    #[test]
+    fn invalid_lr_rejected() {
+        let mut net = models::mlp("m", &[2, 2], &QuantScheme::float32(), &mut seeded(6)).unwrap();
+        let mut sgd = Sgd::new(SgdConfig::default(), 0);
+        assert!(sgd.step(&mut net, f32::NAN).is_err());
+        assert!(sgd.step(&mut net, -0.1).is_err());
+        assert_eq!(sgd.config().momentum, 0.9);
+    }
+
+    #[test]
+    fn nan_gradient_surfaces_as_error() {
+        let mut net = models::mlp("m", &[2, 2], &QuantScheme::paper_apt(), &mut seeded(7)).unwrap();
+        net.visit_params(&mut |p| {
+            if p.kind() == ParamKind::Weight {
+                p.grad_mut().data_mut()[0] = f32::NAN;
+            }
+        });
+        let mut sgd = Sgd::new(
+            SgdConfig {
+                momentum: 0.0,
+                weight_decay: 0.0,
+                rounding: RoundingMode::Truncate,
+                clip_grad_norm: None,
+            },
+            0,
+        );
+        assert!(sgd.step(&mut net, 0.1).is_err());
+    }
+}
+
+#[cfg(test)]
+mod clip_tests {
+    use super::*;
+    use apt_nn::{models, QuantScheme};
+    use apt_tensor::rng::seeded;
+
+    fn net_with_big_grads() -> Network {
+        let mut net = models::mlp("m", &[2, 2], &QuantScheme::float32(), &mut seeded(1)).unwrap();
+        net.visit_params(&mut |p| {
+            p.grad_mut().fill(100.0);
+        });
+        net
+    }
+
+    #[test]
+    fn clipping_bounds_the_applied_step() {
+        let before = |net: &Network| {
+            let mut v = Vec::new();
+            net.visit_params_ref(&mut |p| v.push(p.value()));
+            v
+        };
+        // Unclipped: weights move by lr·100 per element.
+        let mut free = net_with_big_grads();
+        let w0 = before(&free);
+        let mut sgd = Sgd::new(
+            SgdConfig {
+                momentum: 0.0,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+            0,
+        );
+        sgd.step(&mut free, 0.01).unwrap();
+        // Clipped to norm 1: the whole tensor's step has L2 norm ≤ lr.
+        let mut clipped = net_with_big_grads();
+        let c0 = before(&clipped);
+        let mut sgd_c = Sgd::new(
+            SgdConfig {
+                momentum: 0.0,
+                weight_decay: 0.0,
+                clip_grad_norm: Some(1.0),
+                ..Default::default()
+            },
+            0,
+        );
+        sgd_c.step(&mut clipped, 0.01).unwrap();
+
+        let moved = |net: &Network, base: &[apt_tensor::Tensor]| -> f32 {
+            let mut i = 0;
+            let mut total = 0.0;
+            net.visit_params_ref(&mut |p| {
+                total += ops::sub(&p.value(), &base[i]).unwrap().l2_norm();
+                i += 1;
+            });
+            total
+        };
+        let free_move = moved(&free, &w0);
+        let clip_move = moved(&clipped, &c0);
+        assert!(
+            clip_move < free_move / 50.0,
+            "clipped={clip_move} free={free_move}"
+        );
+        // Per-tensor step norm ≤ lr·max_norm (+ float slack).
+        assert!(clip_move <= 0.01 * 1.0 * 3.0 + 1e-5);
+    }
+
+    #[test]
+    fn small_gradients_pass_through_unclipped() {
+        let run = |clip: Option<f32>| -> Vec<f32> {
+            let mut net =
+                models::mlp("m", &[2, 2], &QuantScheme::float32(), &mut seeded(2)).unwrap();
+            net.visit_params(&mut |p| p.grad_mut().fill(1e-3));
+            let mut sgd = Sgd::new(
+                SgdConfig {
+                    momentum: 0.0,
+                    weight_decay: 0.0,
+                    clip_grad_norm: clip,
+                    ..Default::default()
+                },
+                0,
+            );
+            sgd.step(&mut net, 0.1).unwrap();
+            let mut out = Vec::new();
+            net.visit_params_ref(&mut |p| out.extend_from_slice(p.value().data()));
+            out
+        };
+        assert_eq!(run(None), run(Some(10.0)));
+    }
+
+    #[test]
+    fn invalid_clip_threshold_rejected() {
+        let mut net = net_with_big_grads();
+        let mut sgd = Sgd::new(
+            SgdConfig {
+                clip_grad_norm: Some(-1.0),
+                ..Default::default()
+            },
+            0,
+        );
+        assert!(sgd.step(&mut net, 0.1).is_err());
+        let mut sgd = Sgd::new(
+            SgdConfig {
+                clip_grad_norm: Some(f32::NAN),
+                ..Default::default()
+            },
+            0,
+        );
+        assert!(sgd.step(&mut net, 0.1).is_err());
+    }
+}

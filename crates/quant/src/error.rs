@@ -1,0 +1,109 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for quantisation operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// A bitwidth outside the supported `[2, 32]` range.
+    InvalidBitwidth {
+        /// The rejected bitwidth.
+        bits: u32,
+    },
+    /// The tensor range used for calibration is not finite.
+    NonFiniteRange {
+        /// Calibrated minimum.
+        min: f32,
+        /// Calibrated maximum.
+        max: f32,
+    },
+    /// The operand shapes disagree (e.g. gradient vs. parameter).
+    ShapeMismatch {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Left/parameter shape.
+        lhs: Vec<usize>,
+        /// Right/gradient shape.
+        rhs: Vec<usize>,
+    },
+    /// The gradient (or another operand) contained NaN/Inf.
+    NonFiniteOperand {
+        /// Human-readable operation name.
+        op: &'static str,
+    },
+    /// An underlying tensor kernel failed.
+    Tensor(apt_tensor::TensorError),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidBitwidth { bits } => {
+                write!(f, "bitwidth {bits} outside supported range [2, 32]")
+            }
+            QuantError::NonFiniteRange { min, max } => {
+                write!(f, "calibration range [{min}, {max}] is not finite")
+            }
+            QuantError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            QuantError::NonFiniteOperand { op } => {
+                write!(f, "{op}: operand contains NaN or infinity")
+            }
+            QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for QuantError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QuantError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<apt_tensor::TensorError> for QuantError {
+    fn from(e: apt_tensor::TensorError) -> Self {
+        QuantError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = vec![
+            QuantError::InvalidBitwidth { bits: 1 },
+            QuantError::NonFiniteRange {
+                min: f32::NAN,
+                max: 1.0,
+            },
+            QuantError::ShapeMismatch {
+                op: "sgd_update",
+                lhs: vec![2],
+                rhs: vec![3],
+            },
+            QuantError::NonFiniteOperand { op: "sgd_update" },
+            QuantError::Tensor(apt_tensor::TensorError::IndexOutOfBounds { index: 1, bound: 0 }),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains_tensor_error() {
+        let e = QuantError::from(apt_tensor::TensorError::IndexOutOfBounds { index: 1, bound: 0 });
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&QuantError::InvalidBitwidth { bits: 0 }).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantError>();
+    }
+}

@@ -1,0 +1,417 @@
+//! Per-output-channel quantisation — the standard refinement of the
+//! paper's per-tensor scheme (Krishnamoorthi \[13\] §3.1 recommends it for
+//! conv weights).
+//!
+//! The paper calibrates one `(S, Z)` per tensor, so one outlier channel
+//! inflates `ε` for every channel and pushes the whole layer toward
+//! underflow. Calibrating each output channel (axis-0 slice) separately
+//! gives every channel its own `ε_c`, with Eq. 3/Eq. 4 applied per channel.
+//! The `ablations` binary compares both calibrations.
+
+use crate::{AffineQuantizer, Bitwidth, QuantError, RoundingMode, UpdateStats};
+use apt_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// A parameter tensor quantised with one affine quantiser per output
+/// channel (axis-0 slice). Like [`crate::QuantizedTensor`], the integer
+/// codes are the source of truth — no fp32 copy exists.
+#[derive(Debug, Clone)]
+pub struct PerChannelQuantized {
+    codes: Vec<i64>,
+    dims: Vec<usize>,
+    quantizers: Vec<AffineQuantizer>,
+}
+
+impl PerChannelQuantized {
+    /// Quantises a tensor (rank ≥ 1) with per-axis-0-channel calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::NonFiniteRange`] for empty/non-finite input.
+    pub fn from_tensor(t: &Tensor, bits: Bitwidth) -> crate::Result<Self> {
+        if t.is_empty() || t.rank() == 0 {
+            return Err(QuantError::NonFiniteRange {
+                min: f32::NAN,
+                max: f32::NAN,
+            });
+        }
+        let channels = t.dims()[0];
+        let stride = t.len() / channels;
+        let mut codes = Vec::with_capacity(t.len());
+        let mut quantizers = Vec::with_capacity(channels);
+        for c in 0..channels {
+            let slice = &t.data()[c * stride..(c + 1) * stride];
+            let (min, max) = slice
+                .iter()
+                .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            let q = AffineQuantizer::from_range(min, max, bits)?;
+            codes.extend(slice.iter().map(|&v| q.quantize_value(v)));
+            quantizers.push(q);
+        }
+        Ok(PerChannelQuantized {
+            codes,
+            dims: t.dims().to_vec(),
+            quantizers,
+        })
+    }
+
+    /// Materialises the float view.
+    pub fn to_tensor(&self) -> Tensor {
+        let stride = self.stride();
+        let data: Vec<f32> = self
+            .codes
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| self.quantizers[i / stride].dequantize_value(q))
+            .collect();
+        Tensor::from_vec(data, &self.dims).expect("codes/dims invariant")
+    }
+
+    fn stride(&self) -> usize {
+        self.codes.len() / self.quantizers.len()
+    }
+
+    /// Number of channels (axis-0 size).
+    pub fn channels(&self) -> usize {
+        self.quantizers.len()
+    }
+
+    /// Shape of the parameter tensor.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` if the tensor holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Current precision (uniform across channels).
+    pub fn bits(&self) -> Bitwidth {
+        self.quantizers[0].bits()
+    }
+
+    /// Per-channel quantisation steps `ε_c`.
+    pub fn channel_eps(&self) -> Vec<f32> {
+        self.quantizers.iter().map(|q| q.eps()).collect()
+    }
+
+    /// Mean `ε` across channels (scalar summary for reporting).
+    pub fn mean_eps(&self) -> f32 {
+        let s: f64 = self.quantizers.iter().map(|q| q.eps() as f64).sum();
+        (s / self.quantizers.len() as f64) as f32
+    }
+
+    /// Training-memory footprint in bits: `N·k` codes plus one `(S, Z)`
+    /// pair (96 bits) per channel of calibration metadata.
+    pub fn memory_bits(&self) -> u64 {
+        self.codes.len() as u64 * u64::from(self.bits().get()) + self.quantizers.len() as u64 * 96
+    }
+
+    /// Eq. 4 with per-channel resolution:
+    /// `Gavg = mean_j |g_j / ε_{channel(j)}|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `grad` differs in shape.
+    pub fn gavg(&self, grad: &Tensor) -> crate::Result<f64> {
+        if grad.dims() != self.dims.as_slice() {
+            return Err(QuantError::ShapeMismatch {
+                op: "gavg",
+                lhs: self.dims.clone(),
+                rhs: grad.dims().to_vec(),
+            });
+        }
+        if grad.is_empty() {
+            return Ok(0.0);
+        }
+        let stride = self.stride();
+        let sum: f64 = grad
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g as f64).abs() / self.quantizers[i / stride].eps() as f64)
+            .sum();
+        Ok(sum / grad.len() as f64)
+    }
+
+    /// Re-quantises at a new uniform precision, recalibrating each channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration errors.
+    pub fn set_bits(&mut self, bits: Bitwidth) -> crate::Result<()> {
+        let float = self.to_tensor();
+        *self = PerChannelQuantized::from_tensor(&float, bits)?;
+        Ok(())
+    }
+
+    /// The Eq. 3 quantised SGD step with per-channel `ε` (see
+    /// [`crate::QuantizedTensor::sgd_update`] for semantics; range
+    /// expansion recalibrates only the affected channels).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/finiteness errors.
+    pub fn sgd_update(
+        &mut self,
+        grad: &Tensor,
+        lr: f32,
+        mode: RoundingMode,
+        rng: &mut StdRng,
+    ) -> crate::Result<UpdateStats> {
+        if grad.dims() != self.dims.as_slice() {
+            return Err(QuantError::ShapeMismatch {
+                op: "sgd_update",
+                lhs: self.dims.clone(),
+                rhs: grad.dims().to_vec(),
+            });
+        }
+        if !lr.is_finite() || grad.has_non_finite() {
+            return Err(QuantError::NonFiniteOperand { op: "sgd_update" });
+        }
+        let stride = self.stride();
+        let mut stats = UpdateStats {
+            total: self.codes.len(),
+            ..Default::default()
+        };
+        let mut dirty_channels: Vec<bool> = vec![false; self.quantizers.len()];
+        for (i, (code, &g)) in self.codes.iter_mut().zip(grad.data()).enumerate() {
+            let ch = i / stride;
+            let q = &self.quantizers[ch];
+            let eps = q.eps() as f64;
+            let steps = mode.round_steps((lr as f64 * g as f64) / eps, rng);
+            if steps == 0 {
+                if g != 0.0 {
+                    stats.underflowed += 1;
+                }
+                continue;
+            }
+            let new_code = *code - steps;
+            let max_code = q.bits().num_steps() as i64;
+            if new_code < 0 || new_code > max_code {
+                dirty_channels[ch] = true;
+                stats.expanded += 1;
+            }
+            *code = new_code;
+        }
+        // Recalibrate only the channels whose values left their range.
+        let bits = self.bits();
+        for (ch, dirty) in dirty_channels.iter().enumerate() {
+            if !dirty {
+                continue;
+            }
+            let q = self.quantizers[ch];
+            let slice = &mut self.codes[ch * stride..(ch + 1) * stride];
+            let float: Vec<f32> = slice.iter().map(|&c| q.dequantize_value(c)).collect();
+            let (min, max) = float
+                .iter()
+                .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            let new_q = AffineQuantizer::from_range(min, max, bits)?;
+            for (c, &v) in slice.iter_mut().zip(float.iter()) {
+                *c = new_q.quantize_value(v);
+            }
+            self.quantizers[ch] = new_q;
+        }
+        Ok(stats)
+    }
+
+    /// Rebuilds from checkpointed parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when lengths disagree or codes leave the grid.
+    pub fn from_parts(
+        codes: Vec<i64>,
+        dims: Vec<usize>,
+        quantizers: Vec<AffineQuantizer>,
+    ) -> crate::Result<Self> {
+        let volume: usize = dims.iter().product();
+        if codes.len() != volume
+            || dims.is_empty()
+            || quantizers.len() != dims[0]
+            || dims[0] == 0
+            || !volume.is_multiple_of(dims[0])
+        {
+            return Err(QuantError::ShapeMismatch {
+                op: "from_parts",
+                lhs: vec![codes.len(), quantizers.len()],
+                rhs: dims,
+            });
+        }
+        let stride = volume / dims[0];
+        for (i, &q) in codes.iter().enumerate() {
+            let max_code = quantizers[i / stride].bits().num_steps() as i64;
+            if !(0..=max_code).contains(&q) {
+                return Err(QuantError::NonFiniteRange {
+                    min: 0.0,
+                    max: max_code as f32,
+                });
+            }
+        }
+        Ok(PerChannelQuantized {
+            codes,
+            dims,
+            quantizers,
+        })
+    }
+
+    /// The raw codes (checkpoint saving).
+    pub fn codes(&self) -> &[i64] {
+        &self.codes
+    }
+
+    /// The per-channel quantisers (checkpoint saving).
+    pub fn quantizers(&self) -> &[AffineQuantizer] {
+        &self.quantizers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_tensor::rng::{normal, seeded};
+
+    fn b(k: u32) -> Bitwidth {
+        Bitwidth::new(k).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_per_channel() {
+        let t = normal(&[4, 16], 1.0, &mut seeded(1));
+        let q = PerChannelQuantized::from_tensor(&t, b(8)).unwrap();
+        assert_eq!(q.channels(), 4);
+        let eps = q.channel_eps();
+        let back = q.to_tensor();
+        for (i, (a, bb)) in t.data().iter().zip(back.data()).enumerate() {
+            assert!((a - bb).abs() <= eps[i / 16] / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn outlier_channel_does_not_inflate_other_channels_eps() {
+        // Channel 0 has range 100×, channel 1 stays tight — the motivation
+        // for per-channel calibration.
+        let mut data = vec![0.0f32; 32];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = if i < 16 {
+                (i as f32 - 8.0) * 10.0
+            } else {
+                (i as f32 - 24.0) * 0.1
+            };
+        }
+        let t = Tensor::from_vec(data, &[2, 16]).unwrap();
+        let pc = PerChannelQuantized::from_tensor(&t, b(8)).unwrap();
+        let eps = pc.channel_eps();
+        assert!(eps[0] > eps[1] * 50.0, "eps0={} eps1={}", eps[0], eps[1]);
+        // Per-tensor calibration would give channel 1 the inflated ε.
+        let pt = crate::QuantizedTensor::from_tensor(&t, b(8)).unwrap();
+        assert!(pt.eps() > eps[1] * 50.0);
+    }
+
+    #[test]
+    fn gavg_uses_per_channel_eps() {
+        let t = Tensor::from_vec(vec![-10.0, 10.0, -0.1, 0.1], &[2, 2]).unwrap();
+        let pc = PerChannelQuantized::from_tensor(&t, b(4)).unwrap();
+        let grad = Tensor::from_vec(vec![0.01, 0.01, 0.01, 0.01], &[2, 2]).unwrap();
+        let g = pc.gavg(&grad).unwrap();
+        let eps = pc.channel_eps();
+        let gm = f64::from(0.01f32);
+        let expected = 0.5 * (gm / f64::from(eps[0])) + 0.5 * (gm / f64::from(eps[1]));
+        assert!((g - expected).abs() < 1e-9, "g={g} expected={expected}");
+        assert!(pc.gavg(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn underflow_depends_on_channel() {
+        // A gradient that underflows the coarse channel but lands on the
+        // fine one — per-tensor calibration would lose both.
+        let t = Tensor::from_vec(vec![-10.0, 10.0, -0.1, 0.1], &[2, 2]).unwrap();
+        let mut pc = PerChannelQuantized::from_tensor(&t, b(4)).unwrap();
+        let eps = pc.channel_eps();
+        let g_mag = eps[1] * 1.5; // > ε₁ but well below ε₀
+        assert!(g_mag < eps[0] * 0.1, "g_mag={g_mag} eps0={}", eps[0]);
+        let grad = Tensor::from_vec(vec![g_mag, g_mag, g_mag, g_mag], &[2, 2]).unwrap();
+        let stats = pc
+            .sgd_update(&grad, 1.0, RoundingMode::Truncate, &mut seeded(0))
+            .unwrap();
+        assert_eq!(
+            stats.underflowed, 2,
+            "coarse channel underflows, fine channel updates"
+        );
+    }
+
+    #[test]
+    fn set_bits_and_memory() {
+        let t = normal(&[3, 8], 1.0, &mut seeded(2));
+        let mut pc = PerChannelQuantized::from_tensor(&t, b(6)).unwrap();
+        assert_eq!(pc.memory_bits(), 24 * 6 + 3 * 96);
+        pc.set_bits(b(9)).unwrap();
+        assert_eq!(pc.bits().get(), 9);
+        assert_eq!(pc.memory_bits(), 24 * 9 + 3 * 96);
+        assert!(pc.mean_eps() > 0.0);
+    }
+
+    #[test]
+    fn from_parts_roundtrip_and_validation() {
+        let t = normal(&[2, 4], 1.0, &mut seeded(3));
+        let pc = PerChannelQuantized::from_tensor(&t, b(5)).unwrap();
+        let re = PerChannelQuantized::from_parts(
+            pc.codes().to_vec(),
+            pc.dims().to_vec(),
+            pc.quantizers().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(re.to_tensor().data(), pc.to_tensor().data());
+        assert!(
+            PerChannelQuantized::from_parts(vec![0; 8], vec![3, 4], pc.quantizers().to_vec())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let empty = Tensor::from_vec(vec![], &[0]).unwrap();
+        assert!(PerChannelQuantized::from_tensor(&empty, b(8)).is_err());
+        let scalar = Tensor::scalar(1.0);
+        assert!(PerChannelQuantized::from_tensor(&scalar, b(8)).is_err());
+        let t = normal(&[2, 4], 1.0, &mut seeded(4));
+        let mut pc = PerChannelQuantized::from_tensor(&t, b(8)).unwrap();
+        assert!(pc
+            .sgd_update(
+                &Tensor::zeros(&[3]),
+                0.1,
+                RoundingMode::Truncate,
+                &mut seeded(0)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn range_expansion_is_channel_local() {
+        let t = Tensor::from_vec(vec![-1.0, 1.0, -1.0, 1.0], &[2, 2]).unwrap();
+        let mut pc = PerChannelQuantized::from_tensor(&t, b(8)).unwrap();
+        let eps_before = pc.channel_eps();
+        // Push only channel 0 out of range.
+        let grad = Tensor::from_vec(vec![-5.0, 0.0, 0.0, 0.0], &[2, 2]).unwrap();
+        let stats = pc
+            .sgd_update(&grad, 1.0, RoundingMode::Truncate, &mut seeded(0))
+            .unwrap();
+        assert!(stats.expanded > 0);
+        let eps_after = pc.channel_eps();
+        assert!(
+            eps_after[0] > eps_before[0],
+            "expanded channel recalibrates"
+        );
+        assert_eq!(eps_after[1], eps_before[1], "other channel untouched");
+    }
+}

@@ -1,0 +1,114 @@
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How a real-valued number of quantisation steps is committed to the
+/// integer grid during a parameter update.
+///
+/// The paper's Eq. 3 uses magnitude truncation (`⌊|lr·g|/ε⌋` applied with
+/// the gradient's sign), which is what makes updates smaller than `ε`
+/// vanish — the *quantisation underflow* APT monitors via Gavg. The other
+/// modes exist for the ablation studies:
+///
+/// * [`RoundingMode::Nearest`] halves the underflow threshold to `ε/2`.
+/// * [`RoundingMode::Stochastic`] (Gupta et al. \[3\], the paper's stated
+///   inspiration) commits `ε` with probability proportional to the residual,
+///   making updates unbiased in expectation — at the cost of gradient noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundingMode {
+    /// Truncate toward zero — the paper's Eq. 3 semantics (default).
+    #[default]
+    Truncate,
+    /// Round to nearest integer step (ties away from zero).
+    Nearest,
+    /// Stochastic rounding: `floor(x)` with probability `1 − frac(x)`, else
+    /// `floor(x) + 1` (applied to the magnitude).
+    Stochastic,
+}
+
+impl RoundingMode {
+    /// Rounds a signed step count `x` (in units of ε) to an integer number
+    /// of steps according to the mode.
+    pub fn round_steps(self, x: f64, rng: &mut StdRng) -> i64 {
+        match self {
+            RoundingMode::Truncate => x.trunc() as i64,
+            RoundingMode::Nearest => x.round() as i64,
+            RoundingMode::Stochastic => {
+                let sign = if x < 0.0 { -1.0 } else { 1.0 };
+                let mag = x.abs();
+                let base = mag.floor();
+                let frac = mag - base;
+                let up = rng.gen::<f64>() < frac;
+                (sign * (base + if up { 1.0 } else { 0.0 })) as i64
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RoundingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RoundingMode::Truncate => "truncate",
+            RoundingMode::Nearest => "nearest",
+            RoundingMode::Stochastic => "stochastic",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_tensor::rng::seeded;
+
+    #[test]
+    fn truncate_kills_sub_step_updates() {
+        let mut r = seeded(0);
+        assert_eq!(RoundingMode::Truncate.round_steps(0.99, &mut r), 0);
+        assert_eq!(RoundingMode::Truncate.round_steps(-0.99, &mut r), 0);
+        assert_eq!(RoundingMode::Truncate.round_steps(1.7, &mut r), 1);
+        assert_eq!(RoundingMode::Truncate.round_steps(-2.3, &mut r), -2);
+    }
+
+    #[test]
+    fn nearest_halves_threshold() {
+        let mut r = seeded(0);
+        assert_eq!(RoundingMode::Nearest.round_steps(0.4, &mut r), 0);
+        assert_eq!(RoundingMode::Nearest.round_steps(0.6, &mut r), 1);
+        assert_eq!(RoundingMode::Nearest.round_steps(-0.6, &mut r), -1);
+    }
+
+    #[test]
+    fn stochastic_is_unbiased_in_expectation() {
+        let mut r = seeded(42);
+        let x = 0.3f64;
+        let n = 20_000;
+        let sum: i64 = (0..n)
+            .map(|_| RoundingMode::Stochastic.round_steps(x, &mut r))
+            .sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - x).abs() < 0.02, "mean={mean}");
+        // negative values too
+        let sum: i64 = (0..n)
+            .map(|_| RoundingMode::Stochastic.round_steps(-x, &mut r))
+            .sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean + x).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn stochastic_exact_integers_stay_exact() {
+        let mut r = seeded(1);
+        for _ in 0..100 {
+            assert_eq!(RoundingMode::Stochastic.round_steps(3.0, &mut r), 3);
+            assert_eq!(RoundingMode::Stochastic.round_steps(-2.0, &mut r), -2);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RoundingMode::Truncate.to_string(), "truncate");
+        assert_eq!(RoundingMode::Nearest.to_string(), "nearest");
+        assert_eq!(RoundingMode::Stochastic.to_string(), "stochastic");
+        assert_eq!(RoundingMode::default(), RoundingMode::Truncate);
+    }
+}

@@ -1,0 +1,455 @@
+use crate::{AffineQuantizer, Bitwidth, QuantError, RoundingMode};
+use apt_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Per-update bookkeeping returned by [`QuantizedTensor::sgd_update`].
+///
+/// `underflowed` counts the elements whose update quantised to zero steps —
+/// the paper's *quantisation underflow* (§III-A). The APT trainer aggregates
+/// these for diagnostics; the Gavg metric itself is computed from raw
+/// gradients upstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateStats {
+    /// Elements whose non-zero gradient produced a zero-step update.
+    pub underflowed: usize,
+    /// Elements whose updated value fell outside the representable range
+    /// (triggering range expansion).
+    pub expanded: usize,
+    /// Total elements updated.
+    pub total: usize,
+}
+
+impl UpdateStats {
+    /// Fraction of elements that underflowed (0 for empty tensors).
+    pub fn underflow_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.underflowed as f64 / self.total as f64
+        }
+    }
+}
+
+/// A parameter tensor whose source of truth is its integer codes.
+///
+/// This realises the paper's central memory claim: during training the model
+/// is held **only** at its current (adaptive) precision — there is no fp32
+/// master copy (§I, §III-B, Table I "Model Precision in BPROP"). Float views
+/// are materialised on demand for compute, but every value is always exactly
+/// `S·(q − Z)` for an integer code `q` on the `k`-bit grid.
+///
+/// The SGD step implements Eq. 3:
+///
+/// ```text
+/// w_ij ← w_ij − ⌊ lr·g_ij / ε_i ⌋ · ε_i     (magnitude truncation)
+/// ```
+///
+/// so updates smaller than `ε_i` vanish (quantisation underflow). When an
+/// update would leave the representable range, the range is expanded and the
+/// tensor recalibrated — weights may legitimately grow during training.
+///
+/// ```
+/// use apt_quant::{Bitwidth, QuantizedTensor};
+/// use apt_tensor::Tensor;
+/// let w = Tensor::from_slice(&[-1.0, 0.0, 1.0]);
+/// let q = QuantizedTensor::from_tensor(&w, Bitwidth::new(8)?)?;
+/// assert_eq!(q.bits().get(), 8);
+/// assert_eq!(q.memory_bits(), 3 * 8);
+/// # Ok::<(), apt_quant::QuantError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantizedTensor {
+    codes: Vec<i64>,
+    dims: Vec<usize>,
+    quantizer: AffineQuantizer,
+}
+
+impl QuantizedTensor {
+    /// Quantises a float tensor at the given precision, calibrating the
+    /// range from the tensor's own min/max (Eq. 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::NonFiniteRange`] for empty or non-finite input.
+    pub fn from_tensor(t: &Tensor, bits: Bitwidth) -> crate::Result<Self> {
+        let quantizer = AffineQuantizer::from_tensor(t, bits)?;
+        Ok(QuantizedTensor {
+            codes: quantizer.quantize_tensor(t),
+            dims: t.dims().to_vec(),
+            quantizer,
+        })
+    }
+
+    /// Reassembles a quantised tensor from stored parts (checkpoint
+    /// loading).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ShapeMismatch`] if `codes.len()` disagrees
+    /// with `dims` and [`QuantError::NonFiniteRange`] if any code is
+    /// outside the quantiser's grid.
+    pub fn from_parts(
+        codes: Vec<i64>,
+        dims: Vec<usize>,
+        quantizer: AffineQuantizer,
+    ) -> crate::Result<Self> {
+        let volume: usize = dims.iter().product();
+        if codes.len() != volume {
+            return Err(QuantError::ShapeMismatch {
+                op: "from_parts",
+                lhs: vec![codes.len()],
+                rhs: dims,
+            });
+        }
+        let max_code = quantizer.bits().num_steps() as i64;
+        if codes.iter().any(|&q| !(0..=max_code).contains(&q)) {
+            return Err(QuantError::NonFiniteRange {
+                min: 0.0,
+                max: max_code as f32,
+            });
+        }
+        Ok(QuantizedTensor {
+            codes,
+            dims,
+            quantizer,
+        })
+    }
+
+    /// The raw integer codes (checkpoint saving).
+    pub fn codes(&self) -> &[i64] {
+        &self.codes
+    }
+
+    /// Materialises the float view `S·(q − Z)` of every element.
+    pub fn to_tensor(&self) -> Tensor {
+        // Codes are always in-range, so this cannot fail.
+        self.quantizer
+            .dequantize_tensor(&self.codes, &self.dims)
+            .expect("codes/dims invariant")
+    }
+
+    /// The tensor's quantisation step — the paper's `ε_i` for this layer.
+    pub fn eps(&self) -> f32 {
+        self.quantizer.eps()
+    }
+
+    /// Current precision.
+    pub fn bits(&self) -> Bitwidth {
+        self.quantizer.bits()
+    }
+
+    /// The underlying quantiser (scale, zero point, range).
+    pub fn quantizer(&self) -> &AffineQuantizer {
+        &self.quantizer
+    }
+
+    /// Shape of the parameter tensor.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` if the tensor holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Training-memory footprint of this parameter in bits: `N · k`.
+    ///
+    /// This is the quantity Figure 5 normalises ("model size for training").
+    pub fn memory_bits(&self) -> u64 {
+        self.codes.len() as u64 * u64::from(self.bits().get())
+    }
+
+    /// Re-quantises the tensor at a new precision, recalibrating the range
+    /// from the current values (used by Alg. 1 when `k_i` changes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::NonFiniteRange`] if the tensor is empty.
+    pub fn set_bits(&mut self, bits: Bitwidth) -> crate::Result<()> {
+        let float = self.to_tensor();
+        let quantizer = AffineQuantizer::from_tensor(&float, bits)?;
+        self.codes = quantizer.quantize_tensor(&float);
+        self.quantizer = quantizer;
+        Ok(())
+    }
+
+    /// Applies the quantised SGD step of Eq. 3 with effective step
+    /// `lr · grad` (callers fold momentum/weight-decay into `grad`).
+    ///
+    /// Elements whose step quantises to zero are counted as underflow. If
+    /// any updated value leaves the representable range, the whole tensor is
+    /// recalibrated to the new min/max (range expansion) — the count of such
+    /// elements is reported in [`UpdateStats::expanded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ShapeMismatch`] if `grad` has a different shape
+    /// and [`QuantError::NonFiniteOperand`] if `grad` or `lr` is NaN/Inf.
+    pub fn sgd_update(
+        &mut self,
+        grad: &Tensor,
+        lr: f32,
+        mode: RoundingMode,
+        rng: &mut StdRng,
+    ) -> crate::Result<UpdateStats> {
+        if grad.dims() != self.dims.as_slice() {
+            return Err(QuantError::ShapeMismatch {
+                op: "sgd_update",
+                lhs: self.dims.clone(),
+                rhs: grad.dims().to_vec(),
+            });
+        }
+        if !lr.is_finite() || grad.has_non_finite() {
+            return Err(QuantError::NonFiniteOperand { op: "sgd_update" });
+        }
+        let eps = self.eps() as f64;
+        let max_code = self.bits().num_steps() as i64;
+        let mut stats = UpdateStats {
+            total: self.codes.len(),
+            ..Default::default()
+        };
+        let mut out_of_range = false;
+
+        for (code, &g) in self.codes.iter_mut().zip(grad.data()) {
+            let steps = mode.round_steps((lr as f64 * g as f64) / eps, rng);
+            if steps == 0 {
+                if g != 0.0 {
+                    stats.underflowed += 1;
+                }
+                continue;
+            }
+            let new_code = *code - steps;
+            if new_code < 0 || new_code > max_code {
+                out_of_range = true;
+                stats.expanded += 1;
+            }
+            // Keep the raw (possibly out-of-grid) code; clamped or
+            // recalibrated below.
+            *code = new_code;
+        }
+
+        if out_of_range {
+            // Expand: recalibrate the quantiser to cover the new values.
+            // Values are exact multiples of the old ε, reconstructed here.
+            let float: Vec<f32> = self
+                .codes
+                .iter()
+                .map(|&q| self.quantizer.dequantize_value(q))
+                .collect();
+            let t = Tensor::from_vec(float, &self.dims)?;
+            let quantizer = AffineQuantizer::from_tensor(&t, self.bits())?;
+            self.codes = quantizer.quantize_tensor(&t);
+            self.quantizer = quantizer;
+        }
+        Ok(stats)
+    }
+
+    /// Directly overwrites the values (recalibrating the range), keeping the
+    /// current precision. Used by tests and by layers that re-initialise.
+    ///
+    /// # Errors
+    ///
+    /// Returns errors for shape mismatch or non-finite input.
+    pub fn assign(&mut self, t: &Tensor) -> crate::Result<()> {
+        if t.dims() != self.dims.as_slice() {
+            return Err(QuantError::ShapeMismatch {
+                op: "assign",
+                lhs: self.dims.clone(),
+                rhs: t.dims().to_vec(),
+            });
+        }
+        let quantizer = AffineQuantizer::from_tensor(t, self.bits())?;
+        self.codes = quantizer.quantize_tensor(t);
+        self.quantizer = quantizer;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_tensor::rng::{self, seeded};
+
+    fn b(k: u32) -> Bitwidth {
+        Bitwidth::new(k).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_within_half_eps() {
+        let w = rng::normal(&[64], 0.5, &mut seeded(1));
+        let q = QuantizedTensor::from_tensor(&w, b(8)).unwrap();
+        let back = q.to_tensor();
+        for (a, b_) in w.data().iter().zip(back.data()) {
+            assert!((a - b_).abs() <= q.eps() / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn tiny_updates_underflow_entirely() {
+        let w = Tensor::from_slice(&[-1.0, -0.5, 0.0, 0.5, 1.0]);
+        let mut q = QuantizedTensor::from_tensor(&w, b(4)).unwrap();
+        let before = q.to_tensor();
+        let g = Tensor::full(&[5], q.eps() * 0.4);
+        let stats = q
+            .sgd_update(&g, 1.0, RoundingMode::Truncate, &mut seeded(0))
+            .unwrap();
+        assert_eq!(stats.underflowed, 5);
+        assert_eq!(stats.underflow_rate(), 1.0);
+        assert_eq!(q.to_tensor().data(), before.data());
+    }
+
+    #[test]
+    fn large_updates_apply_in_eps_multiples() {
+        let w = Tensor::from_slice(&[0.0, 0.0, 0.0, 0.0]);
+        // zero-range tensor gets MIN_SCALE eps; use a real range instead
+        let w = w
+            .zip(&Tensor::from_slice(&[-1.0, 0.0, 0.5, 1.0]), |_, b_| b_)
+            .unwrap();
+        let mut q = QuantizedTensor::from_tensor(&w, b(6)).unwrap();
+        let eps = q.eps();
+        // Positive gradients shrink weights; keep the minimum fixed so no
+        // value leaves the representable range (no recalibration).
+        let g = Tensor::from_slice(&[0.0, 2.5 * eps, 2.5 * eps, 2.5 * eps]);
+        let before = q.to_tensor();
+        let stats = q
+            .sgd_update(&g, 1.0, RoundingMode::Truncate, &mut seeded(0))
+            .unwrap();
+        assert_eq!(stats.underflowed, 0);
+        assert_eq!(stats.expanded, 0);
+        let after = q.to_tensor();
+        assert_eq!(before.data()[0], after.data()[0]);
+        for (x, y) in before.data().iter().zip(after.data()).skip(1) {
+            assert!((x - y - 2.0 * eps).abs() < 1e-5, "x={x} y={y} eps={eps}");
+        }
+    }
+
+    #[test]
+    fn update_moves_against_gradient_sign() {
+        let w = Tensor::from_slice(&[-1.0, 1.0]);
+        let mut q = QuantizedTensor::from_tensor(&w, b(8)).unwrap();
+        let eps = q.eps();
+        let g = Tensor::from_slice(&[-3.0 * eps, 3.0 * eps]);
+        q.sgd_update(&g, 1.0, RoundingMode::Truncate, &mut seeded(0))
+            .unwrap();
+        let after = q.to_tensor();
+        assert!(after.data()[0] > -1.0); // negative grad ⇒ weight increases
+        assert!(after.data()[1] < 1.0); // positive grad ⇒ weight decreases
+    }
+
+    #[test]
+    fn range_expansion_lets_weights_grow() {
+        let w = Tensor::from_slice(&[-0.1, 0.0, 0.1]);
+        let mut q = QuantizedTensor::from_tensor(&w, b(8)).unwrap();
+        // Push the max weight far beyond the original range repeatedly.
+        let g = Tensor::from_slice(&[0.0, 0.0, -1.0]);
+        let mut expanded = 0;
+        for _ in 0..5 {
+            let s = q
+                .sgd_update(&g, 0.5, RoundingMode::Truncate, &mut seeded(0))
+                .unwrap();
+            expanded += s.expanded;
+        }
+        assert!(expanded > 0, "expected at least one range expansion");
+        let after = q.to_tensor();
+        assert!(
+            after.data()[2] > 0.5,
+            "weight should have grown: {:?}",
+            after.data()
+        );
+    }
+
+    #[test]
+    fn set_bits_preserves_values_within_new_eps() {
+        let w = rng::normal(&[128], 1.0, &mut seeded(2));
+        let mut q = QuantizedTensor::from_tensor(&w, b(6)).unwrap();
+        let before = q.to_tensor();
+        q.set_bits(b(7)).unwrap();
+        assert_eq!(q.bits().get(), 7);
+        let after = q.to_tensor();
+        for (x, y) in before.data().iter().zip(after.data()) {
+            assert!((x - y).abs() <= q.eps() + 1e-6);
+        }
+        // Higher precision ⇒ smaller ε (range identical up to grid snap).
+        let mut q2 = q.clone();
+        q2.set_bits(b(16)).unwrap();
+        assert!(q2.eps() < q.eps());
+    }
+
+    #[test]
+    fn memory_bits_tracks_precision() {
+        let w = rng::normal(&[100], 1.0, &mut seeded(3));
+        let mut q = QuantizedTensor::from_tensor(&w, b(6)).unwrap();
+        assert_eq!(q.memory_bits(), 600);
+        q.set_bits(b(13)).unwrap();
+        assert_eq!(q.memory_bits(), 1300);
+    }
+
+    #[test]
+    fn rejects_bad_operands() {
+        let w = Tensor::from_slice(&[0.0, 1.0]);
+        let mut q = QuantizedTensor::from_tensor(&w, b(8)).unwrap();
+        let bad_shape = Tensor::from_slice(&[1.0]);
+        assert!(q
+            .sgd_update(&bad_shape, 0.1, RoundingMode::Truncate, &mut seeded(0))
+            .is_err());
+        let mut nan_grad = Tensor::from_slice(&[1.0, 1.0]);
+        nan_grad.data_mut()[0] = f32::NAN;
+        assert!(q
+            .sgd_update(&nan_grad, 0.1, RoundingMode::Truncate, &mut seeded(0))
+            .is_err());
+        let fine = Tensor::from_slice(&[1.0, 1.0]);
+        assert!(q
+            .sgd_update(&fine, f32::INFINITY, RoundingMode::Truncate, &mut seeded(0))
+            .is_err());
+        assert!(q.assign(&bad_shape).is_err());
+    }
+
+    #[test]
+    fn assign_replaces_values() {
+        let w = Tensor::from_slice(&[0.0, 1.0]);
+        let mut q = QuantizedTensor::from_tensor(&w, b(8)).unwrap();
+        let new = Tensor::from_slice(&[-2.0, 2.0]);
+        q.assign(&new).unwrap();
+        let back = q.to_tensor();
+        for (a, b_) in new.data().iter().zip(back.data()) {
+            assert!((a - b_).abs() <= q.eps() / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn nearest_mode_halves_underflow_threshold() {
+        let w = Tensor::from_slice(&[-1.0, 1.0]);
+        let mut qt = QuantizedTensor::from_tensor(&w, b(4)).unwrap();
+        let mut qn = qt.clone();
+        let g = Tensor::full(&[2], qt.eps() * 0.7);
+        let st = qt
+            .sgd_update(&g, 1.0, RoundingMode::Truncate, &mut seeded(0))
+            .unwrap();
+        let sn = qn
+            .sgd_update(&g, 1.0, RoundingMode::Nearest, &mut seeded(0))
+            .unwrap();
+        assert_eq!(st.underflowed, 2); // 0.7ε truncates to 0
+        assert_eq!(sn.underflowed, 0); // 0.7ε rounds to 1
+    }
+
+    #[test]
+    fn stochastic_mode_sometimes_commits_small_updates() {
+        let w = rng::normal(&[256], 1.0, &mut seeded(4));
+        let mut q = QuantizedTensor::from_tensor(&w, b(6)).unwrap();
+        let g = Tensor::full(&[256], q.eps() * 0.5);
+        let s = q
+            .sgd_update(&g, 1.0, RoundingMode::Stochastic, &mut seeded(5))
+            .unwrap();
+        assert!(
+            s.underflowed > 0 && s.underflowed < 256,
+            "underflowed={}",
+            s.underflowed
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the quantisation substrate — the invariants the
+//! paper's Eqs. 2–3 rely on.
+
+use apt_quant::{fake, AffineQuantizer, Bitwidth, QuantizedTensor, RoundingMode};
+use apt_tensor::{rng, Tensor};
+use proptest::prelude::*;
+
+fn bits_strategy() -> impl Strategy<Value = Bitwidth> {
+    (2u32..=16).prop_map(|b| Bitwidth::new(b).unwrap())
+}
+
+fn values_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..128)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_eps(vals in values_strategy(), bits in bits_strategy()) {
+        let t = Tensor::from_slice(&vals);
+        let q = AffineQuantizer::from_tensor(&t, bits).unwrap();
+        for &v in t.data() {
+            let back = q.dequantize_value(q.quantize_value(v));
+            // Half-step quantisation error plus f32 representation error
+            // (which dominates for |v| ≫ ε).
+            let tol = q.eps() / 2.0 + v.abs() * f32::EPSILON * 8.0 + 1e-7;
+            prop_assert!(
+                (back - v).abs() <= tol,
+                "v={v} back={back} eps={}", q.eps()
+            );
+        }
+    }
+
+    #[test]
+    fn eps_matches_eq2_with_zero_inclusion(
+        lo in -50.0f32..50.0,
+        span in 0.1f32..100.0,
+        bits in bits_strategy(),
+    ) {
+        let (min, max) = (lo, lo + span);
+        let q = AffineQuantizer::from_range(min, max, bits).unwrap();
+        let widened_lo = min.min(0.0);
+        let widened_hi = max.max(0.0);
+        let expected = (widened_hi - widened_lo) / bits.num_steps() as f32;
+        prop_assert!((q.eps() - expected.max(1e-12)).abs() <= expected * 1e-5 + 1e-12);
+    }
+
+    #[test]
+    fn quantize_is_monotone(vals in values_strategy(), bits in bits_strategy()) {
+        let t = Tensor::from_slice(&vals);
+        let q = AffineQuantizer::from_tensor(&t, bits).unwrap();
+        let mut sorted = vals.clone();
+        sorted.sort_by(f32::total_cmp);
+        for w in sorted.windows(2) {
+            prop_assert!(q.quantize_value(w[0]) <= q.quantize_value(w[1]));
+        }
+    }
+
+    #[test]
+    fn more_bits_never_increase_eps(vals in values_strategy(), k in 2u32..16) {
+        let t = Tensor::from_slice(&vals);
+        let lo = AffineQuantizer::from_tensor(&t, Bitwidth::new(k).unwrap()).unwrap();
+        let hi = AffineQuantizer::from_tensor(&t, Bitwidth::new(k + 1).unwrap()).unwrap();
+        prop_assert!(hi.eps() <= lo.eps() + 1e-12);
+    }
+
+    #[test]
+    fn sub_eps_updates_underflow_entirely(
+        seed in 0u64..1000,
+        bits in bits_strategy(),
+        frac in 0.01f32..0.99,
+    ) {
+        let w = rng::normal(&[32], 1.0, &mut rng::seeded(seed));
+        let mut q = QuantizedTensor::from_tensor(&w, bits).unwrap();
+        let before = q.to_tensor();
+        let g = Tensor::full(&[32], q.eps() * frac);
+        let stats = q
+            .sgd_update(&g, 1.0, RoundingMode::Truncate, &mut rng::seeded(0))
+            .unwrap();
+        prop_assert_eq!(stats.underflowed, 32);
+        let after = q.to_tensor();
+        prop_assert_eq!(after.data(), before.data());
+    }
+
+    #[test]
+    fn super_eps_updates_apply(seed in 0u64..1000, steps in 1i32..5) {
+        let w = rng::normal(&[32], 1.0, &mut rng::seeded(seed));
+        let mut q = QuantizedTensor::from_tensor(&w, Bitwidth::new(8).unwrap()).unwrap();
+        let g = Tensor::full(&[32], q.eps() * (steps as f32 + 0.5));
+        let stats = q
+            .sgd_update(&g, 1.0, RoundingMode::Truncate, &mut rng::seeded(0))
+            .unwrap();
+        prop_assert_eq!(stats.underflowed, 0);
+    }
+
+    #[test]
+    fn set_bits_preserves_values_within_coarser_eps(
+        seed in 0u64..1000,
+        from in 4u32..12,
+        to in 4u32..12,
+    ) {
+        let w = rng::normal(&[64], 1.0, &mut rng::seeded(seed));
+        let mut q = QuantizedTensor::from_tensor(&w, Bitwidth::new(from).unwrap()).unwrap();
+        let before = q.to_tensor();
+        let coarse_eps = q.eps().max({
+            let mut tmp = q.clone();
+            tmp.set_bits(Bitwidth::new(to).unwrap()).unwrap();
+            tmp.eps()
+        });
+        q.set_bits(Bitwidth::new(to).unwrap()).unwrap();
+        for (a, b) in before.data().iter().zip(q.to_tensor().data()) {
+            prop_assert!((a - b).abs() <= coarse_eps + 1e-6);
+        }
+    }
+
+    #[test]
+    fn memory_bits_is_len_times_k(len in 1usize..256, bits in bits_strategy()) {
+        let w = rng::normal(&[len], 1.0, &mut rng::seeded(1));
+        let q = QuantizedTensor::from_tensor(&w, bits).unwrap();
+        prop_assert_eq!(q.memory_bits(), (len as u64) * u64::from(bits.get()));
+    }
+
+    #[test]
+    fn fake_quantize_level_count_bounded(seed in 0u64..500, k in 2u32..6) {
+        let t = rng::normal(&[512], 1.0, &mut rng::seeded(seed));
+        let fq = fake::fake_quantize(&t, Bitwidth::new(k).unwrap()).unwrap();
+        let mut levels: Vec<i64> = fq.data().iter().map(|&x| (x * 1e5) as i64).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        prop_assert!(levels.len() as u64 <= 1u64 << k);
+    }
+
+    #[test]
+    fn ternarize_at_most_three_levels_and_sign_preserving(seed in 0u64..500) {
+        let t = rng::normal(&[256], 1.0, &mut rng::seeded(seed));
+        let tt = fake::ternarize(&t);
+        let mut levels: Vec<i64> = tt.data().iter().map(|&x| (x * 1e5) as i64).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        prop_assert!(levels.len() <= 3);
+        for (&orig, &tern) in t.data().iter().zip(tt.data()) {
+            prop_assert!(tern == 0.0 || (tern > 0.0) == (orig > 0.0));
+        }
+    }
+
+    #[test]
+    fn stochastic_rounding_never_exceeds_one_step(x in -20.0f64..20.0, seed in 0u64..200) {
+        let mut r = rng::seeded(seed);
+        let out = RoundingMode::Stochastic.round_steps(x, &mut r);
+        prop_assert!((out as f64 - x).abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn truncate_never_overshoots(x in -20.0f64..20.0) {
+        let mut r = rng::seeded(0);
+        let out = RoundingMode::Truncate.round_steps(x, &mut r);
+        prop_assert!((out as f64).abs() <= x.abs());
+        prop_assert!(out == 0 || (out > 0) == (x > 0.0));
+    }
+}

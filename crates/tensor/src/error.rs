@@ -1,0 +1,123 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for tensor operations.
+///
+/// Returned by fallible constructors and kernels when shapes disagree or an
+/// argument is structurally invalid. All variants carry enough context to
+/// diagnose the failing call without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// buffer length.
+    LengthMismatch {
+        /// Elements implied by the requested shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable operation name (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: Vec<usize>,
+        /// Shape of the right/second operand.
+        rhs: Vec<usize>,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Rank of the offending tensor.
+        actual: usize,
+    },
+    /// A scalar argument was out of its documented domain.
+    InvalidArgument {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// An index was outside the tensor bounds.
+    IndexOutOfBounds {
+        /// The offending flat or axis index.
+        index: usize,
+        /// The bound that was exceeded.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(f, "{op}: expected rank {expected}, got rank {actual}")
+            }
+            TensorError::InvalidArgument { op, reason } => {
+                write!(f, "{op}: invalid argument: {reason}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (must be < {bound})")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: vec![2, 3],
+                rhs: vec![4, 5],
+            },
+            TensorError::RankMismatch {
+                op: "conv2d",
+                expected: 4,
+                actual: 2,
+            },
+            TensorError::InvalidArgument {
+                op: "pad",
+                reason: "negative pad".into(),
+            },
+            TensorError::IndexOutOfBounds { index: 9, bound: 4 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!format!("{e:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,45 @@
+//! # apt-tensor
+//!
+//! Dense `f32` tensor substrate for the Adaptive Precision Training (APT)
+//! reproduction. This crate provides everything the upper layers (quantised
+//! parameters, neural-network layers, data pipeline) need from a numerical
+//! array library:
+//!
+//! * [`Tensor`] — a contiguous, row-major, heap-allocated `f32` array with a
+//!   dynamic [`Shape`].
+//! * Matrix multiply ([`ops::matmul`]) with a cache-blocked inner kernel.
+//! * 2-D convolution via im2col + GEMM ([`ops::conv`]), including the two
+//!   backward kernels (gradient w.r.t. input and w.r.t. weights).
+//! * Pooling, padding/cropping/flipping (used by data augmentation),
+//!   reductions, element-wise kernels.
+//! * Deterministic random initialisation helpers ([`rng`]).
+//!
+//! The crate is deliberately dependency-light (only `rand`) and fully
+//! deterministic given a seed, which the experiment harness relies on.
+//!
+//! ## Example
+//!
+//! ```
+//! use apt_tensor::{Tensor, ops};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = ops::matmul(&a, &b).unwrap();
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+pub mod ops;
+pub mod rng;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

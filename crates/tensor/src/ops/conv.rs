@@ -1,0 +1,614 @@
+//! 2-D convolution (NCHW) via im2col + GEMM.
+//!
+//! Three kernels implement the full training path of a conv layer:
+//!
+//! * [`conv2d`] — forward.
+//! * [`conv2d_backward_input`] — gradient w.r.t. the input (col2im of
+//!   `Wᵀ·dY`).
+//! * [`conv2d_backward_weight`] — gradient w.r.t. the weights
+//!   (`dY·colᵀ`).
+//!
+//! Grouped convolution is supported so `apt-nn` can build MobileNetV2's
+//! depthwise layers (`groups == in_channels`). All kernels take a
+//! [`Conv2dParams`] describing stride/padding/groups, validated once.
+
+use crate::ops::matmul_impl::{matmul, matmul_a_bt, matmul_at_b};
+use crate::{Result, Tensor, TensorError};
+
+/// Hyper-parameters of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Stride along height and width.
+    pub stride: usize,
+    /// Zero padding applied symmetrically along height and width.
+    pub padding: usize,
+    /// Number of channel groups (1 = dense, `in_channels` = depthwise).
+    pub groups: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams {
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        }
+    }
+}
+
+impl Conv2dParams {
+    /// Convenience constructor.
+    pub fn new(stride: usize, padding: usize, groups: usize) -> Self {
+        Conv2dParams {
+            stride,
+            padding,
+            groups,
+        }
+    }
+
+    /// Output spatial size for an input spatial size and kernel size.
+    pub fn out_size(&self, in_size: usize, kernel: usize) -> usize {
+        (in_size + 2 * self.padding).saturating_sub(kernel) / self.stride + 1
+    }
+
+    fn validate(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+    ) -> Result<(usize, usize, usize, usize, usize, usize, usize)> {
+        if input.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                op: "conv2d",
+                expected: 4,
+                actual: input.rank(),
+            });
+        }
+        if weight.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                op: "conv2d",
+                expected: 4,
+                actual: weight.rank(),
+            });
+        }
+        if self.stride == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "conv2d",
+                reason: "stride must be >= 1".into(),
+            });
+        }
+        let (n, c_in, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (c_out, c_in_per_group, kh, kw) = (
+            weight.dims()[0],
+            weight.dims()[1],
+            weight.dims()[2],
+            weight.dims()[3],
+        );
+        if self.groups == 0 || c_in % self.groups != 0 || c_out % self.groups != 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "conv2d",
+                reason: format!(
+                    "groups {} must divide in_channels {} and out_channels {}",
+                    self.groups, c_in, c_out
+                ),
+            });
+        }
+        if c_in / self.groups != c_in_per_group {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d",
+                lhs: input.dims().to_vec(),
+                rhs: weight.dims().to_vec(),
+            });
+        }
+        if h + 2 * self.padding < kh || w + 2 * self.padding < kw {
+            return Err(TensorError::InvalidArgument {
+                op: "conv2d",
+                reason: format!("kernel {kh}x{kw} larger than padded input {h}x{w}"),
+            });
+        }
+        Ok((n, c_in, h, w, c_out, kh, kw))
+    }
+}
+
+/// Lowers one image's group-slice into the im2col matrix
+/// `[c_g·kh·kw, oh·ow]`.
+#[allow(clippy::too_many_arguments)]
+fn im2col_group(
+    input: &[f32],
+    c_start: usize,
+    c_g: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    p: &Conv2dParams,
+    oh: usize,
+    ow: usize,
+    col: &mut [f32],
+) {
+    let col_w = oh * ow;
+    for c in 0..c_g {
+        let chan = &input[(c_start + c) * h * w..(c_start + c + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((c * kh + ki) * kw + kj) * col_w;
+                for oi in 0..oh {
+                    let ii = (oi * p.stride + ki) as isize - p.padding as isize;
+                    let dst = &mut col[row + oi * ow..row + (oi + 1) * ow];
+                    if ii < 0 || ii as usize >= h {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &chan[ii as usize * w..(ii as usize + 1) * w];
+                    for (oj, d) in dst.iter_mut().enumerate() {
+                        let jj = (oj * p.stride + kj) as isize - p.padding as isize;
+                        *d = if jj < 0 || jj as usize >= w {
+                            0.0
+                        } else {
+                            src_row[jj as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters an im2col-shaped gradient back onto the input (col2im).
+#[allow(clippy::too_many_arguments)]
+fn col2im_group(
+    col: &[f32],
+    c_start: usize,
+    c_g: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    p: &Conv2dParams,
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
+    let col_w = oh * ow;
+    for c in 0..c_g {
+        let chan = &mut out[(c_start + c) * h * w..(c_start + c + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((c * kh + ki) * kw + kj) * col_w;
+                for oi in 0..oh {
+                    let ii = (oi * p.stride + ki) as isize - p.padding as isize;
+                    if ii < 0 || ii as usize >= h {
+                        continue;
+                    }
+                    let src = &col[row + oi * ow..row + (oi + 1) * ow];
+                    for (oj, &v) in src.iter().enumerate() {
+                        let jj = (oj * p.stride + kj) as isize - p.padding as isize;
+                        if jj >= 0 && (jj as usize) < w {
+                            chan[ii as usize * w + jj as usize] += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward 2-D convolution.
+///
+/// * `input` — `[n, c_in, h, w]`
+/// * `weight` — `[c_out, c_in/groups, kh, kw]`
+///
+/// Returns `[n, c_out, oh, ow]`.
+///
+/// # Errors
+///
+/// Returns shape/rank/argument errors for malformed operands; see
+/// [`Conv2dParams`].
+pub fn conv2d(input: &Tensor, weight: &Tensor, params: &Conv2dParams) -> Result<Tensor> {
+    let (n, c_in, h, w, c_out, kh, kw) = params.validate(input, weight)?;
+    let (oh, ow) = (params.out_size(h, kh), params.out_size(w, kw));
+    let g = params.groups;
+    let (c_in_g, c_out_g) = (c_in / g, c_out / g);
+    let col_rows = c_in_g * kh * kw;
+    let col_w = oh * ow;
+
+    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+    let mut col = vec![0.0f32; col_rows * col_w];
+    for img in 0..n {
+        let in_img = &input.data()[img * c_in * h * w..(img + 1) * c_in * h * w];
+        for grp in 0..g {
+            im2col_group(
+                in_img,
+                grp * c_in_g,
+                c_in_g,
+                h,
+                w,
+                kh,
+                kw,
+                params,
+                oh,
+                ow,
+                &mut col,
+            );
+            let col_t = Tensor::from_vec(col.clone(), &[col_rows, col_w])?;
+            let w_grp = Tensor::from_vec(
+                weight.data()[grp * c_out_g * col_rows..(grp + 1) * c_out_g * col_rows].to_vec(),
+                &[c_out_g, col_rows],
+            )?;
+            let y = matmul(&w_grp, &col_t)?;
+            let dst_base = img * c_out * col_w + grp * c_out_g * col_w;
+            out.data_mut()[dst_base..dst_base + c_out_g * col_w].copy_from_slice(y.data());
+        }
+    }
+    Ok(out)
+}
+
+/// Gradient of [`conv2d`] w.r.t. the input.
+///
+/// * `grad_output` — `[n, c_out, oh, ow]`
+///
+/// Returns `[n, c_in, h, w]` where `input_dims = [n, c_in, h, w]` are the
+/// original input dimensions.
+///
+/// # Errors
+///
+/// Returns shape errors when `grad_output`/`weight`/`input_dims` disagree.
+pub fn conv2d_backward_input(
+    grad_output: &Tensor,
+    weight: &Tensor,
+    input_dims: &[usize],
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d_backward_input",
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let probe = Tensor::zeros(input_dims);
+    let (n, c_in, h, w, c_out, kh, kw) = params.validate(&probe, weight)?;
+    let (oh, ow) = (params.out_size(h, kh), params.out_size(w, kw));
+    if grad_output.dims() != [n, c_out, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward_input",
+            lhs: grad_output.dims().to_vec(),
+            rhs: vec![n, c_out, oh, ow],
+        });
+    }
+    let g = params.groups;
+    let (c_in_g, c_out_g) = (c_in / g, c_out / g);
+    let col_rows = c_in_g * kh * kw;
+    let col_w = oh * ow;
+
+    let mut grad_in = Tensor::zeros(input_dims);
+    for img in 0..n {
+        let gi_img = &mut grad_in.data_mut()[img * c_in * h * w..(img + 1) * c_in * h * w];
+        for grp in 0..g {
+            let go_base = img * c_out * col_w + grp * c_out_g * col_w;
+            let go = Tensor::from_vec(
+                grad_output.data()[go_base..go_base + c_out_g * col_w].to_vec(),
+                &[c_out_g, col_w],
+            )?;
+            let w_grp = Tensor::from_vec(
+                weight.data()[grp * c_out_g * col_rows..(grp + 1) * c_out_g * col_rows].to_vec(),
+                &[c_out_g, col_rows],
+            )?;
+            // dCol[col_rows, col_w] = Wᵀ · dY
+            let dcol = matmul_at_b(&w_grp, &go)?;
+            col2im_group(
+                dcol.data(),
+                grp * c_in_g,
+                c_in_g,
+                h,
+                w,
+                kh,
+                kw,
+                params,
+                oh,
+                ow,
+                gi_img,
+            );
+        }
+    }
+    Ok(grad_in)
+}
+
+/// Gradient of [`conv2d`] w.r.t. the weights.
+///
+/// Returns a tensor shaped like `weight_dims = [c_out, c_in/groups, kh, kw]`.
+///
+/// # Errors
+///
+/// Returns shape errors when operands disagree.
+pub fn conv2d_backward_weight(
+    input: &Tensor,
+    grad_output: &Tensor,
+    weight_dims: &[usize],
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    if weight_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d_backward_weight",
+            expected: 4,
+            actual: weight_dims.len(),
+        });
+    }
+    let probe = Tensor::zeros(weight_dims);
+    let (n, c_in, h, w, c_out, kh, kw) = params.validate(input, &probe)?;
+    let (oh, ow) = (params.out_size(h, kh), params.out_size(w, kw));
+    if grad_output.dims() != [n, c_out, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward_weight",
+            lhs: grad_output.dims().to_vec(),
+            rhs: vec![n, c_out, oh, ow],
+        });
+    }
+    let g = params.groups;
+    let (c_in_g, c_out_g) = (c_in / g, c_out / g);
+    let col_rows = c_in_g * kh * kw;
+    let col_w = oh * ow;
+
+    let mut grad_w = Tensor::zeros(weight_dims);
+    let mut col = vec![0.0f32; col_rows * col_w];
+    for img in 0..n {
+        let in_img = &input.data()[img * c_in * h * w..(img + 1) * c_in * h * w];
+        for grp in 0..g {
+            im2col_group(
+                in_img,
+                grp * c_in_g,
+                c_in_g,
+                h,
+                w,
+                kh,
+                kw,
+                params,
+                oh,
+                ow,
+                &mut col,
+            );
+            let col_t = Tensor::from_vec(col.clone(), &[col_rows, col_w])?;
+            let go_base = img * c_out * col_w + grp * c_out_g * col_w;
+            let go = Tensor::from_vec(
+                grad_output.data()[go_base..go_base + c_out_g * col_w].to_vec(),
+                &[c_out_g, col_w],
+            )?;
+            // dW[c_out_g, col_rows] = dY · colᵀ
+            let dw = matmul_a_bt(&go, &col_t)?;
+            let dst =
+                &mut grad_w.data_mut()[grp * c_out_g * col_rows..(grp + 1) * c_out_g * col_rows];
+            for (d, &s) in dst.iter_mut().zip(dw.data()) {
+                *d += s;
+            }
+        }
+    }
+    Ok(grad_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    /// Direct (non-im2col) reference convolution.
+    fn naive_conv(input: &Tensor, weight: &Tensor, p: &Conv2dParams) -> Tensor {
+        let (n, _c_in, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (c_out, c_in_g, kh, kw) = (
+            weight.dims()[0],
+            weight.dims()[1],
+            weight.dims()[2],
+            weight.dims()[3],
+        );
+        let (oh, ow) = (p.out_size(h, kh), p.out_size(w, kw));
+        let g = p.groups;
+        let c_out_g = c_out / g;
+        let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+        for img in 0..n {
+            for co in 0..c_out {
+                let grp = co / c_out_g;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = 0.0;
+                        for ci in 0..c_in_g {
+                            let c_abs = grp * c_in_g + ci;
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let ii = (oi * p.stride + ki) as isize - p.padding as isize;
+                                    let jj = (oj * p.stride + kj) as isize - p.padding as isize;
+                                    if ii < 0 || jj < 0 || ii as usize >= h || jj as usize >= w {
+                                        continue;
+                                    }
+                                    acc +=
+                                        input.at(&[img, c_abs, ii as usize, jj as usize]).unwrap()
+                                            * weight.at(&[co, ci, ki, kj]).unwrap();
+                                }
+                            }
+                        }
+                        out.set(&[img, co, oi, oj], acc).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+        a.dims() == b.dims()
+            && a.data()
+                .iter()
+                .zip(b.data())
+                .all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn forward_matches_naive_dense() {
+        let mut r = rng::seeded(10);
+        for &(stride, padding) in &[(1, 0), (1, 1), (2, 1)] {
+            let p = Conv2dParams::new(stride, padding, 1);
+            let x = rng::normal(&[2, 3, 6, 6], 1.0, &mut r);
+            let w = rng::normal(&[4, 3, 3, 3], 1.0, &mut r);
+            let got = conv2d(&x, &w, &p).unwrap();
+            assert!(
+                close(&got, &naive_conv(&x, &w, &p), 1e-4),
+                "s={stride} p={padding}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_matches_naive_grouped_and_depthwise() {
+        let mut r = rng::seeded(11);
+        // grouped: 4 channels, 2 groups
+        let p = Conv2dParams::new(1, 1, 2);
+        let x = rng::normal(&[1, 4, 5, 5], 1.0, &mut r);
+        let w = rng::normal(&[6, 2, 3, 3], 1.0, &mut r);
+        assert!(close(
+            &conv2d(&x, &w, &p).unwrap(),
+            &naive_conv(&x, &w, &p),
+            1e-4
+        ));
+        // depthwise: groups == channels
+        let p = Conv2dParams::new(2, 1, 4);
+        let w = rng::normal(&[4, 1, 3, 3], 1.0, &mut r);
+        assert!(close(
+            &conv2d(&x, &w, &p).unwrap(),
+            &naive_conv(&x, &w, &p),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn backward_input_matches_finite_difference() {
+        let mut r = rng::seeded(12);
+        let p = Conv2dParams::new(1, 1, 1);
+        let x = rng::normal(&[1, 2, 4, 4], 1.0, &mut r);
+        let w = rng::normal(&[3, 2, 3, 3], 1.0, &mut r);
+        let go = rng::normal(&[1, 3, 4, 4], 1.0, &mut r);
+        let gi = conv2d_backward_input(&go, &w, x.dims(), &p).unwrap();
+        // loss = sum(conv(x) * go); d loss / d x[k] via central differences
+        let eps = 1e-2;
+        for k in [0usize, 7, 15, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[k] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[k] -= eps;
+            let lp: f32 = conv2d(&xp, &w, &p)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(go.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = conv2d(&xm, &w, &p)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(go.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - gi.data()[k]).abs() < 2e-2,
+                "k={k} fd={fd} an={}",
+                gi.data()[k]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_weight_matches_finite_difference() {
+        let mut r = rng::seeded(13);
+        let p = Conv2dParams::new(2, 1, 1);
+        let x = rng::normal(&[2, 2, 5, 5], 1.0, &mut r);
+        let w = rng::normal(&[3, 2, 3, 3], 1.0, &mut r);
+        let oh = p.out_size(5, 3);
+        let go = rng::normal(&[2, 3, oh, oh], 1.0, &mut r);
+        let gw = conv2d_backward_weight(&x, &go, w.dims(), &p).unwrap();
+        let eps = 1e-2;
+        for k in [0usize, 5, 17, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[k] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[k] -= eps;
+            let lp: f32 = conv2d(&x, &wp, &p)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(go.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = conv2d(&x, &wm, &p)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(go.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - gw.data()[k]).abs() < 5e-2,
+                "k={k} fd={fd} an={}",
+                gw.data()[k]
+            );
+        }
+    }
+
+    #[test]
+    fn depthwise_backward_consistency() {
+        let mut r = rng::seeded(14);
+        let p = Conv2dParams::new(1, 1, 3);
+        let x = rng::normal(&[1, 3, 4, 4], 1.0, &mut r);
+        let w = rng::normal(&[3, 1, 3, 3], 1.0, &mut r);
+        let go = rng::normal(&[1, 3, 4, 4], 1.0, &mut r);
+        let gi = conv2d_backward_input(&go, &w, x.dims(), &p).unwrap();
+        assert_eq!(gi.dims(), x.dims());
+        let eps = 1e-2;
+        let k = 10;
+        let mut xp = x.clone();
+        xp.data_mut()[k] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[k] -= eps;
+        let f = |t: &Tensor| -> f32 {
+            conv2d(t, &w, &p)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(go.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let fd = (f(&xp) - f(&xm)) / (2.0 * eps);
+        assert!((fd - gi.data()[k]).abs() < 2e-2);
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let x = Tensor::zeros(&[1, 3, 4, 4]);
+        let w = Tensor::zeros(&[4, 3, 3, 3]);
+        assert!(conv2d(&x, &w, &Conv2dParams::new(0, 0, 1)).is_err());
+        assert!(conv2d(&x, &w, &Conv2dParams::new(1, 0, 2)).is_err());
+        let w_big = Tensor::zeros(&[4, 3, 9, 9]);
+        assert!(conv2d(&x, &w_big, &Conv2dParams::default()).is_err());
+        let w_badch = Tensor::zeros(&[4, 2, 3, 3]);
+        assert!(conv2d(&x, &w_badch, &Conv2dParams::default()).is_err());
+        let x3 = Tensor::zeros(&[3, 4, 4]);
+        assert!(conv2d(&x3, &w, &Conv2dParams::default()).is_err());
+    }
+
+    #[test]
+    fn output_shape_formula() {
+        let p = Conv2dParams::new(2, 1, 1);
+        assert_eq!(p.out_size(32, 3), 16);
+        let p = Conv2dParams::new(1, 1, 1);
+        assert_eq!(p.out_size(32, 3), 32);
+    }
+}

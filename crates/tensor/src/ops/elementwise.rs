@@ -1,0 +1,179 @@
+//! Element-wise kernels.
+//!
+//! These cover the arithmetic the training loop needs on same-shaped
+//! operands. Broadcasting is intentionally not implemented — the layers in
+//! `apt-nn` expand biases explicitly, which keeps every kernel O(n) and
+//! trivially auditable.
+
+use crate::{Result, Tensor, TensorError};
+
+fn check_same(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
+    if !a.shape().same_as(b.shape()) {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+/// Element-wise sum `a + b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same("add", a, b)?;
+    a.zip(b, |x, y| x + y)
+}
+
+/// Element-wise difference `a − b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same("sub", a, b)?;
+    a.zip(b, |x, y| x - y)
+}
+
+/// Element-wise (Hadamard) product `a ⊙ b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same("mul", a, b)?;
+    a.zip(b, |x, y| x * y)
+}
+
+/// Scalar multiply `s · a` returning a new tensor.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x * s)
+}
+
+/// Scalar multiply in place.
+pub fn scale_in_place(a: &mut Tensor, s: f32) {
+    a.map_in_place(|x| x * s);
+}
+
+/// In-place accumulate `a += b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+pub fn add_in_place(a: &mut Tensor, b: &Tensor) -> Result<()> {
+    check_same("add_in_place", a, b)?;
+    for (x, &y) in a.data_mut().iter_mut().zip(b.data().iter()) {
+        *x += y;
+    }
+    Ok(())
+}
+
+/// BLAS-style `y += alpha · x` in place.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+pub fn axpy(alpha: f32, x: &Tensor, y: &mut Tensor) -> Result<()> {
+    check_same("axpy", y, x)?;
+    for (yi, &xi) in y.data_mut().iter_mut().zip(x.data().iter()) {
+        *yi += alpha * xi;
+    }
+    Ok(())
+}
+
+/// ReLU: `max(x, 0)` element-wise.
+pub fn relu(a: &Tensor) -> Tensor {
+    a.map(|x| x.max(0.0))
+}
+
+/// Gradient mask for ReLU: `grad ⊙ 1[input > 0]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+pub fn relu_backward(input: &Tensor, grad: &Tensor) -> Result<Tensor> {
+    check_same("relu_backward", input, grad)?;
+    input.zip(grad, |x, g| if x > 0.0 { g } else { 0.0 })
+}
+
+/// Clamps every element into `[lo, hi]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if `lo > hi` or either bound is
+/// not finite.
+pub fn clamp(a: &Tensor, lo: f32, hi: f32) -> Result<Tensor> {
+    if lo > hi || !lo.is_finite() || !hi.is_finite() {
+        return Err(TensorError::InvalidArgument {
+            op: "clamp",
+            reason: format!("invalid range [{lo}, {hi}]"),
+        });
+    }
+    Ok(a.map(|x| x.clamp(lo, hi)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[3.0, -4.0]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[4.0, -2.0]);
+        assert_eq!(sub(&a, &b).unwrap().data(), &[-2.0, 6.0]);
+        assert_eq!(mul(&a, &b).unwrap().data(), &[3.0, -8.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[1.0]);
+        assert!(add(&a, &b).is_err());
+        assert!(sub(&a, &b).is_err());
+        assert!(mul(&a, &b).is_err());
+        let mut c = a.clone();
+        assert!(add_in_place(&mut c, &b).is_err());
+        assert!(axpy(1.0, &b, &mut c).is_err());
+    }
+
+    #[test]
+    fn scale_variants() {
+        let a = t(&[1.0, -2.0]);
+        assert_eq!(scale(&a, 2.0).data(), &[2.0, -4.0]);
+        let mut b = a.clone();
+        scale_in_place(&mut b, -1.0);
+        assert_eq!(b.data(), &[-1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = t(&[1.0, 1.0]);
+        let mut y = t(&[0.5, -0.5]);
+        axpy(2.0, &x, &mut y).unwrap();
+        assert_eq!(y.data(), &[2.5, 1.5]);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = t(&[-1.0, 0.0, 2.0]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+        let g = t(&[10.0, 10.0, 10.0]);
+        assert_eq!(relu_backward(&x, &g).unwrap().data(), &[0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn clamp_validates_range() {
+        let x = t(&[-5.0, 0.5, 5.0]);
+        assert_eq!(clamp(&x, -1.0, 1.0).unwrap().data(), &[-1.0, 0.5, 1.0]);
+        assert!(clamp(&x, 1.0, -1.0).is_err());
+        assert!(clamp(&x, f32::NEG_INFINITY, 0.0).is_err());
+    }
+}

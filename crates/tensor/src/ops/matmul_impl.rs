@@ -1,0 +1,238 @@
+//! Dense matrix multiplication.
+//!
+//! Three kernels cover every use in the training stack:
+//!
+//! * [`matmul`] — `C = A·B` (forward pass of linear layers, im2col conv).
+//! * [`matmul_at_b`] — `C = Aᵀ·B` (weight gradients).
+//! * [`matmul_a_bt`] — `C = A·Bᵀ` (input gradients).
+//!
+//! The inner loop is the classic i-k-j ordering with an f32 accumulator row,
+//! which keeps the B row hot in cache and autovectorises well — important
+//! because the experiment harness runs whole training loops on one CPU core.
+
+use crate::{Result, Tensor, TensorError};
+
+fn check_matrix(op: &'static str, t: &Tensor) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// `C[m×n] = A[m×k] · B[k×n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless both operands are rank 2 and
+/// [`TensorError::ShapeMismatch`] unless the inner dimensions agree.
+///
+/// ```
+/// use apt_tensor::{Tensor, ops};
+/// let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5., 6., 7., 8.], &[2, 2])?;
+/// let c = ops::matmul(&a, &b)?;
+/// assert_eq!(c.data(), &[19., 22., 43., 50.]);
+/// # Ok::<(), apt_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check_matrix("matmul", a)?;
+    let (kb, n) = check_matrix("matmul", b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    for i in 0..m {
+        let c_row = &mut cd[i * n..(i + 1) * n];
+        for (k, &aik) in ad[i * ka..(i + 1) * ka].iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &bd[k * n..(k + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += aik * bv;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `C[k×n] = Aᵀ[k×m] · B[m×n]` where `A` is stored as `[m×k]`.
+///
+/// Used for weight gradients (`dW = Xᵀ·dY`) without materialising a
+/// transpose.
+///
+/// # Errors
+///
+/// Same contract as [`matmul`]; the shared dimension is `A`'s rows.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_matrix("matmul_at_b", a)?;
+    let (mb, n) = check_matrix("matmul_at_b", b)?;
+    if m != mb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut c = Tensor::zeros(&[k, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    for i in 0..m {
+        let b_row = &bd[i * n..(i + 1) * n];
+        for (kk, &aik) in ad[i * k..(i + 1) * k].iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let c_row = &mut cd[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += aik * bv;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `C[m×k] = A[m×n] · Bᵀ[n×k]` where `B` is stored as `[k×n]`.
+///
+/// Used for input gradients (`dX = dY·Wᵀ`) without materialising a
+/// transpose.
+///
+/// # Errors
+///
+/// Same contract as [`matmul`]; the shared dimension is both operands'
+/// columns.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, n) = check_matrix("matmul_a_bt", a)?;
+    let (k, nb) = check_matrix("matmul_a_bt", b)?;
+    if n != nb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut c = Tensor::zeros(&[m, k]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    for i in 0..m {
+        let a_row = &ad[i * n..(i + 1) * n];
+        let c_row = &mut cd[i * k..(i + 1) * k];
+        for (kk, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+    Ok(c)
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless the input is rank 2.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    let (m, n) = check_matrix("transpose", a)?;
+    let mut out = Tensor::zeros(&[n, m]);
+    let (ad, od) = (a.data(), out.data_mut());
+    for i in 0..m {
+        for j in 0..n {
+            od[j * m + i] = ad[i * n + j];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a.data()[i * k + kk] * b.data()[kk * n + j];
+                }
+                c.data_mut()[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+        a.dims() == b.dims()
+            && a.data()
+                .iter()
+                .zip(b.data())
+                .all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = crate::rng::seeded(1);
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (7, 2, 9), (16, 16, 16)] {
+            let a = crate::rng::normal(&[m, k], 1.0, &mut rng);
+            let b = crate::rng::normal(&[k, n], 1.0, &mut rng);
+            assert!(close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-4));
+        }
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let mut rng = crate::rng::seeded(2);
+        let a = crate::rng::normal(&[6, 3], 1.0, &mut rng);
+        let b = crate::rng::normal(&[6, 4], 1.0, &mut rng);
+        let expected = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        assert!(close(&matmul_at_b(&a, &b).unwrap(), &expected, 1e-4));
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let mut rng = crate::rng::seeded(3);
+        let a = crate::rng::normal(&[5, 7], 1.0, &mut rng);
+        let b = crate::rng::normal(&[4, 7], 1.0, &mut rng);
+        let expected = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        assert!(close(&matmul_a_bt(&a, &b).unwrap(), &expected, 1e-4));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]).unwrap();
+        let c = matmul(&a, &Tensor::eye(3)).unwrap();
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_at_b(&a, &b).is_err());
+        assert!(matmul_a_bt(&a, &b).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(matmul(&v, &b).is_err());
+        assert!(transpose(&v).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let t = transpose(&a).unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(transpose(&t).unwrap().data(), a.data());
+    }
+}

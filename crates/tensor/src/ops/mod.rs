@@ -1,0 +1,25 @@
+//! Numerical kernels on [`Tensor`](crate::Tensor).
+//!
+//! Kernels are grouped by family:
+//!
+//! * [`elementwise`] — add/sub/mul/axpy/scale and friends.
+//! * [`matmul`](self::matmul()) — cache-blocked GEMM plus transposed variants.
+//! * [`conv`] — 2-D convolution (im2col + GEMM) with both backward kernels.
+//! * [`pool`] — max/average/global-average pooling with backward.
+//! * [`reduce`] — sums, means, argmax and axis reductions.
+//! * [`pad`] — zero-padding, cropping and flipping (data augmentation).
+//! * [`softmax`] — row softmax / log-softmax and cross-entropy.
+//!
+//! All kernels validate shapes and return [`crate::Result`]; none panic on
+//! malformed user input.
+
+pub mod conv;
+pub mod elementwise;
+mod matmul_impl;
+pub mod pad;
+pub mod pool;
+pub mod reduce;
+pub mod softmax;
+
+pub use elementwise::{add, add_in_place, axpy, mul, scale, scale_in_place, sub};
+pub use matmul_impl::{matmul, matmul_a_bt, matmul_at_b, transpose};

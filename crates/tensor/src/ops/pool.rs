@@ -1,0 +1,315 @@
+//! Pooling kernels (NCHW): max pooling, average pooling and global average
+//! pooling, each with its backward pass.
+
+use crate::{Result, Tensor, TensorError};
+
+fn check4(op: &'static str, t: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    if t.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 4,
+            actual: t.rank(),
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1], t.dims()[2], t.dims()[3]))
+}
+
+/// Result of a max-pool forward pass: the pooled tensor plus the argmax
+/// indices needed by [`max_pool2d_backward`].
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled activations `[n, c, oh, ow]`.
+    pub output: Tensor,
+    /// Flat input index of the winning element for every output element.
+    pub argmax: Vec<usize>,
+}
+
+/// Max pooling with square window `k` and stride `k` (non-overlapping).
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4, `k == 0`, or `k` does not
+/// divide the spatial dimensions.
+pub fn max_pool2d(input: &Tensor, k: usize) -> Result<MaxPoolOutput> {
+    let (n, c, h, w) = check4("max_pool2d", input)?;
+    if k == 0 || h % k != 0 || w % k != 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "max_pool2d",
+            reason: format!("window {k} must be >0 and divide {h}x{w}"),
+        });
+    }
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let x = input.data();
+    let od = out.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            let obase = (img * c + ch) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for di in 0..k {
+                        for dj in 0..k {
+                            let idx = base + (oi * k + di) * w + oj * k + dj;
+                            if x[idx] > best {
+                                best = x[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    od[obase + oi * ow + oj] = best;
+                    argmax[obase + oi * ow + oj] = best_idx;
+                }
+            }
+        }
+    }
+    Ok(MaxPoolOutput {
+        output: out,
+        argmax,
+    })
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the
+/// winning input element.
+///
+/// # Errors
+///
+/// Returns an error if `grad_output` volume does not match `argmax` length.
+pub fn max_pool2d_backward(
+    grad_output: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    if grad_output.len() != argmax.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: argmax.len(),
+            actual: grad_output.len(),
+        });
+    }
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gd = grad_in.data_mut();
+    for (&src, &g) in argmax.iter().zip(grad_output.data()) {
+        if src >= gd.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: src,
+                bound: gd.len(),
+            });
+        }
+        gd[src] += g;
+    }
+    Ok(grad_in)
+}
+
+/// Average pooling with square window `k` and stride `k`.
+///
+/// # Errors
+///
+/// Same contract as [`max_pool2d`].
+pub fn avg_pool2d(input: &Tensor, k: usize) -> Result<Tensor> {
+    let (n, c, h, w) = check4("avg_pool2d", input)?;
+    if k == 0 || h % k != 0 || w % k != 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "avg_pool2d",
+            reason: format!("window {k} must be >0 and divide {h}x{w}"),
+        });
+    }
+    let (oh, ow) = (h / k, w / k);
+    let inv = 1.0 / (k * k) as f32;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let x = input.data();
+    let od = out.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            let obase = (img * c + ch) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0;
+                    for di in 0..k {
+                        for dj in 0..k {
+                            acc += x[base + (oi * k + di) * w + oj * k + dj];
+                        }
+                    }
+                    od[obase + oi * ow + oj] = acc * inv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each output gradient uniformly
+/// over its window.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatch.
+pub fn avg_pool2d_backward(grad_output: &Tensor, input_dims: &[usize], k: usize) -> Result<Tensor> {
+    let (n, c, oh, ow) = check4("avg_pool2d_backward", grad_output)?;
+    if input_dims.len() != 4 || input_dims[2] != oh * k || input_dims[3] != ow * k {
+        return Err(TensorError::ShapeMismatch {
+            op: "avg_pool2d_backward",
+            lhs: grad_output.dims().to_vec(),
+            rhs: input_dims.to_vec(),
+        });
+    }
+    let (h, w) = (input_dims[2], input_dims[3]);
+    let inv = 1.0 / (k * k) as f32;
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gd = grad_in.data_mut();
+    let go = grad_output.data();
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            let obase = (img * c + ch) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let g = go[obase + oi * ow + oj] * inv;
+                    for di in 0..k {
+                        for dj in 0..k {
+                            gd[base + (oi * k + di) * w + oj * k + dj] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+/// Global average pooling: `[n, c, h, w] → [n, c]`.
+///
+/// # Errors
+///
+/// Returns an error unless the input is rank 4 with non-zero spatial size.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = check4("global_avg_pool", input)?;
+    if h * w == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "global_avg_pool",
+            reason: "zero spatial size".into(),
+        });
+    }
+    let inv = 1.0 / (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c]);
+    let x = input.data();
+    let od = out.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            let s: f32 = x[base..base + h * w].iter().sum();
+            od[img * c + ch] = s * inv;
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`global_avg_pool`].
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch between `grad_output` (`[n, c]`) and
+/// `input_dims`.
+pub fn global_avg_pool_backward(grad_output: &Tensor, input_dims: &[usize]) -> Result<Tensor> {
+    if grad_output.rank() != 2 || input_dims.len() != 4 {
+        return Err(TensorError::ShapeMismatch {
+            op: "global_avg_pool_backward",
+            lhs: grad_output.dims().to_vec(),
+            rhs: input_dims.to_vec(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    if grad_output.dims() != [n, c] {
+        return Err(TensorError::ShapeMismatch {
+            op: "global_avg_pool_backward",
+            lhs: grad_output.dims().to_vec(),
+            rhs: vec![n, c],
+        });
+    }
+    let inv = 1.0 / (h * w) as f32;
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gd = grad_in.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let g = grad_output.data()[img * c + ch] * inv;
+            let base = (img * c + ch) * h * w;
+            for v in &mut gd[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_maximum_and_routes_gradient() {
+        let x = Tensor::from_vec(
+            vec![
+                1., 2., 3., 4., 5., 6., 7., 8., 9., 10., 11., 12., 13., 14., 15., 16.,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let MaxPoolOutput { output, argmax } = max_pool2d(&x, 2).unwrap();
+        assert_eq!(output.data(), &[6., 8., 14., 16.]);
+        let go = Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 2, 2]).unwrap();
+        let gi = max_pool2d_backward(&go, &argmax, x.dims()).unwrap();
+        assert_eq!(gi.at(&[0, 0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(gi.at(&[0, 0, 1, 3]).unwrap(), 2.0);
+        assert_eq!(gi.at(&[0, 0, 3, 1]).unwrap(), 3.0);
+        assert_eq!(gi.at(&[0, 0, 3, 3]).unwrap(), 4.0);
+        assert_eq!(gi.sum(), 10.0);
+    }
+
+    #[test]
+    fn avg_pool_and_backward_conserve_mass() {
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = avg_pool2d(&x, 2).unwrap();
+        assert_eq!(y.dims(), &[2, 3, 2, 2]);
+        assert!(y.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        let go = Tensor::ones(&[2, 3, 2, 2]);
+        let gi = avg_pool2d_backward(&go, x.dims(), 2).unwrap();
+        // each input cell receives 1/4 of one output gradient
+        assert!(gi.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+        assert!((gi.sum() - go.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let y = global_avg_pool(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[1.5, 5.5]);
+        let go = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap();
+        let gi = global_avg_pool_backward(&go, x.dims()).unwrap();
+        assert!(gi.data()[..4].iter().all(|&v| v == 1.0));
+        assert!(gi.data()[4..].iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn invalid_windows_rejected() {
+        let x = Tensor::zeros(&[1, 1, 5, 5]);
+        assert!(max_pool2d(&x, 2).is_err());
+        assert!(max_pool2d(&x, 0).is_err());
+        assert!(avg_pool2d(&x, 3).is_err());
+        let x3 = Tensor::zeros(&[5, 5]);
+        assert!(max_pool2d(&x3, 1).is_err());
+        assert!(global_avg_pool(&x3).is_err());
+    }
+
+    #[test]
+    fn backward_shape_validation() {
+        let go = Tensor::zeros(&[1, 1, 2, 2]);
+        assert!(avg_pool2d_backward(&go, &[1, 1, 5, 5], 2).is_err());
+        let go2 = Tensor::zeros(&[1, 2]);
+        assert!(global_avg_pool_backward(&go2, &[1, 3, 2, 2]).is_err());
+        assert!(max_pool2d_backward(&go, &[0, 1, 2], &[1, 1, 4, 4]).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Reductions: full-tensor and axis sums/means, argmax, and the row/column
+//! reductions used by linear-layer backward passes.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Sum over axis 0 of a rank-2 tensor: `[m, n] → [n]`.
+///
+/// Used for bias gradients (`db = Σ_rows dY`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless the input is rank 2.
+pub fn sum_rows(a: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "sum_rows",
+            expected: 2,
+            actual: a.rank(),
+        });
+    }
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let mut out = Tensor::zeros(&[n]);
+    let od = out.data_mut();
+    for i in 0..m {
+        for (o, &v) in od.iter_mut().zip(&a.data()[i * n..(i + 1) * n]) {
+            *o += v;
+        }
+    }
+    Ok(out)
+}
+
+/// Per-channel sum of an NCHW tensor: `[n, c, h, w] → [c]`.
+///
+/// Used for conv bias gradients and batch-norm statistics.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless the input is rank 4.
+pub fn sum_channels(a: &Tensor) -> Result<Tensor> {
+    if a.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "sum_channels",
+            expected: 4,
+            actual: a.rank(),
+        });
+    }
+    let (n, c, h, w) = (a.dims()[0], a.dims()[1], a.dims()[2], a.dims()[3]);
+    let mut out = Tensor::zeros(&[c]);
+    let od = out.data_mut();
+    let x = a.data();
+    for img in 0..n {
+        for (ch, o) in od.iter_mut().enumerate() {
+            let base = (img * c + ch) * h * w;
+            *o += x[base..base + h * w].iter().sum::<f32>();
+        }
+    }
+    Ok(out)
+}
+
+/// Row-wise argmax of a rank-2 tensor: `[m, n] → Vec<usize>` of length `m`.
+///
+/// Ties resolve to the lowest index. Used to compute classification
+/// accuracy from logits.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless the input is rank 2 and
+/// [`TensorError::InvalidArgument`] if `n == 0`.
+pub fn argmax_rows(a: &Tensor) -> Result<Vec<usize>> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "argmax_rows",
+            expected: 2,
+            actual: a.rank(),
+        });
+    }
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    if n == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "argmax_rows",
+            reason: "zero columns".into(),
+        });
+    }
+    let mut out = Vec::with_capacity(m);
+    for i in 0..m {
+        let row = &a.data()[i * n..(i + 1) * n];
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
+/// Mean absolute value of all elements; 0.0 for empty tensors.
+pub fn mean_abs(a: &Tensor) -> f32 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    (a.data().iter().map(|&x| x.abs() as f64).sum::<f64>() / a.len() as f64) as f32
+}
+
+/// Per-channel mean and (biased) variance of an NCHW tensor, as used by
+/// batch normalisation: returns `(mean[c], var[c])`.
+///
+/// # Errors
+///
+/// Returns errors for rank ≠ 4 or empty per-channel slices.
+pub fn channel_mean_var(a: &Tensor) -> Result<(Tensor, Tensor)> {
+    if a.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "channel_mean_var",
+            expected: 4,
+            actual: a.rank(),
+        });
+    }
+    let (n, c, h, w) = (a.dims()[0], a.dims()[1], a.dims()[2], a.dims()[3]);
+    let count = n * h * w;
+    if count == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "channel_mean_var",
+            reason: "empty channel slices".into(),
+        });
+    }
+    let mut mean = Tensor::zeros(&[c]);
+    let mut var = Tensor::zeros(&[c]);
+    let x = a.data();
+    for ch in 0..c {
+        let mut s = 0.0f64;
+        for img in 0..n {
+            let base = (img * c + ch) * h * w;
+            s += x[base..base + h * w].iter().map(|&v| v as f64).sum::<f64>();
+        }
+        let mu = s / count as f64;
+        let mut sq = 0.0f64;
+        for img in 0..n {
+            let base = (img * c + ch) * h * w;
+            sq += x[base..base + h * w]
+                .iter()
+                .map(|&v| {
+                    let d = v as f64 - mu;
+                    d * d
+                })
+                .sum::<f64>();
+        }
+        mean.data_mut()[ch] = mu as f32;
+        var.data_mut()[ch] = (sq / count as f64) as f32;
+    }
+    Ok((mean, var))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_rows_basic() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]).unwrap();
+        assert_eq!(sum_rows(&a).unwrap().data(), &[5., 7., 9.]);
+        assert!(sum_rows(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn sum_channels_basic() {
+        let a = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[2, 2, 2, 2]).unwrap();
+        let s = sum_channels(&a).unwrap();
+        // channel 0: 0+1+2+3 + 8+9+10+11 = 44; channel 1: 4..7 + 12..15 = 76
+        assert_eq!(s.data(), &[44.0, 76.0]);
+        assert!(sum_channels(&Tensor::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn argmax_rows_with_ties() {
+        let a = Tensor::from_vec(vec![1., 3., 2., 5., 5., 0.], &[2, 3]).unwrap();
+        assert_eq!(argmax_rows(&a).unwrap(), vec![1, 0]);
+        assert!(argmax_rows(&Tensor::zeros(&[3])).is_err());
+        assert!(argmax_rows(&Tensor::zeros(&[2, 0])).is_err());
+    }
+
+    #[test]
+    fn mean_abs_basic() {
+        let a = Tensor::from_slice(&[-2.0, 2.0, -4.0, 4.0]);
+        assert_eq!(mean_abs(&a), 3.0);
+        assert_eq!(mean_abs(&Tensor::from_vec(vec![], &[0]).unwrap()), 0.0);
+    }
+
+    #[test]
+    fn channel_mean_var_matches_manual() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 10., 10., 10., 10.], &[1, 2, 2, 2]).unwrap();
+        let (m, v) = channel_mean_var(&a).unwrap();
+        assert_eq!(m.data(), &[2.5, 10.0]);
+        assert!((v.data()[0] - 1.25).abs() < 1e-6);
+        assert_eq!(v.data()[1], 0.0);
+    }
+
+    #[test]
+    fn channel_mean_var_rejects_bad_input() {
+        assert!(channel_mean_var(&Tensor::zeros(&[2, 2])).is_err());
+        assert!(channel_mean_var(&Tensor::zeros(&[0, 2, 2, 2])).is_err());
+    }
+}

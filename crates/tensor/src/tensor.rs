@@ -1,0 +1,379 @@
+use crate::{Shape, TensorError};
+use std::fmt;
+
+/// A contiguous, row-major, dynamically-shaped `f32` tensor.
+///
+/// `Tensor` is the single numerical container used across the APT
+/// reproduction: activations, gradients, weights (in float view), images and
+/// im2col buffers are all `Tensor`s. It is intentionally simple — contiguous
+/// storage, no views/striding tricks — so every kernel in [`crate::ops`] can
+/// be read top-to-bottom.
+///
+/// ```
+/// use apt_tensor::Tensor;
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![0.0; shape.volume()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![value; shape.volume()],
+            shape,
+        }
+    }
+
+    /// Creates a rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            data: vec![value],
+            shape: Shape::scalar(),
+        }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Builds a tensor from a data buffer and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the shape volume.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> crate::Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Builds a 1-D tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            data: data.to_vec(),
+            shape: Shape::new(&[data.len()]),
+        }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Shorthand for `shape().dims()`.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Shorthand for `shape().rank()`.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access by multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index errors from [`Shape::flat_index`].
+    pub fn at(&self, idx: &[usize]) -> crate::Result<f32> {
+        Ok(self.data[self.shape.flat_index(idx)?])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index errors from [`Shape::flat_index`].
+    pub fn set(&mut self, idx: &[usize], value: f32) -> crate::Result<()> {
+        let flat = self.shape.flat_index(idx)?;
+        self.data[flat] = value;
+        Ok(())
+    }
+
+    /// Returns a tensor with the same data reinterpreted under a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape(&self, dims: &[usize]) -> crate::Result<Tensor> {
+        let shape = Shape::new(dims);
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// In-place reshape (no data copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape_in_place(&mut self, dims: &[usize]) -> crate::Result<()> {
+        let shape = Shape::new(dims);
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors element-wise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> crate::Result<Tensor> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                op: "zip",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            data,
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Fills the tensor with `value`.
+    pub fn fill(&mut self, value: f32) {
+        for x in &mut self.data {
+            *x = value;
+        }
+    }
+
+    /// Minimum element. Returns `None` for empty tensors.
+    pub fn min(&self) -> Option<f32> {
+        self.data.iter().copied().reduce(f32::min)
+    }
+
+    /// Maximum element. Returns `None` for empty tensors.
+    pub fn max(&self) -> Option<f32> {
+        self.data.iter().copied().reduce(f32::max)
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements; 0.0 for empty tensors.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// L2 norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Maximum absolute element; 0.0 for empty tensors.
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} [", self.shape)?;
+        const MAX_SHOWN: usize = 8;
+        for (i, x) in self.data.iter().take(MAX_SHOWN).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.4}")?;
+        }
+        if self.data.len() > MAX_SHOWN {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[2, 2]).sum(), 0.0);
+        assert_eq!(Tensor::ones(&[3]).sum(), 3.0);
+        assert_eq!(Tensor::full(&[2], 2.5).sum(), 5.0);
+        assert_eq!(Tensor::scalar(7.0).data(), &[7.0]);
+        let e = Tensor::eye(3);
+        assert_eq!(e.sum(), 3.0);
+        assert_eq!(e.at(&[1, 1]).unwrap(), 1.0);
+        assert_eq!(e.at(&[0, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn reshape_roundtrip() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let r = t.reshape(&[2, 6]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(&[5]).is_err());
+        let mut t2 = t.clone();
+        t2.reshape_in_place(&[12]).unwrap();
+        assert_eq!(t2.rank(), 1);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        let b = a.map(f32::abs);
+        assert_eq!(b.data(), &[1.0, 2.0, 3.0]);
+        let c = a.zip(&b, |x, y| x + y).unwrap();
+        assert_eq!(c.data(), &[2.0, 0.0, 6.0]);
+        let bad = Tensor::zeros(&[2]);
+        assert!(a.zip(&bad, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn statistics() {
+        let t = Tensor::from_slice(&[-1.0, 0.0, 3.0]);
+        assert_eq!(t.min(), Some(-1.0));
+        assert_eq!(t.max(), Some(3.0));
+        assert!((t.mean() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(t.abs_max(), 3.0);
+        assert!((t.l2_norm() - 10.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros(&[2]);
+        assert!(!t.has_non_finite());
+        t.data_mut()[0] = f32::NAN;
+        assert!(t.has_non_finite());
+        t.data_mut()[0] = f32::INFINITY;
+        assert!(t.has_non_finite());
+    }
+
+    #[test]
+    fn set_and_at() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set(&[1, 0], 5.0).unwrap();
+        assert_eq!(t.at(&[1, 0]).unwrap(), 5.0);
+        assert!(t.set(&[2, 0], 1.0).is_err());
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = Tensor::zeros(&[16]);
+        let s = t.to_string();
+        assert!(s.contains('…'));
+        assert!(!Tensor::scalar(1.0).to_string().is_empty());
+    }
+}

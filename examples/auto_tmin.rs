@@ -1,0 +1,79 @@
+//! Automatic `T_min` selection — the paper's stated future work (§V),
+//! implemented as pilot-run search in `apt::core::autotune`.
+//!
+//! ```bash
+//! cargo run --release --example auto_tmin
+//! ```
+//!
+//! Two application stories:
+//! 1. "I need ≥ 85 % accuracy — find the cheapest `T_min`."
+//! 2. "I have 10 % of the fp32 energy budget — what accuracy can I buy?"
+
+use apt::core::{autotune_t_min, AutoTuneConfig, TrainConfig, TuneObjective};
+use apt::data::{SynthCifar, SynthCifarConfig};
+use apt::nn::models;
+use apt::optim::LrSchedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SynthCifar::generate(&SynthCifarConfig {
+        num_classes: 10,
+        train_per_class: 40,
+        test_per_class: 12,
+        img_size: 12,
+        seed: 31,
+        ..Default::default()
+    })?;
+    let base = TrainConfig {
+        epochs: 10,
+        batch_size: 32,
+        schedule: LrSchedule::paper_cifar10(10),
+        seed: 33,
+        ..Default::default()
+    };
+
+    // Story 1: quality bar.
+    let cfg = AutoTuneConfig::new(TuneObjective::ReachAccuracy(0.85));
+    let report = autotune_t_min(
+        &cfg,
+        |scheme, rng| models::cifarnet(10, 12, 0.25, scheme, rng),
+        &data.train,
+        &data.test,
+        &base,
+    )?;
+    println!("objective: reach 85% accuracy");
+    for p in &report.pilots {
+        println!(
+            "  pilot T_min={:<6} acc={:>5.1}%  energy={:>8.1} µJ",
+            p.t_min,
+            100.0 * p.accuracy,
+            p.energy_pj / 1e6
+        );
+    }
+    println!("  -> recommended T_min = {}\n", report.chosen_t_min);
+
+    // Story 2: battery bar.
+    let cfg = AutoTuneConfig::new(TuneObjective::EnergyBudget { fraction: 0.10 });
+    let report = autotune_t_min(
+        &cfg,
+        |scheme, rng| models::cifarnet(10, 12, 0.25, scheme, rng),
+        &data.train,
+        &data.test,
+        &base,
+    )?;
+    println!(
+        "objective: spend at most 10% of fp32's energy ({:.1} µJ of {:.1} µJ)",
+        0.10 * report.fp32_energy_pj / 1e6,
+        report.fp32_energy_pj / 1e6
+    );
+    for p in &report.pilots {
+        println!(
+            "  pilot T_min={:<6} acc={:>5.1}%  energy={:>8.1} µJ ({:.1}% of fp32)",
+            p.t_min,
+            100.0 * p.accuracy,
+            p.energy_pj / 1e6,
+            100.0 * p.energy_pj / report.fp32_energy_pj
+        );
+    }
+    println!("  -> recommended T_min = {}", report.chosen_t_min);
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Train → ship → resume: the deployment loop an edge fleet needs.
+//!
+//! ```bash
+//! cargo run --release --example deploy_checkpoint
+//! ```
+//!
+//! Trains a model with APT, saves it **at its adapted per-layer bitwidths**
+//! (integer codes, no fp32 anywhere), "ships" the blob to a fresh process
+//! (a new network instance), verifies bit-exact behaviour, then resumes
+//! in-situ training from the checkpoint — the paper's §I scenario of a
+//! device that "has to learn in-situ frequently after deployment".
+
+use apt::core::{PolicyConfig, TrainConfig, Trainer};
+use apt::data::{SynthCifar, SynthCifarConfig};
+use apt::nn::{checkpoint, models, Mode, QuantScheme};
+use apt::optim::LrSchedule;
+use apt::tensor::rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SynthCifar::generate(&SynthCifarConfig {
+        num_classes: 10,
+        train_per_class: 50,
+        test_per_class: 15,
+        img_size: 12,
+        seed: 41,
+        ..Default::default()
+    })?;
+
+    // Phase 1: train with APT "at the factory".
+    let net = models::cifarnet(10, 12, 0.25, &QuantScheme::paper_apt(), &mut rng::seeded(1))?;
+    let cfg = TrainConfig {
+        epochs: 12,
+        batch_size: 32,
+        schedule: LrSchedule::paper_cifar10(12),
+        policy: Some(PolicyConfig::paper_default()),
+        seed: 2,
+        ..Default::default()
+    };
+    let mut trainer = Trainer::new(net, cfg.clone())?;
+    let report = trainer.train(&data.train, &data.test)?;
+    println!(
+        "factory training: {:.1}% accuracy, adapted bits: {:?}",
+        100.0 * report.final_accuracy,
+        trainer.layer_bits()
+    );
+
+    // Phase 2: checkpoint at the adapted precision.
+    let mut trained = trainer.into_network();
+    let blob = checkpoint::save_full(&mut trained);
+    let fp32_equiv = trained.num_params() * 4;
+    println!(
+        "checkpoint: {} bytes on flash ({} bytes would hold the fp32 weights alone)",
+        blob.len(),
+        fp32_equiv
+    );
+
+    // Phase 3: "ship" — a fresh device instantiates the architecture and
+    // loads the blob; behaviour must be bit-exact.
+    let mut device = models::cifarnet(
+        10,
+        12,
+        0.25,
+        &QuantScheme::paper_apt(),
+        &mut rng::seeded(99),
+    )?;
+    checkpoint::load(&mut device, &blob)?;
+    let x = data.test.image(0).clone().reshape(&[1, 3, 12, 12])?;
+    let a = trained.forward(&x, Mode::Eval)?;
+    let b = device.forward(&x, Mode::Eval)?;
+    assert_eq!(a.data(), b.data(), "shipped model must match bit-exactly");
+    println!("shipped model verified bit-exact on device");
+
+    // Phase 4: resume learning in-situ on the device's own (shifted) data.
+    let local = SynthCifar::generate(&SynthCifarConfig {
+        num_classes: 10,
+        train_per_class: 20,
+        test_per_class: 10,
+        img_size: 12,
+        seed: 43, // different environment
+        ..Default::default()
+    })?;
+    let mut onboard = Trainer::new(
+        device,
+        TrainConfig {
+            epochs: 6,
+            schedule: LrSchedule::Constant(0.01),
+            ..cfg
+        },
+    )?;
+    let before = onboard.evaluate(&local.test)?;
+    let resumed = onboard.train(&local.train, &local.test)?;
+    println!(
+        "in-situ adaptation on new environment: {:.1}% -> {:.1}% using {:.1} µJ",
+        100.0 * before,
+        100.0 * resumed.final_accuracy,
+        resumed.total_energy_pj / 1e6
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! The T_min trade-off frontier (paper Figure 5, §IV-B): sweep the
+//! application-specific threshold and print the accuracy / energy / memory
+//! frontier an application designer would tune against.
+//!
+//! ```bash
+//! cargo run --release --example precision_tradeoff
+//! ```
+
+use apt::baselines::{run_baseline, BaselineSpec};
+use apt::core::TrainConfig;
+use apt::data::{SynthCifar, SynthCifarConfig};
+use apt::metrics::Table;
+use apt::nn::models;
+use apt::optim::LrSchedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SynthCifar::generate(&SynthCifarConfig {
+        num_classes: 10,
+        train_per_class: 50,
+        test_per_class: 15,
+        img_size: 12,
+        seed: 11,
+        ..Default::default()
+    })?;
+    let cfg = TrainConfig {
+        epochs: 12,
+        batch_size: 32,
+        schedule: LrSchedule::paper_cifar10(12),
+        seed: 5,
+        ..Default::default()
+    };
+
+    // fp32 reference for normalisation, as in the paper's figure.
+    let fp32 = run_baseline(
+        &BaselineSpec::fp32(),
+        |scheme, rng| models::cifarnet(10, 12, 0.25, scheme, rng),
+        &data.train,
+        &data.test,
+        &cfg,
+        13,
+    )?;
+
+    let mut table = Table::new(&[
+        "t_min",
+        "accuracy",
+        "energy/fp32",
+        "memory/fp32",
+        "mean bits",
+    ]);
+    for t_min in [0.1, 1.0, 6.0, 30.0, 100.0] {
+        let r = run_baseline(
+            &BaselineSpec::apt(t_min, f64::INFINITY),
+            |scheme, rng| models::cifarnet(10, 12, 0.25, scheme, rng),
+            &data.train,
+            &data.test,
+            &cfg,
+            13,
+        )?;
+        let last = r.epochs.last().expect("epochs");
+        let mean_bits = last.layer_bits.iter().map(|&(_, b)| b as f64).sum::<f64>()
+            / last.layer_bits.len().max(1) as f64;
+        table.push_row(vec![
+            format!("{t_min}"),
+            format!("{:.1}%", 100.0 * r.final_accuracy),
+            format!("{:.3}", r.total_energy_pj / fp32.total_energy_pj),
+            format!(
+                "{:.3}",
+                r.peak_memory_bits as f64 / fp32.peak_memory_bits as f64
+            ),
+            format!("{mean_bits:.2}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Raising T_min buys accuracy with energy/memory; past the knee the returns\n\
+         flatten — pick the row that fits your battery (paper Figure 5)."
+    );
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! # apt — Adaptive Precision Training, reproduced in Rust
+//!
+//! Facade crate for the full-stack reproduction of *Adaptive Precision
+//! Training for Resource Constrained Devices* (Huang, Luo, Zhou — ICDCS
+//! 2020). It re-exports every subsystem crate under one roof so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `apt-tensor` | dense f32 tensors, GEMM, conv, pooling |
+//! | [`quant`] | `apt-quant` | affine quantisation, Eq. 3 updates |
+//! | [`nn`] | `apt-nn` | layers, ResNet/MobileNetV2/CifarNet models |
+//! | [`data`] | `apt-data` | SynthCifar datasets + paper augmentation |
+//! | [`optim`] | `apt-optim` | SGD w/ momentum + LR schedules |
+//! | [`energy`] | `apt-energy` | bit-accurate energy & memory cost model |
+//! | [`metrics`] | `apt-metrics` | curves, records, CSV export |
+//! | [`core`] | `apt-core` | **the paper**: Gavg, Alg. 1 policy, Alg. 2 trainer |
+//! | [`baselines`] | `apt-baselines` | fixed-bit & fp32-master-copy comparators |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`, or run:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use apt_baselines as baselines;
+pub use apt_core as core;
+pub use apt_data as data;
+pub use apt_energy as energy;
+pub use apt_metrics as metrics;
+pub use apt_nn as nn;
+pub use apt_optim as optim;
+pub use apt_quant as quant;
+pub use apt_tensor as tensor;

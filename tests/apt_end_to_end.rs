@@ -1,0 +1,160 @@
+//! End-to-end integration of the full APT stack through the `apt` facade:
+//! data generation → quantised model → Algorithm 2 training → report.
+
+use apt::core::{PolicyConfig, TrainConfig, Trainer};
+use apt::data::{SynthCifar, SynthCifarConfig};
+use apt::nn::{models, QuantScheme};
+use apt::optim::LrSchedule;
+use apt::tensor::rng;
+
+fn tiny_synth(seed: u64) -> SynthCifar {
+    SynthCifar::generate(&SynthCifarConfig {
+        num_classes: 4,
+        train_per_class: 20,
+        test_per_class: 8,
+        img_size: 8,
+        seed,
+        ..Default::default()
+    })
+    .expect("dataset")
+}
+
+fn cfg(epochs: usize, policy: Option<PolicyConfig>) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 16,
+        schedule: LrSchedule::paper_cifar10(epochs),
+        policy,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn apt_learns_and_adapts_on_synth_cifar() {
+    let data = tiny_synth(1);
+    let net = models::cifarnet(4, 8, 0.25, &QuantScheme::paper_apt(), &mut rng::seeded(2))
+        .expect("model");
+    let mut trainer =
+        Trainer::new(net, cfg(12, Some(PolicyConfig::paper_default()))).expect("trainer");
+    let report = trainer.train(&data.train, &data.test).expect("train");
+
+    // Learns well above 4-class chance.
+    assert!(report.final_accuracy > 0.5, "acc={}", report.final_accuracy);
+    // Starts at the paper's 6 bits and adapts upward somewhere.
+    let first = &report.epochs[0];
+    let last = report.epochs.last().unwrap();
+    assert!(first.layer_bits.iter().all(|&(_, b)| b <= 7));
+    let grew = last.layer_bits.iter().any(|&(_, b)| b > 6);
+    assert!(
+        grew,
+        "at least one layer should gain precision: {:?}",
+        last.layer_bits
+    );
+    // Gavg profile exists for every quantised weight layer.
+    assert_eq!(last.gavg.len(), last.layer_bits.len());
+    // Energy/memory accounting is live.
+    assert!(report.total_energy_pj > 0.0);
+    assert!(report.peak_memory_bits > 0);
+}
+
+#[test]
+fn apt_saves_memory_and_energy_against_fp32() {
+    let data = tiny_synth(3);
+    let run = |scheme: &QuantScheme, policy| {
+        let net = models::cifarnet(4, 8, 0.25, scheme, &mut rng::seeded(4)).expect("model");
+        let mut t = Trainer::new(net, cfg(8, policy)).expect("trainer");
+        t.train(&data.train, &data.test).expect("train")
+    };
+    let apt = run(
+        &QuantScheme::paper_apt(),
+        Some(PolicyConfig::paper_default()),
+    );
+    let fp32 = run(&QuantScheme::float32(), None);
+    // The paper's headline: >50% savings on both axes with bounded loss.
+    assert!(
+        apt.peak_memory_bits * 2 < fp32.peak_memory_bits,
+        "memory: apt={} fp32={}",
+        apt.peak_memory_bits,
+        fp32.peak_memory_bits
+    );
+    assert!(
+        apt.total_energy_pj * 2.0 < fp32.total_energy_pj,
+        "energy: apt={} fp32={}",
+        apt.total_energy_pj,
+        fp32.total_energy_pj
+    );
+}
+
+#[test]
+fn reports_are_bitwise_reproducible() {
+    let data = tiny_synth(5);
+    let run = || {
+        let net = models::cifarnet(4, 8, 0.25, &QuantScheme::paper_apt(), &mut rng::seeded(6))
+            .expect("model");
+        let mut t =
+            Trainer::new(net, cfg(5, Some(PolicyConfig::paper_default()))).expect("trainer");
+        t.train(&data.train, &data.test).expect("train")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.final_accuracy, b.final_accuracy);
+    assert_eq!(a.total_energy_pj, b.total_energy_pj);
+    for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+        assert_eq!(ea.train_loss, eb.train_loss);
+        assert_eq!(ea.layer_bits, eb.layer_bits);
+        assert_eq!(ea.gavg, eb.gavg);
+    }
+}
+
+#[test]
+fn resnet_and_mobilenet_backbones_run_under_apt() {
+    let data = tiny_synth(8);
+    for (name, net) in [
+        (
+            "resnet20",
+            models::resnet20(4, 0.25, &QuantScheme::paper_apt(), &mut rng::seeded(9))
+                .expect("resnet"),
+        ),
+        (
+            "mobilenet_v2",
+            models::mobilenet_v2(4, 0.25, &QuantScheme::paper_apt(), &mut rng::seeded(10))
+                .expect("mobilenet"),
+        ),
+    ] {
+        let mut t =
+            Trainer::new(net, cfg(3, Some(PolicyConfig::paper_default()))).expect("trainer");
+        let report = t.train(&data.train, &data.test).expect(name);
+        assert_eq!(report.epochs.len(), 3, "{name}");
+        assert!(report.final_accuracy >= 0.0 && report.final_accuracy <= 1.0);
+    }
+}
+
+#[test]
+fn tmax_enables_precision_reduction() {
+    // With a very low T_max every layer's Gavg exceeds it, so the policy
+    // walks precision *down* toward the 2-bit floor.
+    let data = tiny_synth(11);
+    let net = models::mlp(
+        "m",
+        &[192, 16, 4],
+        &QuantScheme::fixed(apt::quant::Bitwidth::new(12).unwrap()),
+        &mut rng::seeded(12),
+    )
+    .expect("model");
+    let policy = PolicyConfig::new(0.0, 1e-9).expect("policy");
+    let mut t = Trainer::new(net, cfg(6, Some(policy))).expect("trainer");
+    let report = t.train(&data.train, &data.test).expect("train");
+    let first: u32 = report.epochs[0].layer_bits.iter().map(|&(_, b)| b).sum();
+    let last: u32 = report
+        .epochs
+        .last()
+        .unwrap()
+        .layer_bits
+        .iter()
+        .map(|&(_, b)| b)
+        .sum();
+    assert!(
+        last < first,
+        "T_max should shed precision: {first} -> {last}"
+    );
+}

@@ -1,0 +1,157 @@
+//! Structural Table I assertions across all baseline arms: BPROP precision
+//! labels, training-memory ordering, and that every comparator actually
+//! trains through the shared machinery.
+
+use apt::baselines::{run_baseline, BaselineSpec};
+use apt::core::TrainConfig;
+use apt::data::blobs;
+use apt::nn::models;
+use apt::optim::{LrSchedule, SgdConfig};
+use apt::quant::Bitwidth;
+
+fn toy() -> (apt::data::Dataset, apt::data::Dataset) {
+    blobs(3, 30, 6, 0.35, 1)
+        .unwrap()
+        .split_shuffled(70, 2)
+        .unwrap()
+}
+
+fn cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 6,
+        batch_size: 16,
+        schedule: LrSchedule::Constant(0.05),
+        sgd: SgdConfig {
+            momentum: 0.9,
+            weight_decay: 0.0,
+            ..Default::default()
+        },
+        augment: None,
+        seed: 3,
+        ..Default::default()
+    }
+}
+
+fn all_arms() -> Vec<BaselineSpec> {
+    vec![
+        BaselineSpec::fp32(),
+        BaselineSpec::fixed(Bitwidth::new(12).unwrap()),
+        BaselineSpec::bnn(),
+        BaselineSpec::twn(),
+        BaselineSpec::ttq(),
+        BaselineSpec::dorefa(Bitwidth::new(8).unwrap(), Bitwidth::new(8).unwrap()),
+        BaselineSpec::terngrad(),
+        BaselineSpec::wage(),
+        BaselineSpec::apt(6.0, f64::INFINITY),
+    ]
+}
+
+#[test]
+fn memory_ordering_matches_table1_structure() {
+    let (train, test) = toy();
+    let mut mem = std::collections::HashMap::new();
+    for spec in all_arms() {
+        let r = run_baseline(
+            &spec,
+            |scheme, rng| models::mlp("m", &[6, 16, 3], scheme, rng),
+            &train,
+            &test,
+            &cfg(),
+            5,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+        mem.insert(spec.name().to_string(), r.peak_memory_bits);
+    }
+    let fp32 = mem["fp32"];
+    // Integer-codes arms save memory; master-copy arms cost extra.
+    assert!(mem["apt"] < fp32);
+    assert!(mem["12bit-fixed"] < fp32);
+    assert!(mem["wage"] < fp32);
+    for master in ["bnn", "twn", "ttq", "dorefa-w8g8"] {
+        assert!(
+            mem[master] > fp32,
+            "{master} must exceed fp32: {} vs {fp32}",
+            mem[master]
+        );
+    }
+    // TernGrad quantises only gradients ⇒ same model memory as fp32.
+    assert_eq!(mem["terngrad"], fp32);
+    // WAGE (8-bit) is the smallest fixed footprint here except APT's start.
+    assert!(mem["wage"] < mem["12bit-fixed"]);
+}
+
+#[test]
+fn bprop_precision_labels() {
+    let labels: std::collections::HashMap<_, _> = all_arms()
+        .iter()
+        .map(|s| (s.name().to_string(), s.bprop_precision()))
+        .collect();
+    for fp in ["fp32", "bnn", "twn", "ttq", "dorefa-w8g8", "terngrad"] {
+        assert_eq!(labels[fp], "FP32", "{fp}");
+    }
+    assert_eq!(labels["wage"], "8-bit");
+    assert_eq!(labels["12bit-fixed"], "12-bit");
+    assert_eq!(labels["apt"], "Adaptive");
+}
+
+#[test]
+fn shared_machinery_gives_identical_data_order() {
+    // Two very different arms still consume identical batches: the fp32 and
+    // APT training losses at epoch 0 start from the same forward data, so
+    // their first-epoch losses are close (same init values up to 6-bit
+    // rounding, same batches).
+    let (train, test) = toy();
+    let fp32 = run_baseline(
+        &BaselineSpec::fp32(),
+        |scheme, rng| models::mlp("m", &[6, 16, 3], scheme, rng),
+        &train,
+        &test,
+        &cfg(),
+        9,
+    )
+    .unwrap();
+    let apt = run_baseline(
+        &BaselineSpec::apt(6.0, f64::INFINITY),
+        |scheme, rng| models::mlp("m", &[6, 16, 3], scheme, rng),
+        &train,
+        &test,
+        &cfg(),
+        9,
+    )
+    .unwrap();
+    let (a, b) = (fp32.epochs[0].train_loss, apt.epochs[0].train_loss);
+    assert!(
+        (a - b).abs() < 0.5,
+        "first-epoch losses too far apart: {a} vs {b}"
+    );
+}
+
+#[test]
+fn grad_quantised_arms_still_learn() {
+    let (train, test) = toy();
+    // TernGrad/DoReFa train with Adam at the conventional 1e-3 rate (their
+    // papers' recipes), which needs a longer toy budget than SGD@0.05.
+    for spec in [
+        BaselineSpec::terngrad(),
+        BaselineSpec::dorefa(Bitwidth::new(8).unwrap(), Bitwidth::new(8).unwrap()),
+        BaselineSpec::wage(),
+    ] {
+        let mut c = cfg();
+        c.epochs = 60;
+        let r = run_baseline(
+            &spec,
+            |scheme, rng| models::mlp("m", &[6, 16, 3], scheme, rng),
+            &train,
+            &test,
+            &c,
+            7,
+        )
+        .unwrap();
+        assert!(
+            r.final_accuracy > 0.5,
+            "{} should beat 3-class chance solidly: {}",
+            spec.name(),
+            r.final_accuracy
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Failure injection across the public API: malformed inputs must surface
+//! as typed errors, never panics, on every library code path that returns
+//! `Result`.
+
+use apt::core::{PolicyConfig, TrainConfig, Trainer};
+use apt::data::{Batcher, Dataset, SynthCifar, SynthCifarConfig};
+use apt::nn::{models, Mode, ParamKind, QuantScheme};
+use apt::optim::{Sgd, SgdConfig};
+use apt::quant::{AffineQuantizer, Bitwidth, QuantizedTensor, RoundingMode};
+use apt::tensor::{ops, rng, Tensor};
+
+#[test]
+fn non_finite_inputs_are_rejected_not_propagated() {
+    // Quantiser calibration.
+    assert!(AffineQuantizer::from_range(f32::NAN, 1.0, Bitwidth::default()).is_err());
+    assert!(AffineQuantizer::from_range(0.0, f32::INFINITY, Bitwidth::default()).is_err());
+    // Quantised update with NaN gradient.
+    let w = Tensor::from_slice(&[0.0, 1.0]);
+    let mut q = QuantizedTensor::from_tensor(&w, Bitwidth::default()).unwrap();
+    let mut bad = Tensor::from_slice(&[1.0, 1.0]);
+    bad.data_mut()[1] = f32::NAN;
+    assert!(q
+        .sgd_update(&bad, 0.1, RoundingMode::Truncate, &mut rng::seeded(0))
+        .is_err());
+    // NaN gradient through the optimiser.
+    let mut net =
+        models::mlp("m", &[2, 2], &QuantScheme::paper_apt(), &mut rng::seeded(1)).unwrap();
+    net.visit_params(&mut |p| {
+        if p.kind() == ParamKind::Weight {
+            p.grad_mut().data_mut()[0] = f32::INFINITY;
+        }
+    });
+    let mut sgd = Sgd::new(
+        SgdConfig {
+            momentum: 0.0,
+            ..Default::default()
+        },
+        0,
+    );
+    assert!(sgd.step(&mut net, 0.1).is_err());
+}
+
+#[test]
+fn empty_and_degenerate_datasets() {
+    let empty = Dataset::new(vec![], vec![], 2).unwrap();
+    assert!(empty.is_empty());
+    // Trainer refuses an empty training split.
+    let net = models::mlp("m", &[2, 2], &QuantScheme::float32(), &mut rng::seeded(2)).unwrap();
+    let mut t = Trainer::new(
+        net,
+        TrainConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(t.train(&empty, &empty).is_err());
+    // Evaluation of an empty set is defined (0.0), not a crash.
+    let net = models::mlp("m", &[2, 2], &QuantScheme::float32(), &mut rng::seeded(2)).unwrap();
+    let mut t = Trainer::new(
+        net,
+        TrainConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(t.evaluate(&empty).unwrap(), 0.0);
+    // Degenerate single-value weight tensors still quantise (ε floor).
+    let constant = Tensor::full(&[16], 3.0);
+    let q = QuantizedTensor::from_tensor(&constant, Bitwidth::default()).unwrap();
+    assert!(q.eps() > 0.0);
+}
+
+#[test]
+fn config_validation_everywhere() {
+    // Dataset configs.
+    assert!(SynthCifar::generate(&SynthCifarConfig {
+        num_classes: 0,
+        ..Default::default()
+    })
+    .is_err());
+    assert!(Batcher::new(0, None, 1).is_err());
+    // Policy configs.
+    assert!(PolicyConfig::new(5.0, 1.0).is_err());
+    assert!(PolicyConfig::new(f64::NAN, 1.0).is_err());
+    // Bitwidths.
+    assert!(Bitwidth::new(1).is_err());
+    assert!(Bitwidth::new(33).is_err());
+    // Model configs.
+    assert!(models::resnet(13, 10, 1.0, &QuantScheme::float32(), &mut rng::seeded(0)).is_err());
+    assert!(models::cifarnet(10, 13, 1.0, &QuantScheme::float32(), &mut rng::seeded(0)).is_err());
+    assert!(models::mlp("m", &[4], &QuantScheme::float32(), &mut rng::seeded(0)).is_err());
+    // Trainer configs.
+    let net = models::mlp("m", &[2, 2], &QuantScheme::float32(), &mut rng::seeded(0)).unwrap();
+    assert!(Trainer::new(
+        net,
+        TrainConfig {
+            epochs: 0,
+            ..Default::default()
+        }
+    )
+    .is_err());
+    let net = models::mlp("m", &[2, 2], &QuantScheme::float32(), &mut rng::seeded(0)).unwrap();
+    assert!(Trainer::new(
+        net,
+        TrainConfig {
+            ema_alpha: 2.0,
+            ..Default::default()
+        }
+    )
+    .is_err());
+}
+
+#[test]
+fn shape_mismatches_surface_as_errors() {
+    let mut net =
+        models::cifarnet(4, 8, 0.25, &QuantScheme::float32(), &mut rng::seeded(3)).unwrap();
+    // Wrong channel count.
+    assert!(net
+        .forward(&Tensor::zeros(&[1, 1, 8, 8]), Mode::Train)
+        .is_err());
+    // Wrong rank.
+    assert!(net.forward(&Tensor::zeros(&[8, 8]), Mode::Train).is_err());
+    // Backward before forward.
+    let mut fresh =
+        models::cifarnet(4, 8, 0.25, &QuantScheme::float32(), &mut rng::seeded(3)).unwrap();
+    assert!(fresh.backward(&Tensor::zeros(&[1, 4])).is_err());
+    // Tensor-level mismatches.
+    assert!(ops::add(&Tensor::zeros(&[2]), &Tensor::zeros(&[3])).is_err());
+    assert!(ops::matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 3])).is_err());
+}
+
+#[test]
+fn errors_format_and_chain() {
+    // Every public error type renders and exposes sources where wrapped.
+    let e = models::mlp("m", &[1], &QuantScheme::float32(), &mut rng::seeded(0)).unwrap_err();
+    assert!(!e.to_string().is_empty());
+    let e = SynthCifar::generate(&SynthCifarConfig {
+        num_classes: 0,
+        ..Default::default()
+    })
+    .unwrap_err();
+    assert!(!e.to_string().is_empty());
+    let e = Bitwidth::new(99).unwrap_err();
+    assert!(e.to_string().contains("99"));
+}

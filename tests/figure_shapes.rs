@@ -1,0 +1,128 @@
+//! Micro-scale checks of the *shapes* each paper figure claims, run fast
+//! enough for CI. The full-size regenerations live in `apt-bench`'s
+//! binaries; these tests pin the qualitative behaviour.
+
+use apt::baselines::{run_baseline, BaselineSpec};
+use apt::core::TrainConfig;
+use apt::data::{SynthCifar, SynthCifarConfig};
+use apt::nn::models;
+use apt::optim::{LrSchedule, SgdConfig};
+
+fn data() -> SynthCifar {
+    SynthCifar::generate(&SynthCifarConfig {
+        num_classes: 4,
+        train_per_class: 24,
+        test_per_class: 8,
+        img_size: 8,
+        seed: 17,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+fn cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 16,
+        schedule: LrSchedule::paper_cifar10(epochs),
+        sgd: SgdConfig::default(),
+        seed: 19,
+        ..Default::default()
+    }
+}
+
+fn run(spec: &BaselineSpec, d: &SynthCifar, epochs: usize) -> apt::core::TrainReport {
+    run_baseline(
+        spec,
+        |scheme, rng| models::cifarnet(4, 8, 0.25, scheme, rng),
+        &d.train,
+        &d.test,
+        &cfg(epochs),
+        23,
+    )
+    .unwrap()
+}
+
+#[test]
+fn fig1_shape_policy_lifts_gavg_starved_layers() {
+    // Under APT every layer that dips below T_min gains bits the next
+    // epoch (Algorithm 1) — check the recorded changes agree.
+    let d = data();
+    let report = run(&BaselineSpec::apt(1.0, f64::INFINITY), &d, 8);
+    let mut starved_then_raised = 0;
+    for e in &report.epochs {
+        for c in &e.changes {
+            assert!(c.gavg < 1.0, "only starving layers change: gavg={}", c.gavg);
+            assert_eq!(c.to.get(), c.from.get() + 1);
+            starved_then_raised += 1;
+        }
+    }
+    assert!(
+        starved_then_raised > 0,
+        "some layer must have starved in 8 epochs"
+    );
+}
+
+#[test]
+fn fig2_shape_apt_beats_a_stalled_low_bit_arm() {
+    let d = data();
+    let low = run(
+        &BaselineSpec::fixed(apt::quant::Bitwidth::new(4).unwrap()),
+        &d,
+        10,
+    );
+    let apt = run(&BaselineSpec::apt(6.0, f64::INFINITY), &d, 10);
+    assert!(
+        apt.best_accuracy >= low.best_accuracy,
+        "apt={} low={}",
+        apt.best_accuracy,
+        low.best_accuracy
+    );
+}
+
+#[test]
+fn fig4_shape_energy_to_unreachable_target_is_absent() {
+    let d = data();
+    let r = run(
+        &BaselineSpec::fixed(apt::quant::Bitwidth::new(4).unwrap()),
+        &d,
+        6,
+    );
+    assert_eq!(r.energy_to_accuracy(1.01), None, "no arm reaches >100%");
+    let reachable = r.energy_to_accuracy(0.0);
+    assert!(reachable.is_some());
+}
+
+#[test]
+fn fig5_shape_tmin_monotone_in_memory_and_energy() {
+    // Higher T_min can only request ≥ precision at each decision point, so
+    // at equal seeds/epochs memory and energy are non-decreasing in T_min.
+    let d = data();
+    let lo = run(&BaselineSpec::apt(0.1, f64::INFINITY), &d, 8);
+    let hi = run(&BaselineSpec::apt(50.0, f64::INFINITY), &d, 8);
+    assert!(
+        hi.peak_memory_bits >= lo.peak_memory_bits,
+        "memory: hi={} lo={}",
+        hi.peak_memory_bits,
+        lo.peak_memory_bits
+    );
+    assert!(
+        hi.total_energy_pj >= lo.total_energy_pj,
+        "energy: hi={} lo={}",
+        hi.total_energy_pj,
+        lo.total_energy_pj
+    );
+}
+
+#[test]
+fn table1_shape_apt_memory_below_fp32_with_sgd() {
+    let d = data();
+    let fp32 = run(&BaselineSpec::fp32(), &d, 6);
+    let apt = run(&BaselineSpec::apt(6.0, f64::INFINITY), &d, 6);
+    assert!(apt.peak_memory_bits < fp32.peak_memory_bits);
+    // And the label row matches the paper's table.
+    assert_eq!(
+        BaselineSpec::apt(6.0, f64::INFINITY).bprop_precision(),
+        "Adaptive"
+    );
+}

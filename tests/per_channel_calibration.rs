@@ -1,0 +1,120 @@
+//! End-to-end checks of the per-channel calibration ablation through the
+//! public facade: training, APT adaptation, energy/memory accounting and
+//! checkpoint roundtrip all work with per-channel stores.
+
+use apt::core::{PolicyConfig, TrainConfig, Trainer};
+use apt::data::blobs;
+use apt::nn::{checkpoint, models, Mode, ParamKind, QuantScheme};
+use apt::optim::{LrSchedule, SgdConfig};
+use apt::quant::Bitwidth;
+use apt::tensor::rng::seeded;
+
+fn toy() -> (apt::data::Dataset, apt::data::Dataset) {
+    blobs(3, 40, 6, 0.35, 21)
+        .unwrap()
+        .split_shuffled(90, 22)
+        .unwrap()
+}
+
+fn cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 16,
+        schedule: LrSchedule::Constant(0.05),
+        sgd: SgdConfig {
+            momentum: 0.9,
+            weight_decay: 0.0,
+            ..Default::default()
+        },
+        augment: None,
+        seed: 23,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn per_channel_network_trains_and_adapts() {
+    let (train, test) = toy();
+    let scheme = QuantScheme::per_channel(Bitwidth::new(4).unwrap());
+    let net = models::mlp("m", &[6, 16, 3], &scheme, &mut seeded(1)).unwrap();
+    let mut c = cfg(12);
+    c.policy = Some(PolicyConfig::paper_default());
+    let mut t = Trainer::new(net, c).unwrap();
+    let r = t.train(&train, &test).unwrap();
+    assert!(r.final_accuracy > 0.6, "acc={}", r.final_accuracy);
+    // Per-channel stores are profiled and adapted by Algorithm 1 too.
+    assert!(!r.epochs.last().unwrap().gavg.is_empty());
+    let grew = r
+        .epochs
+        .last()
+        .unwrap()
+        .layer_bits
+        .iter()
+        .any(|&(_, b)| b > 4);
+    assert!(
+        grew,
+        "policy should adapt per-channel bits: {:?}",
+        r.epochs.last().unwrap().layer_bits
+    );
+}
+
+#[test]
+fn per_channel_memory_includes_calibration_overhead() {
+    let scheme_pc = QuantScheme::per_channel(Bitwidth::new(6).unwrap());
+    let scheme_pt = QuantScheme::paper_apt();
+    let pc = models::mlp("m", &[6, 16, 3], &scheme_pc, &mut seeded(2)).unwrap();
+    let pt = models::mlp("m", &[6, 16, 3], &scheme_pt, &mut seeded(2)).unwrap();
+    // Same code bits; per-channel pays one (S, Z) pair per output row.
+    assert!(pc.memory_bits() > pt.memory_bits());
+    assert!(pc.memory_bits() < pt.memory_bits() + 96 * (16 + 3) + 1);
+}
+
+#[test]
+fn per_channel_checkpoint_roundtrips_bit_exactly() {
+    let scheme = QuantScheme::per_channel(Bitwidth::new(5).unwrap());
+    let mut net = models::cifarnet(4, 8, 0.25, &scheme, &mut seeded(3)).unwrap();
+    let x = apt::tensor::rng::normal(&[2, 3, 8, 8], 1.0, &mut seeded(4));
+    let _ = net.forward(&x, Mode::Train).unwrap();
+    let expected = net.forward(&x, Mode::Eval).unwrap();
+    let blob = checkpoint::save_full(&mut net);
+    let mut fresh = models::cifarnet(4, 8, 0.25, &scheme, &mut seeded(99)).unwrap();
+    checkpoint::load(&mut fresh, &blob).unwrap();
+    let got = fresh.forward(&x, Mode::Eval).unwrap();
+    assert_eq!(got.data(), expected.data());
+}
+
+#[test]
+fn per_channel_weights_have_channelwise_levels() {
+    // Each output row of a 3-bit per-channel weight has ≤ 8 distinct
+    // values, but the rows use *different* grids.
+    let scheme = QuantScheme::per_channel(Bitwidth::new(3).unwrap());
+    let net = models::mlp("m", &[32, 8, 3], &scheme, &mut seeded(5)).unwrap();
+    net.visit_params_ref(&mut |p| {
+        if p.kind() != ParamKind::Weight || p.dims()[0] < 2 {
+            return;
+        }
+        let v = p.value();
+        let cols = v.len() / v.dims()[0];
+        let mut row_grids = Vec::new();
+        for row in 0..v.dims()[0] {
+            let mut levels: Vec<i64> = v.data()[row * cols..(row + 1) * cols]
+                .iter()
+                .map(|&x| (x * 1e6) as i64)
+                .collect();
+            levels.sort_unstable();
+            levels.dedup();
+            assert!(
+                levels.len() <= 8,
+                "{}: row {row} has {} levels",
+                p.name(),
+                levels.len()
+            );
+            row_grids.push(levels);
+        }
+        assert!(
+            row_grids.windows(2).any(|w| w[0] != w[1]),
+            "{}: rows should have distinct grids",
+            p.name()
+        );
+    });
+}

@@ -1,0 +1,144 @@
+//! The paper's core phenomenon, §III-A: quantisation underflow freezes
+//! low-precision layers ("driving the training into a dead state"), and
+//! APT's Gavg-driven policy is exactly the escape hatch.
+
+use apt::core::{GradQuant, PolicyConfig, TrainConfig, Trainer};
+use apt::data::blobs;
+use apt::nn::{models, ParamKind, QuantScheme};
+use apt::optim::{LrSchedule, SgdConfig};
+use apt::quant::{Bitwidth, QuantizedTensor, RoundingMode};
+use apt::tensor::{rng, Tensor};
+
+#[test]
+fn eq3_underflow_threshold_is_exactly_eps() {
+    // Updates of magnitude just below ε vanish; just above ε land.
+    let w = Tensor::from_slice(&[-1.0, 0.0, 0.25, 1.0]);
+    let mut q = QuantizedTensor::from_tensor(&w, Bitwidth::new(5).unwrap()).unwrap();
+    let eps = q.eps();
+    let below = Tensor::full(&[4], 0.99 * eps);
+    let above = Tensor::from_slice(&[0.0, 1.01 * eps, 1.01 * eps, 1.01 * eps]);
+    let s1 = q
+        .sgd_update(&below, 1.0, RoundingMode::Truncate, &mut rng::seeded(0))
+        .unwrap();
+    assert_eq!(s1.underflowed, 4);
+    let s2 = q
+        .sgd_update(&above, 1.0, RoundingMode::Truncate, &mut rng::seeded(0))
+        .unwrap();
+    assert_eq!(s2.underflowed, 0);
+}
+
+fn stall_setup(policy: Option<PolicyConfig>) -> apt::core::TrainReport {
+    // 2-bit weights: ε is enormous, almost every update underflows — the
+    // paper's "dead state". Identical everything except the policy.
+    let (train, test) = blobs(3, 40, 6, 0.3, 3)
+        .unwrap()
+        .split_shuffled(90, 4)
+        .unwrap();
+    let scheme = QuantScheme::fixed(Bitwidth::MIN);
+    let net = models::mlp("m", &[6, 16, 3], &scheme, &mut rng::seeded(5)).unwrap();
+    let cfg = TrainConfig {
+        epochs: 14,
+        batch_size: 16,
+        schedule: LrSchedule::Constant(0.05),
+        sgd: SgdConfig {
+            momentum: 0.9,
+            weight_decay: 0.0,
+            ..Default::default()
+        },
+        policy,
+        augment: None,
+        grad_quant: GradQuant::None,
+        seed: 6,
+        ..Default::default()
+    };
+    let mut t = Trainer::new(net, cfg).unwrap();
+    t.train(&train, &test).unwrap()
+}
+
+#[test]
+fn two_bit_training_stalls_but_apt_escapes() {
+    let stalled = stall_setup(None);
+    let rescued = stall_setup(Some(PolicyConfig::paper_default()));
+
+    // The fixed 2-bit arm underflows massively and stays near chance.
+    let stalled_underflow: f64 =
+        stalled.epochs.iter().map(|e| e.underflow_rate).sum::<f64>() / stalled.epochs.len() as f64;
+    assert!(stalled_underflow > 0.5, "underflow={stalled_underflow}");
+
+    // APT detects the starvation (Gavg < T_min) and raises precision...
+    let last = rescued.epochs.last().unwrap();
+    assert!(
+        last.layer_bits.iter().all(|&(_, b)| b > 2),
+        "bits={:?}",
+        last.layer_bits
+    );
+    // ...and converts that into real accuracy.
+    assert!(
+        rescued.final_accuracy > stalled.final_accuracy + 0.15,
+        "rescued={} stalled={}",
+        rescued.final_accuracy,
+        stalled.final_accuracy
+    );
+}
+
+#[test]
+fn gavg_collapse_precedes_the_stall() {
+    // In the stalled arm the recorded Gavg should sit below the paper's
+    // T_min = 6 threshold — the signal APT keys on.
+    let stalled = stall_setup(None);
+    let last = stalled.epochs.last().unwrap();
+    assert!(!last.gavg.is_empty());
+    let min_gavg = last
+        .gavg
+        .iter()
+        .map(|&(_, g)| g)
+        .fold(f64::INFINITY, f64::min);
+    assert!(min_gavg < 6.0, "min gavg = {min_gavg}");
+}
+
+#[test]
+fn frozen_layers_have_zero_effective_updates() {
+    // Direct check of §III-A: with 2-bit weights and realistic gradient
+    // scales, the weight tensor does not move at all.
+    let mut net = models::mlp(
+        "m",
+        &[6, 8, 3],
+        &QuantScheme::fixed(Bitwidth::MIN),
+        &mut rng::seeded(1),
+    )
+    .unwrap();
+    let before: Vec<Tensor> = {
+        let mut v = Vec::new();
+        net.visit_params_ref(&mut |p| {
+            if p.kind() == ParamKind::Weight {
+                v.push(p.value());
+            }
+        });
+        v
+    };
+    // One training step with small gradients.
+    let x = rng::normal(&[4, 6], 1.0, &mut rng::seeded(2));
+    let y = net.forward(&x, apt::nn::Mode::Train).unwrap();
+    let grad = Tensor::full(y.dims(), 1e-4);
+    net.backward(&grad).unwrap();
+    let mut sgd = apt::optim::Sgd::new(
+        SgdConfig {
+            momentum: 0.0,
+            weight_decay: 0.0,
+            ..Default::default()
+        },
+        0,
+    );
+    let stats = sgd.step(&mut net, 0.01).unwrap();
+    // Every non-zero-gradient element underflows (exactly-zero gradients —
+    // dead ReLU paths — are not counted as underflow by definition).
+    assert!(stats.underflowed > 0);
+    assert!(stats.underflowed <= stats.quantized_total);
+    let mut i = 0;
+    net.visit_params_ref(&mut |p| {
+        if p.kind() == ParamKind::Weight {
+            assert_eq!(p.value().data(), before[i].data(), "weights must be frozen");
+            i += 1;
+        }
+    });
+}

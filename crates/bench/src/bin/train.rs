@@ -13,7 +13,7 @@
 //! `master:<bits>`, `per-channel:<bits>`. Models: `resnet20`, `resnet110`,
 //! `mobilenetv2`, `cifarnet`, `vgg`.
 
-use apt_core::{PolicyConfig, TrainConfig, Trainer};
+use apt_core::{CheckpointConfig, PolicyConfig, SentinelConfig, TrainConfig, Trainer};
 use apt_data::{SynthCifar, SynthCifarConfig};
 use apt_metrics::Table;
 use apt_nn::{checkpoint, models, Network, QuantScheme};
@@ -34,6 +34,11 @@ struct Args {
     batch_size: usize,
     seed: u64,
     out: String,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: usize,
+    checkpoint_keep: usize,
+    resume: bool,
+    sentinel: bool,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +54,11 @@ fn parse_args() -> Args {
         batch_size: 32,
         seed: 42,
         out: "results/train".into(),
+        checkpoint_dir: None,
+        checkpoint_every: 25,
+        checkpoint_keep: 2,
+        resume: false,
+        sentinel: false,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -74,13 +84,28 @@ fn parse_args() -> Args {
             "--batch-size" => a.batch_size = take(&mut i).parse().unwrap_or(a.batch_size),
             "--seed" => a.seed = take(&mut i).parse().unwrap_or(a.seed),
             "--out" => a.out = take(&mut i),
+            "--checkpoint-dir" => a.checkpoint_dir = Some(take(&mut i)),
+            "--checkpoint-every" => {
+                a.checkpoint_every = take(&mut i).parse().unwrap_or(a.checkpoint_every)
+            }
+            "--checkpoint-keep" => {
+                a.checkpoint_keep = take(&mut i).parse().unwrap_or(a.checkpoint_keep)
+            }
+            "--resume" => a.resume = true,
+            "--sentinel" => a.sentinel = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: train [--model resnet20|resnet110|mobilenetv2|cifarnet|vgg]\n\
                      \x20            [--scheme fp32|apt|fixed:<bits>|master:<bits>|per-channel:<bits>]\n\
                      \x20            [--t-min F] [--epochs N] [--classes N] [--img-size N]\n\
                      \x20            [--per-class N] [--width-mult F] [--batch-size N]\n\
-                     \x20            [--seed N] [--out PATH]"
+                     \x20            [--seed N] [--out PATH]\n\
+                     \x20            [--checkpoint-dir PATH] [--checkpoint-every N]\n\
+                     \x20            [--checkpoint-keep N] [--resume] [--sentinel]\n\n\
+                     --checkpoint-dir enables crash-safe checkpoints every\n\
+                     --checkpoint-every optimiser steps (newest --checkpoint-keep kept);\n\
+                     --resume continues from the newest valid checkpoint in that\n\
+                     directory; --sentinel arms the divergence sentinel."
                 );
                 exit(0);
             }
@@ -172,19 +197,34 @@ fn main() {
         a.epochs
     );
 
+    if a.resume && a.checkpoint_dir.is_none() {
+        eprintln!("--resume requires --checkpoint-dir");
+        exit(2);
+    }
     let cfg = TrainConfig {
         epochs: a.epochs,
         batch_size: a.batch_size,
         schedule: LrSchedule::paper_cifar10(a.epochs),
         policy,
         seed: a.seed,
+        checkpoint: a.checkpoint_dir.as_ref().map(|d| CheckpointConfig {
+            dir: d.into(),
+            every: a.checkpoint_every,
+            keep: a.checkpoint_keep,
+        }),
+        sentinel: a.sentinel.then(SentinelConfig::default),
         ..Default::default()
     };
     let mut trainer = Trainer::new(net, cfg).unwrap_or_else(|e| {
         eprintln!("trainer config error: {e}");
         exit(1);
     });
-    let report = trainer.train(&data.train, &data.test).unwrap_or_else(|e| {
+    let report = if a.resume {
+        trainer.resume_from_dir(&data.train, &data.test)
+    } else {
+        trainer.train(&data.train, &data.test)
+    }
+    .unwrap_or_else(|e| {
         eprintln!("training failed: {e}");
         exit(1);
     });

@@ -19,6 +19,39 @@ pub enum CoreError {
     Quant(apt_quant::QuantError),
     /// A tensor kernel error.
     Tensor(apt_tensor::TensorError),
+    /// A filesystem operation on persisted training state failed. Carries
+    /// the rendered `std::io::Error` (this enum stays `Clone + PartialEq`).
+    Io {
+        /// What failed, including the underlying OS error.
+        reason: String,
+    },
+    /// A persisted training-state blob failed an integrity check
+    /// (truncated, bit-flipped, or structurally impossible).
+    Corrupt {
+        /// Explanation of the failed check.
+        reason: String,
+    },
+    /// The divergence sentinel exhausted its retry budget: rollback, LR
+    /// halving and precision escalation all failed to produce a finite,
+    /// non-spiking loss.
+    Diverged {
+        /// Epoch of the final failed attempt.
+        epoch: usize,
+        /// Within-epoch iteration of the final failed attempt.
+        iteration: usize,
+        /// The offending loss value.
+        loss: f64,
+        /// Recovery attempts made before giving up.
+        retries: usize,
+    },
+    /// Training was cut short by a simulated power failure (fault
+    /// injection); no state was persisted for the in-flight step.
+    Interrupted {
+        /// Epoch at the cut.
+        epoch: usize,
+        /// Within-epoch iteration at the cut.
+        iteration: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +63,22 @@ impl fmt::Display for CoreError {
             CoreError::Optim(e) => write!(f, "optimiser error: {e}"),
             CoreError::Quant(e) => write!(f, "quantisation error: {e}"),
             CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Io { reason } => write!(f, "checkpoint i/o error: {reason}"),
+            CoreError::Corrupt { reason } => write!(f, "corrupt training state: {reason}"),
+            CoreError::Diverged {
+                epoch,
+                iteration,
+                loss,
+                retries,
+            } => write!(
+                f,
+                "training diverged at epoch {epoch} iteration {iteration} \
+                 (loss {loss}) after {retries} recovery attempts"
+            ),
+            CoreError::Interrupted { epoch, iteration } => write!(
+                f,
+                "training interrupted (simulated power cut) at epoch {epoch} iteration {iteration}"
+            ),
         }
     }
 }
@@ -42,7 +91,11 @@ impl Error for CoreError {
             CoreError::Optim(e) => Some(e),
             CoreError::Quant(e) => Some(e),
             CoreError::Tensor(e) => Some(e),
-            CoreError::BadConfig { .. } => None,
+            CoreError::BadConfig { .. }
+            | CoreError::Io { .. }
+            | CoreError::Corrupt { .. }
+            | CoreError::Diverged { .. }
+            | CoreError::Interrupted { .. } => None,
         }
     }
 }

@@ -1,0 +1,238 @@
+//! Fault injection for resilience testing.
+//!
+//! A [`StepHook`] is consulted by [`crate::Trainer::train_with_hooks`]
+//! right before every training step. It can observe the step coordinates,
+//! mutate the batch (to model a corrupted sensor read or a poisoned
+//! sample), or simulate a power cut — the trainer then aborts with
+//! [`crate::CoreError::Interrupted`] *without* persisting the in-flight
+//! step, exactly like a device losing power mid-iteration.
+//!
+//! The module also ships byte-level corruptors ([`flip_byte`],
+//! [`truncate_file`]) for attacking checkpoint files on disk, used by the
+//! fault-injection test-suite to prove the CRC framing catches every
+//! single-byte error.
+
+use crate::CoreError;
+use apt_data::Batch;
+use std::fs;
+use std::path::Path;
+
+/// Coordinates of the step about to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepInfo {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Within-epoch iteration index (0-based).
+    pub iter: usize,
+    /// Optimiser steps completed so far across the whole run.
+    pub global_step: u64,
+}
+
+/// What the trainer should do with the step a hook just inspected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepAction {
+    /// Proceed normally (the hook may still have mutated the batch).
+    #[default]
+    Continue,
+    /// Simulate a power cut: abort immediately, persisting nothing.
+    PowerCut,
+}
+
+/// Observer/injector consulted before every training step.
+pub trait StepHook {
+    /// Called with the step coordinates and mutable access to the batch
+    /// about to be consumed. Return [`StepAction::PowerCut`] to kill the
+    /// run at this exact point.
+    fn before_step(&mut self, info: &StepInfo, batch: &mut Batch) -> StepAction;
+}
+
+/// The no-op hook — plain training.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl StepHook for NoFaults {
+    fn before_step(&mut self, _info: &StepInfo, _batch: &mut Batch) -> StepAction {
+        StepAction::Continue
+    }
+}
+
+/// Kills the run when `global_step` reaches a chosen value — i.e. after
+/// exactly `at_step` optimiser steps have completed.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerCut {
+    /// Cut power when this many steps have completed.
+    pub at_step: u64,
+}
+
+impl PowerCut {
+    /// A power cut after `at_step` completed optimiser steps.
+    pub fn after(at_step: u64) -> Self {
+        PowerCut { at_step }
+    }
+}
+
+impl StepHook for PowerCut {
+    fn before_step(&mut self, info: &StepInfo, _batch: &mut Batch) -> StepAction {
+        if info.global_step >= self.at_step {
+            StepAction::PowerCut
+        } else {
+            StepAction::Continue
+        }
+    }
+}
+
+/// Poisons the images of one step — the canonical divergence trigger for
+/// exercising the sentinel's rollback path. The default payload is NaN
+/// (caught by the sentinel's input check); a huge finite payload (for
+/// example `1e20`) instead drives the loss through the roof and exercises
+/// the spike detector.
+///
+/// One-shot by design: a sentinel skip does *not* advance `global_step`
+/// (no optimiser step ran), so a bomb keyed on the step counter alone
+/// would re-fire on the retry and masquerade as sustained divergence.
+#[derive(Debug, Clone, Copy)]
+pub struct NanBomb {
+    at_step: u64,
+    payload: f32,
+    armed: bool,
+}
+
+impl NanBomb {
+    /// A NaN bomb armed for the given global step.
+    pub fn at(at_step: u64) -> Self {
+        Self::with_payload(at_step, f32::NAN)
+    }
+
+    /// A bomb that fills the images with an arbitrary payload value.
+    pub fn with_payload(at_step: u64, payload: f32) -> Self {
+        NanBomb {
+            at_step,
+            payload,
+            armed: true,
+        }
+    }
+}
+
+impl StepHook for NanBomb {
+    fn before_step(&mut self, info: &StepInfo, batch: &mut Batch) -> StepAction {
+        if self.armed && info.global_step == self.at_step {
+            self.armed = false;
+            for x in batch.images.data_mut() {
+                *x = self.payload;
+            }
+        }
+        StepAction::Continue
+    }
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> CoreError {
+    CoreError::Io {
+        reason: format!("{what} {}: {e}", path.display()),
+    }
+}
+
+/// XORs the byte at `offset` with `mask` in place — a one-bit-to-eight-bit
+/// storage corruption.
+///
+/// # Errors
+///
+/// [`CoreError::Io`] if the file cannot be read or written;
+/// [`CoreError::BadConfig`] if `offset` is out of range or `mask` is zero
+/// (which would corrupt nothing).
+pub fn flip_byte(path: &Path, offset: usize, mask: u8) -> crate::Result<()> {
+    if mask == 0 {
+        return Err(CoreError::BadConfig {
+            reason: "flip_byte mask must be non-zero".into(),
+        });
+    }
+    let mut bytes = fs::read(path).map_err(|e| io_err("reading", path, e))?;
+    let Some(b) = bytes.get_mut(offset) else {
+        return Err(CoreError::BadConfig {
+            reason: format!("offset {offset} outside file of {} bytes", bytes.len()),
+        });
+    };
+    *b ^= mask;
+    fs::write(path, &bytes).map_err(|e| io_err("writing", path, e))
+}
+
+/// Truncates the file to `len` bytes — a torn write.
+///
+/// # Errors
+///
+/// [`CoreError::Io`] on filesystem failure; [`CoreError::BadConfig`] if
+/// `len` is not smaller than the current file size.
+pub fn truncate_file(path: &Path, len: usize) -> crate::Result<()> {
+    let bytes = fs::read(path).map_err(|e| io_err("reading", path, e))?;
+    if len >= bytes.len() {
+        return Err(CoreError::BadConfig {
+            reason: format!("truncate to {len} ≥ current size {}", bytes.len()),
+        });
+    }
+    fs::write(path, &bytes[..len]).map_err(|e| io_err("writing", path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_tensor::Tensor;
+
+    fn batch() -> Batch {
+        Batch {
+            images: Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap(),
+            labels: vec![0],
+        }
+    }
+
+    #[test]
+    fn power_cut_fires_at_and_after_threshold() {
+        let mut hook = PowerCut::after(3);
+        let mut b = batch();
+        let at = |g| StepInfo {
+            epoch: 0,
+            iter: 0,
+            global_step: g,
+        };
+        assert_eq!(hook.before_step(&at(2), &mut b), StepAction::Continue);
+        assert_eq!(hook.before_step(&at(3), &mut b), StepAction::PowerCut);
+        assert_eq!(hook.before_step(&at(9), &mut b), StepAction::PowerCut);
+    }
+
+    #[test]
+    fn nan_bomb_poisons_exactly_one_step() {
+        let mut hook = NanBomb::at(1);
+        let mut b = batch();
+        let info = StepInfo {
+            epoch: 0,
+            iter: 0,
+            global_step: 0,
+        };
+        assert_eq!(hook.before_step(&info, &mut b), StepAction::Continue);
+        assert!(b.images.data().iter().all(|x| x.is_finite()));
+        let info = StepInfo {
+            epoch: 0,
+            iter: 1,
+            global_step: 1,
+        };
+        hook.before_step(&info, &mut b);
+        assert!(b.images.data().iter().all(|x| x.is_nan()));
+        // One-shot: the same (skipped, so unchanged) global step must not
+        // re-poison the retry batch.
+        let mut fresh = batch();
+        hook.before_step(&info, &mut fresh);
+        assert!(fresh.images.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn file_corruptors_validate_inputs() {
+        let path = std::env::temp_dir().join(format!("apt-faults-{}", std::process::id()));
+        fs::write(&path, [1u8, 2, 3, 4]).unwrap();
+        flip_byte(&path, 2, 0xFF).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), vec![1, 2, 3 ^ 0xFF, 4]);
+        assert!(flip_byte(&path, 99, 1).is_err());
+        assert!(flip_byte(&path, 0, 0).is_err());
+        truncate_file(&path, 2).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), vec![1, 2]);
+        assert!(truncate_file(&path, 2).is_err());
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -98,6 +98,31 @@ impl GavgProfiler {
     pub fn reset(&mut self) {
         self.emas.clear();
     }
+
+    /// The EMA smoothing factor this profiler was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Serialisable snapshot of every seeded moving average, sorted by
+    /// layer name. Together with [`alpha`](GavgProfiler::alpha) this is the
+    /// profiler's entire state; EMAs that have never been sampled carry no
+    /// information and are omitted.
+    pub fn export(&self) -> Vec<(String, f64)> {
+        self.profile()
+    }
+
+    /// Rebuilds the profiler state from an [`export`](GavgProfiler::export)
+    /// snapshot, replacing whatever was accumulated so far. Exact because
+    /// an [`Ema`]'s first update adopts the raw value.
+    pub fn restore(&mut self, entries: &[(String, f64)]) {
+        self.emas.clear();
+        for (name, value) in entries {
+            let mut ema = Ema::new(self.alpha);
+            ema.update(*value);
+            self.emas.insert(name.clone(), ema);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -38,16 +38,26 @@
 #![forbid(unsafe_code)]
 
 pub mod autotune;
+pub mod checkpoint;
 mod error;
+pub mod faults;
 pub mod gavg;
 pub mod policy;
+pub mod state;
 pub mod trainer;
 
 pub use autotune::{autotune_t_min, AutoTuneConfig, AutoTuneReport, PilotResult, TuneObjective};
+pub use checkpoint::{latest_valid, write_state, CheckpointConfig};
 pub use error::CoreError;
+pub use faults::{
+    flip_byte, truncate_file, NanBomb, NoFaults, PowerCut, StepAction, StepHook, StepInfo,
+};
 pub use gavg::{gavg_of, GavgProfiler};
 pub use policy::{adjust_bitwidth, apply_policy, PolicyConfig, PrecisionChange};
-pub use trainer::{EpochRecord, GradQuant, OptimizerKind, TrainConfig, TrainReport, Trainer};
+pub use state::{OptimizerState, TrainState};
+pub use trainer::{
+    EpochRecord, GradQuant, OptimizerKind, SentinelConfig, TrainConfig, TrainReport, Trainer,
+};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -14,6 +14,9 @@
 //! so every Figure 2–5 comparison shares identical data order,
 //! augmentation draws, loss, and metering code.
 
+use crate::checkpoint::CheckpointConfig;
+use crate::faults::{NoFaults, StepAction, StepHook, StepInfo};
+use crate::state::{OptimizerState, TrainState};
 use crate::{apply_policy, CoreError, GavgProfiler, PolicyConfig, PrecisionChange};
 use apt_data::{AugmentConfig, Batcher, Dataset};
 use apt_energy::EnergyMeter;
@@ -22,6 +25,8 @@ use apt_nn::{Mode, Network, ParamKind};
 use apt_optim::{Adam, LrSchedule, Sgd, SgdConfig};
 use apt_quant::{fake, Bitwidth};
 use apt_tensor::ops::{reduce::argmax_rows, softmax::cross_entropy};
+use apt_tensor::Tensor;
+use std::collections::HashMap;
 
 /// Which optimiser drives the parameter updates.
 ///
@@ -84,6 +89,13 @@ pub struct TrainConfig {
     /// the paper's Figure 4 shows fixed-precision arms waste grinding out
     /// the last fractions of a percent.
     pub early_stop_patience: Option<usize>,
+    /// `Some` persists a crash-safe [`TrainState`] checkpoint every
+    /// `checkpoint.every` optimiser steps (`None` disables).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// `Some` arms the divergence sentinel: non-finite or spiking losses
+    /// trigger rollback to the last clean step instead of poisoning the
+    /// run (`None` disables — losses pass through unchecked).
+    pub sentinel: Option<SentinelConfig>,
 }
 
 impl Default for TrainConfig {
@@ -102,6 +114,46 @@ impl Default for TrainConfig {
             seed: 42,
             eval_every: 1,
             early_stop_patience: None,
+            checkpoint: None,
+            sentinel: None,
+        }
+    }
+}
+
+/// Divergence-sentinel policy: when to declare a step pathological and how
+/// hard to fight back before giving up.
+///
+/// A step is faulty when its batch contains non-finite inputs (checked
+/// directly — ReLU's `max` and the loss's probability clamp both swallow
+/// NaN, so a poisoned batch never announces itself through the loss), when
+/// the loss itself is non-finite, or when a finite loss spikes above
+/// `spike_factor ×` the running EMA.
+///
+/// On a fault the trainer rolls the network, optimiser, profiler and
+/// energy meter back to the last clean step's in-memory snapshot, then
+/// escalates per consecutive fault: **1** skip the offending batch,
+/// **2** also halve the effective learning rate, **≥ 3** also raise every
+/// quantised weight's bitwidth by one (the same lever as Algorithm 1 — a
+/// starving low-precision layer is a classic divergence source). After
+/// `max_retries` consecutive faults the run aborts with
+/// [`CoreError::Diverged`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SentinelConfig {
+    /// A finite loss above `spike_factor ×` the running loss EMA counts as
+    /// a spike (must be > 1).
+    pub spike_factor: f64,
+    /// Smoothing for the loss EMA in (0, 1].
+    pub ema_alpha: f64,
+    /// Consecutive faults tolerated before aborting (≥ 1).
+    pub max_retries: usize,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        SentinelConfig {
+            spike_factor: 3.0,
+            ema_alpha: 0.2,
+            max_retries: 3,
         }
     }
 }
@@ -171,6 +223,29 @@ impl AnyOptimizer {
             AnyOptimizer::Adam(o) => o.step(net, lr),
         }
     }
+
+    fn export(&self) -> OptimizerState {
+        match self {
+            AnyOptimizer::Sgd(o) => OptimizerState::Sgd(o.state()),
+            AnyOptimizer::Adam(o) => OptimizerState::Adam(o.state()),
+        }
+    }
+
+    fn restore(&mut self, state: &OptimizerState) -> crate::Result<()> {
+        match (self, state) {
+            (AnyOptimizer::Sgd(o), OptimizerState::Sgd(s)) => {
+                o.restore(*s);
+                Ok(())
+            }
+            (AnyOptimizer::Adam(o), OptimizerState::Adam(s)) => {
+                o.restore(s.clone());
+                Ok(())
+            }
+            _ => Err(CoreError::BadConfig {
+                reason: "checkpoint optimiser kind does not match the configured optimiser".into(),
+            }),
+        }
+    }
 }
 
 impl std::fmt::Debug for AnyOptimizer {
@@ -179,6 +254,82 @@ impl std::fmt::Debug for AnyOptimizer {
             AnyOptimizer::Sgd(_) => f.write_str("Sgd"),
             AnyOptimizer::Adam(_) => f.write_str("Adam"),
         }
+    }
+}
+
+/// Mutable per-run loop state — everything [`TrainState`] serialises that
+/// is not owned by a subsystem (network/optimiser/profiler/meter).
+struct LoopState {
+    start_epoch: usize,
+    start_iter: usize,
+    global_step: u64,
+    loss_sum: f64,
+    loss_count: usize,
+    underflowed: usize,
+    quantized_total: usize,
+    last_acc: f64,
+    best_seen: f64,
+    evals_since_best: usize,
+    lr_scale: f64,
+    loss_ema: Option<f64>,
+    report: TrainReport,
+}
+
+impl LoopState {
+    fn fresh() -> Self {
+        LoopState {
+            start_epoch: 0,
+            start_iter: 0,
+            global_step: 0,
+            loss_sum: 0.0,
+            loss_count: 0,
+            underflowed: 0,
+            quantized_total: 0,
+            last_acc: 0.0,
+            best_seen: f64::NEG_INFINITY,
+            evals_since_best: 0,
+            lr_scale: 1.0,
+            loss_ema: None,
+            report: TrainReport::default(),
+        }
+    }
+
+    fn from_state(state: &TrainState) -> Self {
+        LoopState {
+            start_epoch: state.epoch as usize,
+            start_iter: state.iter as usize,
+            global_step: state.global_step,
+            loss_sum: state.loss_sum,
+            loss_count: state.loss_count as usize,
+            underflowed: state.underflowed as usize,
+            quantized_total: state.quantized_total as usize,
+            last_acc: state.last_acc,
+            best_seen: state.best_seen,
+            evals_since_best: state.evals_since_best as usize,
+            lr_scale: state.lr_scale,
+            loss_ema: state.loss_ema,
+            report: TrainReport {
+                epochs: state.epochs.clone(),
+                final_accuracy: 0.0,
+                best_accuracy: 0.0,
+                total_energy_pj: 0.0,
+                peak_memory_bits: state.peak_memory_bits,
+            },
+        }
+    }
+
+    /// Rewinds the in-epoch accumulators to a snapshot taken at the last
+    /// clean step. Deliberately does **not** touch `lr_scale` (the
+    /// sentinel's escalation must survive its own rollback) nor the
+    /// report/eval fields (they only change at epoch boundaries, so they
+    /// are already identical to the snapshot's).
+    fn rollback_accumulators(&mut self, snap: &TrainState) {
+        self.loss_sum = snap.loss_sum;
+        self.loss_count = snap.loss_count as usize;
+        self.underflowed = snap.underflowed as usize;
+        self.quantized_total = snap.quantized_total as usize;
+        self.loss_ema = snap.loss_ema;
+        self.global_step = snap.global_step;
     }
 }
 
@@ -209,6 +360,30 @@ impl Trainer {
             return Err(CoreError::BadConfig {
                 reason: format!("ema_alpha {} outside (0, 1]", cfg.ema_alpha),
             });
+        }
+        if let Some(ck) = &cfg.checkpoint {
+            if ck.every == 0 || ck.keep == 0 {
+                return Err(CoreError::BadConfig {
+                    reason: "checkpoint.every and checkpoint.keep must be ≥ 1".into(),
+                });
+            }
+        }
+        if let Some(s) = &cfg.sentinel {
+            if !(s.spike_factor.is_finite() && s.spike_factor > 1.0) {
+                return Err(CoreError::BadConfig {
+                    reason: format!("sentinel.spike_factor {} must be > 1", s.spike_factor),
+                });
+            }
+            if !(s.ema_alpha.is_finite() && s.ema_alpha > 0.0 && s.ema_alpha <= 1.0) {
+                return Err(CoreError::BadConfig {
+                    reason: format!("sentinel.ema_alpha {} outside (0, 1]", s.ema_alpha),
+                });
+            }
+            if s.max_retries == 0 {
+                return Err(CoreError::BadConfig {
+                    reason: "sentinel.max_retries must be ≥ 1".into(),
+                });
+            }
         }
         let optimizer = match cfg.optimizer {
             OptimizerKind::Sgd => AnyOptimizer::Sgd(Box::new(Sgd::new(cfg.sgd, cfg.seed))),
@@ -253,30 +428,198 @@ impl Trainer {
     /// Returns [`CoreError::BadConfig`] for an empty training split and
     /// propagates any substrate error.
     pub fn train(&mut self, train: &Dataset, test: &Dataset) -> crate::Result<TrainReport> {
+        self.run(train, test, None, &mut NoFaults)
+    }
+
+    /// [`train`](Trainer::train) with a fault-injection [`StepHook`]
+    /// consulted before every step — the entry point of the resilience
+    /// test harness.
+    ///
+    /// # Errors
+    ///
+    /// As [`train`](Trainer::train); additionally
+    /// [`CoreError::Interrupted`] when the hook simulates a power cut.
+    pub fn train_with_hooks(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+        hooks: &mut dyn StepHook,
+    ) -> crate::Result<TrainReport> {
+        self.run(train, test, None, hooks)
+    }
+
+    /// Continues an interrupted run from a captured [`TrainState`]: the
+    /// network, optimiser, profiler, meter and loop cursor are restored
+    /// and training proceeds from the exact next step, producing a report
+    /// bit-identical to the uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] if the state belongs to a different run
+    /// (seed/epochs/optimiser mismatch); otherwise as
+    /// [`train`](Trainer::train).
+    pub fn resume(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+        state: TrainState,
+    ) -> crate::Result<TrainReport> {
+        self.run(train, test, Some(state), &mut NoFaults)
+    }
+
+    /// [`resume`](Trainer::resume) with a fault-injection hook.
+    ///
+    /// # Errors
+    ///
+    /// As [`resume`](Trainer::resume) plus [`CoreError::Interrupted`].
+    pub fn resume_with_hooks(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+        state: TrainState,
+        hooks: &mut dyn StepHook,
+    ) -> crate::Result<TrainReport> {
+        self.run(train, test, Some(state), hooks)
+    }
+
+    /// Resumes from the newest valid checkpoint in the configured
+    /// [`TrainConfig::checkpoint`] directory, falling back across corrupt
+    /// files; starts a fresh run if no valid checkpoint exists yet.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] when no checkpoint directory is
+    /// configured; otherwise as [`resume`](Trainer::resume).
+    pub fn resume_from_dir(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+    ) -> crate::Result<TrainReport> {
+        let Some(ck) = self.cfg.checkpoint.clone() else {
+            return Err(CoreError::BadConfig {
+                reason: "resume_from_dir requires TrainConfig::checkpoint".into(),
+            });
+        };
+        match crate::checkpoint::latest_valid(&ck.dir)? {
+            Some((_, state)) => self.resume(train, test, state),
+            None => self.train(train, test),
+        }
+    }
+
+    fn run(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+        resume: Option<TrainState>,
+        hooks: &mut dyn StepHook,
+    ) -> crate::Result<TrainReport> {
         if train.is_empty() {
             return Err(CoreError::BadConfig {
                 reason: "empty training split".into(),
             });
         }
         let batcher = Batcher::new(self.cfg.batch_size, self.cfg.augment, self.cfg.seed)?;
-        let mut report = TrainReport::default();
-        let mut last_acc = 0.0f64;
-        let mut best_seen = f64::NEG_INFINITY;
-        let mut evals_since_best = 0usize;
+        let sentinel = self.cfg.sentinel;
+        let checkpoint = self.cfg.checkpoint.clone();
+        // The in-memory snapshot the sentinel rolls back to. Kept current
+        // with every clean step; doubles as the payload of disk
+        // checkpoints so both paths exercise the same capture code.
+        let (mut ls, mut snapshot) = match resume {
+            Some(state) => {
+                let ls = self.restore_from_state(&state)?;
+                let snap = sentinel.is_some().then_some(state);
+                (ls, snap)
+            }
+            None => {
+                let ls = LoopState::fresh();
+                let snap = sentinel.is_some().then(|| self.capture_state(&ls, 0, 0));
+                (ls, snap)
+            }
+        };
+        // Consecutive-fault counter for the sentinel's escalation ladder.
+        // Not serialised: a resume mid-incident restarts the ladder.
+        let mut faults = 0usize;
 
-        for epoch in 0..self.cfg.epochs {
-            let lr = self.cfg.schedule.lr_at(epoch);
-            let mut loss_sum = 0.0f64;
-            let mut loss_count = 0usize;
-            let mut underflowed = 0usize;
-            let mut quantized_total = 0usize;
+        for epoch in ls.start_epoch..self.cfg.epochs {
+            let base_lr = self.cfg.schedule.lr_at(epoch);
+            let batches = batcher.epoch(train, epoch)?;
+            let start_iter = if epoch == ls.start_epoch {
+                ls.start_iter.min(batches.len())
+            } else {
+                0
+            };
 
-            for (iter, batch) in batcher.epoch(train, epoch)?.into_iter().enumerate() {
-                self.net.zero_grads();
-                let logits = self.net.forward(&batch.images, Mode::Train)?;
-                let ce = cross_entropy(&logits, &batch.labels)?;
-                loss_sum += ce.loss as f64;
-                loss_count += 1;
+            for (iter, source) in batches.iter().enumerate().skip(start_iter) {
+                let mut batch = source.clone();
+                let info = StepInfo {
+                    epoch,
+                    iter,
+                    global_step: ls.global_step,
+                };
+                if hooks.before_step(&info, &mut batch) == StepAction::PowerCut {
+                    // Power-cut semantics: nothing is persisted for the
+                    // in-flight step; recovery starts from the last
+                    // checkpoint written to disk.
+                    return Err(CoreError::Interrupted {
+                        epoch,
+                        iteration: iter,
+                    });
+                }
+                let lr = base_lr * ls.lr_scale as f32;
+                // With the sentinel armed, a non-finite input is a fault in
+                // its own right: activation functions and the loss both
+                // clamp NaN away (`max` ignores NaN), so a poisoned batch
+                // would otherwise silently corrupt the step instead of
+                // announcing itself through the loss.
+                let input_fault =
+                    sentinel.is_some() && batch.images.data().iter().any(|x| !x.is_finite());
+                let ce = if input_fault {
+                    None
+                } else {
+                    self.net.zero_grads();
+                    let logits = self.net.forward(&batch.images, Mode::Train)?;
+                    Some(cross_entropy(&logits, &batch.labels)?)
+                };
+                let loss = ce.as_ref().map_or(f64::NAN, |ce| f64::from(ce.loss));
+
+                if let Some(sc) = &sentinel {
+                    let spiked = input_fault
+                        || !loss.is_finite()
+                        || ls
+                            .loss_ema
+                            .is_some_and(|ema| loss > sc.spike_factor * ema.max(f64::MIN_POSITIVE));
+                    if spiked {
+                        faults += 1;
+                        if faults > sc.max_retries {
+                            return Err(CoreError::Diverged {
+                                epoch,
+                                iteration: iter,
+                                loss,
+                                retries: faults - 1,
+                            });
+                        }
+                        let snap = snapshot
+                            .as_ref()
+                            .expect("sentinel snapshot exists while sentinel is armed")
+                            .clone();
+                        self.restore_subsystems(&snap)?;
+                        ls.rollback_accumulators(&snap);
+                        match faults {
+                            1 => {} // skip the offending batch
+                            2 => ls.lr_scale *= 0.5,
+                            _ => self.escalate_bits(),
+                        }
+                        continue;
+                    }
+                    ls.loss_ema = Some(match ls.loss_ema {
+                        None => loss,
+                        Some(ema) => sc.ema_alpha * loss + (1.0 - sc.ema_alpha) * ema,
+                    });
+                }
+                faults = 0;
+                let ce = ce.expect("forward ran: no input fault on this path");
+                ls.loss_sum += loss;
+                ls.loss_count += 1;
                 self.net.backward(&ce.grad_logits)?;
 
                 // Algorithm 2 lines 6-9: profile Gavg on raw gradients.
@@ -286,9 +629,27 @@ impl Trainer {
                 self.apply_grad_quant()?;
 
                 let stats = self.optimizer.step(&mut self.net, lr)?;
-                underflowed += stats.underflowed;
-                quantized_total += stats.quantized_total;
+                ls.underflowed += stats.underflowed;
+                ls.quantized_total += stats.quantized_total;
                 self.meter.record_iteration(&self.net);
+                ls.global_step += 1;
+
+                let ck_due = checkpoint
+                    .as_ref()
+                    .is_some_and(|c| ls.global_step % c.every as u64 == 0);
+                if sentinel.is_some() || ck_due {
+                    // Cursor points at the *next* step to execute.
+                    let state = self.capture_state(&ls, epoch, iter + 1);
+                    if ck_due {
+                        crate::checkpoint::write_state(
+                            checkpoint.as_ref().expect("ck_due implies config"),
+                            &state,
+                        )?;
+                    }
+                    if sentinel.is_some() {
+                        snapshot = Some(state);
+                    }
+                }
             }
 
             // Algorithm 2 line 11: adjust precision between epochs.
@@ -299,44 +660,54 @@ impl Trainer {
 
             let mut evaluated = false;
             if epoch % self.cfg.eval_every == 0 || epoch + 1 == self.cfg.epochs {
-                last_acc = self.evaluate(test)?;
+                ls.last_acc = self.evaluate(test)?;
                 evaluated = true;
-                if last_acc > best_seen {
-                    best_seen = last_acc;
-                    evals_since_best = 0;
+                if ls.last_acc > ls.best_seen {
+                    ls.best_seen = ls.last_acc;
+                    ls.evals_since_best = 0;
                 } else {
-                    evals_since_best += 1;
+                    ls.evals_since_best += 1;
                 }
             }
             let memory_bits = self.net.memory_bits();
-            report.peak_memory_bits = report.peak_memory_bits.max(memory_bits);
-            report.epochs.push(EpochRecord {
+            ls.report.peak_memory_bits = ls.report.peak_memory_bits.max(memory_bits);
+            ls.report.epochs.push(EpochRecord {
                 epoch,
-                lr,
-                train_loss: if loss_count == 0 {
+                lr: base_lr * ls.lr_scale as f32,
+                train_loss: if ls.loss_count == 0 {
                     0.0
                 } else {
-                    loss_sum / loss_count as f64
+                    ls.loss_sum / ls.loss_count as f64
                 },
-                test_accuracy: last_acc,
+                test_accuracy: ls.last_acc,
                 cumulative_energy_pj: self.meter.total_pj(),
                 memory_bits,
                 layer_bits: self.layer_bits(),
                 gavg: self.profiler.profile(),
-                underflow_rate: if quantized_total == 0 {
+                underflow_rate: if ls.quantized_total == 0 {
                     0.0
                 } else {
-                    underflowed as f64 / quantized_total as f64
+                    ls.underflowed as f64 / ls.quantized_total as f64
                 },
                 changes,
             });
+            ls.loss_sum = 0.0;
+            ls.loss_count = 0;
+            ls.underflowed = 0;
+            ls.quantized_total = 0;
+            // Re-snapshot after policy/eval so a rollback early next epoch
+            // cannot resurrect pre-adjustment bitwidths.
+            if sentinel.is_some() {
+                snapshot = Some(self.capture_state(&ls, epoch + 1, 0));
+            }
             if let Some(patience) = self.cfg.early_stop_patience {
-                if evaluated && evals_since_best >= patience {
+                if evaluated && ls.evals_since_best >= patience {
                     break;
                 }
             }
         }
-        report.final_accuracy = last_acc;
+        let mut report = ls.report;
+        report.final_accuracy = ls.last_acc;
         report.best_accuracy = report
             .epochs
             .iter()
@@ -344,6 +715,103 @@ impl Trainer {
             .fold(0.0, f64::max);
         report.total_energy_pj = self.meter.total_pj();
         Ok(report)
+    }
+
+    /// Captures the complete training state at the current point; `epoch`
+    /// and `iter` name the **next** step to execute.
+    fn capture_state(&mut self, ls: &LoopState, epoch: usize, iter: usize) -> TrainState {
+        let mut velocities = Vec::new();
+        self.net.visit_params_ref(&mut |p| {
+            if let Some(v) = p.velocity() {
+                velocities.push((p.name().to_string(), v.clone()));
+            }
+        });
+        TrainState {
+            seed: self.cfg.seed,
+            total_epochs: self.cfg.epochs as u64,
+            epoch: epoch as u64,
+            iter: iter as u64,
+            global_step: ls.global_step,
+            loss_sum: ls.loss_sum,
+            loss_count: ls.loss_count as u64,
+            underflowed: ls.underflowed as u64,
+            quantized_total: ls.quantized_total as u64,
+            last_acc: ls.last_acc,
+            best_seen: ls.best_seen,
+            evals_since_best: ls.evals_since_best as u64,
+            lr_scale: ls.lr_scale,
+            loss_ema: ls.loss_ema,
+            peak_memory_bits: ls.report.peak_memory_bits,
+            epochs: ls.report.epochs.clone(),
+            energy: self.meter.breakdown(),
+            profiler: self.profiler.export(),
+            optimizer: self.optimizer.export(),
+            velocities,
+            net_blob: apt_nn::checkpoint::save_full(&mut self.net),
+        }
+    }
+
+    /// Validates `state` against the active config and restores every
+    /// subsystem plus the loop cursor from it.
+    fn restore_from_state(&mut self, state: &TrainState) -> crate::Result<LoopState> {
+        if state.seed != self.cfg.seed || state.total_epochs != self.cfg.epochs as u64 {
+            return Err(CoreError::BadConfig {
+                reason: format!(
+                    "checkpoint belongs to a different run (seed {} epochs {}, config has seed {} epochs {})",
+                    state.seed, state.total_epochs, self.cfg.seed, self.cfg.epochs
+                ),
+            });
+        }
+        self.restore_subsystems(state)?;
+        Ok(LoopState::from_state(state))
+    }
+
+    /// Restores network parameters/buffers, velocities, optimiser,
+    /// profiler and energy meter from `state` (the shared machinery of
+    /// resume and sentinel rollback).
+    fn restore_subsystems(&mut self, state: &TrainState) -> crate::Result<()> {
+        apt_nn::checkpoint::load(&mut self.net, &state.net_blob)?;
+        let mut vmap: HashMap<&str, &Tensor> = state
+            .velocities
+            .iter()
+            .map(|(name, v)| (name.as_str(), v))
+            .collect();
+        let mut first_err: Option<CoreError> = None;
+        self.net.visit_params(&mut |p| {
+            if first_err.is_some() {
+                return;
+            }
+            if let Err(e) = p.set_velocity(vmap.remove(p.name()).cloned()) {
+                first_err = Some(e.into());
+            }
+        });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if let Some(name) = vmap.keys().next() {
+            return Err(CoreError::BadConfig {
+                reason: format!("checkpoint carries velocity for unknown parameter `{name}`"),
+            });
+        }
+        self.optimizer.restore(&state.optimizer)?;
+        self.profiler.restore(&state.profiler);
+        self.meter.restore(state.energy);
+        Ok(())
+    }
+
+    /// Raises every quantised weight's bitwidth by one — the sentinel's
+    /// last escalation rung, reusing Algorithm 1's precision lever.
+    fn escalate_bits(&mut self) {
+        self.net.visit_params(&mut |p| {
+            if p.kind() != ParamKind::Weight {
+                return;
+            }
+            if let Some(b) = p.bits() {
+                // Infallible here: `bits()` returned `Some`, so the store
+                // is one of the adjustable kinds.
+                let _ = p.set_bits(b.increment());
+            }
+        });
     }
 
     /// Evaluates top-1 accuracy on `data` (single view, per the paper).

@@ -108,6 +108,13 @@ impl EnergyMeter {
     pub fn reset(&mut self) {
         self.breakdown = EnergyBreakdown::default();
     }
+
+    /// Replaces the account with a previously captured breakdown — the
+    /// restore half of checkpointing (the meter's only other state, the
+    /// cost model, comes from configuration).
+    pub fn restore(&mut self, breakdown: EnergyBreakdown) {
+        self.breakdown = breakdown;
+    }
 }
 
 impl Default for EnergyMeter {

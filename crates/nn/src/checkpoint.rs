@@ -6,23 +6,34 @@
 //! This is the deployment path the paper's edge scenario needs: a model
 //! trained with APT is shipped *at its adapted per-layer bitwidths*, so the
 //! on-flash footprint matches the training-memory footprint Figure 5
-//! reports.
+//! reports. On-device flash is also where power cuts corrupt bytes, so the
+//! current format (v2) frames the payload with its length and a CRC32: a
+//! truncated or bit-flipped blob is detected and rejected with a typed
+//! error instead of being half-applied to the network.
 //!
-//! ## Format (little-endian)
+//! ## Format v2 (little-endian)
 //!
 //! ```text
-//! magic "APTC" | version u16 | param_count u32 | buffer_count u32
-//! per param : name (u32 len + utf8) | tag u8 | dims (u32 count + u32s) | payload
-//!   tag 0 Float      : f32 × volume
-//!   tag 1 Quantized  : bits u8 | scale f32 | zero i64 |
-//!                      codes bit-packed at `bits` bits each (LSB-first),
-//!                      padded to a byte boundary
-//!   tag 2 MasterCopy : bits u8 | f32 × volume
-//!   tag 3 Projected  : proj u8 (0=binary, 1=ternary) | f32 × volume
-//!   tag 4 PerChannel : bits u8 | channels u32 |
-//!                      (scale f32, zero i64) × channels | packed codes
-//! per buffer: name (u32 len + utf8) | dims | f32 × volume
+//! magic "APTC" | version u16 = 2 | payload_len u32 | crc32 u32 | payload
+//! payload:
+//!   param_count u32 | buffer_count u32
+//!   per param : name (u32 len + utf8) | tag u8 | dims (u32 count + u32s) | data
+//!     tag 0 Float      : f32 × volume
+//!     tag 1 Quantized  : bits u8 | scale f32 | zero i64 |
+//!                        codes bit-packed at `bits` bits each (LSB-first),
+//!                        padded to a byte boundary
+//!     tag 2 MasterCopy : bits u8 | f32 × volume
+//!     tag 3 Projected  : proj u8 (0=binary, 1=ternary) | f32 × volume
+//!     tag 4 PerChannel : bits u8 | channels u32 |
+//!                        (scale f32, zero i64) × channels | packed codes
+//!   per buffer: name (u32 len + utf8) | dims | f32 × volume
 //! ```
+//!
+//! Version 1 blobs (no `payload_len`/`crc32` fields — the payload follows
+//! the version directly) are still loaded; versions newer than 2 yield
+//! [`NnError::UnsupportedVersion`]. The CRC is the IEEE 802.3 polynomial,
+//! exposed as [`crc32`] so other on-flash formats (the trainer's state
+//! file) can share it.
 //!
 //! Quantised payloads are bit-packed, so a 6-bit layer costs 6 bits per
 //! weight on flash — the checkpoint size *is* the Figure 5 memory story.
@@ -32,18 +43,70 @@ use apt_quant::{AffineQuantizer, Bitwidth, QuantizedTensor};
 use apt_tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"APTC";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+
+/// Smallest possible per-parameter encoding (name len + tag + rank), used
+/// to sanity-check counts against the bytes actually present before any
+/// allocation is sized from them.
+const MIN_PARAM_BYTES: usize = 4 + 1 + 4;
+/// Smallest possible per-buffer encoding (name len + rank).
+const MIN_BUFFER_BYTES: usize = 4 + 4;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+///
+/// Shared by the model checkpoint and the trainer-state file so a single
+/// integrity scheme covers everything written to flash.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Wraps a payload in the v2 header: magic, version, length, CRC32.
+fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAGIC.len() + 10 + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
 
 /// Serialises `net`'s parameters and buffers to a checkpoint blob.
 pub fn save(net: &Network) -> Vec<u8> {
+    frame(params_payload(net))
+}
+
+/// Builds the payload section with all parameters and a zero buffer count
+/// (patched by [`save_full`]).
+fn params_payload(net: &Network) -> Vec<u8> {
     let mut params: Vec<(String, ParamStore, Vec<usize>)> = Vec::new();
     net.visit_params_ref(&mut |p| {
         params.push((p.name().to_string(), p.store().clone(), p.dims().to_vec()));
     });
-    // Buffers need mutable visitation by API shape; clone through a scan.
     let mut out = Vec::new();
-    out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&(params.len() as u32).to_le_bytes());
     // Buffer count: zero for a params-only checkpoint; `save_full` patches
     // this field and appends the buffers.
@@ -99,47 +162,80 @@ pub fn save(net: &Network) -> Vec<u8> {
 /// Serialises `net` including batch-norm running statistics (requires
 /// `&mut` because buffer visitation is mutable by trait design).
 pub fn save_full(net: &mut Network) -> Vec<u8> {
-    let mut blob = save(net);
-    // Re-patch buffer count and append buffers.
+    let mut payload = params_payload(net);
     let mut buffers: Vec<(String, Tensor)> = Vec::new();
     net.visit_buffers(&mut |name, t| buffers.push((name.to_string(), t.clone())));
-    let buf_count_pos = MAGIC.len() + 2 + 4;
-    blob[buf_count_pos..buf_count_pos + 4].copy_from_slice(&(buffers.len() as u32).to_le_bytes());
+    // Buffer count lives right after the param count in the payload.
+    payload[4..8].copy_from_slice(&(buffers.len() as u32).to_le_bytes());
     for (name, t) in &buffers {
-        write_str(&mut blob, name);
-        write_dims(&mut blob, t.dims());
-        write_f32s(&mut blob, t.data());
+        write_str(&mut payload, name);
+        write_dims(&mut payload, t.dims());
+        write_f32s(&mut payload, t.data());
     }
-    blob
+    frame(payload)
 }
 
 /// Restores a checkpoint produced by [`save_full`] (or [`save`]) into an
 /// architecturally identical network: parameters are matched by name and
-/// replaced with their stored representation; buffers likewise.
+/// replaced with their stored representation; buffers likewise. Both the
+/// current v2 framing and legacy v1 blobs are accepted.
 ///
 /// # Errors
 ///
-/// Returns [`NnError::BadConfig`] for a malformed blob, unknown parameter
-/// names, or shape mismatches.
+/// Returns [`NnError::Corrupt`] for a truncated, bit-flipped, or otherwise
+/// structurally invalid blob, [`NnError::UnsupportedVersion`] for a version
+/// newer than this build writes, and [`NnError::BadConfig`] for a valid
+/// blob that does not match the network (unknown parameter names, shape
+/// mismatches).
 pub fn load(net: &mut Network, blob: &[u8]) -> crate::Result<()> {
     let mut r = Reader { blob, pos: 0 };
     let magic = r.take(4)?;
     if magic != MAGIC {
-        return Err(bad("not an APTC checkpoint"));
+        return Err(corrupt("not an APTC checkpoint"));
     }
     let version = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes"));
-    if version != VERSION {
-        return Err(bad(&format!("unsupported checkpoint version {version}")));
-    }
+    let payload = match version {
+        // v1: the payload follows the version directly, unprotected.
+        1 => &blob[r.pos..],
+        2 => {
+            let len = r.read_u32()? as usize;
+            let expected_crc = r.read_u32()?;
+            let payload = r.take(len)?;
+            if r.pos != blob.len() {
+                return Err(corrupt("trailing bytes after checkpoint payload"));
+            }
+            if crc32(payload) != expected_crc {
+                return Err(corrupt("CRC32 mismatch (truncated or bit-flipped blob)"));
+            }
+            payload
+        }
+        other => return Err(NnError::UnsupportedVersion { version: other }),
+    };
+    load_payload(net, payload)
+}
+
+/// Parses and applies the (already integrity-checked) payload section.
+fn load_payload(net: &mut Network, payload: &[u8]) -> crate::Result<()> {
+    let mut r = Reader {
+        blob: payload,
+        pos: 0,
+    };
     let param_count = r.read_u32()? as usize;
     let buffer_count = r.read_u32()? as usize;
+    // Counts size allocations below, so bound them by what the bytes could
+    // possibly encode before trusting them.
+    let max_params = r.remaining() / MIN_PARAM_BYTES;
+    let max_buffers = r.remaining() / MIN_BUFFER_BYTES;
+    if param_count > max_params || buffer_count > max_buffers {
+        return Err(corrupt("section count exceeds available bytes"));
+    }
 
     let mut stores: Vec<(String, ParamStore)> = Vec::with_capacity(param_count);
     for _ in 0..param_count {
         let name = r.read_str()?;
         let tag = r.read_u8()?;
         let dims = r.read_dims()?;
-        let volume: usize = dims.iter().product();
+        let volume = checked_volume(&dims)?;
         let store = match tag {
             0 => ParamStore::Float(Tensor::from_vec(r.read_f32s(volume)?, &dims)?),
             1 => {
@@ -147,8 +243,7 @@ pub fn load(net: &mut Network, blob: &[u8]) -> crate::Result<()> {
                 let scale = r.read_f32()?;
                 let zero = r.read_i64()?;
                 let quantizer = AffineQuantizer::from_parts(scale, zero, bits)?;
-                let packed_len = packed_byte_len(volume, bits.get());
-                let codes = unpack_codes(r.take(packed_len)?, volume, bits.get());
+                let codes = r.read_codes(volume, bits.get())?;
                 ParamStore::Quantized(QuantizedTensor::from_parts(codes, dims, quantizer)?)
             }
             2 => {
@@ -162,7 +257,7 @@ pub fn load(net: &mut Network, blob: &[u8]) -> crate::Result<()> {
                 let projection = match r.read_u8()? {
                     0 => Projection::Binary,
                     1 => Projection::Ternary,
-                    other => return Err(bad(&format!("unknown projection {other}"))),
+                    other => return Err(corrupt(&format!("unknown projection {other}"))),
                 };
                 ParamStore::Projected {
                     master: Tensor::from_vec(r.read_f32s(volume)?, &dims)?,
@@ -172,19 +267,22 @@ pub fn load(net: &mut Network, blob: &[u8]) -> crate::Result<()> {
             4 => {
                 let bits = Bitwidth::new(u32::from(r.read_u8()?))?;
                 let channels = r.read_u32()? as usize;
+                // 12 bytes (scale f32 + zero i64) per channel must exist.
+                if channels > r.remaining() / 12 {
+                    return Err(corrupt("per-channel count exceeds available bytes"));
+                }
                 let mut quantizers = Vec::with_capacity(channels);
                 for _ in 0..channels {
                     let scale = r.read_f32()?;
                     let zero = r.read_i64()?;
                     quantizers.push(AffineQuantizer::from_parts(scale, zero, bits)?);
                 }
-                let packed_len = packed_byte_len(volume, bits.get());
-                let codes = unpack_codes(r.take(packed_len)?, volume, bits.get());
+                let codes = r.read_codes(volume, bits.get())?;
                 ParamStore::PerChannel(apt_quant::PerChannelQuantized::from_parts(
                     codes, dims, quantizers,
                 )?)
             }
-            other => return Err(bad(&format!("unknown store tag {other}"))),
+            other => return Err(corrupt(&format!("unknown store tag {other}"))),
         };
         stores.push((name, store));
     }
@@ -192,7 +290,7 @@ pub fn load(net: &mut Network, blob: &[u8]) -> crate::Result<()> {
     for _ in 0..buffer_count {
         let name = r.read_str()?;
         let dims = r.read_dims()?;
-        let volume: usize = dims.iter().product();
+        let volume = checked_volume(&dims)?;
         buffers.push((name, Tensor::from_vec(r.read_f32s(volume)?, &dims)?));
     }
 
@@ -252,6 +350,20 @@ fn bad(reason: &str) -> NnError {
     NnError::BadConfig {
         reason: reason.to_string(),
     }
+}
+
+fn corrupt(reason: &str) -> NnError {
+    NnError::Corrupt {
+        reason: reason.to_string(),
+    }
+}
+
+/// Element count of `dims`, rejecting products that overflow `usize` (a
+/// corrupt length field, not a real tensor).
+fn checked_volume(dims: &[usize]) -> crate::Result<usize> {
+    dims.iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| corrupt("tensor volume overflows"))
 }
 
 /// Bytes needed to hold `n` codes of `bits` bits each.
@@ -326,9 +438,13 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.blob.len() - self.pos
+    }
     fn take(&mut self, n: usize) -> crate::Result<&'a [u8]> {
-        if self.pos + n > self.blob.len() {
-            return Err(bad("truncated checkpoint"));
+        // `remaining` cannot overflow (pos ≤ len); `pos + n` could.
+        if n > self.remaining() {
+            return Err(corrupt("truncated checkpoint"));
         }
         let s = &self.blob[self.pos..self.pos + n];
         self.pos += n;
@@ -355,12 +471,12 @@ impl<'a> Reader<'a> {
     fn read_str(&mut self) -> crate::Result<String> {
         let len = self.read_u32()? as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| bad("invalid utf8 in checkpoint"))
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("invalid utf8 in checkpoint"))
     }
     fn read_dims(&mut self) -> crate::Result<Vec<usize>> {
         let rank = self.read_u32()? as usize;
         if rank > 8 {
-            return Err(bad("implausible tensor rank in checkpoint"));
+            return Err(corrupt("implausible tensor rank in checkpoint"));
         }
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
@@ -369,11 +485,23 @@ impl<'a> Reader<'a> {
         Ok(dims)
     }
     fn read_f32s(&mut self, n: usize) -> crate::Result<Vec<f32>> {
-        let bytes = self.take(n * 4)?;
+        let byte_len = n
+            .checked_mul(4)
+            .ok_or_else(|| corrupt("f32 section length overflows"))?;
+        let bytes = self.take(byte_len)?;
         Ok(bytes
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect())
+    }
+    /// Reads `n` bit-packed codes at `bits` bits each, bounds-checking the
+    /// packed length before any allocation is sized from it.
+    fn read_codes(&mut self, n: usize, bits: u32) -> crate::Result<Vec<i64>> {
+        let packed_len = n
+            .checked_mul(bits as usize)
+            .map(|b| b.div_ceil(8))
+            .ok_or_else(|| corrupt("packed code section length overflows"))?;
+        Ok(unpack_codes(self.take(packed_len)?, n, bits))
     }
 }
 
@@ -394,6 +522,26 @@ mod tests {
     fn outputs(net: &mut Network) -> Vec<f32> {
         let x = normal(&[2, 3, 8, 8], 1.0, &mut seeded(3));
         net.forward(&x, Mode::Eval).unwrap().into_vec()
+    }
+
+    /// v2 header is magic(4) + version(2) + payload_len(4) + crc(4).
+    const V2_HEADER: usize = 14;
+
+    /// Reframes a v2 blob as a legacy v1 blob (version directly followed by
+    /// the unprotected payload).
+    fn as_v1(blob_v2: &[u8]) -> Vec<u8> {
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&1u16.to_le_bytes());
+        v1.extend_from_slice(&blob_v2[V2_HEADER..]);
+        v1
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -492,11 +640,80 @@ mod tests {
         assert!(load(&mut net, b"APTC").is_err()); // truncated
         let mut blob = save_full(&mut net);
         blob[4] = 99; // bad version
-        assert!(load(&mut net, &blob).is_err());
+        assert!(matches!(
+            load(&mut net, &blob),
+            Err(NnError::UnsupportedVersion { version: 99 })
+        ));
         let mut blob2 = save_full(&mut net);
         let cut = blob2.len() / 2;
         blob2.truncate(cut);
         assert!(load(&mut net, &blob2).is_err());
+    }
+
+    #[test]
+    fn legacy_v1_blobs_still_load() {
+        let mut net = trained_net(&QuantScheme::paper_apt());
+        let expected = outputs(&mut net);
+        let v1 = as_v1(&save_full(&mut net));
+        let mut fresh =
+            models::cifarnet(4, 8, 0.25, &QuantScheme::paper_apt(), &mut seeded(9)).unwrap();
+        load(&mut fresh, &v1).unwrap();
+        assert_eq!(outputs(&mut fresh), expected);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        // The v2 framing must catch any single corrupted byte: header
+        // damage breaks the magic/version/length checks, payload damage
+        // breaks the CRC. Errors only — never a panic, never a silent
+        // half-load.
+        let mut net = trained_net(&QuantScheme::paper_apt());
+        let blob = save_full(&mut net);
+        let mut target =
+            models::cifarnet(4, 8, 0.25, &QuantScheme::paper_apt(), &mut seeded(9)).unwrap();
+        for i in 0..blob.len() {
+            let mut hurt = blob.clone();
+            hurt[i] ^= 0x10;
+            assert!(
+                load(&mut target, &hurt).is_err(),
+                "flip at byte {i} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let mut net = trained_net(&QuantScheme::paper_apt());
+        let blob = save_full(&mut net);
+        let mut target =
+            models::cifarnet(4, 8, 0.25, &QuantScheme::paper_apt(), &mut seeded(9)).unwrap();
+        for cut in 0..blob.len() {
+            assert!(
+                load(&mut target, &blob[..cut]).is_err(),
+                "truncation to {cut} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_mutations_error_but_never_panic() {
+        // v1 has no CRC, so some mutations may load "successfully" with
+        // altered values — the guarantee is merely that no length-field
+        // damage can cause a slice panic or runaway allocation.
+        let mut net = trained_net(&QuantScheme::paper_apt());
+        let v1 = as_v1(&save_full(&mut net));
+        let mut target =
+            models::cifarnet(4, 8, 0.25, &QuantScheme::paper_apt(), &mut seeded(9)).unwrap();
+        for i in 0..v1.len() {
+            for flip in [0x01u8, 0xFF] {
+                let mut hurt = v1.clone();
+                hurt[i] ^= flip;
+                let _ = load(&mut target, &hurt);
+            }
+        }
+        for cut in 0..v1.len() {
+            let _ = load(&mut target, &v1[..cut]);
+        }
     }
 
     #[test]
@@ -539,7 +756,7 @@ mod tests {
         let net = trained_net(&QuantScheme::paper_apt());
         let blob = save(&net);
         assert_eq!(&blob[..4], MAGIC);
-        let count = u32::from_le_bytes(blob[6..10].try_into().unwrap());
+        let count = u32::from_le_bytes(blob[V2_HEADER..V2_HEADER + 4].try_into().unwrap());
         let mut expected = 0u32;
         net.visit_params_ref(&mut |_| expected += 1);
         assert_eq!(count, expected);

@@ -22,6 +22,17 @@ pub enum NnError {
         /// Explanation of the violated constraint.
         reason: String,
     },
+    /// A serialised blob carries a format version this build cannot read.
+    UnsupportedVersion {
+        /// The version field found in the blob.
+        version: u16,
+    },
+    /// A serialised blob failed an integrity check: truncated, bit-flipped
+    /// (CRC mismatch), or structurally impossible length fields.
+    Corrupt {
+        /// Explanation of the failed check.
+        reason: String,
+    },
     /// An underlying tensor kernel failed.
     Tensor(apt_tensor::TensorError),
     /// An underlying quantisation operation failed.
@@ -38,6 +49,10 @@ impl fmt::Display for NnError {
                 write!(f, "layer `{layer}`: bad input: {reason}")
             }
             NnError::BadConfig { reason } => write!(f, "bad model config: {reason}"),
+            NnError::UnsupportedVersion { version } => {
+                write!(f, "unsupported checkpoint version {version}")
+            }
+            NnError::Corrupt { reason } => write!(f, "corrupt checkpoint: {reason}"),
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
             NnError::Quant(e) => write!(f, "quantisation error: {e}"),
         }

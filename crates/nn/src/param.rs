@@ -509,6 +509,31 @@ impl Param {
     pub fn velocity(&self) -> Option<&Tensor> {
         self.velocity.as_ref()
     }
+
+    /// Replaces the momentum buffer wholesale (`None` clears it). Used by
+    /// checkpoint restore, which must reproduce the exact pre-interruption
+    /// optimiser state including "no buffer allocated yet".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if the replacement's element count
+    /// does not match the parameter.
+    pub fn set_velocity(&mut self, velocity: Option<Tensor>) -> crate::Result<()> {
+        if let Some(v) = &velocity {
+            if v.len() != self.grad.len() {
+                return Err(NnError::BadConfig {
+                    reason: format!(
+                        "velocity for `{}` has {} elements, expected {}",
+                        self.name,
+                        v.len(),
+                        self.grad.len()
+                    ),
+                });
+            }
+        }
+        self.velocity = velocity;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -51,9 +51,20 @@ impl Default for AdamConfig {
 #[derive(Debug)]
 pub struct Adam {
     cfg: AdamConfig,
-    rng: StdRng,
+    seed: u64,
     t: u64,
     moments: HashMap<String, (Tensor, Tensor)>,
+}
+
+/// Serialisable Adam state: the step counter (bias correction + rounding
+/// stream) and the first/second-moment buffers, sorted by parameter name
+/// so the encoding is deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdamState {
+    /// Number of completed optimisation steps (drives bias correction).
+    pub t: u64,
+    /// Per-parameter `(name, first moment, second moment)`.
+    pub moments: Vec<(String, Tensor, Tensor)>,
 }
 
 impl Adam {
@@ -61,7 +72,7 @@ impl Adam {
     pub fn new(cfg: AdamConfig, seed: u64) -> Self {
         Adam {
             cfg,
-            rng: trng::substream(seed, 0xADA),
+            seed,
             t: 0,
             moments: HashMap::new(),
         }
@@ -70,6 +81,34 @@ impl Adam {
     /// The active configuration.
     pub fn config(&self) -> &AdamConfig {
         &self.cfg
+    }
+
+    /// The serialisable optimiser state.
+    pub fn state(&self) -> AdamState {
+        let mut moments: Vec<(String, Tensor, Tensor)> = self
+            .moments
+            .iter()
+            .map(|(k, (m, v))| (k.clone(), m.clone(), v.clone()))
+            .collect();
+        moments.sort_by(|a, b| a.0.cmp(&b.0));
+        AdamState { t: self.t, moments }
+    }
+
+    /// Restores state previously captured by [`state`](Adam::state).
+    pub fn restore(&mut self, state: AdamState) {
+        self.t = state.t;
+        self.moments = state
+            .moments
+            .into_iter()
+            .map(|(k, m, v)| (k, (m, v)))
+            .collect();
+    }
+
+    /// The rounding stream for one step: a pure function of (seed, step),
+    /// so a resumed run draws the exact bits the interrupted run would
+    /// have.
+    fn step_rng(seed: u64, step: u64) -> StdRng {
+        trng::substream(seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15), 0xADA)
     }
 
     /// Applies one Adam step to every parameter of `net` at learning rate
@@ -99,13 +138,15 @@ impl Adam {
         let mut stats = StepStats::default();
         let mut first_err: Option<OptimError> = None;
         let cfg = self.cfg;
-        let rng = &mut self.rng;
+        let mut rng = Self::step_rng(self.seed, self.t);
         let moments = &mut self.moments;
         net.visit_params(&mut |p: &mut Param| {
             if first_err.is_some() {
                 return;
             }
-            if let Err(e) = Self::step_param(p, lr, &cfg, bias1, bias2, moments, rng, &mut stats) {
+            if let Err(e) =
+                Self::step_param(p, lr, &cfg, bias1, bias2, moments, &mut rng, &mut stats)
+            {
                 first_err = Some(e);
             }
         });

@@ -29,10 +29,10 @@ mod error;
 mod schedule;
 mod sgd;
 
-pub use adam::{Adam, AdamConfig};
+pub use adam::{Adam, AdamConfig, AdamState};
 pub use error::OptimError;
 pub use schedule::LrSchedule;
-pub use sgd::{Sgd, SgdConfig, StepStats};
+pub use sgd::{Sgd, SgdConfig, SgdState, StepStats};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, OptimError>;

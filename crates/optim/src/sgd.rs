@@ -68,7 +68,19 @@ impl StepStats {
 #[derive(Debug)]
 pub struct Sgd {
     cfg: SgdConfig,
-    rng: StdRng,
+    seed: u64,
+    steps: u64,
+}
+
+/// Serialisable SGD progress. Velocity buffers live on the network's
+/// parameters (checkpointed alongside them); the only state owned by the
+/// optimiser itself is the step counter, from which the per-step stochastic
+/// rounding stream is re-derived — so restoring the counter restores the
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SgdState {
+    /// Number of completed optimisation steps.
+    pub steps: u64,
 }
 
 impl Sgd {
@@ -78,13 +90,31 @@ impl Sgd {
     pub fn new(cfg: SgdConfig, seed: u64) -> Self {
         Sgd {
             cfg,
-            rng: trng::substream(seed, 0x56D),
+            seed,
+            steps: 0,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &SgdConfig {
         &self.cfg
+    }
+
+    /// The serialisable progress state.
+    pub fn state(&self) -> SgdState {
+        SgdState { steps: self.steps }
+    }
+
+    /// Restores progress previously captured by [`state`](Sgd::state).
+    pub fn restore(&mut self, state: SgdState) {
+        self.steps = state.steps;
+    }
+
+    /// The rounding stream for one step: a pure function of (seed, step),
+    /// so a resumed run draws the exact bits the interrupted run would
+    /// have.
+    fn step_rng(seed: u64, step: u64) -> StdRng {
+        trng::substream(seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15), 0x56D)
     }
 
     /// Applies one step to every parameter of `net` at learning rate `lr`,
@@ -104,18 +134,21 @@ impl Sgd {
         let mut stats = StepStats::default();
         let mut first_err: Option<OptimError> = None;
         let cfg = self.cfg;
-        let rng = &mut self.rng;
+        let mut rng = Self::step_rng(self.seed, self.steps);
         net.visit_params(&mut |p: &mut Param| {
             if first_err.is_some() {
                 return;
             }
-            if let Err(e) = Self::step_param(p, lr, &cfg, rng, &mut stats) {
+            if let Err(e) = Self::step_param(p, lr, &cfg, &mut rng, &mut stats) {
                 first_err = Some(e);
             }
         });
         match first_err {
             Some(e) => Err(e),
-            None => Ok(stats),
+            None => {
+                self.steps += 1;
+                Ok(stats)
+            }
         }
     }
 

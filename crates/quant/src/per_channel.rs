@@ -194,7 +194,9 @@ impl PerChannelQuantized {
                 }
                 continue;
             }
-            let new_code = *code - steps;
+            // Saturating for the same reason as the per-tensor path: a
+            // pathological gradient can round to ±i64::MAX steps.
+            let new_code = code.saturating_sub(steps);
             let max_code = q.bits().num_steps() as i64;
             if new_code < 0 || new_code > max_code {
                 dirty_channels[ch] = true;

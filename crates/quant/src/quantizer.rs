@@ -161,14 +161,17 @@ impl AffineQuantizer {
     }
 
     /// Quantises a real value to its nearest code, clamped to the grid.
+    /// Saturating: values beyond the `i64` range (possible after a
+    /// pathological update expanded the grid) clamp instead of overflowing.
     pub fn quantize_value(&self, r: f32) -> i64 {
-        let q = (r / self.scale).round() as i64 + self.zero_point;
+        let q = ((r / self.scale).round() as i64).saturating_add(self.zero_point);
         q.clamp(0, self.bits.num_steps() as i64)
     }
 
-    /// Reconstructs the real value of a code: `r = S·(q − Z)`.
+    /// Reconstructs the real value of a code: `r = S·(q − Z)`, saturating
+    /// for codes near the `i64` limits.
     pub fn dequantize_value(&self, q: i64) -> f32 {
-        self.scale * (q - self.zero_point) as f32
+        self.scale * q.saturating_sub(self.zero_point) as f32
     }
 
     /// Quantises a whole tensor into codes (clamped to the grid).

@@ -224,7 +224,10 @@ impl QuantizedTensor {
                 }
                 continue;
             }
-            let new_code = *code - steps;
+            // Saturating: a pathological gradient can round to ±i64::MAX
+            // steps, and plain subtraction would overflow. The saturated
+            // code is out of range, so the expansion below recalibrates.
+            let new_code = code.saturating_sub(steps);
             if new_code < 0 || new_code > max_code {
                 out_of_range = true;
                 stats.expanded += 1;

@@ -1,0 +1,79 @@
+//! Interruption-tolerant training: crash-safe checkpoints, a simulated
+//! power cut, and a bit-exact resume.
+//!
+//! ```bash
+//! cargo run --release --example resume_training
+//! ```
+//!
+//! An edge device can lose power at any optimiser step. This example
+//! trains with checkpointing enabled, kills the run mid-epoch with the
+//! fault-injection harness, then builds a *fresh* trainer and resumes from
+//! the newest valid checkpoint on disk. The resumed run finishes with
+//! exactly the per-epoch records an uninterrupted run produces — recovery
+//! is invisible in the training trajectory.
+
+use apt::core::faults::PowerCut;
+use apt::core::{CheckpointConfig, SentinelConfig, TrainConfig, Trainer};
+use apt::data::{SynthCifar, SynthCifarConfig};
+use apt::nn::{models, QuantScheme};
+use apt::optim::LrSchedule;
+use apt::tensor::rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SynthCifar::generate(&SynthCifarConfig {
+        num_classes: 5,
+        train_per_class: 40,
+        test_per_class: 10,
+        img_size: 8,
+        seed: 7,
+        ..Default::default()
+    })?;
+
+    let build_net = || {
+        models::cifarnet(5, 8, 0.25, &QuantScheme::paper_apt(), &mut rng::seeded(0))
+            .expect("model builds")
+    };
+    let ckpt_dir = std::env::temp_dir().join("apt-resume-example");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 32,
+        schedule: LrSchedule::paper_cifar10(6),
+        seed: 1,
+        // Persist the full training state (weights, optimiser, profiler,
+        // energy meter, RNG cursor) every 5 steps, keeping the 2 newest.
+        checkpoint: Some(CheckpointConfig {
+            dir: ckpt_dir.clone(),
+            every: 5,
+            keep: 2,
+        }),
+        // Arm the divergence sentinel too: a NaN or spiking loss rolls the
+        // run back to the last clean step instead of poisoning it.
+        sentinel: Some(SentinelConfig::default()),
+        ..Default::default()
+    };
+
+    // Phase 1: train until the "battery dies" after 20 optimiser steps.
+    let mut trainer = Trainer::new(build_net(), cfg.clone())?;
+    let err = trainer
+        .train_with_hooks(&data.train, &data.test, &mut PowerCut::after(20))
+        .expect_err("the power cut aborts the run");
+    println!("power lost: {err}");
+
+    // Phase 2: a fresh process (fresh trainer) picks the run back up from
+    // the newest valid on-disk checkpoint. A corrupt newest file would be
+    // rejected by its CRC and the previous good one used instead.
+    let mut recovered = Trainer::new(build_net(), cfg)?;
+    let report = recovered.resume_from_dir(&data.train, &data.test)?;
+    println!("resumed and finished {} epochs:", report.epochs.len());
+    for e in &report.epochs {
+        println!(
+            "  epoch {} loss {:.4} acc {:.3}",
+            e.epoch, e.train_loss, e.test_accuracy
+        );
+    }
+    println!("final accuracy {:.1}%", 100.0 * report.final_accuracy);
+
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    Ok(())
+}

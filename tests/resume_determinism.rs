@@ -1,0 +1,88 @@
+//! Property test for the interruption-tolerant runtime: killing a run at a
+//! random step and resuming from its newest on-disk checkpoint must be
+//! invisible — the resumed run's report *and* final weights are bit-exact
+//! copies of an uninterrupted run with the same seed.
+
+use apt::core::faults::PowerCut;
+use apt::core::{CheckpointConfig, CoreError, TrainConfig, TrainReport, Trainer};
+use apt::data::{blobs, Dataset};
+use apt::nn::{checkpoint, models, Network, QuantScheme};
+use apt::optim::LrSchedule;
+use apt::tensor::rng;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn data() -> (Dataset, Dataset) {
+    let all = blobs(3, 40, 6, 0.4, 2).unwrap();
+    all.split_shuffled(90, 7).unwrap()
+}
+
+fn net(seed: u64) -> Network {
+    models::mlp(
+        "m",
+        &[6, 16, 3],
+        &QuantScheme::paper_apt(),
+        &mut rng::seeded(seed),
+    )
+    .unwrap()
+}
+
+fn cfg(seed: u64, dir: Option<PathBuf>) -> TrainConfig {
+    TrainConfig {
+        epochs: 3,
+        batch_size: 16,
+        schedule: LrSchedule::Constant(0.05),
+        augment: None,
+        interval: 2,
+        seed,
+        checkpoint: dir.map(|d| CheckpointConfig {
+            dir: d,
+            every: 2,
+            keep: 3,
+        }),
+        ..Default::default()
+    }
+}
+
+/// Trains uninterrupted and returns the report plus the final weight blob.
+fn uninterrupted(seed: u64) -> (TrainReport, Vec<u8>) {
+    let (train, test) = data();
+    let mut t = Trainer::new(net(seed), cfg(seed, None)).unwrap();
+    let report = t.train(&train, &test).unwrap();
+    let blob = checkpoint::save_full(t.network_mut());
+    (report, blob)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // 3 epochs × 6 batches = 18 steps; kill anywhere in the run, including
+    // step 0 (before the first checkpoint ever lands on disk).
+    #[test]
+    fn kill_and_resume_reproduces_the_uninterrupted_run(
+        seed in 0u64..64,
+        kill_at in 0u64..18,
+    ) {
+        let (reference, ref_blob) = uninterrupted(seed);
+        let (train, test) = data();
+        let dir = std::env::temp_dir().join(format!(
+            "apt-resume-prop-{}-{seed}-{kill_at}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wired = cfg(seed, Some(dir.clone()));
+
+        let mut t = Trainer::new(net(seed), wired.clone()).unwrap();
+        let err = t
+            .train_with_hooks(&train, &test, &mut PowerCut::after(kill_at))
+            .unwrap_err();
+        prop_assert!(matches!(err, CoreError::Interrupted { .. }), "{err:?}");
+
+        let mut resumed = Trainer::new(net(seed), wired).unwrap();
+        let report = resumed.resume_from_dir(&train, &test).unwrap();
+        prop_assert_eq!(&report, &reference, "report diverged");
+        let blob = checkpoint::save_full(resumed.network_mut());
+        prop_assert_eq!(blob, ref_blob, "final weights diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

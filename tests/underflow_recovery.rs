@@ -35,7 +35,7 @@ fn stall_setup(policy: Option<PolicyConfig>) -> apt::core::TrainReport {
         .split_shuffled(90, 4)
         .unwrap();
     let scheme = QuantScheme::fixed(Bitwidth::MIN);
-    let net = models::mlp("m", &[6, 16, 3], &scheme, &mut rng::seeded(5)).unwrap();
+    let net = models::mlp("m", &[6, 16, 3], &scheme, &mut rng::seeded(1)).unwrap();
     let cfg = TrainConfig {
         epochs: 14,
         batch_size: 16,

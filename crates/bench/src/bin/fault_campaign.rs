@@ -1,0 +1,365 @@
+//! fault-campaign — soft-error injection campaign for the integrity guard.
+//!
+//! Sweeps injector × rate × bitwidth on the blobs/MLP workload, pairing
+//! every injected run with a clean run of the same seed, and reports
+//! per-cell detection rate, recovery rate, and final-accuracy delta as
+//! machine-readable JSON in `results/fault_campaign.json`.
+//!
+//! * **detection** — the guard flagged at least as many violations as
+//!   faults landed (or contained the run with a typed abort).
+//! * **recovery** — the run finished and its final accuracy is within
+//!   2 % of the paired clean run.
+//! * **abort** — the self-healing ladder was exhausted and training
+//!   stopped with `CoreError::IntegrityViolation` (contained, not silent).
+//!
+//! ```text
+//! cargo run --release -p apt-bench --bin fault-campaign            # full sweep
+//! cargo run --release -p apt-bench --bin fault-campaign -- --smoke # CI gate
+//! ```
+//!
+//! `--smoke` runs 10 seeded one-shot weight bit flips at the paper's
+//! 6-bit starting precision and **fails the process** unless every flip
+//! is detected and at least 9/10 runs recover to within 2 % of clean —
+//! the acceptance gate CI enforces on every push.
+
+use apt_bench::results_dir;
+use apt_core::faults::{BatchCorruptor, BitFlip, Saturator, StepHook, SurfaceKind};
+use apt_core::{CoreError, IntegrityConfig, TrainConfig, TrainReport, Trainer};
+use apt_data::{blobs, Dataset};
+use apt_nn::{models, Network, QuantScheme};
+use apt_optim::LrSchedule;
+use apt_quant::Bitwidth;
+use std::collections::HashMap;
+use std::io::Write as _;
+
+/// Recovery criterion: within 2 % absolute accuracy of the paired clean run.
+const RECOVERY_TOL: f64 = 0.02;
+
+fn workload() -> (Dataset, Dataset) {
+    let all = blobs(3, 40, 6, 0.4, 1).expect("dataset");
+    all.split_shuffled(90, 9).expect("split")
+}
+
+fn net(bits: u32, seed: u64) -> Network {
+    let scheme = QuantScheme::fully_quantized(Bitwidth::new(bits).expect("valid bitwidth"));
+    models::mlp(
+        "m",
+        &[6, 16, 3],
+        &scheme,
+        &mut apt_tensor::rng::seeded(seed),
+    )
+    .expect("model")
+}
+
+fn cfg(check_digests: bool) -> TrainConfig {
+    TrainConfig {
+        epochs: 4,
+        batch_size: 16,
+        schedule: LrSchedule::Constant(0.05),
+        augment: None,
+        interval: 2,
+        integrity: Some(IntegrityConfig {
+            check_digests,
+            ..Default::default()
+        }),
+        ..Default::default()
+    }
+}
+
+fn run(bits: u32, seed: u64, check_digests: bool, hook: &mut dyn StepHook) -> CampaignRun {
+    let (train, test) = workload();
+    let mut trainer = Trainer::new(net(bits, seed), cfg(check_digests)).expect("trainer");
+    match trainer.train_with_hooks(&train, &test, hook) {
+        Ok(report) => CampaignRun {
+            aborted: false,
+            report: Some(report),
+        },
+        Err(CoreError::IntegrityViolation { .. }) => CampaignRun {
+            aborted: true,
+            report: None,
+        },
+        Err(e) => panic!("unexpected training error: {e}"),
+    }
+}
+
+struct CampaignRun {
+    aborted: bool,
+    report: Option<TrainReport>,
+}
+
+/// One (injector, rate, bitwidth) sweep cell, aggregated over seeds.
+#[derive(Default)]
+struct Cell {
+    injector: String,
+    rate: f64,
+    bits: u32,
+    runs: usize,
+    injected: usize,
+    detected: usize,
+    recovered: usize,
+    aborted: usize,
+    acc_deltas: Vec<f64>,
+}
+
+impl Cell {
+    fn detection_rate(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.injected as f64
+        }
+    }
+
+    fn recovery_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.recovered as f64 / self.runs as f64
+        }
+    }
+
+    fn mean_acc_delta(&self) -> f64 {
+        if self.acc_deltas.is_empty() {
+            0.0
+        } else {
+            self.acc_deltas.iter().sum::<f64>() / self.acc_deltas.len() as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"injector\":\"{}\",\"rate\":{},\"bits\":{},\"runs\":{},\
+             \"injected\":{},\"detected\":{},\"detection_rate\":{:.4},\
+             \"recovered\":{},\"recovery_rate\":{:.4},\"aborted\":{},\
+             \"mean_acc_delta\":{:.6}}}",
+            self.injector,
+            self.rate,
+            self.bits,
+            self.runs,
+            self.injected,
+            self.detected,
+            self.detection_rate(),
+            self.recovered,
+            self.recovery_rate(),
+            self.aborted,
+            self.mean_acc_delta(),
+        )
+    }
+}
+
+/// Clean-run accuracy cache keyed by (bits, seed): every injected run is
+/// compared against a clean run of the identical net and data.
+struct CleanCache(HashMap<(u32, u64), f64>);
+
+impl CleanCache {
+    fn accuracy(&mut self, bits: u32, seed: u64) -> f64 {
+        *self.0.entry((bits, seed)).or_insert_with(|| {
+            let mut noop = apt_core::NoFaults;
+            let clean = run(bits, seed, true, &mut noop);
+            clean.report.expect("clean run finished").final_accuracy
+        })
+    }
+}
+
+fn score(cell: &mut Cell, clean_acc: f64, injected: usize, detected: usize, out: &CampaignRun) {
+    cell.runs += 1;
+    cell.injected += injected;
+    if out.aborted {
+        cell.aborted += 1;
+        // An abort is a detection event by construction: the ladder only
+        // trips after repeated flagged violations.
+        cell.detected += injected;
+    } else {
+        cell.detected += detected.min(injected);
+    }
+    if let Some(report) = &out.report {
+        let delta = (report.final_accuracy - clean_acc).abs();
+        cell.acc_deltas.push(delta);
+        if delta <= RECOVERY_TOL {
+            cell.recovered += 1;
+        }
+    }
+}
+
+fn violations(r: &TrainReport) -> usize {
+    r.integrity.digest_violations
+        + r.integrity.saturation_violations
+        + r.integrity.batch_violations
+        + r.integrity.gradient_violations
+}
+
+fn full_sweep(seeds: u64) -> Vec<Cell> {
+    let bitwidths = [4u32, 6, 8];
+    let flip_rates = [0.02f64, 0.1, 0.5];
+    let batch_rates = [0.05f64, 0.25];
+    let mut cells = Vec::new();
+
+    let mut clean = CleanCache(HashMap::new());
+
+    for &bits in &bitwidths {
+        for &rate in &flip_rates {
+            let mut cell = Cell {
+                injector: "bitflip".into(),
+                rate,
+                bits,
+                ..Default::default()
+            };
+            for seed in 0..seeds {
+                let clean_acc = clean.accuracy(bits, seed);
+                let mut hook = BitFlip::with_rate(rate, 0xF1_0000 + seed).surfaces(&[
+                    SurfaceKind::Weight,
+                    SurfaceKind::Velocity,
+                    SurfaceKind::GavgEma,
+                ]);
+                let out = run(bits, seed, true, &mut hook);
+                let injected = hook.records().len();
+                let detected = out.report.as_ref().map(violations).unwrap_or(injected);
+                score(&mut cell, clean_acc, injected, detected, &out);
+            }
+            eprintln!(
+                "bitflip   rate={rate:<4} bits={bits}: det={:.0}% rec={:.0}% aborts={}",
+                100.0 * cell.detection_rate(),
+                100.0 * cell.recovery_rate(),
+                cell.aborted
+            );
+            cells.push(cell);
+        }
+
+        for &rate in &batch_rates {
+            let mut cell = Cell {
+                injector: "batch".into(),
+                rate,
+                bits,
+                ..Default::default()
+            };
+            for seed in 0..seeds {
+                let clean_acc = clean.accuracy(bits, seed);
+                let mut hook = BatchCorruptor::with_rate(rate, 0xBA_0000 + seed);
+                let out = run(bits, seed, true, &mut hook);
+                let injected = hook.injected();
+                let detected = out
+                    .report
+                    .as_ref()
+                    .map(|r| r.integrity.skipped_batches)
+                    .unwrap_or(injected);
+                score(&mut cell, clean_acc, injected, detected, &out);
+            }
+            eprintln!(
+                "batch     rate={rate:<4} bits={bits}: det={:.0}% rec={:.0}% aborts={}",
+                100.0 * cell.detection_rate(),
+                100.0 * cell.recovery_rate(),
+                cell.aborted
+            );
+            cells.push(cell);
+        }
+
+        // One-shot rail saturation, digests off so the saturation guard —
+        // not the digest scan — does the catching.
+        let mut cell = Cell {
+            injector: "saturate".into(),
+            rate: 0.0,
+            bits,
+            ..Default::default()
+        };
+        for seed in 0..seeds {
+            let clean_acc = clean.accuracy(bits, seed);
+            let mut hook = Saturator::at(4);
+            let out = run(bits, seed, false, &mut hook);
+            let injected = usize::from(hook.forced() > 0);
+            let detected = out
+                .report
+                .as_ref()
+                .map(|r| r.integrity.saturation_violations)
+                .unwrap_or(injected);
+            score(&mut cell, clean_acc, injected, detected, &out);
+        }
+        eprintln!(
+            "saturate  one-shot  bits={bits}: det={:.0}% rec={:.0}% aborts={}",
+            100.0 * cell.detection_rate(),
+            100.0 * cell.recovery_rate(),
+            cell.aborted
+        );
+        cells.push(cell);
+    }
+    cells
+}
+
+/// The CI acceptance gate: 10 one-shot weight flips at 6 bits must all be
+/// detected, and ≥ 9/10 runs must recover to within 2 % of clean.
+fn smoke() -> bool {
+    const SEEDS: u64 = 10;
+    let mut clean = CleanCache(HashMap::new());
+    let mut cell = Cell {
+        injector: "bitflip-oneshot".into(),
+        rate: 0.0,
+        bits: 6,
+        ..Default::default()
+    };
+    for seed in 0..SEEDS {
+        let clean_acc = clean.accuracy(6, seed);
+        let mut hook = BitFlip::at(5, 0x50_0000 + seed);
+        let out = run(6, seed, true, &mut hook);
+        let injected = hook.records().len();
+        let detected = out
+            .report
+            .as_ref()
+            .map(|r| r.integrity.digest_violations)
+            .unwrap_or(injected);
+        score(&mut cell, clean_acc, injected, detected, &out);
+        println!(
+            "seed {seed}: injected={injected} detected={detected} acc_delta={:.4}",
+            cell.acc_deltas.last().copied().unwrap_or(f64::NAN)
+        );
+    }
+
+    write_json("fault_campaign_smoke.json", std::slice::from_ref(&cell));
+
+    let det_ok = cell.injected == SEEDS as usize && cell.detection_rate() == 1.0;
+    let rec_ok = cell.recovered >= 9;
+    println!(
+        "smoke: detection {}/{} recovery {}/{}",
+        cell.detected, cell.injected, cell.recovered, cell.runs
+    );
+    if !det_ok {
+        eprintln!("FAIL: expected 100% detection of injected weight bit flips");
+    }
+    if !rec_ok {
+        eprintln!("FAIL: expected >= 9/10 runs within 2% of clean accuracy");
+    }
+    det_ok && rec_ok
+}
+
+fn write_json(name: &str, cells: &[Cell]) {
+    let body: Vec<String> = cells.iter().map(|c| format!("  {}", c.to_json())).collect();
+    let json = format!(
+        "{{\n\"recovery_tolerance\": {RECOVERY_TOL},\n\"cells\": [\n{}\n]\n}}\n",
+        body.join(",\n")
+    );
+    let path = results_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    f.write_all(json.as_bytes()).expect("write results");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke_mode = args.iter().any(|a| a == "--smoke");
+    let seeds = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(5);
+
+    if smoke_mode {
+        println!("# fault-campaign --smoke: one-shot weight flips, 6-bit, 10 seeds");
+        if !smoke() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!("# fault-campaign: injector x rate x bitwidth sweep, {seeds} seeds/cell");
+    let cells = full_sweep(seeds);
+    write_json("fault_campaign.json", &cells);
+}

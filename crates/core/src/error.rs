@@ -52,6 +52,19 @@ pub enum CoreError {
         /// Within-epoch iteration at the cut.
         iteration: usize,
     },
+    /// The integrity guard exhausted its self-healing budget: heal,
+    /// rounding-stream re-roll and full sentinel rollback all failed to
+    /// produce a step that passes the in-memory checks.
+    IntegrityViolation {
+        /// Epoch of the final failed attempt.
+        epoch: usize,
+        /// Within-epoch iteration of the final failed attempt.
+        iteration: usize,
+        /// The class of check that kept failing (e.g. `"digest"`).
+        kind: String,
+        /// Consecutive incidents absorbed before giving up.
+        incidents: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -79,6 +92,16 @@ impl fmt::Display for CoreError {
                 f,
                 "training interrupted (simulated power cut) at epoch {epoch} iteration {iteration}"
             ),
+            CoreError::IntegrityViolation {
+                epoch,
+                iteration,
+                kind,
+                incidents,
+            } => write!(
+                f,
+                "unrecoverable {kind} integrity violation at epoch {epoch} iteration \
+                 {iteration} after {incidents} consecutive incidents"
+            ),
         }
     }
 }
@@ -95,7 +118,8 @@ impl Error for CoreError {
             | CoreError::Io { .. }
             | CoreError::Corrupt { .. }
             | CoreError::Diverged { .. }
-            | CoreError::Interrupted { .. } => None,
+            | CoreError::Interrupted { .. }
+            | CoreError::IntegrityViolation { .. } => None,
         }
     }
 }

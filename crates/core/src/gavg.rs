@@ -123,6 +123,21 @@ impl GavgProfiler {
             self.emas.insert(name.clone(), ema);
         }
     }
+
+    /// Flips one bit of a layer's smoothed Gavg value — the in-memory SEU
+    /// model for the profiler's f64 accumulators, used by
+    /// [`crate::faults::BitFlip`]. Returns `false` if the layer has no
+    /// seeded EMA (nothing to corrupt).
+    pub fn flip_ema_bit(&mut self, name: &str, bit: u32) -> bool {
+        let Some(value) = self.get(name) else {
+            return false;
+        };
+        let corrupted = f64::from_bits(value.to_bits() ^ (1u64 << (bit % 64)));
+        let mut ema = Ema::new(self.alpha);
+        ema.update(corrupted);
+        self.emas.insert(name.to_string(), ema);
+        true
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@ pub mod checkpoint;
 mod error;
 pub mod faults;
 pub mod gavg;
+pub mod integrity;
 pub mod policy;
 pub mod state;
 pub mod trainer;
@@ -50,9 +51,14 @@ pub use autotune::{autotune_t_min, AutoTuneConfig, AutoTuneReport, PilotResult, 
 pub use checkpoint::{latest_valid, write_state, CheckpointConfig};
 pub use error::CoreError;
 pub use faults::{
-    flip_byte, truncate_file, NanBomb, NoFaults, PowerCut, StepAction, StepHook, StepInfo,
+    flip_byte, truncate_file, BatchCorruptor, BatchFault, BitFlip, FaultSurface, FlipRecord,
+    NanBomb, NoFaults, PowerCut, Saturator, StepAction, StepHook, StepInfo, SurfaceKind,
 };
 pub use gavg::{gavg_of, GavgProfiler};
+pub use integrity::{
+    IntegrityAction, IntegrityConfig, IntegrityEvent, IntegrityKind, IntegrityReport, ScanOutcome,
+    StepGuard,
+};
 pub use policy::{adjust_bitwidth, apply_policy, PolicyConfig, PrecisionChange};
 pub use state::{OptimizerState, TrainState};
 pub use trainer::{

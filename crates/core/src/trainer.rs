@@ -15,7 +15,8 @@
 //! augmentation draws, loss, and metering code.
 
 use crate::checkpoint::CheckpointConfig;
-use crate::faults::{NoFaults, StepAction, StepHook, StepInfo};
+use crate::faults::{FaultSurface, NoFaults, StepAction, StepHook, StepInfo, SurfaceKind};
+use crate::integrity::{IntegrityConfig, IntegrityReport, StepGuard};
 use crate::state::{OptimizerState, TrainState};
 use crate::{apply_policy, CoreError, GavgProfiler, PolicyConfig, PrecisionChange};
 use apt_data::{AugmentConfig, Batcher, Dataset};
@@ -96,6 +97,11 @@ pub struct TrainConfig {
     /// trigger rollback to the last clean step instead of poisoning the
     /// run (`None` disables — losses pass through unchecked).
     pub sentinel: Option<SentinelConfig>,
+    /// `Some` arms the in-memory integrity guard
+    /// ([`crate::integrity::StepGuard`]): per-layer digests, batch/gradient
+    /// range screens and the quantiser saturation check run around every
+    /// step, healing soft errors in place (`None` disables).
+    pub integrity: Option<IntegrityConfig>,
 }
 
 impl Default for TrainConfig {
@@ -116,6 +122,7 @@ impl Default for TrainConfig {
             early_stop_patience: None,
             checkpoint: None,
             sentinel: None,
+            integrity: None,
         }
     }
 }
@@ -197,6 +204,9 @@ pub struct TrainReport {
     pub total_energy_pj: f64,
     /// Peak model training-memory footprint, bits.
     pub peak_memory_bits: u64,
+    /// What the integrity guard saw and did (all-zero when disarmed or
+    /// when the run was genuinely clean).
+    pub integrity: IntegrityReport,
 }
 
 impl TrainReport {
@@ -245,6 +255,76 @@ impl AnyOptimizer {
                 reason: "checkpoint optimiser kind does not match the configured optimiser".into(),
             }),
         }
+    }
+
+    /// Re-seeds the stochastic-rounding stream — the integrity ladder's
+    /// middle rung, for when a fault keeps reappearing on the same
+    /// rounding draws. Adam has no stochastic stream, so this is a no-op
+    /// there.
+    fn reroll(&mut self, salt: u64) {
+        match self {
+            AnyOptimizer::Sgd(o) => o.reroll_rounding(salt),
+            AnyOptimizer::Adam(_) => {}
+        }
+    }
+}
+
+/// The trainer's live state, presented to in-memory fault injectors as a
+/// [`FaultSurface`] (weights/momentum through the network, Gavg EMAs
+/// through the profiler).
+struct TrainerSurface<'a> {
+    net: &'a mut Network,
+    profiler: &'a mut GavgProfiler,
+}
+
+impl FaultSurface for TrainerSurface<'_> {
+    fn targets(&self, kind: SurfaceKind) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        match kind {
+            SurfaceKind::Weight => {
+                self.net
+                    .visit_params_ref(&mut |p| out.push((p.name().to_string(), p.len())));
+            }
+            SurfaceKind::Velocity => {
+                self.net.visit_params_ref(&mut |p| {
+                    if let Some(v) = p.velocity() {
+                        out.push((p.name().to_string(), v.len()));
+                    }
+                });
+            }
+            SurfaceKind::GavgEma => {
+                out.extend(self.profiler.export().into_iter().map(|(n, _)| (n, 1)));
+            }
+        }
+        out
+    }
+
+    fn flip_bit(&mut self, kind: SurfaceKind, name: &str, elem: usize, bit: u32) -> bool {
+        if kind == SurfaceKind::GavgEma {
+            return self.profiler.flip_ema_bit(name, bit);
+        }
+        let mut done = false;
+        self.net.visit_params(&mut |p| {
+            if done || p.name() != name {
+                return;
+            }
+            done = match kind {
+                SurfaceKind::Weight => p.flip_stored_bit(elem, bit).is_ok(),
+                SurfaceKind::Velocity => p.flip_velocity_bit(elem, bit),
+                SurfaceKind::GavgEma => unreachable!("handled above"),
+            };
+        });
+        done
+    }
+
+    fn saturate(&mut self, name: &str, fraction: f64, high: bool) -> usize {
+        let mut forced = 0;
+        self.net.visit_params(&mut |p| {
+            if p.name() == name {
+                forced += p.saturate_codes(fraction, high);
+            }
+        });
+        forced
     }
 }
 
@@ -314,6 +394,9 @@ impl LoopState {
                 best_accuracy: 0.0,
                 total_energy_pj: 0.0,
                 peak_memory_bits: state.peak_memory_bits,
+                // Not serialised: the report restarts counting from the
+                // resume point, like the sentinel's fault ladder.
+                integrity: IntegrityReport::default(),
             },
         }
     }
@@ -382,6 +465,40 @@ impl Trainer {
             if s.max_retries == 0 {
                 return Err(CoreError::BadConfig {
                     reason: "sentinel.max_retries must be ≥ 1".into(),
+                });
+            }
+        }
+        if let Some(i) = &cfg.integrity {
+            if !(i.max_abs_input.is_finite() && i.max_abs_input > 0.0) {
+                return Err(CoreError::BadConfig {
+                    reason: format!(
+                        "integrity.max_abs_input {} must be finite > 0",
+                        i.max_abs_input
+                    ),
+                });
+            }
+            if !(i.max_abs_grad.is_finite() && i.max_abs_grad > 0.0) {
+                return Err(CoreError::BadConfig {
+                    reason: format!(
+                        "integrity.max_abs_grad {} must be finite > 0",
+                        i.max_abs_grad
+                    ),
+                });
+            }
+            if !(i.saturation_limit.is_finite()
+                && i.saturation_limit > 0.0
+                && i.saturation_limit <= 1.0)
+            {
+                return Err(CoreError::BadConfig {
+                    reason: format!(
+                        "integrity.saturation_limit {} outside (0, 1]",
+                        i.saturation_limit
+                    ),
+                });
+            }
+            if i.max_retries == 0 {
+                return Err(CoreError::BadConfig {
+                    reason: "integrity.max_retries must be ≥ 1".into(),
                 });
             }
         }
@@ -521,21 +638,28 @@ impl Trainer {
         let batcher = Batcher::new(self.cfg.batch_size, self.cfg.augment, self.cfg.seed)?;
         let sentinel = self.cfg.sentinel;
         let checkpoint = self.cfg.checkpoint.clone();
+        let mut guard = self.cfg.integrity.map(StepGuard::new);
+        // Both the sentinel and the integrity guard roll back to this
+        // snapshot, so it must exist whenever either is armed.
+        let keep_snap = sentinel.is_some() || guard.is_some();
         // The in-memory snapshot the sentinel rolls back to. Kept current
         // with every clean step; doubles as the payload of disk
         // checkpoints so both paths exercise the same capture code.
         let (mut ls, mut snapshot) = match resume {
             Some(state) => {
                 let ls = self.restore_from_state(&state)?;
-                let snap = sentinel.is_some().then_some(state);
+                let snap = keep_snap.then_some(state);
                 (ls, snap)
             }
             None => {
                 let ls = LoopState::fresh();
-                let snap = sentinel.is_some().then(|| self.capture_state(&ls, 0, 0));
+                let snap = keep_snap.then(|| self.capture_state(&ls, 0, 0));
                 (ls, snap)
             }
         };
+        if let Some(g) = guard.as_mut() {
+            g.refresh(&self.net, &self.profiler);
+        }
         // Consecutive-fault counter for the sentinel's escalation ladder.
         // Not serialised: a resume mid-incident restarts the ladder.
         let mut faults = 0usize;
@@ -556,6 +680,15 @@ impl Trainer {
                     iter,
                     global_step: ls.global_step,
                 };
+                {
+                    // Hand injectors the live state *before* any screening:
+                    // the guard must catch what the hook just planted.
+                    let mut surface = TrainerSurface {
+                        net: &mut self.net,
+                        profiler: &mut self.profiler,
+                    };
+                    hooks.inject(&info, &mut surface);
+                }
                 if hooks.before_step(&info, &mut batch) == StepAction::PowerCut {
                     // Power-cut semantics: nothing is persisted for the
                     // in-flight step; recovery starts from the last
@@ -564,6 +697,32 @@ impl Trainer {
                         epoch,
                         iteration: iter,
                     });
+                }
+                if let Some(g) = guard.as_mut() {
+                    let outcome = g.pre_step(&mut self.net, &mut self.profiler, &info)?;
+                    if outcome.reroll {
+                        self.optimizer
+                            .reroll(0x5A17 ^ ls.global_step.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    }
+                    if outcome.rollback {
+                        let snap = snapshot
+                            .as_ref()
+                            .expect("snapshot exists while the guard is armed")
+                            .clone();
+                        self.restore_subsystems(&snap)?;
+                        ls.rollback_accumulators(&snap);
+                        if outcome.escalate {
+                            self.escalate_bits();
+                        }
+                        g.refresh(&self.net, &self.profiler);
+                        continue;
+                    }
+                    // Corrupt input never reaches the forward pass: the
+                    // loss clamp would swallow NaN and cross-entropy
+                    // rejects impossible labels outright.
+                    if g.check_batch(&batch, train.num_classes(), &info) {
+                        continue;
+                    }
                 }
                 let lr = base_lr * ls.lr_scale as f32;
                 // With the sentinel armed, a non-finite input is a fault in
@@ -609,6 +768,11 @@ impl Trainer {
                             2 => ls.lr_scale *= 0.5,
                             _ => self.escalate_bits(),
                         }
+                        // The rollback rewrote stores legitimately; the
+                        // guard must not "heal" them back.
+                        if let Some(g) = guard.as_mut() {
+                            g.refresh(&self.net, &self.profiler);
+                        }
                         continue;
                     }
                     ls.loss_ema = Some(match ls.loss_ema {
@@ -622,7 +786,33 @@ impl Trainer {
                 ls.loss_count += 1;
                 self.net.backward(&ce.grad_logits)?;
 
-                // Algorithm 2 lines 6-9: profile Gavg on raw gradients.
+                if let Some(g) = guard.as_mut() {
+                    if let Some(outcome) = g.check_grads(&self.net, &info)? {
+                        // A poisoned gradient may already trace back to
+                        // corrupted activations, so healing one layer is
+                        // not enough: roll the whole step back.
+                        if outcome.reroll {
+                            self.optimizer.reroll(
+                                0x5A17 ^ ls.global_step.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            );
+                        }
+                        let snap = snapshot
+                            .as_ref()
+                            .expect("snapshot exists while the guard is armed")
+                            .clone();
+                        self.restore_subsystems(&snap)?;
+                        ls.rollback_accumulators(&snap);
+                        if outcome.escalate {
+                            self.escalate_bits();
+                        }
+                        g.refresh(&self.net, &self.profiler);
+                        continue;
+                    }
+                }
+
+                // Algorithm 2 lines 6-9: profile Gavg on raw gradients
+                // (after the gradient screen, so NaN never pollutes the
+                // EMAs).
                 if iter % self.cfg.interval == 0 {
                     self.profiler.sample(&self.net);
                 }
@@ -637,7 +827,7 @@ impl Trainer {
                 let ck_due = checkpoint
                     .as_ref()
                     .is_some_and(|c| ls.global_step % c.every as u64 == 0);
-                if sentinel.is_some() || ck_due {
+                if keep_snap || ck_due {
                     // Cursor points at the *next* step to execute.
                     let state = self.capture_state(&ls, epoch, iter + 1);
                     if ck_due {
@@ -646,9 +836,13 @@ impl Trainer {
                             &state,
                         )?;
                     }
-                    if sentinel.is_some() {
+                    if keep_snap {
                         snapshot = Some(state);
                     }
+                }
+                if let Some(g) = guard.as_mut() {
+                    g.step_clean();
+                    g.refresh(&self.net, &self.profiler);
                 }
             }
 
@@ -696,9 +890,14 @@ impl Trainer {
             ls.underflowed = 0;
             ls.quantized_total = 0;
             // Re-snapshot after policy/eval so a rollback early next epoch
-            // cannot resurrect pre-adjustment bitwidths.
-            if sentinel.is_some() {
+            // cannot resurrect pre-adjustment bitwidths; re-baseline the
+            // guard for the same reason (Algorithm 1's changes are
+            // legitimate, not corruption).
+            if keep_snap {
                 snapshot = Some(self.capture_state(&ls, epoch + 1, 0));
+            }
+            if let Some(g) = guard.as_mut() {
+                g.refresh(&self.net, &self.profiler);
             }
             if let Some(patience) = self.cfg.early_stop_patience {
                 if evaluated && ls.evals_since_best >= patience {
@@ -714,6 +913,7 @@ impl Trainer {
             .map(|e| e.test_accuracy)
             .fold(0.0, f64::max);
         report.total_energy_pj = self.meter.total_pj();
+        report.integrity = guard.map(StepGuard::into_report).unwrap_or_default();
         Ok(report)
     }
 

@@ -107,6 +107,20 @@ impl Network {
         names
     }
 
+    /// The [`Param::integrity_digest`] of every parameter, in layer order.
+    ///
+    /// This is the whole-network fingerprint the trainer's integrity guard
+    /// refreshes after each clean step and re-checks before the next one —
+    /// any in-memory corruption of weights, quantiser calibration, or
+    /// momentum shows up as a per-layer digest mismatch.
+    pub fn integrity_digests(&self) -> Vec<(String, u64)> {
+        let mut digests = Vec::new();
+        self.visit_params_ref(&mut |p| {
+            digests.push((p.name().to_string(), p.integrity_digest()));
+        });
+        digests
+    }
+
     /// Total training-memory footprint of the model state in bits
     /// (Figure 5's "model size for training").
     pub fn memory_bits(&self) -> u64 {

@@ -498,6 +498,142 @@ impl Param {
         }
     }
 
+    /// A 64-bit FNV-1a digest of everything that must stay bit-stable
+    /// between optimiser steps: the stored representation (integer codes
+    /// *and* quantiser calibration, or raw fp32 bits), plus the momentum
+    /// buffer if one exists.
+    ///
+    /// Any single-event upset in the parameter's memory — a flipped code
+    /// bit, a corrupted scale, a perturbed velocity — changes the digest,
+    /// which is how the trainer's integrity guard detects silent corruption
+    /// without keeping a second copy of the values.
+    pub fn integrity_digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        match &self.store {
+            ParamStore::Float(t) => {
+                h.write_u8(0);
+                for &v in t.data() {
+                    h.write_u32(v.to_bits());
+                }
+            }
+            ParamStore::Quantized(q) => {
+                h.write_u8(1);
+                hash_quantizer(&mut h, q.quantizer());
+                for &c in q.codes() {
+                    h.write_u64(c as u64);
+                }
+            }
+            ParamStore::MasterCopy { master, bits } => {
+                h.write_u8(2);
+                h.write_u32(bits.get());
+                for &v in master.data() {
+                    h.write_u32(v.to_bits());
+                }
+            }
+            ParamStore::Projected { master, projection } => {
+                h.write_u8(3);
+                h.write_u8(projection.view_bits() as u8);
+                for &v in master.data() {
+                    h.write_u32(v.to_bits());
+                }
+            }
+            ParamStore::PerChannel(pc) => {
+                h.write_u8(4);
+                for q in pc.quantizers() {
+                    hash_quantizer(&mut h, q);
+                }
+                for &c in pc.codes() {
+                    h.write_u64(c as u64);
+                }
+            }
+        }
+        match &self.velocity {
+            None => h.write_u8(0),
+            Some(v) => {
+                h.write_u8(1);
+                for &x in v.data() {
+                    h.write_u32(x.to_bits());
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Flips one bit of the stored representation of element `elem` — the
+    /// in-memory SEU model used by fault injection.
+    ///
+    /// Quantised stores flip a bit of the integer code (within the low `k`
+    /// bits, so the code stays on the grid); float-backed stores flip a bit
+    /// of the fp32 word (`bit % 32`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `elem` is out of bounds.
+    pub fn flip_stored_bit(&mut self, elem: usize, bit: u32) -> crate::Result<()> {
+        let len = self.len();
+        let oob = || NnError::BadConfig {
+            reason: format!("flip_stored_bit: element {elem} out of bounds for len {len}"),
+        };
+        match &mut self.store {
+            ParamStore::Float(t) => {
+                let v = t.data_mut().get_mut(elem).ok_or_else(oob)?;
+                *v = f32::from_bits(v.to_bits() ^ (1u32 << (bit % 32)));
+                Ok(())
+            }
+            ParamStore::MasterCopy { master, .. } | ParamStore::Projected { master, .. } => {
+                let v = master.data_mut().get_mut(elem).ok_or_else(oob)?;
+                *v = f32::from_bits(v.to_bits() ^ (1u32 << (bit % 32)));
+                Ok(())
+            }
+            ParamStore::Quantized(q) => {
+                q.flip_code_bit(elem, bit)?;
+                Ok(())
+            }
+            ParamStore::PerChannel(pc) => {
+                pc.flip_code_bit(elem, bit)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Flips one bit of the momentum buffer's fp32 word at `elem`. Returns
+    /// `false` (and does nothing) when no buffer has been allocated or
+    /// `elem` is out of bounds — momentum is lazily created, so a fault can
+    /// only land where memory actually exists.
+    pub fn flip_velocity_bit(&mut self, elem: usize, bit: u32) -> bool {
+        match &mut self.velocity {
+            Some(v) => match v.data_mut().get_mut(elem) {
+                Some(x) => {
+                    *x = f32::from_bits(x.to_bits() ^ (1u32 << (bit % 32)));
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Fraction of integer codes on a grid rail, for quantised stores
+    /// (`None` otherwise). The trainer's saturation guard reads this.
+    pub fn saturation_ratio(&self) -> Option<f64> {
+        match &self.store {
+            ParamStore::Quantized(q) => Some(q.saturation_ratio()),
+            ParamStore::PerChannel(pc) => Some(pc.saturation_ratio()),
+            _ => None,
+        }
+    }
+
+    /// Drives a deterministic subset of a quantised store's codes to a grid
+    /// rail (fault injection: integer saturation). Returns the number of
+    /// codes forced — 0 for float-backed stores, which have no rails.
+    pub fn saturate_codes(&mut self, fraction: f64, high: bool) -> usize {
+        match &mut self.store {
+            ParamStore::Quantized(q) => q.saturate(fraction, high),
+            ParamStore::PerChannel(pc) => pc.saturate(fraction, high),
+            _ => 0,
+        }
+    }
+
     /// Mutable access to the momentum buffer, creating it (zeroed) on first
     /// use.
     pub fn velocity_mut(&mut self) -> &mut Tensor {
@@ -534,6 +670,45 @@ impl Param {
         self.velocity = velocity;
         Ok(())
     }
+}
+
+/// Incremental 64-bit FNV-1a hasher (offset basis `0xcbf29ce484222325`,
+/// prime `0x100000001b3`) — small, dependency-free, and sensitive to every
+/// input bit, which is all an SEU detector needs.
+#[derive(Debug, Clone)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u8(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn write_u32(&mut self, word: u32) {
+        for b in word.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_u64(&mut self, word: u64) {
+        for b in word.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_quantizer(h: &mut Fnv1a, q: &apt_quant::AffineQuantizer) {
+    h.write_u32(q.eps().to_bits());
+    h.write_u64(q.zero_point() as u64);
+    h.write_u32(q.bits().get());
 }
 
 #[cfg(test)]
@@ -687,6 +862,68 @@ mod tests {
         assert!(p.velocity().is_none());
         p.velocity_mut().fill(1.0);
         assert_eq!(p.velocity().unwrap().sum(), 4.0);
+    }
+
+    #[test]
+    fn digest_detects_single_bit_flips_in_every_store_kind() {
+        let init = normal(&[32], 1.0, &mut seeded(9));
+        let precisions = [
+            ParamPrecision::Float32,
+            ParamPrecision::Quantized(b(6)),
+            ParamPrecision::MasterCopy(b(8)),
+            ParamPrecision::Projected(Projection::Ternary),
+            ParamPrecision::PerChannel(b(6)),
+        ];
+        for prec in precisions {
+            let init2 = Tensor::from_vec(init.data().to_vec(), &[4, 8]).unwrap();
+            let mut p = Param::new("w", ParamKind::Weight, init2, prec).unwrap();
+            let clean = p.integrity_digest();
+            assert_eq!(clean, p.integrity_digest(), "digest must be deterministic");
+            p.flip_stored_bit(13, 2).unwrap();
+            assert_ne!(
+                clean,
+                p.integrity_digest(),
+                "flip undetected under {prec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_covers_velocity_and_its_presence() {
+        let mut p = Param::new(
+            "w",
+            ParamKind::Weight,
+            normal(&[16], 1.0, &mut seeded(10)),
+            ParamPrecision::Quantized(b(6)),
+        )
+        .unwrap();
+        let no_velocity = p.integrity_digest();
+        assert!(!p.flip_velocity_bit(0, 0), "no buffer ⇒ no flip");
+        p.velocity_mut().fill(0.5);
+        let with_velocity = p.integrity_digest();
+        assert_ne!(no_velocity, with_velocity);
+        assert!(p.flip_velocity_bit(3, 17));
+        assert_ne!(with_velocity, p.integrity_digest());
+        assert!(!p.flip_velocity_bit(99, 0), "out of bounds ⇒ no flip");
+    }
+
+    #[test]
+    fn saturation_helpers_follow_store_kind() {
+        let init = normal(&[64], 1.0, &mut seeded(11));
+        let mut q = Param::new(
+            "w",
+            ParamKind::Weight,
+            init.clone(),
+            ParamPrecision::Quantized(b(6)),
+        )
+        .unwrap();
+        assert!(q.saturation_ratio().unwrap() < 0.2);
+        assert_eq!(q.saturate_codes(0.5, true), 32);
+        assert!(q.saturation_ratio().unwrap() >= 0.5);
+        let mut f = Param::new("w", ParamKind::Weight, init, ParamPrecision::Float32).unwrap();
+        assert_eq!(f.saturation_ratio(), None);
+        assert_eq!(f.saturate_codes(0.5, true), 0);
+        assert!(f.flip_stored_bit(99, 0).is_err());
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub struct StepStats {
     pub underflowed: usize,
     /// Quantised elements that triggered range expansion.
     pub expanded: usize,
+    /// Quantised elements left on a grid rail after the step (integer
+    /// saturation; see [`apt_quant::UpdateStats::saturated`]).
+    pub saturated: usize,
     /// Total quantised elements updated.
     pub quantized_total: usize,
     /// Parameters (tensors) visited.
@@ -70,6 +73,11 @@ pub struct Sgd {
     cfg: SgdConfig,
     seed: u64,
     steps: u64,
+    /// Transient rounding-stream salt, XORed into the seed (see
+    /// [`Sgd::reroll_rounding`]). Deliberately **not** part of [`SgdState`]:
+    /// it exists only as a recovery measure within a live process, and a
+    /// resumed run restarts it at 0 so checkpoint payloads stay stable.
+    salt: u64,
 }
 
 /// Serialisable SGD progress. Velocity buffers live on the network's
@@ -92,7 +100,21 @@ impl Sgd {
             cfg,
             seed,
             steps: 0,
+            salt: 0,
         }
+    }
+
+    /// Re-randomises the stochastic-rounding stream by folding `salt` into
+    /// the seed for every subsequent step.
+    ///
+    /// This is the middle rung of the trainer's self-healing ladder: when a
+    /// step keeps tripping the integrity guard, drawing a fresh rounding
+    /// stream breaks any unlucky interaction between the corruption pattern
+    /// and the quantised update before the heavier full-rollback rung. The
+    /// salt is transient — it is not serialised into [`SgdState`], and a
+    /// checkpoint-resumed run starts back at salt 0.
+    pub fn reroll_rounding(&mut self, salt: u64) {
+        self.salt = salt;
     }
 
     /// The active configuration.
@@ -134,7 +156,7 @@ impl Sgd {
         let mut stats = StepStats::default();
         let mut first_err: Option<OptimError> = None;
         let cfg = self.cfg;
-        let mut rng = Self::step_rng(self.seed, self.steps);
+        let mut rng = Self::step_rng(self.seed ^ self.salt, self.steps);
         net.visit_params(&mut |p: &mut Param| {
             if first_err.is_some() {
                 return;
@@ -189,6 +211,7 @@ impl Sgd {
         if let Some(us) = p.apply_update(&effective, lr, cfg.rounding, rng)? {
             stats.underflowed += us.underflowed;
             stats.expanded += us.expanded;
+            stats.saturated += us.saturated;
             stats.quantized_total += us.total;
         }
         Ok(())
@@ -350,6 +373,66 @@ mod tests {
         assert!(sgd.step(&mut net, f32::NAN).is_err());
         assert!(sgd.step(&mut net, -0.1).is_err());
         assert_eq!(sgd.config().momentum, 0.9);
+    }
+
+    #[test]
+    fn reroll_changes_stochastic_stream_only() {
+        let run = |salt: Option<u64>, mode: RoundingMode| -> Vec<f32> {
+            let mut net =
+                models::mlp("m", &[4, 32, 3], &QuantScheme::paper_apt(), &mut seeded(8)).unwrap();
+            let mut sgd = Sgd::new(
+                SgdConfig {
+                    momentum: 0.0,
+                    weight_decay: 0.0,
+                    rounding: mode,
+                    clip_grad_norm: None,
+                },
+                42,
+            );
+            if let Some(s) = salt {
+                sgd.reroll_rounding(s);
+            }
+            for _ in 0..4 {
+                net.zero_grads();
+                net.visit_params(&mut |p| {
+                    if p.kind() == ParamKind::Weight {
+                        let eps = p.eps().unwrap();
+                        let g = Tensor::full(p.dims(), eps * 0.5);
+                        p.accumulate_grad(&g).unwrap();
+                    }
+                });
+                sgd.step(&mut net, 1.0).unwrap();
+            }
+            let mut out = Vec::new();
+            net.visit_params_ref(&mut |p| out.extend_from_slice(p.value().data()));
+            out
+        };
+        // Salt 0 is the identity; a non-zero salt redraws the stochastic
+        // stream; truncation ignores the rng entirely.
+        assert_eq!(
+            run(None, RoundingMode::Stochastic),
+            run(Some(0), RoundingMode::Stochastic)
+        );
+        assert_ne!(
+            run(None, RoundingMode::Stochastic),
+            run(Some(0xDEAD_BEEF), RoundingMode::Stochastic)
+        );
+        assert_eq!(
+            run(None, RoundingMode::Truncate),
+            run(Some(0xDEAD_BEEF), RoundingMode::Truncate)
+        );
+    }
+
+    #[test]
+    fn step_stats_report_saturation() {
+        let mut net =
+            models::mlp("m", &[4, 16, 3], &QuantScheme::paper_apt(), &mut seeded(9)).unwrap();
+        let mut sgd = Sgd::new(SgdConfig::default(), 0);
+        let stats = sgd.step(&mut net, 0.1).unwrap();
+        // Calibration keeps each tensor's extremes near the rails, so a
+        // healthy step reports a small but non-zero saturated count.
+        assert!(stats.saturated > 0);
+        assert!(stats.saturated < stats.quantized_total / 4);
     }
 
     #[test]

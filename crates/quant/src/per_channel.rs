@@ -224,7 +224,62 @@ impl PerChannelQuantized {
             }
             self.quantizers[ch] = new_q;
         }
+        let max_code = bits.num_steps() as i64;
+        stats.saturated = crate::tensor_q::count_rail_codes(&self.codes, max_code);
         Ok(stats)
+    }
+
+    /// Fraction of codes sitting on a grid rail (0 or `2^k − 1`), pooled
+    /// across channels. See [`crate::QuantizedTensor::saturation_ratio`] —
+    /// the healthy floor here is about `2/stride` *per channel*, since every
+    /// channel's calibration pins its own min/max to the rails.
+    pub fn saturation_ratio(&self) -> f64 {
+        if self.codes.is_empty() {
+            return 0.0;
+        }
+        let max_code = self.bits().num_steps() as i64;
+        crate::tensor_q::count_rail_codes(&self.codes, max_code) as f64 / self.codes.len() as f64
+    }
+
+    /// Flips one bit of one stored code within the low `k` bits (SEU
+    /// model); the result always stays on the channel's grid. Returns the
+    /// new code. See [`crate::QuantizedTensor::flip_code_bit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ShapeMismatch`] if `elem` is out of bounds.
+    pub fn flip_code_bit(&mut self, elem: usize, bit: u32) -> crate::Result<i64> {
+        if elem >= self.codes.len() {
+            return Err(QuantError::ShapeMismatch {
+                op: "flip_code_bit",
+                lhs: vec![elem],
+                rhs: vec![self.codes.len()],
+            });
+        }
+        let k = self.bits().get();
+        self.codes[elem] ^= 1i64 << (bit % k);
+        Ok(self.codes[elem])
+    }
+
+    /// Drives every `round(1/fraction)`-th code to a grid rail (fault
+    /// injection). Returns the number of codes forced. See
+    /// [`crate::QuantizedTensor::saturate`].
+    pub fn saturate(&mut self, fraction: f64, high: bool) -> usize {
+        if !fraction.is_finite() || fraction <= 0.0 || self.codes.is_empty() {
+            return 0;
+        }
+        let stride = (1.0 / fraction.min(1.0)).round().max(1.0) as usize;
+        let rail = if high {
+            self.bits().num_steps() as i64
+        } else {
+            0
+        };
+        let mut forced = 0;
+        for q in self.codes.iter_mut().step_by(stride) {
+            *q = rail;
+            forced += 1;
+        }
+        forced
     }
 
     /// Rebuilds from checkpointed parts.
@@ -396,6 +451,35 @@ mod tests {
                 &mut seeded(0)
             )
             .is_err());
+    }
+
+    #[test]
+    fn saturation_and_flip_mirror_per_tensor_semantics() {
+        let t = normal(&[4, 16], 1.0, &mut seeded(5));
+        let mut pc = PerChannelQuantized::from_tensor(&t, b(6)).unwrap();
+        // Every channel pins its min/max, so the clean floor is 2/stride
+        // pooled over channels.
+        let clean = pc.saturation_ratio();
+        assert!(clean >= 8.0 / 64.0 && clean < 0.35, "clean ratio {clean}");
+        let max_code = pc.bits().num_steps() as i64;
+        for bit in 0..16u32 {
+            let new = pc.flip_code_bit(bit as usize, bit).unwrap();
+            assert!((0..=max_code).contains(&new));
+        }
+        assert!(pc.flip_code_bit(64, 0).is_err());
+        let forced = pc.saturate(0.25, false);
+        assert_eq!(forced, 16);
+        assert!(pc.saturation_ratio() >= 0.25);
+        assert!(pc.to_tensor().data().iter().all(|v| v.is_finite()));
+        // Zero gradient update reports the rail population.
+        let g = Tensor::zeros(&[4, 16]);
+        let stats = pc
+            .sgd_update(&g, 0.1, RoundingMode::Truncate, &mut seeded(0))
+            .unwrap();
+        assert_eq!(stats.saturated, {
+            let mc = pc.bits().num_steps() as i64;
+            pc.codes().iter().filter(|&&q| q == 0 || q == mc).count()
+        });
     }
 
     #[test]

@@ -15,6 +15,11 @@ pub struct UpdateStats {
     /// Elements whose updated value fell outside the representable range
     /// (triggering range expansion).
     pub expanded: usize,
+    /// Elements left sitting on a grid rail (code 0 or the maximum code)
+    /// after the update settled, post any recalibration. A large value on a
+    /// small tensor is normal (calibration pins the min/max to the rails);
+    /// a large *fraction* on a big tensor signals integer saturation.
+    pub saturated: usize,
     /// Total elements updated.
     pub total: usize,
 }
@@ -28,6 +33,20 @@ impl UpdateStats {
             self.underflowed as f64 / self.total as f64
         }
     }
+
+    /// Fraction of elements left on a grid rail (0 for empty tensors).
+    pub fn saturation_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.saturated as f64 / self.total as f64
+        }
+    }
+}
+
+/// Counts codes sitting on the grid rails (0 or `max_code`).
+pub(crate) fn count_rail_codes(codes: &[i64], max_code: i64) -> usize {
+    codes.iter().filter(|&&q| q == 0 || q == max_code).count()
 }
 
 /// A parameter tensor whose source of truth is its integer codes.
@@ -250,7 +269,74 @@ impl QuantizedTensor {
             self.codes = quantizer.quantize_tensor(&t);
             self.quantizer = quantizer;
         }
+        stats.saturated = count_rail_codes(&self.codes, max_code);
         Ok(stats)
+    }
+
+    /// Fraction of codes sitting on a grid rail (0 or `2^k − 1`).
+    ///
+    /// A freshly calibrated tensor keeps its min/max on (or one code off)
+    /// the rails, so a healthy ratio is about `2/N`. Values
+    /// far above that indicate integer saturation — either a pathological
+    /// update or an injected fault — and are what the trainer's saturation
+    /// guard watches.
+    pub fn saturation_ratio(&self) -> f64 {
+        if self.codes.is_empty() {
+            return 0.0;
+        }
+        let max_code = self.bits().num_steps() as i64;
+        count_rail_codes(&self.codes, max_code) as f64 / self.codes.len() as f64
+    }
+
+    /// Flips one bit of one stored code, modelling a single-event upset in
+    /// the integer memory that holds the parameter.
+    ///
+    /// The flip is applied as `q ^= 1 << (bit % k)`, so the perturbed code
+    /// always stays on the `k`-bit grid — exactly what corrupted SRAM would
+    /// hold. Returns the new code value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ShapeMismatch`] if `elem` is out of bounds.
+    pub fn flip_code_bit(&mut self, elem: usize, bit: u32) -> crate::Result<i64> {
+        if elem >= self.codes.len() {
+            return Err(QuantError::ShapeMismatch {
+                op: "flip_code_bit",
+                lhs: vec![elem],
+                rhs: vec![self.codes.len()],
+            });
+        }
+        let k = self.bits().get();
+        let mask = 1i64 << (bit % k);
+        // `num_steps` is 2^k − 1, so XOR within the low k bits cannot leave
+        // the [0, 2^k − 1] grid.
+        self.codes[elem] ^= mask;
+        Ok(self.codes[elem])
+    }
+
+    /// Drives a deterministic subset of codes to a grid rail (fault
+    /// injection: integer saturation).
+    ///
+    /// Every `round(1/fraction)`-th element is set to the maximum code when
+    /// `high` is true, or to code 0 otherwise. Returns the number of codes
+    /// forced to the rail. `fraction` is clamped to `(0, 1]`; a
+    /// non-positive or non-finite fraction saturates nothing.
+    pub fn saturate(&mut self, fraction: f64, high: bool) -> usize {
+        if !fraction.is_finite() || fraction <= 0.0 || self.codes.is_empty() {
+            return 0;
+        }
+        let stride = (1.0 / fraction.min(1.0)).round().max(1.0) as usize;
+        let rail = if high {
+            self.bits().num_steps() as i64
+        } else {
+            0
+        };
+        let mut forced = 0;
+        for q in self.codes.iter_mut().step_by(stride) {
+            *q = rail;
+            forced += 1;
+        }
+        forced
     }
 
     /// Directly overwrites the values (recalibrating the range), keeping the
@@ -439,6 +525,66 @@ mod tests {
             .unwrap();
         assert_eq!(st.underflowed, 2); // 0.7ε truncates to 0
         assert_eq!(sn.underflowed, 0); // 0.7ε rounds to 1
+    }
+
+    #[test]
+    fn saturation_ratio_tracks_rail_codes() {
+        let w = rng::normal(&[64], 0.5, &mut seeded(7));
+        let mut q = QuantizedTensor::from_tensor(&w, b(6)).unwrap();
+        // Calibration pins min→0 and max→2^k−1, so a clean tensor sits near
+        // the 2/N floor.
+        let clean = q.saturation_ratio();
+        assert!(clean >= 2.0 / 64.0 && clean < 0.2, "clean ratio {clean}");
+        let forced = q.saturate(0.5, true);
+        assert_eq!(forced, 32);
+        assert!(q.saturation_ratio() >= 0.5);
+        // All forced codes decode to the calibrated maximum.
+        let max = q.quantizer().range_max();
+        let t = q.to_tensor();
+        for v in t.data().iter().step_by(2) {
+            assert!((v - max).abs() <= q.eps(), "v={v} max={max}");
+        }
+    }
+
+    #[test]
+    fn saturate_handles_degenerate_fractions() {
+        let w = Tensor::from_slice(&[-1.0, 0.0, 1.0]);
+        let mut q = QuantizedTensor::from_tensor(&w, b(4)).unwrap();
+        assert_eq!(q.saturate(0.0, true), 0);
+        assert_eq!(q.saturate(f64::NAN, true), 0);
+        assert_eq!(q.saturate(-0.3, false), 0);
+        assert_eq!(q.saturate(2.0, false), 3); // clamped to 1.0 ⇒ every code
+        assert_eq!(q.saturation_ratio(), 1.0);
+    }
+
+    #[test]
+    fn flip_code_bit_stays_on_grid() {
+        let w = rng::normal(&[32], 1.0, &mut seeded(8));
+        for k in [2u32, 4, 6, 8] {
+            let mut q = QuantizedTensor::from_tensor(&w, b(k)).unwrap();
+            let max_code = q.bits().num_steps() as i64;
+            for bit in 0..40u32 {
+                let new = q.flip_code_bit((bit as usize) % 32, bit).unwrap();
+                assert!((0..=max_code).contains(&new), "k={k} bit={bit} q={new}");
+            }
+            assert!(q.to_tensor().data().iter().all(|v| v.is_finite()));
+        }
+        let mut q = QuantizedTensor::from_tensor(&w, b(6)).unwrap();
+        assert!(q.flip_code_bit(32, 0).is_err());
+    }
+
+    #[test]
+    fn sgd_update_reports_saturated_codes() {
+        let w = Tensor::from_slice(&[-1.0, -0.5, 0.0, 0.5, 1.0]);
+        let mut q = QuantizedTensor::from_tensor(&w, b(6)).unwrap();
+        let g = Tensor::full(&[5], 0.0);
+        let stats = q
+            .sgd_update(&g, 0.1, RoundingMode::Truncate, &mut seeded(0))
+            .unwrap();
+        // Only calibration extremes sit on the rails (the zero-point snap
+        // can shift the max off the top rail, as it does here).
+        assert_eq!(stats.saturated, 1);
+        assert!((stats.saturation_rate() - 0.2).abs() < 1e-12);
     }
 
     #[test]

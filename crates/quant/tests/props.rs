@@ -1,7 +1,9 @@
 //! Property-based tests of the quantisation substrate — the invariants the
 //! paper's Eqs. 2–3 rely on.
 
-use apt_quant::{fake, AffineQuantizer, Bitwidth, QuantizedTensor, RoundingMode};
+use apt_quant::{
+    fake, AffineQuantizer, Bitwidth, PerChannelQuantized, QuantizedTensor, RoundingMode,
+};
 use apt_tensor::{rng, Tensor};
 use proptest::prelude::*;
 
@@ -142,6 +144,39 @@ proptest! {
         for (&orig, &tern) in t.data().iter().zip(tt.data()) {
             prop_assert!(tern == 0.0 || (tern > 0.0) == (orig > 0.0));
         }
+    }
+
+    #[test]
+    fn quantize_dequantize_is_always_finite(vals in values_strategy(), bits in bits_strategy()) {
+        // Soft-error guard invariant: no calibration, round-trip, update, or
+        // bit flip may ever manufacture a NaN/Inf out of finite input.
+        let t = Tensor::from_slice(&vals);
+        let mut q = QuantizedTensor::from_tensor(&t, bits).unwrap();
+        prop_assert!(q.to_tensor().data().iter().all(|v| v.is_finite()));
+        let g = Tensor::full(&[vals.len()], q.eps() * 3.0);
+        q.sgd_update(&g, 1.0, RoundingMode::Nearest, &mut rng::seeded(0)).unwrap();
+        prop_assert!(q.to_tensor().data().iter().all(|v| v.is_finite()));
+        for bit in 0..8u32 {
+            q.flip_code_bit((bit as usize) % vals.len(), bit).unwrap();
+        }
+        q.saturate(0.5, true);
+        prop_assert!(q.to_tensor().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn per_channel_roundtrip_is_always_finite(
+        seed in 0u64..500,
+        ch in 1usize..6,
+        stride in 1usize..32,
+        bits in bits_strategy(),
+    ) {
+        let t = rng::normal(&[ch, stride], 2.0, &mut rng::seeded(seed));
+        let mut pc = PerChannelQuantized::from_tensor(&t, bits).unwrap();
+        prop_assert!(pc.to_tensor().data().iter().all(|v| v.is_finite()));
+        prop_assert!(pc.saturation_ratio() >= 0.0 && pc.saturation_ratio() <= 1.0);
+        pc.saturate(0.3, false);
+        pc.flip_code_bit(0, 5).unwrap();
+        prop_assert!(pc.to_tensor().data().iter().all(|v| v.is_finite()));
     }
 
     #[test]

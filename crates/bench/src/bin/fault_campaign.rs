@@ -350,6 +350,15 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(5);
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        apt_tensor::par::set_global_threads(n);
+    }
 
     if smoke_mode {
         println!("# fault-campaign --smoke: one-shot weight flips, 6-bit, 10 seeds");

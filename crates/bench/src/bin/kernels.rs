@@ -1,0 +1,411 @@
+//! kernels — compute-backend micro-benchmark and determinism gate.
+//!
+//! Sweeps op × shape × thread-count over the parallelised hot-path kernels
+//! (matmul variants, conv2d forward/backward, softmax, pooling,
+//! quantise/dequantise, elementwise), timing each cell with
+//! `std::time::Instant` and writing:
+//!
+//! * `results/kernels.csv` — one row per cell,
+//! * `BENCH_kernels.json` (repo root) — the same data as machine-readable
+//!   JSON, plus the machine's available parallelism.
+//!
+//! ```text
+//! cargo run --release -p apt-bench --bin kernels             # full sweep
+//! cargo run --release -p apt-bench --bin kernels -- --smoke  # CI gate
+//! cargo run --release -p apt-bench --bin kernels -- --threads 1,2,4
+//! ```
+//!
+//! `--smoke` is the CI acceptance gate. It asserts that
+//!
+//! 1. every parallelised op is **bit-identical** across thread counts
+//!    {1, 2, 3, 7} (`f32::to_bits` comparison against the 1-thread run),
+//! 2. the blocked serial matmul is at least as fast as the old naive
+//!    zero-skip kernel (kept here as a reference implementation), within
+//!    a 10 % tolerance for timer noise, and
+//! 3. on machines with ≥ 4 cores, 4-thread 256³ matmul reaches ≥ 1.5×
+//!    the 1-thread throughput (skipped, loudly, on smaller machines).
+
+use apt_bench::results_dir;
+use apt_quant::{AffineQuantizer, Bitwidth};
+use apt_tensor::ops::conv::{conv2d, conv2d_backward_input, conv2d_backward_weight, Conv2dParams};
+use apt_tensor::ops::pool::max_pool2d;
+use apt_tensor::ops::softmax::softmax_rows;
+use apt_tensor::ops::{add, matmul, matmul_a_bt, matmul_at_b};
+use apt_tensor::{par, rng, Tensor};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Target wall time per measured cell; iteration counts adapt to hit it.
+const TARGET_SECS: f64 = 0.2;
+
+/// One benchmarkable kernel: a name, a shape label, a nominal op count per
+/// invocation (for the GFLOP/s column; elementwise/quantise ops count one
+/// op per element), and the invocation itself returning a checksum tensor
+/// view used by the smoke bit-exactness gate.
+struct Kernel {
+    op: &'static str,
+    shape: String,
+    flops: f64,
+    run: Box<dyn Fn() -> Vec<f32>>,
+}
+
+fn tensor(dims: &[usize], seed: u64) -> Tensor {
+    rng::normal(dims, 1.0, &mut rng::seeded(seed))
+}
+
+fn kernels() -> Vec<Kernel> {
+    let mut v = Vec::new();
+
+    for &s in &[128usize, 256] {
+        let a = tensor(&[s, s], 1);
+        let b = tensor(&[s, s], 2);
+        v.push(Kernel {
+            op: "matmul",
+            shape: format!("{s}x{s}x{s}"),
+            flops: 2.0 * (s * s * s) as f64,
+            run: Box::new(move || matmul(&a, &b).unwrap().data().to_vec()),
+        });
+    }
+    {
+        let s = 256usize;
+        let a = tensor(&[s, s], 3);
+        let b = tensor(&[s, s], 4);
+        v.push(Kernel {
+            op: "matmul_at_b",
+            shape: format!("{s}x{s}x{s}"),
+            flops: 2.0 * (s * s * s) as f64,
+            run: Box::new(move || matmul_at_b(&a, &b).unwrap().data().to_vec()),
+        });
+        let a2 = tensor(&[s, s], 5);
+        let b2 = tensor(&[s, s], 6);
+        v.push(Kernel {
+            op: "matmul_a_bt",
+            shape: format!("{s}x{s}x{s}"),
+            flops: 2.0 * (s * s * s) as f64,
+            run: Box::new(move || matmul_a_bt(&a2, &b2).unwrap().data().to_vec()),
+        });
+    }
+
+    {
+        // conv: 8 images, 8→16 channels, 16×16, 3×3 kernel, pad 1.
+        let (n, c_in, c_out, hw, k) = (8usize, 8usize, 16usize, 16usize, 3usize);
+        let p = Conv2dParams::new(1, 1, 1);
+        let x = tensor(&[n, c_in, hw, hw], 7);
+        let w = tensor(&[c_out, c_in, k, k], 8);
+        let col_rows = c_in * k * k;
+        let col_w = hw * hw; // pad 1, stride 1 → same spatial size
+        let flops = 2.0 * (n * c_out * col_rows * col_w) as f64;
+        let shape = format!("{n}x{c_in}->{c_out}x{hw}x{hw}k{k}");
+        let (xf, wf, pf) = (x.clone(), w.clone(), p);
+        v.push(Kernel {
+            op: "conv2d",
+            shape: shape.clone(),
+            flops,
+            run: Box::new(move || conv2d(&xf, &wf, &pf).unwrap().data().to_vec()),
+        });
+        let go = tensor(&[n, c_out, hw, hw], 9);
+        let dims = [n, c_in, hw, hw];
+        let (gob, wb, pb) = (go.clone(), w.clone(), p);
+        v.push(Kernel {
+            op: "conv2d_bwd_input",
+            shape: shape.clone(),
+            flops,
+            run: Box::new(move || {
+                conv2d_backward_input(&gob, &wb, &dims, &pb)
+                    .unwrap()
+                    .data()
+                    .to_vec()
+            }),
+        });
+        v.push(Kernel {
+            op: "conv2d_bwd_weight",
+            shape,
+            flops,
+            run: Box::new(move || {
+                conv2d_backward_weight(&x, &go, &[c_out, c_in, k, k], &p)
+                    .unwrap()
+                    .data()
+                    .to_vec()
+            }),
+        });
+    }
+
+    {
+        let x = tensor(&[1024, 256], 10);
+        v.push(Kernel {
+            op: "softmax_rows",
+            shape: "1024x256".into(),
+            flops: (4 * 1024 * 256) as f64,
+            run: Box::new(move || softmax_rows(&x).unwrap().data().to_vec()),
+        });
+    }
+    {
+        let x = tensor(&[8, 16, 32, 32], 11);
+        v.push(Kernel {
+            op: "max_pool2d",
+            shape: "8x16x32x32k2".into(),
+            flops: (8 * 16 * 32 * 32) as f64,
+            run: Box::new(move || max_pool2d(&x, 2).unwrap().output.data().to_vec()),
+        });
+    }
+    {
+        let n = 1 << 20;
+        let x = tensor(&[n], 12);
+        let q = AffineQuantizer::from_tensor(&x, Bitwidth::new(8).unwrap()).unwrap();
+        let codes = q.quantize_tensor(&x);
+        let (xq, qq) = (x.clone(), q);
+        v.push(Kernel {
+            op: "quantize",
+            shape: format!("{n}"),
+            flops: n as f64,
+            run: Box::new(move || qq.quantize_tensor(&xq).iter().map(|&c| c as f32).collect()),
+        });
+        v.push(Kernel {
+            op: "dequantize",
+            shape: format!("{n}"),
+            flops: n as f64,
+            run: Box::new(move || q.dequantize_tensor(&codes, &[n]).unwrap().data().to_vec()),
+        });
+    }
+    {
+        let n = 1 << 20;
+        let a = tensor(&[n], 13);
+        let b = tensor(&[n], 14);
+        v.push(Kernel {
+            op: "add",
+            shape: format!("{n}"),
+            flops: n as f64,
+            run: Box::new(move || add(&a, &b).unwrap().data().to_vec()),
+        });
+    }
+    v
+}
+
+/// Times one kernel: warm up once, pick an iteration count targeting
+/// [`TARGET_SECS`], report mean ns/iter.
+fn time_kernel(k: &Kernel) -> f64 {
+    let t0 = Instant::now();
+    let sink = (k.run)();
+    std::hint::black_box(&sink);
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((TARGET_SECS / once).ceil() as usize).clamp(3, 2000);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box((k.run)());
+    }
+    t1.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+struct Row {
+    op: String,
+    shape: String,
+    threads: usize,
+    ns_per_iter: f64,
+    gflops: f64,
+    speedup_vs_1t: f64,
+}
+
+fn sweep(thread_counts: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for k in kernels() {
+        let mut ns_1t = f64::NAN;
+        for &t in thread_counts {
+            let ns = par::with_threads(t, || time_kernel(&k));
+            if t == 1 {
+                ns_1t = ns;
+            }
+            let row = Row {
+                op: k.op.into(),
+                shape: k.shape.clone(),
+                threads: t,
+                ns_per_iter: ns,
+                gflops: k.flops / ns,
+                speedup_vs_1t: if ns_1t.is_finite() { ns_1t / ns } else { 1.0 },
+            };
+            println!(
+                "{:<18} {:<22} threads={:<2} {:>12.0} ns/iter {:>7.2} GFLOP/s {:>5.2}x",
+                row.op, row.shape, row.threads, row.ns_per_iter, row.gflops, row.speedup_vs_1t
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+fn write_outputs(rows: &[Row]) {
+    let csv_path = results_dir().join("kernels.csv");
+    let mut csv = String::from("op,shape,threads,ns_per_iter,gflops,speedup_vs_1t\n");
+    for r in rows {
+        csv.push_str(&format!(
+            "{},{},{},{:.1},{:.4},{:.4}\n",
+            r.op, r.shape, r.threads, r.ns_per_iter, r.gflops, r.speedup_vs_1t
+        ));
+    }
+    std::fs::write(&csv_path, &csv).expect("write kernels.csv");
+    println!("wrote {}", csv_path.display());
+
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"op\":\"{}\",\"shape\":\"{}\",\"threads\":{},\
+                 \"ns_per_iter\":{:.1},\"gflops\":{:.4},\"speedup_vs_1t\":{:.4}}}",
+                r.op, r.shape, r.threads, r.ns_per_iter, r.gflops, r.speedup_vs_1t
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"available_parallelism\": {},\n\"cells\": [\n{}\n]\n}}\n",
+        par::default_threads(),
+        cells.join(",\n")
+    );
+    let mut f = std::fs::File::create("BENCH_kernels.json").expect("create BENCH_kernels.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}
+
+/// The old naive matmul kernel (pre-blocking, with the zero-skip branch)
+/// kept verbatim as the smoke-test performance reference.
+fn naive_matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+fn smoke() -> bool {
+    let mut ok = true;
+
+    // Gate 1: bit-exactness across thread counts for every kernel.
+    println!("# smoke gate 1: bit-exactness across threads {{1, 2, 3, 7}}");
+    for k in kernels() {
+        let reference = par::with_threads(1, || (k.run)());
+        for t in [2usize, 3, 7] {
+            let got = par::with_threads(t, || (k.run)());
+            let bitwise_equal = reference.len() == got.len()
+                && reference
+                    .iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !bitwise_equal {
+                eprintln!("FAIL: {} ({}) differs at {} threads", k.op, k.shape, t);
+                ok = false;
+            }
+        }
+        println!("  {:<18} {:<22} bit-identical", k.op, k.shape);
+    }
+
+    // Gate 2: blocked serial matmul at least matches the old naive kernel.
+    println!("# smoke gate 2: blocked serial matmul vs old naive kernel (192^3)");
+    let s = 192usize;
+    let a = tensor(&[s, s], 21);
+    let b = tensor(&[s, s], 22);
+    let (ad, bd) = (a.data().to_vec(), b.data().to_vec());
+    let time_serial = |f: &dyn Fn()| {
+        f(); // warm up
+        let iters = 12;
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        t.elapsed().as_secs_f64() / iters as f64
+    };
+    let naive_s = time_serial(&|| {
+        let mut c = vec![0.0f32; s * s];
+        naive_matmul(&ad, &bd, &mut c, s, s, s);
+        std::hint::black_box(&c);
+    });
+    let blocked_s = par::with_threads(1, || {
+        time_serial(&|| {
+            std::hint::black_box(matmul(&a, &b).unwrap());
+        })
+    });
+    println!(
+        "  naive {:.2} ms, blocked {:.2} ms ({:.2}x)",
+        naive_s * 1e3,
+        blocked_s * 1e3,
+        naive_s / blocked_s
+    );
+    // 10 % tolerance absorbs timer noise on loaded CI machines.
+    if blocked_s > naive_s * 1.10 {
+        eprintln!("FAIL: blocked serial matmul slower than the old naive kernel");
+        ok = false;
+    }
+
+    // Gate 3: multi-thread speedup, only meaningful with enough cores.
+    let cores = par::default_threads();
+    if cores >= 4 {
+        println!("# smoke gate 3: 4-thread 256^3 matmul speedup (machine has {cores} cores)");
+        let s = 256usize;
+        let a = tensor(&[s, s], 23);
+        let b = tensor(&[s, s], 24);
+        let bench = |t: usize| {
+            par::with_threads(t, || {
+                std::hint::black_box(matmul(&a, &b).unwrap()); // warm up
+                let iters = 12;
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(matmul(&a, &b).unwrap());
+                }
+                t0.elapsed().as_secs_f64() / iters as f64
+            })
+        };
+        let t1 = bench(1);
+        let t4 = bench(4);
+        println!(
+            "  1t {:.2} ms, 4t {:.2} ms ({:.2}x)",
+            t1 * 1e3,
+            t4 * 1e3,
+            t1 / t4
+        );
+        if t1 / t4 < 1.5 {
+            eprintln!("FAIL: expected >= 1.5x speedup at 4 threads on a >= 4-core machine");
+            ok = false;
+        }
+    } else {
+        println!("# smoke gate 3 SKIPPED: only {cores} core(s) available, need >= 4");
+    }
+
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        println!("# kernels --smoke: determinism + blocked-kernel regression gate");
+        if !smoke() {
+            std::process::exit(1);
+        }
+        println!("smoke: all gates passed");
+        return;
+    }
+
+    let thread_counts: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.split(',')
+                .map(|p| p.parse::<usize>().expect("thread count"))
+                .filter(|&n| n >= 1)
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+
+    println!(
+        "# kernels: op x shape x threads sweep (machine has {} core(s))",
+        par::default_threads()
+    );
+    let rows = sweep(&thread_counts);
+    write_outputs(&rows);
+}

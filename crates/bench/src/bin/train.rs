@@ -39,6 +39,7 @@ struct Args {
     checkpoint_keep: usize,
     resume: bool,
     sentinel: bool,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +60,7 @@ fn parse_args() -> Args {
         checkpoint_keep: 2,
         resume: false,
         sentinel: false,
+        threads: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -93,6 +95,13 @@ fn parse_args() -> Args {
             }
             "--resume" => a.resume = true,
             "--sentinel" => a.sentinel = true,
+            "--threads" => match take(&mut i).parse::<usize>() {
+                Ok(n) if n >= 1 => a.threads = Some(n),
+                _ => {
+                    eprintln!("invalid --threads value (need ≥ 1)");
+                    exit(2);
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
                     "usage: train [--model resnet20|resnet110|mobilenetv2|cifarnet|vgg]\n\
@@ -101,11 +110,14 @@ fn parse_args() -> Args {
                      \x20            [--per-class N] [--width-mult F] [--batch-size N]\n\
                      \x20            [--seed N] [--out PATH]\n\
                      \x20            [--checkpoint-dir PATH] [--checkpoint-every N]\n\
-                     \x20            [--checkpoint-keep N] [--resume] [--sentinel]\n\n\
+                     \x20            [--checkpoint-keep N] [--resume] [--sentinel]\n\
+                     \x20            [--threads N]\n\n\
                      --checkpoint-dir enables crash-safe checkpoints every\n\
                      --checkpoint-every optimiser steps (newest --checkpoint-keep kept);\n\
                      --resume continues from the newest valid checkpoint in that\n\
-                     directory; --sentinel arms the divergence sentinel."
+                     directory; --sentinel arms the divergence sentinel;\n\
+                     --threads sizes the compute pool (results are bit-identical\n\
+                     for any thread count; default APT_THREADS or all cores)."
                 );
                 exit(0);
             }
@@ -207,6 +219,7 @@ fn main() {
         schedule: LrSchedule::paper_cifar10(a.epochs),
         policy,
         seed: a.seed,
+        threads: a.threads,
         checkpoint: a.checkpoint_dir.as_ref().map(|d| CheckpointConfig {
             dir: d.into(),
             every: a.checkpoint_every,

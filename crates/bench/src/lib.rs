@@ -178,8 +178,13 @@ impl ExpParams {
     }
 }
 
-/// Parses `--scale`/`--seed` from the process arguments; unknown flags are
-/// ignored so binaries can add their own.
+/// Parses `--scale`/`--seed`/`--threads` from the process arguments;
+/// unknown flags are ignored so binaries can add their own.
+///
+/// `--threads N` sizes the global [`apt_tensor::par`] compute pool as a
+/// side effect (kernels are bit-identical for any thread count, so this
+/// only changes speed). Without it the pool obeys `APT_THREADS` or the
+/// machine's available parallelism.
 pub fn parse_cli() -> ExpParams {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = Scale::default();
@@ -201,6 +206,16 @@ pub fn parse_cli() -> ExpParams {
                     Ok(s) => seed = s,
                     Err(_) => {
                         eprintln!("invalid seed `{}`", args[i + 1]);
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                match args[i + 1].parse::<usize>() {
+                    Ok(n) if n >= 1 => apt_tensor::par::set_global_threads(n),
+                    _ => {
+                        eprintln!("invalid thread count `{}` (need ≥ 1)", args[i + 1]);
                         std::process::exit(2);
                     }
                 }

@@ -102,6 +102,11 @@ pub struct TrainConfig {
     /// range screens and the quantiser saturation check run around every
     /// step, healing soft errors in place (`None` disables).
     pub integrity: Option<IntegrityConfig>,
+    /// `Some(n)` sizes the global [`apt_tensor::par`] compute pool to `n`
+    /// threads when the trainer is built; `None` leaves the pool alone
+    /// (`APT_THREADS` env var or available parallelism). Kernels are
+    /// bit-identical for every thread count, so this only changes speed.
+    pub threads: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -123,6 +128,7 @@ impl Default for TrainConfig {
             checkpoint: None,
             sentinel: None,
             integrity: None,
+            threads: None,
         }
     }
 }
@@ -501,6 +507,14 @@ impl Trainer {
                     reason: "integrity.max_retries must be ≥ 1".into(),
                 });
             }
+        }
+        if let Some(threads) = cfg.threads {
+            if threads == 0 {
+                return Err(CoreError::BadConfig {
+                    reason: "threads must be ≥ 1 when set".into(),
+                });
+            }
+            apt_tensor::par::set_global_threads(threads);
         }
         let optimizer = match cfg.optimizer {
             OptimizerKind::Sgd => AnyOptimizer::Sgd(Box::new(Sgd::new(cfg.sgd, cfg.seed))),

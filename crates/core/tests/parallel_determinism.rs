@@ -1,0 +1,70 @@
+//! End-to-end determinism of the parallel compute backend: a full
+//! quantised training run must be **bit-identical** whether the kernels
+//! execute serially or on a multi-thread pool. Chunk boundaries derive
+//! only from problem shape and per-element accumulation order never
+//! changes, so nothing short of exact equality is acceptable — the same
+//! contract PR1's resume tests and PR2's integrity digests rely on.
+
+use apt_core::{PolicyConfig, TrainConfig, TrainReport, Trainer};
+use apt_data::{blobs, Dataset};
+use apt_nn::{checkpoint, models, Network, QuantScheme};
+use apt_optim::LrSchedule;
+use apt_tensor::par;
+
+fn toy_data() -> (Dataset, Dataset) {
+    let all = blobs(3, 40, 6, 0.4, 1).unwrap();
+    all.split_shuffled(90, 9).unwrap()
+}
+
+fn toy_net() -> Network {
+    models::mlp(
+        "m",
+        &[6, 16, 3],
+        &QuantScheme::paper_apt(),
+        &mut apt_tensor::rng::seeded(0),
+    )
+    .unwrap()
+}
+
+fn cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 4,
+        batch_size: 16,
+        schedule: LrSchedule::Constant(0.05),
+        augment: None,
+        interval: 2,
+        // Exercise the full APT path: the per-layer precision policy reads
+        // the Gavg profiles the parallel kernels feed.
+        policy: Some(PolicyConfig::default()),
+        ..Default::default()
+    }
+}
+
+/// Trains to completion at `threads` threads; returns the report and the
+/// trained network's full checkpoint blob (weights, quantisers, optimiser
+/// state — byte-exact serialisation).
+fn run(threads: usize) -> (TrainReport, Vec<u8>) {
+    par::with_threads(threads, || {
+        let (train, test) = toy_data();
+        let mut t = Trainer::new(toy_net(), cfg()).unwrap();
+        let report = t.train(&train, &test).unwrap();
+        let blob = checkpoint::save_full(t.network_mut());
+        (report, blob)
+    })
+}
+
+#[test]
+fn training_is_bit_identical_serial_vs_parallel() {
+    let (serial_report, serial_blob) = run(1);
+    for threads in [2usize, 4] {
+        let (report, blob) = run(threads);
+        assert_eq!(
+            serial_report, report,
+            "training report diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial_blob, blob,
+            "trained weights diverged at {threads} threads"
+        );
+    }
+}

@@ -9,18 +9,32 @@
 //! * [`binarize`] — BNN-style `{−s, +s}` projection.
 
 use crate::{AffineQuantizer, Bitwidth};
-use apt_tensor::Tensor;
+use apt_tensor::{par, Tensor};
+
+/// Elements per parallel chunk. Fixed so chunk boundaries (and therefore
+/// results, bit-for-bit) never depend on the thread count.
+const FQ_CHUNK: usize = 16 * 1024;
 
 /// Quantises a tensor to `bits` precision and immediately dequantises,
 /// returning a float tensor whose values sit on the affine grid. The range
-/// is calibrated from the tensor itself (Eq. 2).
+/// is calibrated from the tensor itself (Eq. 2). Calibration is serial;
+/// the quantise→dequantise map runs chunked on the [`apt_tensor::par`]
+/// pool (pure per-element, bit-identical for any thread count).
 ///
 /// # Errors
 ///
 /// Returns [`crate::QuantError::NonFiniteRange`] for empty/non-finite input.
 pub fn fake_quantize(t: &Tensor, bits: Bitwidth) -> crate::Result<Tensor> {
     let q = AffineQuantizer::from_tensor(t, bits)?;
-    Ok(t.map(|r| q.dequantize_value(q.quantize_value(r))))
+    let mut out = Tensor::zeros(t.dims());
+    let rd = t.data();
+    par::for_each_chunk_mut(out.data_mut(), FQ_CHUNK, |ci, chunk| {
+        let base = ci * FQ_CHUNK;
+        for (j, o) in chunk.iter_mut().enumerate() {
+            *o = q.dequantize_value(q.quantize_value(rd[base + j]));
+        }
+    });
+    Ok(out)
 }
 
 /// Projects onto `{−s, 0, +s}` with threshold `0.7·mean(|t|)` and scale `s`

@@ -1,5 +1,9 @@
 use crate::{Bitwidth, QuantError};
-use apt_tensor::Tensor;
+use apt_tensor::{par, Tensor};
+
+/// Elements per parallel chunk for the whole-tensor maps below. Fixed
+/// (shape-independent) so chunk boundaries never depend on thread count.
+const QUANT_CHUNK: usize = 16 * 1024;
 
 /// Floor applied to the quantisation step so a degenerate (constant) tensor
 /// never produces `ε = 0`, which would make the paper's `g/ε` metrics and
@@ -175,17 +179,36 @@ impl AffineQuantizer {
     }
 
     /// Quantises a whole tensor into codes (clamped to the grid).
+    ///
+    /// Pure per-element map, so it chunks onto the [`apt_tensor::par`]
+    /// pool; results are bit-identical for every thread count.
     pub fn quantize_tensor(&self, t: &Tensor) -> Vec<i64> {
-        t.data().iter().map(|&r| self.quantize_value(r)).collect()
+        let mut codes = vec![0i64; t.len()];
+        let rd = t.data();
+        par::for_each_chunk_mut(&mut codes, QUANT_CHUNK, |ci, chunk| {
+            let base = ci * QUANT_CHUNK;
+            for (j, q) in chunk.iter_mut().enumerate() {
+                *q = self.quantize_value(rd[base + j]);
+            }
+        });
+        codes
     }
 
     /// Reconstructs a float tensor from codes.
+    ///
+    /// Pure per-element map (parallel, bit-identical for any thread count).
     ///
     /// # Errors
     ///
     /// Returns a tensor error if `codes.len()` disagrees with `dims`.
     pub fn dequantize_tensor(&self, codes: &[i64], dims: &[usize]) -> crate::Result<Tensor> {
-        let data = codes.iter().map(|&q| self.dequantize_value(q)).collect();
+        let mut data = vec![0.0f32; codes.len()];
+        par::for_each_chunk_mut(&mut data, QUANT_CHUNK, |ci, chunk| {
+            let base = ci * QUANT_CHUNK;
+            for (j, r) in chunk.iter_mut().enumerate() {
+                *r = self.dequantize_value(codes[base + j]);
+            }
+        });
         Ok(Tensor::from_vec(data, dims)?)
     }
 }

@@ -13,6 +13,9 @@
 //! * Pooling, padding/cropping/flipping (used by data augmentation),
 //!   reductions, element-wise kernels.
 //! * Deterministic random initialisation helpers ([`rng`]).
+//! * A deterministic in-tree thread pool ([`par`]) that parallelises the
+//!   hot kernels while keeping results bit-identical to the serial
+//!   reference for every thread count.
 //!
 //! The crate is deliberately dependency-light (only `rand`) and fully
 //! deterministic given a seed, which the experiment harness relies on.
@@ -29,10 +32,13 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied everywhere except the narrowly-audited pointer
+// plumbing inside `par`, which carries per-site SAFETY justifications.
+#![deny(unsafe_code)]
 
 mod error;
 pub mod ops;
+pub mod par;
 pub mod rng;
 mod shape;
 mod tensor;

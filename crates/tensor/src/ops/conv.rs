@@ -11,9 +11,39 @@
 //! Grouped convolution is supported so `apt-nn` can build MobileNetV2's
 //! depthwise layers (`groups == in_channels`). All kernels take a
 //! [`Conv2dParams`] describing stride/padding/groups, validated once.
+//!
+//! The im2col/col2im staging matrices live in a per-thread scratch
+//! buffer that is grown once and reused for every subsequent call, so
+//! steady-state training allocates nothing here beyond the output
+//! tensor. The GEMMs run on the scratch slices directly via the
+//! `pub(crate)` kernels in `matmul_impl`. Forward and backward-input are
+//! parallelised over images (each image owns a disjoint output slice);
+//! backward-weight keeps its image loop serial — every image's
+//! contribution is `+=`-accumulated into the same weight gradient, and
+//! the serial loop pins that accumulation order — while the GEMM inside
+//! each image parallelises over output rows. All of it is bit-identical
+//! for every thread count.
 
-use crate::ops::matmul_impl::{matmul, matmul_a_bt, matmul_at_b};
-use crate::{Result, Tensor, TensorError};
+use crate::ops::matmul_impl::{gemm, gemm_a_bt, gemm_at_b};
+use crate::{par, Result, Tensor, TensorError};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread im2col/col2im staging buffer, grown monotonically and
+    /// reused across calls (and across training steps).
+    static COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` on this thread's scratch buffer, grown to at least `len`.
+fn with_col_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    COL_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        f(&mut buf[..len])
+    })
+}
 
 /// Hyper-parameters of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -217,33 +247,39 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, params: &Conv2dParams) -> Result<
     let col_w = oh * ow;
 
     let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
-    let mut col = vec![0.0f32; col_rows * col_w];
-    for img in 0..n {
-        let in_img = &input.data()[img * c_in * h * w..(img + 1) * c_in * h * w];
-        for grp in 0..g {
-            im2col_group(
-                in_img,
-                grp * c_in_g,
-                c_in_g,
-                h,
-                w,
-                kh,
-                kw,
-                params,
-                oh,
-                ow,
-                &mut col,
-            );
-            let col_t = Tensor::from_vec(col.clone(), &[col_rows, col_w])?;
-            let w_grp = Tensor::from_vec(
-                weight.data()[grp * c_out_g * col_rows..(grp + 1) * c_out_g * col_rows].to_vec(),
-                &[c_out_g, col_rows],
-            )?;
-            let y = matmul(&w_grp, &col_t)?;
-            let dst_base = img * c_out * col_w + grp * c_out_g * col_w;
-            out.data_mut()[dst_base..dst_base + c_out_g * col_w].copy_from_slice(y.data());
-        }
+    let img_len = c_out * col_w;
+    if n == 0 || img_len == 0 {
+        return Ok(out);
     }
+    let img_cost = 2 * c_out * col_rows * col_w;
+    let imgs_per_chunk = par::chunk_items(n, img_cost);
+    let (in_data, w_data) = (input.data(), weight.data());
+    par::for_each_chunk_mut(out.data_mut(), imgs_per_chunk * img_len, |ci, out_chunk| {
+        for (local, out_img) in out_chunk.chunks_mut(img_len).enumerate() {
+            let img = ci * imgs_per_chunk + local;
+            let in_img = &in_data[img * c_in * h * w..(img + 1) * c_in * h * w];
+            with_col_scratch(col_rows * col_w, |col| {
+                for grp in 0..g {
+                    im2col_group(
+                        in_img,
+                        grp * c_in_g,
+                        c_in_g,
+                        h,
+                        w,
+                        kh,
+                        kw,
+                        params,
+                        oh,
+                        ow,
+                        col,
+                    );
+                    let w_grp = &w_data[grp * c_out_g * col_rows..(grp + 1) * c_out_g * col_rows];
+                    let dst = &mut out_img[grp * c_out_g * col_w..(grp + 1) * c_out_g * col_w];
+                    gemm(w_grp, col, dst, c_out_g, col_rows, col_w);
+                }
+            });
+        }
+    });
     Ok(out)
 }
 
@@ -286,35 +322,46 @@ pub fn conv2d_backward_input(
     let col_w = oh * ow;
 
     let mut grad_in = Tensor::zeros(input_dims);
-    for img in 0..n {
-        let gi_img = &mut grad_in.data_mut()[img * c_in * h * w..(img + 1) * c_in * h * w];
-        for grp in 0..g {
-            let go_base = img * c_out * col_w + grp * c_out_g * col_w;
-            let go = Tensor::from_vec(
-                grad_output.data()[go_base..go_base + c_out_g * col_w].to_vec(),
-                &[c_out_g, col_w],
-            )?;
-            let w_grp = Tensor::from_vec(
-                weight.data()[grp * c_out_g * col_rows..(grp + 1) * c_out_g * col_rows].to_vec(),
-                &[c_out_g, col_rows],
-            )?;
-            // dCol[col_rows, col_w] = Wᵀ · dY
-            let dcol = matmul_at_b(&w_grp, &go)?;
-            col2im_group(
-                dcol.data(),
-                grp * c_in_g,
-                c_in_g,
-                h,
-                w,
-                kh,
-                kw,
-                params,
-                oh,
-                ow,
-                gi_img,
-            );
-        }
+    let img_len = c_in * h * w;
+    if n == 0 || img_len == 0 {
+        return Ok(grad_in);
     }
+    let img_cost = 2 * c_out * col_rows * col_w;
+    let imgs_per_chunk = par::chunk_items(n, img_cost);
+    let (go_data, w_data) = (grad_output.data(), weight.data());
+    par::for_each_chunk_mut(
+        grad_in.data_mut(),
+        imgs_per_chunk * img_len,
+        |ci, gi_chunk| {
+            for (local, gi_img) in gi_chunk.chunks_mut(img_len).enumerate() {
+                let img = ci * imgs_per_chunk + local;
+                with_col_scratch(col_rows * col_w, |dcol| {
+                    for grp in 0..g {
+                        let go_base = img * c_out * col_w + grp * c_out_g * col_w;
+                        let go = &go_data[go_base..go_base + c_out_g * col_w];
+                        let w_grp =
+                            &w_data[grp * c_out_g * col_rows..(grp + 1) * c_out_g * col_rows];
+                        // dCol[col_rows, col_w] = Wᵀ · dY
+                        dcol.fill(0.0);
+                        gemm_at_b(w_grp, go, dcol, c_out_g, col_rows, col_w);
+                        col2im_group(
+                            dcol,
+                            grp * c_in_g,
+                            c_in_g,
+                            h,
+                            w,
+                            kh,
+                            kw,
+                            params,
+                            oh,
+                            ow,
+                            gi_img,
+                        );
+                    }
+                });
+            }
+        },
+    );
     Ok(grad_in)
 }
 
@@ -354,37 +401,34 @@ pub fn conv2d_backward_weight(
     let col_w = oh * ow;
 
     let mut grad_w = Tensor::zeros(weight_dims);
-    let mut col = vec![0.0f32; col_rows * col_w];
+    // Images stay serial on purpose: every image accumulates into the
+    // same dW, and the serial loop fixes that order. The per-image GEMM
+    // below still parallelises over dW rows (disjoint chunks).
     for img in 0..n {
         let in_img = &input.data()[img * c_in * h * w..(img + 1) * c_in * h * w];
-        for grp in 0..g {
-            im2col_group(
-                in_img,
-                grp * c_in_g,
-                c_in_g,
-                h,
-                w,
-                kh,
-                kw,
-                params,
-                oh,
-                ow,
-                &mut col,
-            );
-            let col_t = Tensor::from_vec(col.clone(), &[col_rows, col_w])?;
-            let go_base = img * c_out * col_w + grp * c_out_g * col_w;
-            let go = Tensor::from_vec(
-                grad_output.data()[go_base..go_base + c_out_g * col_w].to_vec(),
-                &[c_out_g, col_w],
-            )?;
-            // dW[c_out_g, col_rows] = dY · colᵀ
-            let dw = matmul_a_bt(&go, &col_t)?;
-            let dst =
-                &mut grad_w.data_mut()[grp * c_out_g * col_rows..(grp + 1) * c_out_g * col_rows];
-            for (d, &s) in dst.iter_mut().zip(dw.data()) {
-                *d += s;
+        with_col_scratch(col_rows * col_w, |col| {
+            for grp in 0..g {
+                im2col_group(
+                    in_img,
+                    grp * c_in_g,
+                    c_in_g,
+                    h,
+                    w,
+                    kh,
+                    kw,
+                    params,
+                    oh,
+                    ow,
+                    col,
+                );
+                let go_base = img * c_out * col_w + grp * c_out_g * col_w;
+                let go = &grad_output.data()[go_base..go_base + c_out_g * col_w];
+                // dW[c_out_g, col_rows] += dY · colᵀ
+                let dst = &mut grad_w.data_mut()
+                    [grp * c_out_g * col_rows..(grp + 1) * c_out_g * col_rows];
+                gemm_a_bt(go, col, dst, c_out_g, col_rows, col_w);
             }
-        }
+        });
     }
     Ok(grad_w)
 }

@@ -4,8 +4,17 @@
 //! operands. Broadcasting is intentionally not implemented — the layers in
 //! `apt-nn` expand biases explicitly, which keeps every kernel O(n) and
 //! trivially auditable.
+//!
+//! All kernels here are embarrassingly parallel (no cross-element
+//! accumulation), so they chunk the output into fixed-size pieces and run
+//! them on the [`crate::par`] pool; small tensors never leave the calling
+//! thread. Results are bit-identical for every thread count.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{par, Result, Tensor, TensorError};
+
+/// Elements per parallel chunk. Fixed (shape-independent), so chunk
+/// boundaries never depend on the thread count.
+const EW_CHUNK: usize = 16 * 1024;
 
 fn check_same(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
     if !a.shape().same_as(b.shape()) {
@@ -18,6 +27,32 @@ fn check_same(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
     Ok(())
 }
 
+/// Parallel `out[i] = f(a[i])` into a fresh tensor shaped like `a`.
+fn par_map(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let mut out = Tensor::zeros(a.dims());
+    let ad = a.data();
+    par::for_each_chunk_mut(out.data_mut(), EW_CHUNK, |ci, chunk| {
+        let base = ci * EW_CHUNK;
+        for (j, o) in chunk.iter_mut().enumerate() {
+            *o = f(ad[base + j]);
+        }
+    });
+    out
+}
+
+/// Parallel `out[i] = f(a[i], b[i])` into a fresh tensor shaped like `a`.
+fn par_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+    let mut out = Tensor::zeros(a.dims());
+    let (ad, bd) = (a.data(), b.data());
+    par::for_each_chunk_mut(out.data_mut(), EW_CHUNK, |ci, chunk| {
+        let base = ci * EW_CHUNK;
+        for (j, o) in chunk.iter_mut().enumerate() {
+            *o = f(ad[base + j], bd[base + j]);
+        }
+    });
+    out
+}
+
 /// Element-wise sum `a + b`.
 ///
 /// # Errors
@@ -25,7 +60,7 @@ fn check_same(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
 /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
 pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_same("add", a, b)?;
-    a.zip(b, |x, y| x + y)
+    Ok(par_zip(a, b, |x, y| x + y))
 }
 
 /// Element-wise difference `a − b`.
@@ -35,7 +70,7 @@ pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
 pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_same("sub", a, b)?;
-    a.zip(b, |x, y| x - y)
+    Ok(par_zip(a, b, |x, y| x - y))
 }
 
 /// Element-wise (Hadamard) product `a ⊙ b`.
@@ -45,17 +80,21 @@ pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
 pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_same("mul", a, b)?;
-    a.zip(b, |x, y| x * y)
+    Ok(par_zip(a, b, |x, y| x * y))
 }
 
 /// Scalar multiply `s · a` returning a new tensor.
 pub fn scale(a: &Tensor, s: f32) -> Tensor {
-    a.map(|x| x * s)
+    par_map(a, |x| x * s)
 }
 
 /// Scalar multiply in place.
 pub fn scale_in_place(a: &mut Tensor, s: f32) {
-    a.map_in_place(|x| x * s);
+    par::for_each_chunk_mut(a.data_mut(), EW_CHUNK, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v *= s;
+        }
+    });
 }
 
 /// In-place accumulate `a += b`.
@@ -65,9 +104,13 @@ pub fn scale_in_place(a: &mut Tensor, s: f32) {
 /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
 pub fn add_in_place(a: &mut Tensor, b: &Tensor) -> Result<()> {
     check_same("add_in_place", a, b)?;
-    for (x, &y) in a.data_mut().iter_mut().zip(b.data().iter()) {
-        *x += y;
-    }
+    let bd = b.data();
+    par::for_each_chunk_mut(a.data_mut(), EW_CHUNK, |ci, chunk| {
+        let base = ci * EW_CHUNK;
+        for (j, x) in chunk.iter_mut().enumerate() {
+            *x += bd[base + j];
+        }
+    });
     Ok(())
 }
 
@@ -78,15 +121,19 @@ pub fn add_in_place(a: &mut Tensor, b: &Tensor) -> Result<()> {
 /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
 pub fn axpy(alpha: f32, x: &Tensor, y: &mut Tensor) -> Result<()> {
     check_same("axpy", y, x)?;
-    for (yi, &xi) in y.data_mut().iter_mut().zip(x.data().iter()) {
-        *yi += alpha * xi;
-    }
+    let xd = x.data();
+    par::for_each_chunk_mut(y.data_mut(), EW_CHUNK, |ci, chunk| {
+        let base = ci * EW_CHUNK;
+        for (j, yi) in chunk.iter_mut().enumerate() {
+            *yi += alpha * xd[base + j];
+        }
+    });
     Ok(())
 }
 
 /// ReLU: `max(x, 0)` element-wise.
 pub fn relu(a: &Tensor) -> Tensor {
-    a.map(|x| x.max(0.0))
+    par_map(a, |x| x.max(0.0))
 }
 
 /// Gradient mask for ReLU: `grad ⊙ 1[input > 0]`.
@@ -96,7 +143,7 @@ pub fn relu(a: &Tensor) -> Tensor {
 /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
 pub fn relu_backward(input: &Tensor, grad: &Tensor) -> Result<Tensor> {
     check_same("relu_backward", input, grad)?;
-    input.zip(grad, |x, g| if x > 0.0 { g } else { 0.0 })
+    Ok(par_zip(input, grad, |x, g| if x > 0.0 { g } else { 0.0 }))
 }
 
 /// Clamps every element into `[lo, hi]`.
@@ -112,7 +159,7 @@ pub fn clamp(a: &Tensor, lo: f32, hi: f32) -> Result<Tensor> {
             reason: format!("invalid range [{lo}, {hi}]"),
         });
     }
-    Ok(a.map(|x| x.clamp(lo, hi)))
+    Ok(par_map(a, |x| x.clamp(lo, hi)))
 }
 
 #[cfg(test)]

@@ -1,7 +1,14 @@
 //! Pooling kernels (NCHW): max pooling, average pooling and global average
 //! pooling, each with its backward pass.
+//!
+//! Forward passes and the dense backward passes parallelise over
+//! `(image, channel)` planes — each plane owns a disjoint output slice
+//! and is computed in serial order, so results are bit-identical for
+//! every thread count. [`max_pool2d_backward`] stays serial: it scatters
+//! through the argmax table, and scattered writes cannot be partitioned
+//! by output region.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{par, Result, Tensor, TensorError};
 
 fn check4(op: &'static str, t: &Tensor) -> Result<(usize, usize, usize, usize)> {
     if t.rank() != 4 {
@@ -42,29 +49,42 @@ pub fn max_pool2d(input: &Tensor, k: usize) -> Result<MaxPoolOutput> {
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let mut argmax = vec![0usize; n * c * oh * ow];
     let x = input.data();
-    let od = out.data_mut();
-    for img in 0..n {
-        for ch in 0..c {
-            let base = (img * c + ch) * h * w;
-            let obase = (img * c + ch) * oh * ow;
-            for oi in 0..oh {
-                for oj in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0usize;
-                    for di in 0..k {
-                        for dj in 0..k {
-                            let idx = base + (oi * k + di) * w + oj * k + dj;
-                            if x[idx] > best {
-                                best = x[idx];
-                                best_idx = idx;
+    let plane = oh * ow;
+    if plane > 0 {
+        let planes_per_chunk = par::chunk_items(n * c, h * w);
+        par::for_each_chunk_mut2(
+            out.data_mut(),
+            planes_per_chunk * plane,
+            &mut argmax,
+            planes_per_chunk * plane,
+            |ci, out_planes, arg_planes| {
+                let p0 = ci * planes_per_chunk;
+                for (local, (op, ap)) in out_planes
+                    .chunks_mut(plane)
+                    .zip(arg_planes.chunks_mut(plane))
+                    .enumerate()
+                {
+                    let base = (p0 + local) * h * w;
+                    for oi in 0..oh {
+                        for oj in 0..ow {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_idx = 0usize;
+                            for di in 0..k {
+                                for dj in 0..k {
+                                    let idx = base + (oi * k + di) * w + oj * k + dj;
+                                    if x[idx] > best {
+                                        best = x[idx];
+                                        best_idx = idx;
+                                    }
+                                }
                             }
+                            op[oi * ow + oj] = best;
+                            ap[oi * ow + oj] = best_idx;
                         }
                     }
-                    od[obase + oi * ow + oj] = best;
-                    argmax[obase + oi * ow + oj] = best_idx;
                 }
-            }
-        }
+            },
+        );
     }
     Ok(MaxPoolOutput {
         output: out,
@@ -91,6 +111,8 @@ pub fn max_pool2d_backward(
     }
     let mut grad_in = Tensor::zeros(input_dims);
     let gd = grad_in.data_mut();
+    // Serial on purpose: this is a scatter through `argmax`, and nothing
+    // bounds which input element a given output gradient lands on.
     for (&src, &g) in argmax.iter().zip(grad_output.data()) {
         if src >= gd.len() {
             return Err(TensorError::IndexOutOfBounds {
@@ -120,23 +142,30 @@ pub fn avg_pool2d(input: &Tensor, k: usize) -> Result<Tensor> {
     let inv = 1.0 / (k * k) as f32;
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let x = input.data();
-    let od = out.data_mut();
-    for img in 0..n {
-        for ch in 0..c {
-            let base = (img * c + ch) * h * w;
-            let obase = (img * c + ch) * oh * ow;
-            for oi in 0..oh {
-                for oj in 0..ow {
-                    let mut acc = 0.0;
-                    for di in 0..k {
-                        for dj in 0..k {
-                            acc += x[base + (oi * k + di) * w + oj * k + dj];
+    let plane = oh * ow;
+    if plane > 0 {
+        let planes_per_chunk = par::chunk_items(n * c, h * w);
+        par::for_each_chunk_mut(
+            out.data_mut(),
+            planes_per_chunk * plane,
+            |ci, out_planes| {
+                let p0 = ci * planes_per_chunk;
+                for (local, op) in out_planes.chunks_mut(plane).enumerate() {
+                    let base = (p0 + local) * h * w;
+                    for oi in 0..oh {
+                        for oj in 0..ow {
+                            let mut acc = 0.0;
+                            for di in 0..k {
+                                for dj in 0..k {
+                                    acc += x[base + (oi * k + di) * w + oj * k + dj];
+                                }
+                            }
+                            op[oi * ow + oj] = acc * inv;
                         }
                     }
-                    od[obase + oi * ow + oj] = acc * inv;
                 }
-            }
-        }
+            },
+        );
     }
     Ok(out)
 }
@@ -159,23 +188,30 @@ pub fn avg_pool2d_backward(grad_output: &Tensor, input_dims: &[usize], k: usize)
     let (h, w) = (input_dims[2], input_dims[3]);
     let inv = 1.0 / (k * k) as f32;
     let mut grad_in = Tensor::zeros(input_dims);
-    let gd = grad_in.data_mut();
     let go = grad_output.data();
-    for img in 0..n {
-        for ch in 0..c {
-            let base = (img * c + ch) * h * w;
-            let obase = (img * c + ch) * oh * ow;
-            for oi in 0..oh {
-                for oj in 0..ow {
-                    let g = go[obase + oi * ow + oj] * inv;
-                    for di in 0..k {
-                        for dj in 0..k {
-                            gd[base + (oi * k + di) * w + oj * k + dj] += g;
+    let plane = h * w;
+    if plane > 0 && n * c > 0 {
+        let planes_per_chunk = par::chunk_items(n * c, h * w);
+        par::for_each_chunk_mut(
+            grad_in.data_mut(),
+            planes_per_chunk * plane,
+            |ci, gi_planes| {
+                let p0 = ci * planes_per_chunk;
+                for (local, gp) in gi_planes.chunks_mut(plane).enumerate() {
+                    let obase = (p0 + local) * oh * ow;
+                    for oi in 0..oh {
+                        for oj in 0..ow {
+                            let g = go[obase + oi * ow + oj] * inv;
+                            for di in 0..k {
+                                for dj in 0..k {
+                                    gp[(oi * k + di) * w + oj * k + dj] += g;
+                                }
+                            }
                         }
                     }
                 }
-            }
-        }
+            },
+        );
     }
     Ok(grad_in)
 }
@@ -196,14 +232,15 @@ pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
     let inv = 1.0 / (h * w) as f32;
     let mut out = Tensor::zeros(&[n, c]);
     let x = input.data();
-    let od = out.data_mut();
-    for img in 0..n {
-        for ch in 0..c {
-            let base = (img * c + ch) * h * w;
+    let planes_per_chunk = par::chunk_items(n * c, h * w);
+    par::for_each_chunk_mut(out.data_mut(), planes_per_chunk, |ci, planes| {
+        let p0 = ci * planes_per_chunk;
+        for (local, o) in planes.iter_mut().enumerate() {
+            let base = (p0 + local) * h * w;
             let s: f32 = x[base..base + h * w].iter().sum();
-            od[img * c + ch] = s * inv;
+            *o = s * inv;
         }
-    }
+    });
     Ok(out)
 }
 
@@ -231,15 +268,20 @@ pub fn global_avg_pool_backward(grad_output: &Tensor, input_dims: &[usize]) -> R
     }
     let inv = 1.0 / (h * w) as f32;
     let mut grad_in = Tensor::zeros(input_dims);
-    let gd = grad_in.data_mut();
-    for img in 0..n {
-        for ch in 0..c {
-            let g = grad_output.data()[img * c + ch] * inv;
-            let base = (img * c + ch) * h * w;
-            for v in &mut gd[base..base + h * w] {
-                *v = g;
-            }
-        }
+    let go = grad_output.data();
+    let plane = h * w;
+    if plane > 0 && n * c > 0 {
+        let planes_per_chunk = par::chunk_items(n * c, plane);
+        par::for_each_chunk_mut(
+            grad_in.data_mut(),
+            planes_per_chunk * plane,
+            |ci, gi_planes| {
+                let p0 = ci * planes_per_chunk;
+                for (local, gp) in gi_planes.chunks_mut(plane).enumerate() {
+                    gp.fill(go[p0 + local] * inv);
+                }
+            },
+        );
     }
     Ok(grad_in)
 }

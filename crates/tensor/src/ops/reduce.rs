@@ -1,7 +1,15 @@
 //! Reductions: full-tensor and axis sums/means, argmax, and the row/column
 //! reductions used by linear-layer backward passes.
+//!
+//! Axis reductions parallelise over **output** elements (columns for
+//! [`sum_rows`], channels for [`sum_channels`] / [`channel_mean_var`],
+//! rows for [`argmax_rows`]): each output element is reduced by one
+//! thread in the same order as the serial loop, so results are
+//! bit-identical for every thread count. Full-tensor scalar reductions
+//! ([`mean_abs`]) stay serial — splitting them would need a reduction
+//! tree, which changes the floating-point accumulation order.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{par, Result, Tensor, TensorError};
 
 /// Sum over axis 0 of a rank-2 tensor: `[m, n] → [n]`.
 ///
@@ -20,12 +28,17 @@ pub fn sum_rows(a: &Tensor) -> Result<Tensor> {
     }
     let (m, n) = (a.dims()[0], a.dims()[1]);
     let mut out = Tensor::zeros(&[n]);
-    let od = out.data_mut();
-    for i in 0..m {
-        for (o, &v) in od.iter_mut().zip(&a.data()[i * n..(i + 1) * n]) {
-            *o += v;
+    let ad = a.data();
+    let cols_per_chunk = par::chunk_items(n, 2 * m.max(1));
+    par::for_each_chunk_mut(out.data_mut(), cols_per_chunk, |ci, cols| {
+        let col0 = ci * cols_per_chunk;
+        for i in 0..m {
+            let row = &ad[i * n + col0..i * n + col0 + cols.len()];
+            for (o, &v) in cols.iter_mut().zip(row) {
+                *o += v;
+            }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -46,14 +59,18 @@ pub fn sum_channels(a: &Tensor) -> Result<Tensor> {
     }
     let (n, c, h, w) = (a.dims()[0], a.dims()[1], a.dims()[2], a.dims()[3]);
     let mut out = Tensor::zeros(&[c]);
-    let od = out.data_mut();
     let x = a.data();
-    for img in 0..n {
-        for (ch, o) in od.iter_mut().enumerate() {
-            let base = (img * c + ch) * h * w;
-            *o += x[base..base + h * w].iter().sum::<f32>();
+    let chans_per_chunk = par::chunk_items(c, n * h * w);
+    par::for_each_chunk_mut(out.data_mut(), chans_per_chunk, |ci, chans| {
+        let ch0 = ci * chans_per_chunk;
+        for (k, o) in chans.iter_mut().enumerate() {
+            let ch = ch0 + k;
+            for img in 0..n {
+                let base = (img * c + ch) * h * w;
+                *o += x[base..base + h * w].iter().sum::<f32>();
+            }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -81,17 +98,23 @@ pub fn argmax_rows(a: &Tensor) -> Result<Vec<usize>> {
             reason: "zero columns".into(),
         });
     }
-    let mut out = Vec::with_capacity(m);
-    for i in 0..m {
-        let row = &a.data()[i * n..(i + 1) * n];
-        let mut best = 0usize;
-        for (j, &v) in row.iter().enumerate() {
-            if v > row[best] {
-                best = j;
+    let mut out = vec![0usize; m];
+    let ad = a.data();
+    let rows_per_chunk = par::chunk_items(m, n);
+    par::for_each_chunk_mut(&mut out, rows_per_chunk, |ci, rows| {
+        let row0 = ci * rows_per_chunk;
+        for (k, o) in rows.iter_mut().enumerate() {
+            let i = row0 + k;
+            let row = &ad[i * n..(i + 1) * n];
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
             }
+            *o = best;
         }
-        out.push(best);
-    }
+    });
     Ok(out)
 }
 
@@ -128,27 +151,39 @@ pub fn channel_mean_var(a: &Tensor) -> Result<(Tensor, Tensor)> {
     let mut mean = Tensor::zeros(&[c]);
     let mut var = Tensor::zeros(&[c]);
     let x = a.data();
-    for ch in 0..c {
-        let mut s = 0.0f64;
-        for img in 0..n {
-            let base = (img * c + ch) * h * w;
-            s += x[base..base + h * w].iter().map(|&v| v as f64).sum::<f64>();
-        }
-        let mu = s / count as f64;
-        let mut sq = 0.0f64;
-        for img in 0..n {
-            let base = (img * c + ch) * h * w;
-            sq += x[base..base + h * w]
-                .iter()
-                .map(|&v| {
-                    let d = v as f64 - mu;
-                    d * d
-                })
-                .sum::<f64>();
-        }
-        mean.data_mut()[ch] = mu as f32;
-        var.data_mut()[ch] = (sq / count as f64) as f32;
-    }
+    let chans_per_chunk = par::chunk_items(c, 4 * count);
+    let (mean_d, var_d) = (mean.data_mut(), var.data_mut());
+    par::for_each_chunk_mut2(
+        mean_d,
+        chans_per_chunk,
+        var_d,
+        chans_per_chunk,
+        |ci, mean_c, var_c| {
+            let ch0 = ci * chans_per_chunk;
+            for (k, (mu_out, var_out)) in mean_c.iter_mut().zip(var_c.iter_mut()).enumerate() {
+                let ch = ch0 + k;
+                let mut s = 0.0f64;
+                for img in 0..n {
+                    let base = (img * c + ch) * h * w;
+                    s += x[base..base + h * w].iter().map(|&v| v as f64).sum::<f64>();
+                }
+                let mu = s / count as f64;
+                let mut sq = 0.0f64;
+                for img in 0..n {
+                    let base = (img * c + ch) * h * w;
+                    sq += x[base..base + h * w]
+                        .iter()
+                        .map(|&v| {
+                            let d = v as f64 - mu;
+                            d * d
+                        })
+                        .sum::<f64>();
+                }
+                *mu_out = mu as f32;
+                *var_out = (sq / count as f64) as f32;
+            }
+        },
+    );
     Ok((mean, var))
 }
 

@@ -1,0 +1,76 @@
+//! Verifies that the conv kernels reuse their thread-local im2col/col2im
+//! scratch buffers instead of reallocating per call: after a warm-up call
+//! has grown the scratch, steady-state conv calls may only allocate their
+//! output tensors — never another column buffer.
+//!
+//! A single `#[test]` drives everything (integration tests in one binary
+//! share the process allocator, so parallel tests would pollute the
+//! counters).
+
+use apt_tensor::ops::conv::{conv2d, conv2d_backward_input, conv2d_backward_weight, Conv2dParams};
+use apt_tensor::{par, rng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocated() -> usize {
+    ALLOCATED.load(Ordering::Relaxed)
+}
+
+#[test]
+fn conv_scratch_is_reused_across_calls() {
+    // Geometry chosen so the im2col buffer (col_rows × col_w floats,
+    // 16·3·3 × 16·16 = 147 KiB/image) dwarfs the outputs (c_out × col_w,
+    // 16 KiB/image): a per-call scratch reallocation is unmissable.
+    let (n, c_in, c_out, hw, k) = (2usize, 16usize, 4usize, 16usize, 3usize);
+    let p = Conv2dParams::new(1, 1, 1);
+    let col_bytes = (c_in * k * k) * (hw * hw) * std::mem::size_of::<f32>();
+
+    par::with_threads(1, || {
+        let mut r = rng::seeded(11);
+        let x = rng::normal(&[n, c_in, hw, hw], 1.0, &mut r);
+        let w = rng::normal(&[c_out, c_in, k, k], 1.0, &mut r);
+        let y = conv2d(&x, &w, &p).unwrap();
+        let go = rng::normal(y.dims(), 1.0, &mut r);
+
+        // Warm up: grows the thread-local scratch to its steady-state size.
+        conv2d(&x, &w, &p).unwrap();
+        conv2d_backward_input(&go, &w, x.dims(), &p).unwrap();
+        conv2d_backward_weight(&x, &go, w.dims(), &p).unwrap();
+
+        const CALLS: usize = 10;
+        let before = allocated();
+        for _ in 0..CALLS {
+            conv2d(&x, &w, &p).unwrap();
+            conv2d_backward_input(&go, &w, x.dims(), &p).unwrap();
+            conv2d_backward_weight(&x, &go, w.dims(), &p).unwrap();
+        }
+        let per_call = (allocated() - before) / CALLS;
+
+        // Each iteration legitimately allocates its three output tensors
+        // (~56 KiB here). One fresh col buffer per call would add
+        // ≥ col_bytes (147 KiB); assert steady state stays well below that.
+        assert!(
+            per_call < col_bytes,
+            "conv allocates {per_call} B/call — scratch is not being reused \
+             (col buffer alone is {col_bytes} B)"
+        );
+    });
+}

@@ -169,6 +169,7 @@ mod tests {
             lr_scale: 1.0,
             loss_ema: None,
             peak_memory_bits: 0,
+            peak_resident_bytes: 0,
             epochs: vec![],
             energy: Default::default(),
             profiler: vec![],

@@ -30,8 +30,9 @@ use apt_tensor::Tensor;
 
 /// File magic for training-state blobs (`APTS` = APT State).
 pub const STATE_MAGIC: &[u8; 4] = b"APTS";
-/// Current training-state format version.
-pub const STATE_VERSION: u16 = 2;
+/// Current training-state format version. v3 added the physically-resident
+/// memory accounting (`resident_bytes` per epoch, `peak_resident_bytes`).
+pub const STATE_VERSION: u16 = 3;
 /// Fixed header size: magic + version + payload_len + crc32.
 const HEADER: usize = 4 + 2 + 4 + 4;
 /// Dimension-count sanity cap for serialised tensors.
@@ -89,6 +90,8 @@ pub struct TrainState {
     pub loss_ema: Option<f64>,
     /// Peak training-memory footprint so far, bits.
     pub peak_memory_bits: u64,
+    /// Peak physically-resident model state so far, bytes.
+    pub peak_resident_bytes: u64,
     /// Per-epoch records completed so far.
     pub epochs: Vec<EpochRecord>,
     /// Energy account at the snapshot point.
@@ -291,6 +294,7 @@ impl TrainState {
         w.f64(self.lr_scale);
         w.opt_f64(self.loss_ema);
         w.u64(self.peak_memory_bits);
+        w.u64(self.peak_resident_bytes);
         w.u32(self.epochs.len() as u32);
         for e in &self.epochs {
             w.u64(e.epoch as u64);
@@ -299,6 +303,7 @@ impl TrainState {
             w.f64(e.test_accuracy);
             w.f64(e.cumulative_energy_pj);
             w.u64(e.memory_bits);
+            w.u64(e.resident_bytes);
             w.u32(e.layer_bits.len() as u32);
             for (name, bits) in &e.layer_bits {
                 w.str(name);
@@ -417,10 +422,11 @@ impl TrainState {
         let lr_scale = r.f64()?;
         let loss_ema = r.opt_f64()?;
         let peak_memory_bits = r.u64()?;
+        let peak_resident_bytes = r.u64()?;
 
         // One EpochRecord is at least: epoch 8 + lr 4 + three f64 24 +
-        // memory 8 + three counts 12 + underflow 8 = 64 bytes.
-        let n_epochs = r.count(64)?;
+        // memory 8 + resident 8 + three counts 12 + underflow 8 = 72 bytes.
+        let n_epochs = r.count(72)?;
         let mut epochs = Vec::with_capacity(n_epochs);
         for _ in 0..n_epochs {
             let e_epoch = r.u64()? as usize;
@@ -429,6 +435,7 @@ impl TrainState {
             let test_accuracy = r.f64()?;
             let cumulative_energy_pj = r.f64()?;
             let memory_bits = r.u64()?;
+            let resident_bytes = r.u64()?;
             let n_bits = r.count(8)?;
             let mut layer_bits = Vec::with_capacity(n_bits);
             for _ in 0..n_bits {
@@ -462,6 +469,7 @@ impl TrainState {
                 test_accuracy,
                 cumulative_energy_pj,
                 memory_bits,
+                resident_bytes,
                 layer_bits,
                 gavg,
                 underflow_rate,
@@ -524,6 +532,7 @@ impl TrainState {
             lr_scale,
             loss_ema,
             peak_memory_bits,
+            peak_resident_bytes,
             epochs,
             energy,
             profiler,
@@ -560,6 +569,7 @@ mod tests {
             lr_scale: 0.5,
             loss_ema: Some(1.375),
             peak_memory_bits: 12_345,
+            peak_resident_bytes: 2_048,
             epochs: vec![EpochRecord {
                 epoch: 0,
                 lr: 0.1,
@@ -567,6 +577,7 @@ mod tests {
                 test_accuracy: 0.6,
                 cumulative_energy_pj: 321.5,
                 memory_bits: 9_000,
+                resident_bytes: 1_125,
                 layer_bits: vec![("fc0.weight".into(), 6)],
                 gavg: vec![("fc0.weight".into(), 3.5)],
                 underflow_rate: 0.25,

@@ -185,8 +185,13 @@ pub struct EpochRecord {
     pub test_accuracy: f64,
     /// Cumulative training energy up to and including this epoch, pJ.
     pub cumulative_energy_pj: f64,
-    /// Model training-memory footprint at epoch end, bits.
+    /// Model training-memory footprint at epoch end, bits (the idealised
+    /// `k·N` accounting Figure 5 reports).
     pub memory_bits: u64,
+    /// Bytes of process memory the model state physically occupies at
+    /// epoch end — bit-packed code stores plus fp32 tensors and any
+    /// allocated momentum buffers ([`apt_nn::Network::resident_bytes`]).
+    pub resident_bytes: u64,
     /// Per-layer bitwidths at epoch end (quantised weights only).
     pub layer_bits: Vec<(String, u32)>,
     /// Smoothed per-layer Gavg at epoch end (quantised weights only).
@@ -210,6 +215,8 @@ pub struct TrainReport {
     pub total_energy_pj: f64,
     /// Peak model training-memory footprint, bits.
     pub peak_memory_bits: u64,
+    /// Peak physically-resident model state across the run, bytes.
+    pub peak_resident_bytes: u64,
     /// What the integrity guard saw and did (all-zero when disarmed or
     /// when the run was genuinely clean).
     pub integrity: IntegrityReport,
@@ -400,6 +407,7 @@ impl LoopState {
                 best_accuracy: 0.0,
                 total_energy_pj: 0.0,
                 peak_memory_bits: state.peak_memory_bits,
+                peak_resident_bytes: state.peak_resident_bytes,
                 // Not serialised: the report restarts counting from the
                 // resume point, like the sentinel's fault ladder.
                 integrity: IntegrityReport::default(),
@@ -878,7 +886,9 @@ impl Trainer {
                 }
             }
             let memory_bits = self.net.memory_bits();
+            let resident_bytes = self.net.resident_bytes();
             ls.report.peak_memory_bits = ls.report.peak_memory_bits.max(memory_bits);
+            ls.report.peak_resident_bytes = ls.report.peak_resident_bytes.max(resident_bytes);
             ls.report.epochs.push(EpochRecord {
                 epoch,
                 lr: base_lr * ls.lr_scale as f32,
@@ -890,6 +900,7 @@ impl Trainer {
                 test_accuracy: ls.last_acc,
                 cumulative_energy_pj: self.meter.total_pj(),
                 memory_bits,
+                resident_bytes,
                 layer_bits: self.layer_bits(),
                 gavg: self.profiler.profile(),
                 underflow_rate: if ls.quantized_total == 0 {
@@ -956,6 +967,7 @@ impl Trainer {
             lr_scale: ls.lr_scale,
             loss_ema: ls.loss_ema,
             peak_memory_bits: ls.report.peak_memory_bits,
+            peak_resident_bytes: ls.report.peak_resident_bytes,
             epochs: ls.report.epochs.clone(),
             energy: self.meter.breakdown(),
             profiler: self.profiler.export(),
@@ -1222,6 +1234,7 @@ mod tests {
                 test_accuracy: *acc,
                 cumulative_energy_pj: *e,
                 memory_bits: 0,
+                resident_bytes: 0,
                 layer_bits: vec![],
                 gavg: vec![],
                 underflow_rate: 0.0,

@@ -7,43 +7,51 @@
 //! trained with APT is shipped *at its adapted per-layer bitwidths*, so the
 //! on-flash footprint matches the training-memory footprint Figure 5
 //! reports. On-device flash is also where power cuts corrupt bytes, so the
-//! current format (v2) frames the payload with its length and a CRC32: a
+//! current format (v3) frames the payload with its length and a CRC32: a
 //! truncated or bit-flipped blob is detected and rejected with a typed
 //! error instead of being half-applied to the network.
 //!
-//! ## Format v2 (little-endian)
+//! ## Format v3 (little-endian)
 //!
 //! ```text
-//! magic "APTC" | version u16 = 2 | payload_len u32 | crc32 u32 | payload
+//! magic "APTC" | version u16 = 3 | payload_len u32 | crc32 u32 | payload
 //! payload:
 //!   param_count u32 | buffer_count u32
 //!   per param : name (u32 len + utf8) | tag u8 | dims (u32 count + u32s) | data
 //!     tag 0 Float      : f32 × volume
 //!     tag 1 Quantized  : bits u8 | scale f32 | zero i64 |
-//!                        codes bit-packed at `bits` bits each (LSB-first),
-//!                        padded to a byte boundary
+//!                        ⌈volume·bits/64⌉ u64 words — the canonical
+//!                        [`apt_quant::PackedCodes`] data words (centred
+//!                        codes `q − 2^{k−1}`, LSB-first within each word)
 //!     tag 2 MasterCopy : bits u8 | f32 × volume
 //!     tag 3 Projected  : proj u8 (0=binary, 1=ternary) | f32 × volume
 //!     tag 4 PerChannel : bits u8 | channels u32 |
-//!                        (scale f32, zero i64) × channels | packed codes
+//!                        (scale f32, zero i64) × channels | packed words
 //!   per buffer: name (u32 len + utf8) | dims | f32 × volume
 //! ```
 //!
-//! Version 1 blobs (no `payload_len`/`crc32` fields — the payload follows
-//! the version directly) are still loaded; versions newer than 2 yield
-//! [`NnError::UnsupportedVersion`]. The CRC is the IEEE 802.3 polynomial,
-//! exposed as [`crc32`] so other on-flash formats (the trainer's state
-//! file) can share it.
+//! The word payload is exactly what a packed-tier [`apt_quant::CodeStore`]
+//! holds in RAM, so saving a quantised layer is a plain copy of its
+//! physical storage, and loading validates the words (padding bits must be
+//! zero) before any code reaches the grid.
 //!
-//! Quantised payloads are bit-packed, so a 6-bit layer costs 6 bits per
-//! weight on flash — the checkpoint size *is* the Figure 5 memory story.
+//! Version 2 blobs (same framing, codes bit-packed at byte granularity in
+//! the raw `q` domain) and version 1 blobs (v2's payload with no
+//! `payload_len`/`crc32` fields) are still loaded; versions newer than 3
+//! yield [`NnError::UnsupportedVersion`]. The CRC is the IEEE 802.3
+//! polynomial, exposed as [`crc32`] so other on-flash formats (the
+//! trainer's state file) can share it.
+//!
+//! Quantised payloads are bit-packed, so a 6-bit layer costs about 6 bits
+//! per weight on flash — the checkpoint size *is* the Figure 5 memory
+//! story.
 
 use crate::{Network, NnError, ParamStore, Projection};
-use apt_quant::{AffineQuantizer, Bitwidth, QuantizedTensor};
+use apt_quant::{AffineQuantizer, Bitwidth, PackedCodes, QuantizedTensor};
 use apt_tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"APTC";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
 
 /// Smallest possible per-parameter encoding (name len + tag + rank), used
 /// to sanity-check counts against the bytes actually present before any
@@ -83,11 +91,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Wraps a payload in the v2 header: magic, version, length, CRC32.
-fn frame(payload: Vec<u8>) -> Vec<u8> {
+/// Wraps a payload in the framed header: magic, version, length, CRC32.
+fn frame(payload: Vec<u8>, version: u16) -> Vec<u8> {
     let mut out = Vec::with_capacity(MAGIC.len() + 10 + payload.len());
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
@@ -96,12 +104,20 @@ fn frame(payload: Vec<u8>) -> Vec<u8> {
 
 /// Serialises `net`'s parameters and buffers to a checkpoint blob.
 pub fn save(net: &Network) -> Vec<u8> {
-    frame(params_payload(net))
+    frame(params_payload(net, VERSION), VERSION)
+}
+
+/// Appends a packed store's canonical data words, little-endian.
+fn write_packed_words(out: &mut Vec<u8>, p: &PackedCodes) {
+    for &w in p.data_words() {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
 }
 
 /// Builds the payload section with all parameters and a zero buffer count
-/// (patched by [`save_full`]).
-fn params_payload(net: &Network) -> Vec<u8> {
+/// (patched by [`save_full`]). `version` selects the code layout: ≥3 writes
+/// canonical packed words, 2 the legacy byte-granular bitstream.
+fn params_payload(net: &Network, version: u16) -> Vec<u8> {
     let mut params: Vec<(String, ParamStore, Vec<usize>)> = Vec::new();
     net.visit_params_ref(&mut |p| {
         params.push((p.name().to_string(), p.store().clone(), p.dims().to_vec()));
@@ -126,7 +142,11 @@ fn params_payload(net: &Network) -> Vec<u8> {
                 out.push(q.bits().get() as u8);
                 out.extend_from_slice(&q.quantizer().eps().to_le_bytes());
                 out.extend_from_slice(&q.quantizer().zero_point().to_le_bytes());
-                out.extend_from_slice(&pack_codes(q.codes(), q.bits().get()));
+                if version >= 3 {
+                    write_packed_words(&mut out, &q.store().to_packed());
+                } else {
+                    out.extend_from_slice(&pack_codes(&q.codes(), q.bits().get()));
+                }
             }
             ParamStore::MasterCopy { master, bits } => {
                 out.push(2);
@@ -152,7 +172,11 @@ fn params_payload(net: &Network) -> Vec<u8> {
                     out.extend_from_slice(&q.eps().to_le_bytes());
                     out.extend_from_slice(&q.zero_point().to_le_bytes());
                 }
-                out.extend_from_slice(&pack_codes(pc.codes(), pc.bits().get()));
+                if version >= 3 {
+                    write_packed_words(&mut out, &pc.store().to_packed());
+                } else {
+                    out.extend_from_slice(&pack_codes(&pc.codes(), pc.bits().get()));
+                }
             }
         }
     }
@@ -162,7 +186,11 @@ fn params_payload(net: &Network) -> Vec<u8> {
 /// Serialises `net` including batch-norm running statistics (requires
 /// `&mut` because buffer visitation is mutable by trait design).
 pub fn save_full(net: &mut Network) -> Vec<u8> {
-    let mut payload = params_payload(net);
+    save_full_versioned(net, VERSION)
+}
+
+fn save_full_versioned(net: &mut Network, version: u16) -> Vec<u8> {
+    let mut payload = params_payload(net, version);
     let mut buffers: Vec<(String, Tensor)> = Vec::new();
     net.visit_buffers(&mut |name, t| buffers.push((name.to_string(), t.clone())));
     // Buffer count lives right after the param count in the payload.
@@ -172,13 +200,20 @@ pub fn save_full(net: &mut Network) -> Vec<u8> {
         write_dims(&mut payload, t.dims());
         write_f32s(&mut payload, t.data());
     }
-    frame(payload)
+    frame(payload, version)
+}
+
+/// Writes the legacy v2 format — kept so the v1/v2 → v3 load-compat tests
+/// exercise the real historical byte layout, not a synthetic one.
+#[cfg(test)]
+fn save_full_v2(net: &mut Network) -> Vec<u8> {
+    save_full_versioned(net, 2)
 }
 
 /// Restores a checkpoint produced by [`save_full`] (or [`save`]) into an
 /// architecturally identical network: parameters are matched by name and
-/// replaced with their stored representation; buffers likewise. Both the
-/// current v2 framing and legacy v1 blobs are accepted.
+/// replaced with their stored representation; buffers likewise. The
+/// current v3 format and legacy v1/v2 blobs are all accepted.
 ///
 /// # Errors
 ///
@@ -197,7 +232,7 @@ pub fn load(net: &mut Network, blob: &[u8]) -> crate::Result<()> {
     let payload = match version {
         // v1: the payload follows the version directly, unprotected.
         1 => &blob[r.pos..],
-        2 => {
+        2 | 3 => {
             let len = r.read_u32()? as usize;
             let expected_crc = r.read_u32()?;
             let payload = r.take(len)?;
@@ -211,11 +246,12 @@ pub fn load(net: &mut Network, blob: &[u8]) -> crate::Result<()> {
         }
         other => return Err(NnError::UnsupportedVersion { version: other }),
     };
-    load_payload(net, payload)
+    load_payload(net, payload, version)
 }
 
 /// Parses and applies the (already integrity-checked) payload section.
-fn load_payload(net: &mut Network, payload: &[u8]) -> crate::Result<()> {
+/// `version` selects the quantised-code layout (≥3: packed words).
+fn load_payload(net: &mut Network, payload: &[u8], version: u16) -> crate::Result<()> {
     let mut r = Reader {
         blob: payload,
         pos: 0,
@@ -243,7 +279,11 @@ fn load_payload(net: &mut Network, payload: &[u8]) -> crate::Result<()> {
                 let scale = r.read_f32()?;
                 let zero = r.read_i64()?;
                 let quantizer = AffineQuantizer::from_parts(scale, zero, bits)?;
-                let codes = r.read_codes(volume, bits.get())?;
+                let codes = if version >= 3 {
+                    r.read_packed_words(volume, bits)?
+                } else {
+                    r.read_codes(volume, bits.get())?
+                };
                 ParamStore::Quantized(QuantizedTensor::from_parts(codes, dims, quantizer)?)
             }
             2 => {
@@ -277,7 +317,11 @@ fn load_payload(net: &mut Network, payload: &[u8]) -> crate::Result<()> {
                     let zero = r.read_i64()?;
                     quantizers.push(AffineQuantizer::from_parts(scale, zero, bits)?);
                 }
-                let codes = r.read_codes(volume, bits.get())?;
+                let codes = if version >= 3 {
+                    r.read_packed_words(volume, bits)?
+                } else {
+                    r.read_codes(volume, bits.get())?
+                };
                 ParamStore::PerChannel(apt_quant::PerChannelQuantized::from_parts(
                     codes, dims, quantizers,
                 )?)
@@ -366,12 +410,14 @@ fn checked_volume(dims: &[usize]) -> crate::Result<usize> {
         .ok_or_else(|| corrupt("tensor volume overflows"))
 }
 
-/// Bytes needed to hold `n` codes of `bits` bits each.
+/// Bytes needed to hold `n` codes of `bits` bits each (legacy v2 layout).
 fn packed_byte_len(n: usize, bits: u32) -> usize {
     (n * bits as usize).div_ceil(8)
 }
 
-/// Packs codes LSB-first into a bitstream, `bits` bits per code.
+/// Packs codes LSB-first into a byte-granular bitstream (legacy v2 layout;
+/// the runtime only reads this format, the test-only v2 writer still emits
+/// it for compat coverage).
 fn pack_codes(codes: &[i64], bits: u32) -> Vec<u8> {
     let mut out = vec![0u8; packed_byte_len(codes.len(), bits)];
     let mut bit_pos = 0usize;
@@ -503,6 +549,28 @@ impl<'a> Reader<'a> {
             .ok_or_else(|| corrupt("packed code section length overflows"))?;
         Ok(unpack_codes(self.take(packed_len)?, n, bits))
     }
+    /// Reads a v3 packed-word section: `⌈n·bits/64⌉` little-endian `u64`
+    /// words, validated (word count, zero padding, in-range codes) before
+    /// any code is trusted, then lifted back to the raw `q` grid domain.
+    fn read_packed_words(&mut self, n: usize, bits: Bitwidth) -> crate::Result<Vec<i64>> {
+        let words = n
+            .checked_mul(bits.get() as usize)
+            .map(|b| b.div_ceil(64))
+            .ok_or_else(|| corrupt("packed word section length overflows"))?;
+        let bytes = self.take(words * 8)?;
+        let data: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        let packed = PackedCodes::from_data_words(data, n, bits)
+            .map_err(|e| corrupt(&format!("invalid packed code payload: {e}")))?;
+        let half = 1i64 << (bits.get() - 1);
+        Ok(packed
+            .to_signed_vec()
+            .into_iter()
+            .map(|c| c + half)
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -524,11 +592,12 @@ mod tests {
         net.forward(&x, Mode::Eval).unwrap().into_vec()
     }
 
-    /// v2 header is magic(4) + version(2) + payload_len(4) + crc(4).
+    /// Framed header (v2 and v3) is magic(4) + version(2) + payload_len(4)
+    /// + crc(4).
     const V2_HEADER: usize = 14;
 
     /// Reframes a v2 blob as a legacy v1 blob (version directly followed by
-    /// the unprotected payload).
+    /// the unprotected payload — v1 shares v2's payload layout).
     fn as_v1(blob_v2: &[u8]) -> Vec<u8> {
         let mut v1 = Vec::new();
         v1.extend_from_slice(MAGIC);
@@ -654,11 +723,55 @@ mod tests {
     fn legacy_v1_blobs_still_load() {
         let mut net = trained_net(&QuantScheme::paper_apt());
         let expected = outputs(&mut net);
-        let v1 = as_v1(&save_full(&mut net));
+        let v1 = as_v1(&save_full_v2(&mut net));
         let mut fresh =
             models::cifarnet(4, 8, 0.25, &QuantScheme::paper_apt(), &mut seeded(9)).unwrap();
         load(&mut fresh, &v1).unwrap();
         assert_eq!(outputs(&mut fresh), expected);
+    }
+
+    #[test]
+    fn legacy_v1_and_v2_blobs_match_v3_exactly() {
+        // The upgrade regression: a model saved in every historical format
+        // must load to the same stored representation as the current v3
+        // blob — same eval outputs, same per-parameter digests, same
+        // adapted bitwidths.
+        for scheme in [QuantScheme::paper_apt(), QuantScheme::fully_quantized(b6())] {
+            let mut net = trained_net(&scheme);
+            let expected = outputs(&mut net);
+            let v3 = save_full(&mut net);
+            let v2 = save_full_v2(&mut net);
+            let v1 = as_v1(&v2);
+            let mut digests_per_version = Vec::new();
+            for blob in [&v3, &v2, &v1] {
+                let mut fresh = models::cifarnet(4, 8, 0.25, &scheme, &mut seeded(9)).unwrap();
+                load(&mut fresh, blob).unwrap();
+                assert_eq!(outputs(&mut fresh), expected);
+                digests_per_version.push(fresh.integrity_digests());
+            }
+            assert_eq!(digests_per_version[0], digests_per_version[1]);
+            assert_eq!(digests_per_version[1], digests_per_version[2]);
+        }
+    }
+
+    fn b6() -> apt_quant::Bitwidth {
+        apt_quant::Bitwidth::new(6).unwrap()
+    }
+
+    #[test]
+    fn v3_quantized_payload_is_word_packed() {
+        // A 6-bit cifarnet under paper_apt quantises only the weights; the
+        // v3 blob must stay well under half the fp32 blob even with the
+        // word-granular padding.
+        let mut net = trained_net(&QuantScheme::paper_apt());
+        let v3 = save_full(&mut net);
+        let v2 = save_full_v2(&mut net);
+        // Word padding costs at most 7 bytes more per quantised tensor.
+        assert!(v3.len() >= v2.len());
+        assert!(
+            v3.len() < v2.len() + 8 * 64,
+            "padding overhead must be bounded"
+        );
     }
 
     #[test]
@@ -701,7 +814,7 @@ mod tests {
         // altered values — the guarantee is merely that no length-field
         // damage can cause a slice panic or runaway allocation.
         let mut net = trained_net(&QuantScheme::paper_apt());
-        let v1 = as_v1(&save_full(&mut net));
+        let v1 = as_v1(&save_full_v2(&mut net));
         let mut target =
             models::cifarnet(4, 8, 0.25, &QuantScheme::paper_apt(), &mut seeded(9)).unwrap();
         for i in 0..v1.len() {

@@ -129,6 +129,17 @@ impl Network {
         bits
     }
 
+    /// Bytes of process memory the model state actually occupies right now
+    /// — bit-packed code stores, fp32 tensors, and any allocated momentum
+    /// buffers. The physically-measured counterpart of [`memory_bits`].
+    ///
+    /// [`memory_bits`]: Network::memory_bits
+    pub fn resident_bytes(&self) -> u64 {
+        let mut bytes = 0;
+        self.visit_params_ref(&mut |p| bytes += p.resident_bytes());
+        bytes
+    }
+
     /// Multiply-accumulates executed by the most recent forward pass.
     pub fn macs_last_forward(&self) -> u64 {
         self.layers.iter().map(|l| l.macs_last_forward()).sum()
@@ -218,6 +229,7 @@ mod tests {
         // fc1: 4*8 + 8 = 40; fc2: 8*3 + 3 = 27
         assert_eq!(net.num_params(), 67);
         assert_eq!(net.memory_bits(), 67 * 32);
+        assert_eq!(net.resident_bytes(), 67 * 4, "all-fp32 net: 4 bytes/param");
         assert_eq!(net.weight_param_names(), vec!["fc1.weight", "fc2.weight"]);
         assert_eq!(net.num_layers(), 3);
         assert_eq!(net.name(), "tiny");

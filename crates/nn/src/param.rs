@@ -457,6 +457,28 @@ impl Param {
         }
     }
 
+    /// Bytes this parameter's model state actually occupies in process
+    /// memory, as opposed to the idealised [`memory_bits`] accounting:
+    /// quantised stores report their bit-packed (or `i8`/`i16`-tiered)
+    /// code storage, float-backed stores their fp32 words, and the
+    /// momentum buffer is counted once it has been lazily allocated.
+    /// Master-copy/projected views are materialised transiently per
+    /// forward pass and are not resident between steps.
+    ///
+    /// [`memory_bits`]: Param::memory_bits
+    pub fn resident_bytes(&self) -> u64 {
+        let n = self.len() as u64;
+        let store = match &self.store {
+            ParamStore::Float(_) | ParamStore::MasterCopy { .. } | ParamStore::Projected { .. } => {
+                4 * n
+            }
+            ParamStore::Quantized(q) => q.resident_bytes(),
+            ParamStore::PerChannel(pc) => pc.resident_bytes(),
+        };
+        let velocity = self.velocity.as_ref().map_or(0, |v| 4 * v.len() as u64);
+        store + velocity
+    }
+
     /// Applies an SGD step with the already-combined effective gradient
     /// (momentum / weight decay folded in by the optimiser).
     ///
@@ -519,9 +541,11 @@ impl Param {
             ParamStore::Quantized(q) => {
                 h.write_u8(1);
                 hash_quantizer(&mut h, q.quantizer());
-                for &c in q.codes() {
-                    h.write_u64(c as u64);
-                }
+                // Hash the *physical* storage words, so the digest covers
+                // exactly the bits an SEU can land on. The legacy i64 layout
+                // emits one word per code, which keeps the historical digest
+                // definition for that backend.
+                q.store().for_each_word(|w| h.write_u64(w));
             }
             ParamStore::MasterCopy { master, bits } => {
                 h.write_u8(2);
@@ -542,9 +566,7 @@ impl Param {
                 for q in pc.quantizers() {
                     hash_quantizer(&mut h, q);
                 }
-                for &c in pc.codes() {
-                    h.write_u64(c as u64);
-                }
+                pc.store().for_each_word(|w| h.write_u64(w));
             }
         }
         match &self.velocity {
@@ -924,6 +946,42 @@ mod tests {
         assert_eq!(f.saturation_ratio(), None);
         assert_eq!(f.saturate_codes(0.5, true), 0);
         assert!(f.flip_stored_bit(99, 0).is_err());
+    }
+
+    #[test]
+    fn resident_bytes_track_store_and_velocity() {
+        let init = normal(&[64], 1.0, &mut seeded(12));
+        let mut f = Param::new(
+            "w",
+            ParamKind::Weight,
+            init.clone(),
+            ParamPrecision::Float32,
+        )
+        .unwrap();
+        assert_eq!(f.resident_bytes(), 64 * 4);
+        f.velocity_mut().fill(0.0);
+        assert_eq!(
+            f.resident_bytes(),
+            64 * 4 + 64 * 4,
+            "velocity counts once allocated"
+        );
+
+        let mut q = Param::new(
+            "w",
+            ParamKind::Weight,
+            init,
+            ParamPrecision::Quantized(b(6)),
+        )
+        .unwrap();
+        let store_bytes = match q.store() {
+            ParamStore::Quantized(qt) => qt.resident_bytes() as u64,
+            _ => unreachable!(),
+        };
+        assert_eq!(q.resident_bytes(), store_bytes);
+        q.velocity_mut().fill(0.0);
+        assert_eq!(q.resident_bytes(), store_bytes + 64 * 4);
+        // The modeled k·N figure is unchanged by physical packing.
+        assert_eq!(q.memory_bits(), 64 * 6);
     }
 
     #[test]

@@ -66,8 +66,13 @@ impl StepStats {
 /// The velocity buffer `v ← µ·v + (g + λ·w)` is kept in fp32 on every
 /// store kind — it is optimiser state, not model state, and the paper's
 /// memory figure (Fig. 5) counts the *model* representation. The update
-/// actually applied to a quantised store still goes through Eq. 3, so
-/// velocity cannot smuggle sub-ε changes into the weights.
+/// actually applied to a quantised store still goes through Eq. 3, which
+/// executes directly against the bit-packed (or `i8`/`i16`-tiered)
+/// physical code store — no i64 shadow copy of the codes is materialised
+/// for the step, so velocity cannot smuggle sub-ε changes into the weights
+/// and the step does not inflate the resident footprint beyond the fp32
+/// buffers it owns. Once momentum allocates velocity, those `4·N` bytes
+/// show up in [`Param::resident_bytes`] / `Network::resident_bytes`.
 #[derive(Debug)]
 pub struct Sgd {
     cfg: SgdConfig,
@@ -255,6 +260,43 @@ mod tests {
         }
         let after = loss_of(&mut net, &x, &labels);
         assert!(after < before * 0.5, "before={before} after={after}");
+    }
+
+    #[test]
+    fn momentum_step_grows_resident_bytes_by_velocity_only() {
+        // Eq. 3 runs in the packed domain: after the first momentum step
+        // the only new resident memory is the fp32 velocity buffers (4·N
+        // bytes per parameter) — the code stores themselves do not grow.
+        let mut net =
+            models::mlp("m", &[4, 16, 3], &QuantScheme::paper_apt(), &mut seeded(7)).unwrap();
+        let before = net.resident_bytes();
+        let x = normal(&[8, 4], 1.0, &mut seeded(8));
+        let labels = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let mut sgd = Sgd::new(
+            SgdConfig {
+                momentum: 0.9,
+                ..SgdConfig::default()
+            },
+            0,
+        );
+        net.zero_grads();
+        let logits = net.forward(&x, Mode::Train).unwrap();
+        let ce = cross_entropy(&logits, &labels).unwrap();
+        net.backward(&ce.grad_logits).unwrap();
+        sgd.step(&mut net, 0.05).unwrap();
+        let velocity_bytes = 4 * net.num_params() as u64;
+        assert_eq!(
+            net.resident_bytes(),
+            before + velocity_bytes,
+            "first momentum step must add exactly the velocity buffers"
+        );
+        // Further steps allocate nothing new.
+        net.zero_grads();
+        let logits = net.forward(&x, Mode::Train).unwrap();
+        let ce = cross_entropy(&logits, &labels).unwrap();
+        net.backward(&ce.grad_logits).unwrap();
+        sgd.step(&mut net, 0.05).unwrap();
+        assert_eq!(net.resident_bytes(), before + velocity_bytes);
     }
 
     #[test]

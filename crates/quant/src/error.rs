@@ -30,6 +30,12 @@ pub enum QuantError {
         /// Human-readable operation name.
         op: &'static str,
     },
+    /// A physical code-store payload failed validation (wrong word count,
+    /// nonzero padding bits, or a code outside the k-bit range).
+    CorruptStore {
+        /// Human-readable description of the inconsistency.
+        reason: &'static str,
+    },
     /// An underlying tensor kernel failed.
     Tensor(apt_tensor::TensorError),
 }
@@ -48,6 +54,9 @@ impl fmt::Display for QuantError {
             }
             QuantError::NonFiniteOperand { op } => {
                 write!(f, "{op}: operand contains NaN or infinity")
+            }
+            QuantError::CorruptStore { reason } => {
+                write!(f, "corrupt code store: {reason}")
             }
             QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
         }
@@ -87,6 +96,9 @@ mod tests {
                 rhs: vec![3],
             },
             QuantError::NonFiniteOperand { op: "sgd_update" },
+            QuantError::CorruptStore {
+                reason: "nonzero padding",
+            },
             QuantError::Tensor(apt_tensor::TensorError::IndexOutOfBounds { index: 1, bound: 0 }),
         ];
         for e in errs {

@@ -7,6 +7,12 @@
 //!   weight views, WAGE-style activations).
 //! * [`ternarize`] — TWN/TernGrad-style `{−s, 0, +s}` projection.
 //! * [`binarize`] — BNN-style `{−s, +s}` projection.
+//!
+//! These helpers work entirely in the float domain and never materialise a
+//! [`crate::CodeStore`]: the baselines they model keep the fp32 master copy
+//! resident, so their training memory stays 32 bits per weight. That is
+//! precisely the contrast to APT's packed stores that the `memory` bench
+//! measures.
 
 use crate::{AffineQuantizer, Bitwidth};
 use apt_tensor::{par, Tensor};

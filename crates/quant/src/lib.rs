@@ -15,6 +15,12 @@
 //!   training memory (paper §III, Table I). Its
 //!   [`sgd_update`](QuantizedTensor::sgd_update) implements the
 //!   underflow-prone update of Eq. 3 exactly.
+//! * [`CodeStore`] / [`PackedCodes`] — the *physical* storage behind the
+//!   codes: an `i8`/`i16` fast tier and bit-packed `u64` words, so a
+//!   `k`-bit layer actually occupies about `k` bits per weight of process
+//!   memory instead of a simulated 64. [`QuantizedTensor::resident_bytes`]
+//!   reports the real footprint next to the modeled
+//!   [`memory_bits`](QuantizedTensor::memory_bits).
 //! * [`fake`] — one-shot "fake quantisation" (quantise→dequantise in float),
 //!   plus ternarisation/binarisation; these power the fp32-master-copy
 //!   baselines of Table I (DoReFa/TTQ/TWN/BNN/TernGrad style).
@@ -41,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 mod bitwidth;
+mod code_store;
 mod error;
 pub mod fake;
 mod per_channel;
@@ -49,6 +56,7 @@ mod rounding;
 mod tensor_q;
 
 pub use bitwidth::Bitwidth;
+pub use code_store::{set_store_backend, store_backend, CodeStore, PackedCodes, StoreBackend};
 pub use error::QuantError;
 pub use per_channel::PerChannelQuantized;
 pub use quantizer::AffineQuantizer;

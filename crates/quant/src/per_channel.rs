@@ -8,16 +8,18 @@
 //! gives every channel its own `ε_c`, with Eq. 3/Eq. 4 applied per channel.
 //! The `ablations` binary compares both calibrations.
 
-use crate::{AffineQuantizer, Bitwidth, QuantError, RoundingMode, UpdateStats};
+use crate::{AffineQuantizer, Bitwidth, CodeStore, QuantError, RoundingMode, UpdateStats};
 use apt_tensor::Tensor;
 use rand::rngs::StdRng;
 
 /// A parameter tensor quantised with one affine quantiser per output
 /// channel (axis-0 slice). Like [`crate::QuantizedTensor`], the integer
-/// codes are the source of truth — no fp32 copy exists.
+/// codes are the source of truth — no fp32 copy exists — and they live in
+/// a physical [`CodeStore`] (the precision is uniform across channels, so
+/// one store covers the whole tensor).
 #[derive(Debug, Clone)]
 pub struct PerChannelQuantized {
-    codes: Vec<i64>,
+    store: CodeStore,
     dims: Vec<usize>,
     quantizers: Vec<AffineQuantizer>,
 }
@@ -51,7 +53,7 @@ impl PerChannelQuantized {
             quantizers.push(q);
         }
         Ok(PerChannelQuantized {
-            codes,
+            store: CodeStore::from_codes(&codes, bits),
             dims: t.dims().to_vec(),
             quantizers,
         })
@@ -60,17 +62,14 @@ impl PerChannelQuantized {
     /// Materialises the float view.
     pub fn to_tensor(&self) -> Tensor {
         let stride = self.stride();
-        let data: Vec<f32> = self
-            .codes
-            .iter()
-            .enumerate()
-            .map(|(i, &q)| self.quantizers[i / stride].dequantize_value(q))
+        let data: Vec<f32> = (0..self.store.len())
+            .map(|i| self.quantizers[i / stride].dequantize_value(self.store.get(i)))
             .collect();
         Tensor::from_vec(data, &self.dims).expect("codes/dims invariant")
     }
 
     fn stride(&self) -> usize {
-        self.codes.len() / self.quantizers.len()
+        self.store.len() / self.quantizers.len()
     }
 
     /// Number of channels (axis-0 size).
@@ -85,12 +84,12 @@ impl PerChannelQuantized {
 
     /// Number of parameters.
     pub fn len(&self) -> usize {
-        self.codes.len()
+        self.store.len()
     }
 
     /// `true` if the tensor holds no parameters.
     pub fn is_empty(&self) -> bool {
-        self.codes.is_empty()
+        self.store.is_empty()
     }
 
     /// Current precision (uniform across channels).
@@ -110,9 +109,18 @@ impl PerChannelQuantized {
     }
 
     /// Training-memory footprint in bits: `N·k` codes plus one `(S, Z)`
-    /// pair (96 bits) per channel of calibration metadata.
+    /// pair (96 bits) per channel of calibration metadata — the idealised
+    /// model; see [`resident_bytes`](Self::resident_bytes) for the
+    /// physical footprint.
     pub fn memory_bits(&self) -> u64 {
-        self.codes.len() as u64 * u64::from(self.bits().get()) + self.quantizers.len() as u64 * 96
+        self.store.len() as u64 * u64::from(self.bits().get()) + self.quantizers.len() as u64 * 96
+    }
+
+    /// Physical bytes resident for this parameter: the code store plus one
+    /// quantiser struct per channel.
+    pub fn resident_bytes(&self) -> u64 {
+        self.store.resident_bytes()
+            + (self.quantizers.len() * std::mem::size_of::<AffineQuantizer>()) as u64
     }
 
     /// Eq. 4 with per-channel resolution:
@@ -142,7 +150,8 @@ impl PerChannelQuantized {
         Ok(sum / grad.len() as f64)
     }
 
-    /// Re-quantises at a new uniform precision, recalibrating each channel.
+    /// Re-quantises at a new uniform precision, recalibrating each channel
+    /// (the codes re-pack into the tier matching the new bitwidth).
     ///
     /// # Errors
     ///
@@ -155,7 +164,11 @@ impl PerChannelQuantized {
 
     /// The Eq. 3 quantised SGD step with per-channel `ε` (see
     /// [`crate::QuantizedTensor::sgd_update`] for semantics; range
-    /// expansion recalibrates only the affected channels).
+    /// expansion recalibrates only the affected channels). In-range
+    /// results go straight into the packed store; out-of-range codes are
+    /// spilled aside and the channel-local recalibration reproduces the
+    /// exact float sequence of the legacy `i64`-resident path, keeping the
+    /// update bit-identical across storage backends.
     ///
     /// # Errors
     ///
@@ -179,11 +192,13 @@ impl PerChannelQuantized {
         }
         let stride = self.stride();
         let mut stats = UpdateStats {
-            total: self.codes.len(),
+            total: self.store.len(),
             ..Default::default()
         };
         let mut dirty_channels: Vec<bool> = vec![false; self.quantizers.len()];
-        for (i, (code, &g)) in self.codes.iter_mut().zip(grad.data()).enumerate() {
+        // (index, raw out-of-grid code) pairs awaiting channel expansion.
+        let mut spills: Vec<(usize, i64)> = Vec::new();
+        for (i, &g) in grad.data().iter().enumerate() {
             let ch = i / stride;
             let q = &self.quantizers[ch];
             let eps = q.eps() as f64;
@@ -196,36 +211,45 @@ impl PerChannelQuantized {
             }
             // Saturating for the same reason as the per-tensor path: a
             // pathological gradient can round to ±i64::MAX steps.
-            let new_code = code.saturating_sub(steps);
+            let new_code = self.store.get(i).saturating_sub(steps);
             let max_code = q.bits().num_steps() as i64;
             if new_code < 0 || new_code > max_code {
                 dirty_channels[ch] = true;
                 stats.expanded += 1;
+                spills.push((i, new_code));
+            } else {
+                self.store.set(i, new_code);
             }
-            *code = new_code;
         }
-        // Recalibrate only the channels whose values left their range.
         let bits = self.bits();
-        for (ch, dirty) in dirty_channels.iter().enumerate() {
-            if !dirty {
-                continue;
+        if !spills.is_empty() {
+            // Recalibrate only the channels whose values left their range,
+            // from the raw (possibly out-of-grid) codes.
+            let mut raw = self.store.to_vec();
+            for &(i, c) in &spills {
+                raw[i] = c;
             }
-            let q = self.quantizers[ch];
-            let slice = &mut self.codes[ch * stride..(ch + 1) * stride];
-            let float: Vec<f32> = slice.iter().map(|&c| q.dequantize_value(c)).collect();
-            let (min, max) = float
-                .iter()
-                .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
-                    (lo.min(v), hi.max(v))
-                });
-            let new_q = AffineQuantizer::from_range(min, max, bits)?;
-            for (c, &v) in slice.iter_mut().zip(float.iter()) {
-                *c = new_q.quantize_value(v);
+            for (ch, dirty) in dirty_channels.iter().enumerate() {
+                if !dirty {
+                    continue;
+                }
+                let q = self.quantizers[ch];
+                let slice = &raw[ch * stride..(ch + 1) * stride];
+                let float: Vec<f32> = slice.iter().map(|&c| q.dequantize_value(c)).collect();
+                let (min, max) = float
+                    .iter()
+                    .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+                        (lo.min(v), hi.max(v))
+                    });
+                let new_q = AffineQuantizer::from_range(min, max, bits)?;
+                for (j, &v) in float.iter().enumerate() {
+                    self.store.set(ch * stride + j, new_q.quantize_value(v));
+                }
+                self.quantizers[ch] = new_q;
             }
-            self.quantizers[ch] = new_q;
         }
         let max_code = bits.num_steps() as i64;
-        stats.saturated = crate::tensor_q::count_rail_codes(&self.codes, max_code);
+        stats.saturated = self.store.count_rails(max_code);
         Ok(stats)
     }
 
@@ -234,38 +258,38 @@ impl PerChannelQuantized {
     /// the healthy floor here is about `2/stride` *per channel*, since every
     /// channel's calibration pins its own min/max to the rails.
     pub fn saturation_ratio(&self) -> f64 {
-        if self.codes.is_empty() {
+        if self.store.is_empty() {
             return 0.0;
         }
         let max_code = self.bits().num_steps() as i64;
-        crate::tensor_q::count_rail_codes(&self.codes, max_code) as f64 / self.codes.len() as f64
+        self.store.count_rails(max_code) as f64 / self.store.len() as f64
     }
 
     /// Flips one bit of one stored code within the low `k` bits (SEU
-    /// model); the result always stays on the channel's grid. Returns the
-    /// new code. See [`crate::QuantizedTensor::flip_code_bit`].
+    /// model); the flip lands on the physical storage and the result
+    /// always stays on the channel's grid. Returns the new code. See
+    /// [`crate::QuantizedTensor::flip_code_bit`].
     ///
     /// # Errors
     ///
     /// Returns [`QuantError::ShapeMismatch`] if `elem` is out of bounds.
     pub fn flip_code_bit(&mut self, elem: usize, bit: u32) -> crate::Result<i64> {
-        if elem >= self.codes.len() {
+        if elem >= self.store.len() {
             return Err(QuantError::ShapeMismatch {
                 op: "flip_code_bit",
                 lhs: vec![elem],
-                rhs: vec![self.codes.len()],
+                rhs: vec![self.store.len()],
             });
         }
         let k = self.bits().get();
-        self.codes[elem] ^= 1i64 << (bit % k);
-        Ok(self.codes[elem])
+        Ok(self.store.flip_bit(elem, bit % k))
     }
 
     /// Drives every `round(1/fraction)`-th code to a grid rail (fault
     /// injection). Returns the number of codes forced. See
     /// [`crate::QuantizedTensor::saturate`].
     pub fn saturate(&mut self, fraction: f64, high: bool) -> usize {
-        if !fraction.is_finite() || fraction <= 0.0 || self.codes.is_empty() {
+        if !fraction.is_finite() || fraction <= 0.0 || self.store.is_empty() {
             return 0;
         }
         let stride = (1.0 / fraction.min(1.0)).round().max(1.0) as usize;
@@ -275,8 +299,8 @@ impl PerChannelQuantized {
             0
         };
         let mut forced = 0;
-        for q in self.codes.iter_mut().step_by(stride) {
-            *q = rail;
+        for i in (0..self.store.len()).step_by(stride) {
+            self.store.set(i, rail);
             forced += 1;
         }
         forced
@@ -286,7 +310,9 @@ impl PerChannelQuantized {
     ///
     /// # Errors
     ///
-    /// Returns shape errors when lengths disagree or codes leave the grid.
+    /// Returns shape errors when lengths disagree, codes leave the grid,
+    /// or the channels do not share one uniform bitwidth (the physical
+    /// store packs at a single width).
     pub fn from_parts(
         codes: Vec<i64>,
         dims: Vec<usize>,
@@ -298,6 +324,7 @@ impl PerChannelQuantized {
             || quantizers.len() != dims[0]
             || dims[0] == 0
             || !volume.is_multiple_of(dims[0])
+            || quantizers.iter().any(|q| q.bits() != quantizers[0].bits())
         {
             return Err(QuantError::ShapeMismatch {
                 op: "from_parts",
@@ -315,16 +342,23 @@ impl PerChannelQuantized {
                 });
             }
         }
+        let bits = quantizers[0].bits();
         Ok(PerChannelQuantized {
-            codes,
+            store: CodeStore::from_codes(&codes, bits),
             dims,
             quantizers,
         })
     }
 
-    /// The raw codes (checkpoint saving).
-    pub fn codes(&self) -> &[i64] {
-        &self.codes
+    /// Materialises the raw codes (checkpoint saving, tests).
+    pub fn codes(&self) -> Vec<i64> {
+        self.store.to_vec()
+    }
+
+    /// The physical code container (integrity digests, serialisation,
+    /// memory accounting).
+    pub fn store(&self) -> &CodeStore {
+        &self.store
     }
 
     /// The per-channel quantisers (checkpoint saving).
@@ -419,6 +453,18 @@ mod tests {
     }
 
     #[test]
+    fn resident_bytes_count_store_and_quantizers() {
+        let t = normal(&[3, 8], 1.0, &mut seeded(2));
+        let pc = PerChannelQuantized::from_tensor(&t, b(6)).unwrap();
+        let meta = 3 * std::mem::size_of::<AffineQuantizer>() as u64;
+        let expect = match pc.store().tier_name() {
+            "i8" => 24 + meta,
+            _ => 24 * 8 + meta, // forced i64 backend
+        };
+        assert_eq!(pc.resident_bytes(), expect);
+    }
+
+    #[test]
     fn from_parts_roundtrip_and_validation() {
         let t = normal(&[2, 4], 1.0, &mut seeded(3));
         let pc = PerChannelQuantized::from_tensor(&t, b(5)).unwrap();
@@ -433,6 +479,12 @@ mod tests {
             PerChannelQuantized::from_parts(vec![0; 8], vec![3, 4], pc.quantizers().to_vec())
                 .is_err()
         );
+        // Mixed channel bitwidths cannot share one packed store.
+        let mixed = vec![
+            AffineQuantizer::from_range(-1.0, 1.0, b(5)).unwrap(),
+            AffineQuantizer::from_range(-1.0, 1.0, b(6)).unwrap(),
+        ];
+        assert!(PerChannelQuantized::from_parts(vec![0; 8], vec![2, 4], mixed).is_err());
     }
 
     #[test]

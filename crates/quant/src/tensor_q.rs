@@ -1,4 +1,4 @@
-use crate::{AffineQuantizer, Bitwidth, QuantError, RoundingMode};
+use crate::{AffineQuantizer, Bitwidth, CodeStore, QuantError, RoundingMode};
 use apt_tensor::Tensor;
 use rand::rngs::StdRng;
 
@@ -44,11 +44,6 @@ impl UpdateStats {
     }
 }
 
-/// Counts codes sitting on the grid rails (0 or `max_code`).
-pub(crate) fn count_rail_codes(codes: &[i64], max_code: i64) -> usize {
-    codes.iter().filter(|&&q| q == 0 || q == max_code).count()
-}
-
 /// A parameter tensor whose source of truth is its integer codes.
 ///
 /// This realises the paper's central memory claim: during training the model
@@ -56,6 +51,13 @@ pub(crate) fn count_rail_codes(codes: &[i64], max_code: i64) -> usize {
 /// master copy (§I, §III-B, Table I "Model Precision in BPROP"). Float views
 /// are materialised on demand for compute, but every value is always exactly
 /// `S·(q − Z)` for an integer code `q` on the `k`-bit grid.
+///
+/// The codes live in a [`CodeStore`], so the saving is *physical*: a 6-bit
+/// layer occupies one byte per weight of process memory (`i8` tier), not a
+/// simulated 64. [`memory_bits`](QuantizedTensor::memory_bits) remains the
+/// idealised `N·k` model the paper's figures normalise;
+/// [`resident_bytes`](QuantizedTensor::resident_bytes) is what the
+/// allocator actually holds.
 ///
 /// The SGD step implements Eq. 3:
 ///
@@ -78,7 +80,7 @@ pub(crate) fn count_rail_codes(codes: &[i64], max_code: i64) -> usize {
 /// ```
 #[derive(Debug, Clone)]
 pub struct QuantizedTensor {
-    codes: Vec<i64>,
+    store: CodeStore,
     dims: Vec<usize>,
     quantizer: AffineQuantizer,
 }
@@ -93,7 +95,7 @@ impl QuantizedTensor {
     pub fn from_tensor(t: &Tensor, bits: Bitwidth) -> crate::Result<Self> {
         let quantizer = AffineQuantizer::from_tensor(t, bits)?;
         Ok(QuantizedTensor {
-            codes: quantizer.quantize_tensor(t),
+            store: CodeStore::from_codes(&quantizer.quantize_tensor(t), bits),
             dims: t.dims().to_vec(),
             quantizer,
         })
@@ -128,22 +130,28 @@ impl QuantizedTensor {
             });
         }
         Ok(QuantizedTensor {
-            codes,
+            store: CodeStore::from_codes(&codes, quantizer.bits()),
             dims,
             quantizer,
         })
     }
 
-    /// The raw integer codes (checkpoint saving).
-    pub fn codes(&self) -> &[i64] {
-        &self.codes
+    /// Materialises the raw integer codes (checkpoint saving, tests).
+    pub fn codes(&self) -> Vec<i64> {
+        self.store.to_vec()
+    }
+
+    /// The physical code container (integrity digests, serialisation,
+    /// memory accounting).
+    pub fn store(&self) -> &CodeStore {
+        &self.store
     }
 
     /// Materialises the float view `S·(q − Z)` of every element.
     pub fn to_tensor(&self) -> Tensor {
         // Codes are always in-range, so this cannot fail.
         self.quantizer
-            .dequantize_tensor(&self.codes, &self.dims)
+            .dequantize_tensor(&self.store.to_vec(), &self.dims)
             .expect("codes/dims invariant")
     }
 
@@ -169,23 +177,33 @@ impl QuantizedTensor {
 
     /// Number of parameters.
     pub fn len(&self) -> usize {
-        self.codes.len()
+        self.store.len()
     }
 
     /// `true` if the tensor holds no parameters.
     pub fn is_empty(&self) -> bool {
-        self.codes.is_empty()
+        self.store.is_empty()
     }
 
     /// Training-memory footprint of this parameter in bits: `N · k`.
     ///
-    /// This is the quantity Figure 5 normalises ("model size for training").
+    /// This is the quantity Figure 5 normalises ("model size for training")
+    /// — the *idealised* k-bit model. Compare
+    /// [`resident_bytes`](Self::resident_bytes) for what the process
+    /// actually holds.
     pub fn memory_bits(&self) -> u64 {
-        self.codes.len() as u64 * u64::from(self.bits().get())
+        self.store.len() as u64 * u64::from(self.bits().get())
+    }
+
+    /// Physical bytes resident for this parameter: the code store plus the
+    /// quantiser's `(S, Z, k)` metadata.
+    pub fn resident_bytes(&self) -> u64 {
+        self.store.resident_bytes() + std::mem::size_of::<AffineQuantizer>() as u64
     }
 
     /// Re-quantises the tensor at a new precision, recalibrating the range
-    /// from the current values (used by Alg. 1 when `k_i` changes).
+    /// from the current values (used by Alg. 1 when `k_i` changes). The
+    /// codes are re-packed into the tier matching the new bitwidth.
     ///
     /// # Errors
     ///
@@ -193,7 +211,7 @@ impl QuantizedTensor {
     pub fn set_bits(&mut self, bits: Bitwidth) -> crate::Result<()> {
         let float = self.to_tensor();
         let quantizer = AffineQuantizer::from_tensor(&float, bits)?;
-        self.codes = quantizer.quantize_tensor(&float);
+        self.store = CodeStore::from_codes(&quantizer.quantize_tensor(&float), bits);
         self.quantizer = quantizer;
         Ok(())
     }
@@ -204,7 +222,12 @@ impl QuantizedTensor {
     /// Elements whose step quantises to zero are counted as underflow. If
     /// any updated value leaves the representable range, the whole tensor is
     /// recalibrated to the new min/max (range expansion) — the count of such
-    /// elements is reported in [`UpdateStats::expanded`].
+    /// elements is reported in [`UpdateStats::expanded`]. In-range results
+    /// are written straight into the packed store; out-of-range codes (rare)
+    /// are spilled to the side, since a `k`-bit field cannot hold them, and
+    /// the recalibration reconstructs the exact float sequence the old
+    /// `i64`-resident path produced — the update is bit-identical across
+    /// storage backends.
     ///
     /// # Errors
     ///
@@ -230,12 +253,13 @@ impl QuantizedTensor {
         let eps = self.eps() as f64;
         let max_code = self.bits().num_steps() as i64;
         let mut stats = UpdateStats {
-            total: self.codes.len(),
+            total: self.store.len(),
             ..Default::default()
         };
-        let mut out_of_range = false;
+        // (index, raw out-of-grid code) pairs awaiting range expansion.
+        let mut spills: Vec<(usize, i64)> = Vec::new();
 
-        for (code, &g) in self.codes.iter_mut().zip(grad.data()) {
+        for (i, &g) in grad.data().iter().enumerate() {
             let steps = mode.round_steps((lr as f64 * g as f64) / eps, rng);
             if steps == 0 {
                 if g != 0.0 {
@@ -246,30 +270,32 @@ impl QuantizedTensor {
             // Saturating: a pathological gradient can round to ±i64::MAX
             // steps, and plain subtraction would overflow. The saturated
             // code is out of range, so the expansion below recalibrates.
-            let new_code = code.saturating_sub(steps);
+            let new_code = self.store.get(i).saturating_sub(steps);
             if new_code < 0 || new_code > max_code {
-                out_of_range = true;
                 stats.expanded += 1;
+                spills.push((i, new_code));
+            } else {
+                self.store.set(i, new_code);
             }
-            // Keep the raw (possibly out-of-grid) code; clamped or
-            // recalibrated below.
-            *code = new_code;
         }
 
-        if out_of_range {
+        if !spills.is_empty() {
             // Expand: recalibrate the quantiser to cover the new values.
             // Values are exact multiples of the old ε, reconstructed here.
-            let float: Vec<f32> = self
-                .codes
+            let mut raw = self.store.to_vec();
+            for &(i, c) in &spills {
+                raw[i] = c;
+            }
+            let float: Vec<f32> = raw
                 .iter()
                 .map(|&q| self.quantizer.dequantize_value(q))
                 .collect();
             let t = Tensor::from_vec(float, &self.dims)?;
             let quantizer = AffineQuantizer::from_tensor(&t, self.bits())?;
-            self.codes = quantizer.quantize_tensor(&t);
+            self.store = CodeStore::from_codes(&quantizer.quantize_tensor(&t), self.bits());
             self.quantizer = quantizer;
         }
-        stats.saturated = count_rail_codes(&self.codes, max_code);
+        stats.saturated = self.store.count_rails(max_code);
         Ok(stats)
     }
 
@@ -281,37 +307,37 @@ impl QuantizedTensor {
     /// update or an injected fault — and are what the trainer's saturation
     /// guard watches.
     pub fn saturation_ratio(&self) -> f64 {
-        if self.codes.is_empty() {
+        if self.store.is_empty() {
             return 0.0;
         }
         let max_code = self.bits().num_steps() as i64;
-        count_rail_codes(&self.codes, max_code) as f64 / self.codes.len() as f64
+        self.store.count_rails(max_code) as f64 / self.store.len() as f64
     }
 
     /// Flips one bit of one stored code, modelling a single-event upset in
     /// the integer memory that holds the parameter.
     ///
-    /// The flip is applied as `q ^= 1 << (bit % k)`, so the perturbed code
-    /// always stays on the `k`-bit grid — exactly what corrupted SRAM would
-    /// hold. Returns the new code value.
+    /// The flip lands on the *physical* storage: in the bit-packed tier it
+    /// is literally one XOR on the resident `u64` word holding that field.
+    /// The logical effect in every tier is `q ^= 1 << (bit % k)` — the
+    /// centered pattern the tiers store differs from `q` only in an
+    /// inverted MSB — so the perturbed code always stays on the `k`-bit
+    /// grid, exactly what corrupted SRAM would hold. Returns the new code
+    /// value.
     ///
     /// # Errors
     ///
     /// Returns [`QuantError::ShapeMismatch`] if `elem` is out of bounds.
     pub fn flip_code_bit(&mut self, elem: usize, bit: u32) -> crate::Result<i64> {
-        if elem >= self.codes.len() {
+        if elem >= self.store.len() {
             return Err(QuantError::ShapeMismatch {
                 op: "flip_code_bit",
                 lhs: vec![elem],
-                rhs: vec![self.codes.len()],
+                rhs: vec![self.store.len()],
             });
         }
         let k = self.bits().get();
-        let mask = 1i64 << (bit % k);
-        // `num_steps` is 2^k − 1, so XOR within the low k bits cannot leave
-        // the [0, 2^k − 1] grid.
-        self.codes[elem] ^= mask;
-        Ok(self.codes[elem])
+        Ok(self.store.flip_bit(elem, bit % k))
     }
 
     /// Drives a deterministic subset of codes to a grid rail (fault
@@ -322,7 +348,7 @@ impl QuantizedTensor {
     /// forced to the rail. `fraction` is clamped to `(0, 1]`; a
     /// non-positive or non-finite fraction saturates nothing.
     pub fn saturate(&mut self, fraction: f64, high: bool) -> usize {
-        if !fraction.is_finite() || fraction <= 0.0 || self.codes.is_empty() {
+        if !fraction.is_finite() || fraction <= 0.0 || self.store.is_empty() {
             return 0;
         }
         let stride = (1.0 / fraction.min(1.0)).round().max(1.0) as usize;
@@ -332,8 +358,8 @@ impl QuantizedTensor {
             0
         };
         let mut forced = 0;
-        for q in self.codes.iter_mut().step_by(stride) {
-            *q = rail;
+        for i in (0..self.store.len()).step_by(stride) {
+            self.store.set(i, rail);
             forced += 1;
         }
         forced
@@ -354,7 +380,7 @@ impl QuantizedTensor {
             });
         }
         let quantizer = AffineQuantizer::from_tensor(t, self.bits())?;
-        self.codes = quantizer.quantize_tensor(t);
+        self.store = CodeStore::from_codes(&quantizer.quantize_tensor(t), self.bits());
         self.quantizer = quantizer;
         Ok(())
     }
@@ -480,6 +506,25 @@ mod tests {
     }
 
     #[test]
+    fn resident_bytes_track_the_physical_tier() {
+        let w = rng::normal(&[100], 1.0, &mut seeded(3));
+        let meta = std::mem::size_of::<AffineQuantizer>() as u64;
+        let mut q = QuantizedTensor::from_tensor(&w, b(6)).unwrap();
+        if q.store().tier_name() == "i8" {
+            // Tiered default: one byte per 6-bit code.
+            assert_eq!(q.resident_bytes(), 100 + meta);
+            q.set_bits(b(13)).unwrap();
+            assert_eq!(q.resident_bytes(), 200 + meta);
+            q.set_bits(b(20)).unwrap();
+            assert_eq!(q.store().tier_name(), "packed");
+            assert_eq!(q.resident_bytes(), (2000u64.div_ceil(64) + 1) * 8 + meta);
+        } else {
+            // Forced i64 backend (APT_CODE_BACKEND=i64): 8 bytes per code.
+            assert_eq!(q.resident_bytes(), 800 + meta);
+        }
+    }
+
+    #[test]
     fn rejects_bad_operands() {
         let w = Tensor::from_slice(&[0.0, 1.0]);
         let mut q = QuantizedTensor::from_tensor(&w, b(8)).unwrap();
@@ -600,5 +645,46 @@ mod tests {
             "underflowed={}",
             s.underflowed
         );
+    }
+
+    #[test]
+    fn updates_are_bit_identical_across_backends() {
+        use crate::{AffineQuantizer, CodeStore, StoreBackend};
+        // Same training sequence under the legacy i64 layout and the
+        // tiered layout, compared code-for-code — the unit-scale version
+        // of the end-to-end differential test.
+        let w = rng::normal(&[128], 1.0, &mut seeded(42));
+        for k in [4u32, 6, 12, 20] {
+            let quantizer = AffineQuantizer::from_tensor(&w, b(k)).unwrap();
+            let codes = quantizer.quantize_tensor(&w);
+            let mut a = QuantizedTensor {
+                store: CodeStore::with_backend(StoreBackend::I64, &codes, b(k)),
+                dims: vec![128],
+                quantizer,
+            };
+            let mut c = QuantizedTensor {
+                store: CodeStore::with_backend(StoreBackend::Tiered, &codes, b(k)),
+                dims: vec![128],
+                quantizer,
+            };
+            let mut ra = seeded(9);
+            let mut rc = seeded(9);
+            for step in 0..20 {
+                let g = rng::normal(&[128], 0.3 + 0.2 * step as f32, &mut seeded(100 + step));
+                let sa = a
+                    .sgd_update(&g, 0.5, RoundingMode::Stochastic, &mut ra)
+                    .unwrap();
+                let sc = c
+                    .sgd_update(&g, 0.5, RoundingMode::Stochastic, &mut rc)
+                    .unwrap();
+                assert_eq!(sa, sc, "k={k} step={step}");
+                assert_eq!(a.codes(), c.codes(), "k={k} step={step}");
+                assert_eq!(
+                    a.quantizer().eps().to_bits(),
+                    c.quantizer().eps().to_bits(),
+                    "k={k} step={step}"
+                );
+            }
+        }
     }
 }

@@ -2,13 +2,52 @@
 //! paper's Eqs. 2–3 rely on.
 
 use apt_quant::{
-    fake, AffineQuantizer, Bitwidth, PerChannelQuantized, QuantizedTensor, RoundingMode,
+    fake, AffineQuantizer, Bitwidth, CodeStore, PackedCodes, PerChannelQuantized, QuantizedTensor,
+    RoundingMode, StoreBackend,
 };
 use apt_tensor::{rng, Tensor};
 use proptest::prelude::*;
 
 fn bits_strategy() -> impl Strategy<Value = Bitwidth> {
     (2u32..=16).prop_map(|b| Bitwidth::new(b).unwrap())
+}
+
+/// Every supported storage width, including the packed-tier range.
+fn all_bits_strategy() -> impl Strategy<Value = Bitwidth> {
+    (2u32..=32).prop_map(|b| Bitwidth::new(b).unwrap())
+}
+
+/// Random signed codes on the `k`-bit two's-complement range, with both
+/// rails forced in so extremes are always exercised.
+fn signed_codes_strategy() -> impl Strategy<Value = (Bitwidth, Vec<i64>)> {
+    (
+        all_bits_strategy(),
+        prop::collection::vec(0u64..u64::MAX, 2..192),
+    )
+        .prop_map(|(bits, raw)| {
+            let half = 1i64 << (bits.get() - 1);
+            let span = 2u64.pow(bits.get());
+            let mut v: Vec<i64> = raw.iter().map(|&r| (r % span) as i64 - half).collect();
+            v[0] = -half; // negative rail (sign bit set)
+            v[1] = half - 1; // positive rail
+            (bits, v)
+        })
+}
+
+/// Random raw grid codes `q ∈ [0, 2^k − 1]` with both rails forced in.
+fn grid_codes_strategy() -> impl Strategy<Value = (Bitwidth, Vec<i64>)> {
+    (
+        all_bits_strategy(),
+        prop::collection::vec(0u64..u64::MAX, 2..192),
+    )
+        .prop_map(|(bits, raw)| {
+            let max = bits.num_steps() as i64;
+            let span = 2u64.pow(bits.get());
+            let mut v: Vec<i64> = raw.iter().map(|&r| (r % span) as i64).collect();
+            v[0] = 0;
+            v[1] = max;
+            (bits, v)
+        })
 }
 
 fn values_strategy() -> impl Strategy<Value = Vec<f32>> {
@@ -177,6 +216,68 @@ proptest! {
         pc.saturate(0.3, false);
         pc.flip_code_bit(0, 5).unwrap();
         prop_assert!(pc.to_tensor().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn packed_roundtrip_all_bitwidths(case in signed_codes_strategy()) {
+        // Pack/unpack is lossless for every k in [2, 32] over random codes
+        // including negatives and both rails, and the serialised words
+        // round-trip through the checkpoint-v3 validation path.
+        let (bits, signed) = case;
+        let p = PackedCodes::from_signed(&signed, bits).unwrap();
+        prop_assert_eq!(p.to_signed_vec(), signed.clone());
+        for (i, &c) in signed.iter().enumerate() {
+            prop_assert_eq!(p.get(i), c);
+        }
+        let re = PackedCodes::from_data_words(
+            p.data_words().to_vec(), signed.len(), bits).unwrap();
+        prop_assert_eq!(re, p);
+    }
+
+    #[test]
+    fn code_store_backends_agree(case in grid_codes_strategy()) {
+        // Tiered and legacy layouts hold identical logical content and
+        // produce identical canonical packed words.
+        let (bits, codes) = case;
+        let tiered = CodeStore::with_backend(StoreBackend::Tiered, &codes, bits);
+        let legacy = CodeStore::with_backend(StoreBackend::I64, &codes, bits);
+        prop_assert_eq!(tiered.to_vec(), codes.clone());
+        prop_assert_eq!(legacy.to_vec(), codes.clone());
+        let (tp, lp) = (tiered.to_packed(), legacy.to_packed());
+        prop_assert_eq!(tp.data_words(), lp.data_words());
+        let max = bits.num_steps() as i64;
+        prop_assert_eq!(tiered.count_rails(max), legacy.count_rails(max));
+        // The physical footprint never exceeds the legacy layout's.
+        prop_assert!(tiered.resident_bytes() <= legacy.resident_bytes());
+    }
+
+    #[test]
+    fn flip_code_bit_matches_seu_semantics(
+        case in grid_codes_strategy(),
+        flips in prop::collection::vec((0usize..192usize, 0u32..64u32), 1..32),
+    ) {
+        // The documented SEU model — `q ^= 1 << (bit % k)` — holds on the
+        // packed physical storage, element by element, flip by flip.
+        let (bits, codes) = case;
+        let k = bits.get();
+        let tiered = CodeStore::with_backend(StoreBackend::Tiered, &codes, bits);
+        let mut q = QuantizedTensor::from_parts(
+            codes.clone(),
+            vec![codes.len()],
+            AffineQuantizer::from_range(-1.0, 1.0, bits).unwrap(),
+        ).unwrap();
+        let mut expect = codes.clone();
+        let mut store = tiered;
+        for &(e, bit) in &flips {
+            let elem = e % codes.len();
+            let new_store = store.flip_bit(elem, bit % k);
+            let new_tensor = q.flip_code_bit(elem, bit).unwrap();
+            expect[elem] ^= 1i64 << (bit % k);
+            prop_assert_eq!(new_store, expect[elem]);
+            prop_assert_eq!(new_tensor, expect[elem]);
+            prop_assert!((0..=bits.num_steps() as i64).contains(&new_store));
+        }
+        prop_assert_eq!(store.to_vec(), expect);
     }
 
     #[test]

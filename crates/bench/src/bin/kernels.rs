@@ -396,8 +396,15 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| {
             s.split(',')
-                .map(|p| p.parse::<usize>().expect("thread count"))
-                .filter(|&n| n >= 1)
+                .map(|p| match p.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!(
+                            "bad value `{p}` for --threads (want comma-separated counts ≥ 1)"
+                        );
+                        std::process::exit(2);
+                    }
+                })
                 .collect()
         })
         .unwrap_or_else(|| vec![1, 2, 4]);

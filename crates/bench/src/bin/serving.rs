@@ -1,0 +1,419 @@
+//! Serving-throughput benchmark: batch-policy × threads × bitwidth over
+//! the full TCP stack.
+//!
+//! Every cell trains nothing — it freezes a deterministic quantized MLP
+//! into an [`InferenceSession`], starts a real [`Server`] on an ephemeral
+//! loopback port, and drives it with concurrent [`ServeClient`]
+//! connections. Each client knows the bit-exact expected output for every
+//! sample it sends (computed locally through the same frozen session), so
+//! the sweep doubles as an end-to-end correctness check: any lost,
+//! corrupted, or misrouted response is counted and fails the smoke gate.
+//!
+//! Outputs: `results/serving.csv` + `BENCH_serving.json`.
+//!
+//! `--smoke` runs a reduced matrix and enforces the CI gates:
+//! 1. zero lost/corrupted responses under concurrent load,
+//! 2. batched throughput ≥ 2.0× single-sample throughput at 4 threads
+//!    (enforced when the machine has ≥ 4 cores, like the kernels gate;
+//!    smaller machines enforce a ≥ 1.2× batching floor instead, loudly),
+//! 3. p99 latency under [`P99_BUDGET_US`] on the batched cell.
+
+use apt_bench::results_dir;
+use apt_nn::{checkpoint, models, QuantScheme};
+use apt_quant::Bitwidth;
+use apt_serve::{
+    BatchPolicy, InferenceSession, ModelArch, ModelSpec, ServeClient, ServeError, Server,
+    ServerConfig,
+};
+use apt_tensor::{par, rng};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// MLP geometry for every cell: big enough that a coalesced batch
+/// amortises the weight-matrix traversal, small enough for CI.
+const DIMS: &[usize] = &[256, 256, 128, 10];
+
+/// Concurrent client connections per cell.
+const CLIENTS: usize = 8;
+
+/// Distinct samples each client cycles through.
+const DISTINCT: usize = 8;
+
+/// Smoke-gate p99 budget (server-side queue→response latency).
+const P99_BUDGET_US: u64 = 50_000;
+
+/// Builds a frozen session at the given weight bitwidth (32 = fp32) via a
+/// full checkpoint round-trip, exactly as `apt serve` would load it.
+fn build_session(bits: u32) -> InferenceSession {
+    let scheme = if bits == 32 {
+        QuantScheme::float32()
+    } else {
+        QuantScheme::fully_quantized(Bitwidth::new(bits).expect("valid bitwidth"))
+    };
+    let mut net =
+        models::mlp("serve-bench", DIMS, &scheme, &mut rng::seeded(11)).expect("model builds");
+    let blob = checkpoint::save_full(&mut net);
+    let spec = ModelSpec {
+        arch: ModelArch::Mlp(DIMS.to_vec()),
+        classes: *DIMS.last().expect("dims nonempty"),
+        img_size: 0,
+        width_mult: 1.0,
+    };
+    InferenceSession::from_checkpoint(&spec, &blob).expect("session loads")
+}
+
+#[derive(Clone)]
+struct Policy {
+    name: &'static str,
+    max_batch: usize,
+    max_delay_us: u64,
+}
+
+const POLICIES: &[Policy] = &[
+    Policy {
+        name: "single",
+        max_batch: 1,
+        max_delay_us: 0,
+    },
+    Policy {
+        name: "batch8",
+        max_batch: 8,
+        max_delay_us: 2000,
+    },
+    Policy {
+        name: "batch32",
+        max_batch: 32,
+        max_delay_us: 2000,
+    },
+];
+
+struct Row {
+    bits: u32,
+    threads: usize,
+    policy: &'static str,
+    max_batch: usize,
+    max_delay_us: u64,
+    clients: usize,
+    requests: u64,
+    ok: u64,
+    shed: u64,
+    corrupted: u64,
+    lost: u64,
+    wall_ms: f64,
+    rps: f64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+    mean_batch: f64,
+}
+
+/// Drives one cell: starts a server, hammers it with [`CLIENTS`]
+/// connections × `per_client` requests, verifies every response
+/// bit-exactly, and reads the server-side histograms.
+fn run_cell(bits: u32, threads: usize, policy: &Policy, per_client: usize) -> Row {
+    par::set_global_threads(threads);
+    let session = build_session(bits);
+
+    // Deterministic per-client request sets with locally computed expected
+    // outputs (bit-identical by batch invariance).
+    let mut workloads: Vec<(Vec<Vec<f32>>, Vec<Vec<f32>>)> = Vec::with_capacity(CLIENTS);
+    for c in 0..CLIENTS {
+        let mut r = rng::substream(997, c as u64);
+        let samples: Vec<Vec<f32>> = (0..DISTINCT)
+            .map(|_| rng::normal(&[DIMS[0]], 1.0, &mut r).into_vec())
+            .collect();
+        let expected: Vec<Vec<f32>> = samples
+            .iter()
+            .map(|s| session.infer_one(s).expect("local forward"))
+            .collect();
+        workloads.push((samples, expected));
+    }
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        policy: BatchPolicy {
+            max_batch: policy.max_batch,
+            max_delay: Duration::from_micros(policy.max_delay_us),
+            queue_depth: 128,
+        },
+        model_name: format!("mlp-k{bits}"),
+    };
+    let mut server = Server::start(session, config).expect("server starts");
+    let addr = server.addr();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = workloads
+        .into_iter()
+        .map(|(samples, expected)| {
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut corrupted = 0u64;
+                let mut lost = 0u64;
+                let mut client = match ServeClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => return (0, 0, per_client as u64),
+                };
+                for i in 0..per_client {
+                    let which = i % DISTINCT;
+                    loop {
+                        match client.infer(&samples[which]) {
+                            Ok(row) => {
+                                let exact = row.len() == expected[which].len()
+                                    && row
+                                        .iter()
+                                        .zip(&expected[which])
+                                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                                if exact {
+                                    ok += 1;
+                                } else {
+                                    corrupted += 1;
+                                }
+                                break;
+                            }
+                            // Typed backpressure: back off and retry.
+                            Err(ServeError::Overloaded { .. }) => {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(_) => {
+                                lost += 1;
+                                break;
+                            }
+                        }
+                    }
+                }
+                (ok, corrupted, lost)
+            })
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut corrupted = 0u64;
+    let mut lost = 0u64;
+    for h in handles {
+        let (o, c, l) = h.join().expect("client thread");
+        ok += o;
+        corrupted += c;
+        lost += l;
+    }
+    let wall = t0.elapsed();
+    let stats = server.stats();
+    server.shutdown();
+
+    Row {
+        bits,
+        threads,
+        policy: policy.name,
+        max_batch: policy.max_batch,
+        max_delay_us: policy.max_delay_us,
+        clients: CLIENTS,
+        requests: (CLIENTS * per_client) as u64,
+        ok,
+        shed: stats.shed,
+        corrupted,
+        lost,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        rps: ok as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: stats.p50_us,
+        p90_us: stats.p90_us,
+        p99_us: stats.p99_us,
+        mean_batch: stats.mean_batch,
+    }
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "k={:<2} threads={} {:<7} {:>7.0} req/s | p50 {:>6}µs p90 {:>6}µs p99 {:>6}µs | \
+         mean batch {:>5.2} | ok {} shed {} corrupt {} lost {}",
+        r.bits,
+        r.threads,
+        r.policy,
+        r.rps,
+        r.p50_us,
+        r.p90_us,
+        r.p99_us,
+        r.mean_batch,
+        r.ok,
+        r.shed,
+        r.corrupted,
+        r.lost
+    );
+}
+
+fn write_outputs(rows: &[Row]) {
+    let csv_path = results_dir().join("serving.csv");
+    let mut csv = String::from(
+        "bits,threads,policy,max_batch,max_delay_us,clients,requests,ok,shed,corrupted,lost,\
+         wall_ms,rps,p50_us,p90_us,p99_us,mean_batch\n",
+    );
+    for r in rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{},{},{},{:.3}\n",
+            r.bits,
+            r.threads,
+            r.policy,
+            r.max_batch,
+            r.max_delay_us,
+            r.clients,
+            r.requests,
+            r.ok,
+            r.shed,
+            r.corrupted,
+            r.lost,
+            r.wall_ms,
+            r.rps,
+            r.p50_us,
+            r.p90_us,
+            r.p99_us,
+            r.mean_batch
+        ));
+    }
+    std::fs::write(&csv_path, &csv).expect("write serving.csv");
+    println!("wrote {}", csv_path.display());
+
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"bits\":{},\"threads\":{},\"policy\":\"{}\",\"max_batch\":{},\
+                 \"max_delay_us\":{},\"clients\":{},\"requests\":{},\"ok\":{},\"shed\":{},\
+                 \"corrupted\":{},\"lost\":{},\"wall_ms\":{:.1},\"rps\":{:.1},\
+                 \"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"mean_batch\":{:.3}}}",
+                r.bits,
+                r.threads,
+                r.policy,
+                r.max_batch,
+                r.max_delay_us,
+                r.clients,
+                r.requests,
+                r.ok,
+                r.shed,
+                r.corrupted,
+                r.lost,
+                r.wall_ms,
+                r.rps,
+                r.p50_us,
+                r.p90_us,
+                r.p99_us,
+                r.mean_batch
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"model\": \"mlp:{}\",\n\"available_parallelism\": {},\n\"cells\": [\n{}\n]\n}}\n",
+        DIMS.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("-"),
+        par::default_threads(),
+        cells.join(",\n")
+    );
+    let mut f = std::fs::File::create("BENCH_serving.json").expect("create BENCH_serving.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_serving.json");
+    println!("wrote BENCH_serving.json");
+}
+
+fn smoke() -> bool {
+    let mut ok = true;
+    let cores = par::default_threads();
+    let gate_threads = if cores >= 4 { 4 } else { 1 };
+    let per_client = 100;
+
+    println!("# smoke cells: single vs batched @ k=8, {gate_threads} thread(s)");
+    let single = run_cell(8, gate_threads, &POLICIES[0], per_client);
+    print_row(&single);
+    let batched = run_cell(8, gate_threads, &POLICIES[1], per_client);
+    print_row(&batched);
+
+    // Gate 1: nothing lost or corrupted under concurrent load.
+    println!("# smoke gate 1: zero lost/corrupted responses");
+    for r in [&single, &batched] {
+        if r.corrupted != 0 || r.lost != 0 || r.ok != r.requests {
+            println!(
+                "FAIL: policy {} completed {}/{} with {} corrupted, {} lost",
+                r.policy, r.ok, r.requests, r.corrupted, r.lost
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!(
+            "ok: {} responses, every one bit-exact",
+            single.ok + batched.ok
+        );
+    }
+
+    // Gate 2: coalescing pays for itself.
+    let ratio = batched.rps / single.rps.max(1e-9);
+    if cores >= 4 {
+        println!("# smoke gate 2: batched ≥ 2.0× single-sample throughput at 4 threads");
+        if ratio >= 2.0 {
+            println!(
+                "ok: {:.2}× ({:.0} vs {:.0} req/s)",
+                ratio, batched.rps, single.rps
+            );
+        } else {
+            println!(
+                "FAIL: batched only {:.2}× single ({:.0} vs {:.0} req/s)",
+                ratio, batched.rps, single.rps
+            );
+            ok = false;
+        }
+    } else {
+        println!(
+            "# smoke gate 2: SKIPPED strict 2.0×@4t form (machine has {cores} core(s)); \
+             enforcing ≥ 1.2× batching floor at 1 thread instead"
+        );
+        if ratio >= 1.2 {
+            println!(
+                "ok: {:.2}× ({:.0} vs {:.0} req/s)",
+                ratio, batched.rps, single.rps
+            );
+        } else {
+            println!(
+                "FAIL: batched only {:.2}× single ({:.0} vs {:.0} req/s)",
+                ratio, batched.rps, single.rps
+            );
+            ok = false;
+        }
+    }
+
+    // Gate 3: tail latency stays inside the budget on the batched cell.
+    println!("# smoke gate 3: batched p99 ≤ {P99_BUDGET_US}µs");
+    if batched.p99_us <= P99_BUDGET_US {
+        println!("ok: p99 {}µs", batched.p99_us);
+    } else {
+        println!("FAIL: p99 {}µs over budget", batched.p99_us);
+        ok = false;
+    }
+
+    write_outputs(&[single, batched]);
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        println!("# serving --smoke: end-to-end correctness + batching gates");
+        if !smoke() {
+            std::process::exit(1);
+        }
+        println!("smoke: all gates passed");
+        return;
+    }
+
+    println!(
+        "# serving: policy x threads x bitwidth sweep over TCP (machine has {} core(s))",
+        par::default_threads()
+    );
+    let mut rows = Vec::new();
+    for &bits in &[4u32, 8, 32] {
+        for &threads in &[1usize, 2, 4] {
+            for policy in POLICIES {
+                let row = run_cell(bits, threads, policy, 150);
+                print_row(&row);
+                rows.push(row);
+            }
+        }
+    }
+    write_outputs(&rows);
+}

@@ -42,6 +42,18 @@ struct Args {
     threads: Option<usize>,
 }
 
+/// Parses one flag value, exiting with a message (not a panic or a silent
+/// default) when it is malformed.
+fn parse_or_exit<T: std::str::FromStr>(flag: &str, value: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    value.parse().unwrap_or_else(|e| {
+        eprintln!("bad value `{value}` for {flag}: {e}");
+        exit(2);
+    })
+}
+
 fn parse_args() -> Args {
     let mut a = Args {
         model: "cifarnet".into(),
@@ -77,21 +89,21 @@ fn parse_args() -> Args {
         match argv[i].as_str() {
             "--model" => a.model = take(&mut i),
             "--scheme" => a.scheme = take(&mut i),
-            "--t-min" => a.t_min = take(&mut i).parse().unwrap_or(6.0),
-            "--epochs" => a.epochs = take(&mut i).parse().unwrap_or(a.epochs),
-            "--classes" => a.classes = take(&mut i).parse().unwrap_or(a.classes),
-            "--img-size" => a.img_size = take(&mut i).parse().unwrap_or(a.img_size),
-            "--per-class" => a.per_class = take(&mut i).parse().unwrap_or(a.per_class),
-            "--width-mult" => a.width_mult = take(&mut i).parse().unwrap_or(a.width_mult),
-            "--batch-size" => a.batch_size = take(&mut i).parse().unwrap_or(a.batch_size),
-            "--seed" => a.seed = take(&mut i).parse().unwrap_or(a.seed),
+            "--t-min" => a.t_min = parse_or_exit("--t-min", &take(&mut i)),
+            "--epochs" => a.epochs = parse_or_exit("--epochs", &take(&mut i)),
+            "--classes" => a.classes = parse_or_exit("--classes", &take(&mut i)),
+            "--img-size" => a.img_size = parse_or_exit("--img-size", &take(&mut i)),
+            "--per-class" => a.per_class = parse_or_exit("--per-class", &take(&mut i)),
+            "--width-mult" => a.width_mult = parse_or_exit("--width-mult", &take(&mut i)),
+            "--batch-size" => a.batch_size = parse_or_exit("--batch-size", &take(&mut i)),
+            "--seed" => a.seed = parse_or_exit("--seed", &take(&mut i)),
             "--out" => a.out = take(&mut i),
             "--checkpoint-dir" => a.checkpoint_dir = Some(take(&mut i)),
             "--checkpoint-every" => {
-                a.checkpoint_every = take(&mut i).parse().unwrap_or(a.checkpoint_every)
+                a.checkpoint_every = parse_or_exit("--checkpoint-every", &take(&mut i))
             }
             "--checkpoint-keep" => {
-                a.checkpoint_keep = take(&mut i).parse().unwrap_or(a.checkpoint_keep)
+                a.checkpoint_keep = parse_or_exit("--checkpoint-keep", &take(&mut i))
             }
             "--resume" => a.resume = true,
             "--sentinel" => a.sentinel = true,
@@ -133,7 +145,11 @@ fn parse_args() -> Args {
 
 fn parse_scheme(spec: &str, t_min: f64) -> (QuantScheme, Option<PolicyConfig>) {
     let bits = |s: &str| -> Bitwidth {
-        Bitwidth::new(s.parse().unwrap_or(0)).unwrap_or_else(|e| {
+        let n = s.parse().unwrap_or_else(|_| {
+            eprintln!("bad bitwidth `{s}` in scheme `{spec}` (want a number)");
+            exit(2);
+        });
+        Bitwidth::new(n).unwrap_or_else(|e| {
             eprintln!("bad bitwidth in scheme `{spec}`: {e}");
             exit(2);
         })

@@ -203,11 +203,45 @@ fn save_full_versioned(net: &mut Network, version: u16) -> Vec<u8> {
     frame(payload, version)
 }
 
+/// Serialises `net` (parameters and buffers) in a **specific historical
+/// format version** — 1, 2, or 3.
+///
+/// Version 3 is the current format ([`save_full`] is equivalent); 2 writes
+/// the legacy byte-granular code bitstream; 1 additionally drops the
+/// length/CRC framing (magic + version straight into the payload). The
+/// old writers are kept public so compatibility tests — and tooling that
+/// must hand checkpoints to old readers in the field — exercise the real
+/// historical byte layouts rather than synthetic ones.
+///
+/// # Errors
+///
+/// Returns [`NnError::UnsupportedVersion`] for any version this build has
+/// never written.
+pub fn save_full_as(net: &mut Network, version: u16) -> crate::Result<Vec<u8>> {
+    match version {
+        2 | 3 => Ok(save_full_versioned(net, version)),
+        1 => {
+            // v1 predates framing: magic + version, then the v2 payload
+            // with no length or CRC fields.
+            let framed = save_full_versioned(net, 2);
+            let mut v1 = Vec::with_capacity(framed.len() - 8);
+            v1.extend_from_slice(MAGIC);
+            v1.extend_from_slice(&1u16.to_le_bytes());
+            v1.extend_from_slice(&framed[MAGIC.len() + 10..]);
+            Ok(v1)
+        }
+        other => Err(NnError::UnsupportedVersion { version: other }),
+    }
+}
+
 /// Writes the legacy v2 format — kept so the v1/v2 → v3 load-compat tests
 /// exercise the real historical byte layout, not a synthetic one.
 #[cfg(test)]
 fn save_full_v2(net: &mut Network) -> Vec<u8> {
-    save_full_versioned(net, 2)
+    match save_full_as(net, 2) {
+        Ok(blob) => blob,
+        Err(_) => unreachable!("version 2 is always writable"),
+    }
 }
 
 /// Restores a checkpoint produced by [`save_full`] (or [`save`]) into an

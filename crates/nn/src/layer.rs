@@ -26,18 +26,40 @@ pub enum Mode {
 /// forward pass ([`macs_last_forward`](Layer::macs_last_forward)), which the
 /// energy model multiplies by the bit-dependent per-MAC cost.
 ///
-/// The trait is object-safe; networks store `Box<dyn Layer>`.
-pub trait Layer {
+/// The trait is object-safe; networks store `Box<dyn Layer>`. Layers are
+/// plain data (tensors, code stores, counters) and must be `Send + Sync`
+/// so a frozen [`crate::Network`] can be `Arc`-shared across serving
+/// threads.
+pub trait Layer: Send + Sync {
     /// Unique (within the network) layer name, e.g. `"stage1.block0.conv1"`.
     fn name(&self) -> &str;
 
     /// Runs the layer on `input`, caching activations when `mode` is
     /// [`Mode::Train`].
     ///
+    /// In [`Mode::Eval`] this MUST be equivalent to
+    /// [`forward_inference`](Layer::forward_inference) — same output bits,
+    /// no mutation of training scratch (activation caches, MAC counters).
+    ///
     /// # Errors
     ///
     /// Returns [`crate::NnError`] for shape mismatches.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor>;
+
+    /// Runs the layer through a **shared** reference: evaluation-mode
+    /// arithmetic (batch-norm running statistics, quantised grids), no
+    /// activation caching, no gradient bookkeeping, no MAC accounting.
+    ///
+    /// This is the serving hot path: because it takes `&self`, a frozen
+    /// network can execute concurrent inferences through an `Arc` without
+    /// locks, and the output is bit-identical to
+    /// `forward(input, Mode::Eval)` by contract (the serve crate's
+    /// differential tests enforce this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError`] for shape mismatches.
+    fn forward_inference(&self, input: &Tensor) -> crate::Result<Tensor>;
 
     /// Back-propagates `grad_output`, accumulating parameter gradients and
     /// returning the gradient w.r.t. the layer input.

@@ -66,19 +66,22 @@ impl Layer for ActQuant {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+        if mode == Mode::Eval {
+            return self.forward_inference(input);
+        }
+        let y = self.forward_inference(input)?;
+        self.cached_input = Some(input.clone());
+        Ok(y)
+    }
+
+    fn forward_inference(&self, input: &Tensor) -> crate::Result<Tensor> {
         let alpha = self.clip_value().max(f32::MIN_POSITIVE);
         let steps = self.bits.num_steps() as f32;
         let eps = alpha / steps;
-        let y = input.map(|x| {
+        Ok(input.map(|x| {
             let clamped = x.clamp(0.0, alpha);
             (clamped / eps).round() * eps
-        });
-        self.cached_input = if mode == Mode::Train {
-            Some(input.clone())
-        } else {
-            None
-        };
-        Ok(y)
+        }))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {

@@ -80,6 +80,20 @@ impl BatchNorm2d {
         &self.running_var
     }
 
+    fn check_input(&self, input: &Tensor) -> crate::Result<()> {
+        if input.rank() != 4 || input.dims()[1] != self.channels {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                reason: format!(
+                    "expected [n, {}, h, w], got {:?}",
+                    self.channels,
+                    input.dims()
+                ),
+            });
+        }
+        Ok(())
+    }
+
     fn normalize(&self, input: &Tensor, mean: &Tensor, var: &Tensor) -> (Tensor, Tensor) {
         let (n, c, h, w) = (
             input.dims()[0],
@@ -143,41 +157,32 @@ impl Layer for BatchNorm2d {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
-        if input.rank() != 4 || input.dims()[1] != self.channels {
-            return Err(NnError::BadInput {
-                layer: self.name.clone(),
-                reason: format!(
-                    "expected [n, {}, h, w], got {:?}",
-                    self.channels,
-                    input.dims()
-                ),
-            });
+        if mode == Mode::Eval {
+            return self.forward_inference(input);
         }
-        match mode {
-            Mode::Train => {
-                let (mean, var) = reduce::channel_mean_var(input)?;
-                // running = (1−m)·running + m·batch
-                for ch in 0..self.channels {
-                    let rm = &mut self.running_mean.data_mut()[ch];
-                    *rm = (1.0 - self.momentum) * *rm + self.momentum * mean.data()[ch];
-                    let rv = &mut self.running_var.data_mut()[ch];
-                    *rv = (1.0 - self.momentum) * *rv + self.momentum * var.data()[ch];
-                }
-                let (xhat, inv_std) = self.normalize(input, &mean, &var);
-                let y = self.affine(&xhat);
-                self.cache = Some(BnCache {
-                    xhat,
-                    inv_std,
-                    dims: input.dims().to_vec(),
-                });
-                Ok(y)
-            }
-            Mode::Eval => {
-                let (xhat, _) =
-                    self.normalize(input, &self.running_mean.clone(), &self.running_var.clone());
-                Ok(self.affine(&xhat))
-            }
+        self.check_input(input)?;
+        let (mean, var) = reduce::channel_mean_var(input)?;
+        // running = (1−m)·running + m·batch
+        for ch in 0..self.channels {
+            let rm = &mut self.running_mean.data_mut()[ch];
+            *rm = (1.0 - self.momentum) * *rm + self.momentum * mean.data()[ch];
+            let rv = &mut self.running_var.data_mut()[ch];
+            *rv = (1.0 - self.momentum) * *rv + self.momentum * var.data()[ch];
         }
+        let (xhat, inv_std) = self.normalize(input, &mean, &var);
+        let y = self.affine(&xhat);
+        self.cache = Some(BnCache {
+            xhat,
+            inv_std,
+            dims: input.dims().to_vec(),
+        });
+        Ok(y)
+    }
+
+    fn forward_inference(&self, input: &Tensor) -> crate::Result<Tensor> {
+        self.check_input(input)?;
+        let (xhat, _) = self.normalize(input, &self.running_mean, &self.running_var);
+        Ok(self.affine(&xhat))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {

@@ -112,6 +112,9 @@ impl Layer for BasicBlock {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+        if mode == Mode::Eval {
+            return self.forward_inference(input);
+        }
         let mut main = self.conv1.forward(input, mode)?;
         main = self.bn1.forward(&main, mode)?;
         main = self.relu1.forward(&main, mode)?;
@@ -129,8 +132,28 @@ impl Layer for BasicBlock {
             reason: format!("residual add failed: {e}"),
         })?;
         let out = sum.map(|x| x.max(0.0));
-        self.cached_sum = if mode == Mode::Train { Some(sum) } else { None };
+        self.cached_sum = Some(sum);
         Ok(out)
+    }
+
+    fn forward_inference(&self, input: &Tensor) -> crate::Result<Tensor> {
+        let mut main = self.conv1.forward_inference(input)?;
+        main = self.bn1.forward_inference(&main)?;
+        main = self.relu1.forward_inference(&main)?;
+        main = self.conv2.forward_inference(&main)?;
+        main = self.bn2.forward_inference(&main)?;
+        let sc = match &self.shortcut {
+            Some((conv_s, bn_s)) => {
+                let s = conv_s.forward_inference(input)?;
+                bn_s.forward_inference(&s)?
+            }
+            None => input.clone(),
+        };
+        let sum = ops::add(&main, &sc).map_err(|e| NnError::BadInput {
+            layer: self.name.clone(),
+            reason: format!("residual add failed: {e}"),
+        })?;
+        Ok(sum.map(|x| x.max(0.0)))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {

@@ -99,14 +99,11 @@ impl Conv2d {
     pub fn out_channels(&self) -> usize {
         self.out_channels
     }
-}
 
-impl Layer for Conv2d {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+    /// The shared compute kernel: validate, convolve, add bias. Called by
+    /// both the training forward and the inference path so the two stay
+    /// bit-identical.
+    fn compute_output(&self, input: &Tensor) -> crate::Result<Tensor> {
         if input.rank() != 4 || input.dims()[1] != self.in_channels {
             return Err(NnError::BadInput {
                 layer: self.name.clone(),
@@ -133,15 +130,29 @@ impl Layer for Conv2d {
                 }
             }
         }
+        Ok(y)
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+        if mode == Mode::Eval {
+            return self.forward_inference(input);
+        }
+        let y = self.compute_output(input)?;
         let (n, oh, ow) = (y.dims()[0], y.dims()[2], y.dims()[3]);
         let c_in_g = self.in_channels / self.params.groups;
         self.macs = (n * self.out_channels * oh * ow * c_in_g * self.kernel * self.kernel) as u64;
-        self.cached_input = if mode == Mode::Train {
-            Some(input.clone())
-        } else {
-            None
-        };
+        self.cached_input = Some(input.clone());
         Ok(y)
+    }
+
+    fn forward_inference(&self, input: &Tensor) -> crate::Result<Tensor> {
+        self.compute_output(input)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {

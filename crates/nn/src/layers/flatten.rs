@@ -24,6 +24,15 @@ impl Layer for Flatten {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+        if mode == Mode::Eval {
+            return self.forward_inference(input);
+        }
+        let y = self.forward_inference(input)?;
+        self.cached_dims = Some(input.dims().to_vec());
+        Ok(y)
+    }
+
+    fn forward_inference(&self, input: &Tensor) -> crate::Result<Tensor> {
         if input.rank() < 2 {
             return Err(NnError::BadInput {
                 layer: self.name.clone(),
@@ -32,13 +41,7 @@ impl Layer for Flatten {
         }
         let n = input.dims()[0];
         let features = input.len() / n.max(1);
-        let y = input.reshape(&[n, features])?;
-        self.cached_dims = if mode == Mode::Train {
-            Some(input.dims().to_vec())
-        } else {
-            None
-        };
-        Ok(y)
+        Ok(input.reshape(&[n, features])?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {

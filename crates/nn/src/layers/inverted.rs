@@ -121,6 +121,9 @@ impl Layer for InvertedResidual {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+        if mode == Mode::Eval {
+            return self.forward_inference(input);
+        }
         let mut h = input.clone();
         if let Some((conv, bn, relu6)) = &mut self.expand {
             h = conv.forward(&h, mode)?;
@@ -140,8 +143,30 @@ impl Layer for InvertedResidual {
         } else {
             h
         };
-        self.forwarded = mode == Mode::Train;
+        self.forwarded = true;
         Ok(out)
+    }
+
+    fn forward_inference(&self, input: &Tensor) -> crate::Result<Tensor> {
+        let mut h = input.clone();
+        if let Some((conv, bn, relu6)) = &self.expand {
+            h = conv.forward_inference(&h)?;
+            h = bn.forward_inference(&h)?;
+            h = relu6.forward_inference(&h)?;
+        }
+        h = self.depthwise.forward_inference(&h)?;
+        h = self.bn_dw.forward_inference(&h)?;
+        h = self.relu_dw.forward_inference(&h)?;
+        h = self.project.forward_inference(&h)?;
+        h = self.bn_proj.forward_inference(&h)?;
+        if self.use_skip {
+            Ok(ops::add(&h, input).map_err(|e| NnError::BadInput {
+                layer: self.name.clone(),
+                reason: format!("skip add failed: {e}"),
+            })?)
+        } else {
+            Ok(h)
+        }
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {

@@ -75,14 +75,11 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
-}
 
-impl Layer for Linear {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+    /// The shared compute kernel: validate, `x·Wᵀ`, add bias. Pure w.r.t.
+    /// the layer — both the training forward and the inference path call
+    /// this, which is what keeps them bit-identical.
+    fn compute_output(&self, input: &Tensor) -> crate::Result<Tensor> {
         if input.rank() != 2 || input.dims()[1] != self.in_features {
             return Err(NnError::BadInput {
                 layer: self.name.clone(),
@@ -107,13 +104,27 @@ impl Layer for Linear {
                 }
             }
         }
-        self.macs = (input.dims()[0] * self.out_features * self.in_features) as u64;
-        self.cached_input = if mode == Mode::Train {
-            Some(input.clone())
-        } else {
-            None
-        };
         Ok(y)
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+        if mode == Mode::Eval {
+            return self.forward_inference(input);
+        }
+        let y = self.compute_output(input)?;
+        self.macs = (input.dims()[0] * self.out_features * self.in_features) as u64;
+        self.cached_input = Some(input.clone());
+        Ok(y)
+    }
+
+    fn forward_inference(&self, input: &Tensor) -> crate::Result<Tensor> {
+        self.compute_output(input)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {

@@ -27,13 +27,16 @@ impl Layer for MaxPool2d {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+        if mode == Mode::Eval {
+            return self.forward_inference(input);
+        }
         let out = pool::max_pool2d(input, self.k)?;
-        self.cache = if mode == Mode::Train {
-            Some((out.argmax, input.dims().to_vec()))
-        } else {
-            None
-        };
+        self.cache = Some((out.argmax, input.dims().to_vec()));
         Ok(out.output)
+    }
+
+    fn forward_inference(&self, input: &Tensor) -> crate::Result<Tensor> {
+        Ok(pool::max_pool2d(input, self.k)?.output)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {
@@ -75,13 +78,16 @@ impl Layer for AvgPool2d {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+        if mode == Mode::Eval {
+            return self.forward_inference(input);
+        }
         let y = pool::avg_pool2d(input, self.k)?;
-        self.cached_dims = if mode == Mode::Train {
-            Some(input.dims().to_vec())
-        } else {
-            None
-        };
+        self.cached_dims = Some(input.dims().to_vec());
         Ok(y)
+    }
+
+    fn forward_inference(&self, input: &Tensor) -> crate::Result<Tensor> {
+        Ok(pool::avg_pool2d(input, self.k)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {
@@ -122,13 +128,16 @@ impl Layer for GlobalAvgPool {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> crate::Result<Tensor> {
+        if mode == Mode::Eval {
+            return self.forward_inference(input);
+        }
         let y = pool::global_avg_pool(input)?;
-        self.cached_dims = if mode == Mode::Train {
-            Some(input.dims().to_vec())
-        } else {
-            None
-        };
+        self.cached_dims = Some(input.dims().to_vec());
         Ok(y)
+    }
+
+    fn forward_inference(&self, input: &Tensor) -> crate::Result<Tensor> {
+        Ok(pool::global_avg_pool(input)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {

@@ -55,6 +55,37 @@ impl Network {
         Ok(x)
     }
 
+    /// Runs the full forward pass through a **shared** reference —
+    /// evaluation arithmetic, no activation caching, no gradient or MAC
+    /// bookkeeping.
+    ///
+    /// Because this never mutates the network, a frozen model wrapped in
+    /// an `Arc<Network>` can serve concurrent inferences from many threads;
+    /// the output is bit-identical to `forward(input, Mode::Eval)`.
+    ///
+    /// ```
+    /// use apt_nn::{models, Mode, QuantScheme};
+    /// use apt_tensor::{rng, Tensor};
+    ///
+    /// let mut net = models::mlp("m", &[4, 6, 2], &QuantScheme::float32(), &mut rng::seeded(0))?;
+    /// let x = Tensor::zeros(&[1, 4]);
+    /// let eval = net.forward(&x, Mode::Eval)?;
+    /// let infer = net.forward_inference(&x)?;
+    /// assert_eq!(eval.data(), infer.data());
+    /// # Ok::<(), apt_nn::NnError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing layer's error.
+    pub fn forward_inference(&self, input: &Tensor) -> crate::Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward_inference(&x)?;
+        }
+        Ok(x)
+    }
+
     /// Runs the full backward pass from `∂L/∂output`, accumulating parameter
     /// gradients, and returns `∂L/∂input`.
     ///

@@ -1,0 +1,439 @@
+//! Dynamic micro-batching with admission control.
+//!
+//! Single-sample requests land on a **bounded** MPSC queue. A dedicated
+//! worker thread pops the first request, then keeps coalescing until
+//! either [`BatchPolicy::max_batch`] requests are in hand or
+//! [`BatchPolicy::max_delay`] has elapsed since the first one — the
+//! classic latency/throughput knob. The coalesced batch runs once through
+//! the frozen [`InferenceSession`] and each requester gets its own output
+//! row back.
+//!
+//! Backpressure is typed, not implicit: a full queue sheds the request
+//! with [`ServeError::Overloaded`] instead of queueing unboundedly, and a
+//! draining runtime answers [`ServeError::ShuttingDown`]. Shutdown is
+//! graceful — everything already admitted is executed before the worker
+//! exits.
+
+use crate::{InferenceSession, ServeError, ServeStats, StatsSnapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// The batch-coalescing policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest batch the worker will coalesce.
+    pub max_batch: usize,
+    /// Longest a request may wait for co-batchees after reaching the head
+    /// of the queue.
+    pub max_delay: Duration,
+    /// Bound of the admission queue; requests beyond it are shed.
+    pub queue_depth: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_delay: Duration::from_micros(2000),
+            queue_depth: 128,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] for zero `max_batch` or
+    /// `queue_depth`.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 || self.queue_depth == 0 {
+            return Err(ServeError::BadRequest {
+                reason: format!(
+                    "batch policy needs max_batch ≥ 1 and queue_depth ≥ 1, got {self:?}"
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One admitted request: the flat sample, its enqueue time (for the
+/// latency histogram), and the rendezvous channel the caller blocks on.
+struct Job {
+    sample: Vec<f32>,
+    enqueued: Instant,
+    resp: mpsc::SyncSender<Result<Vec<f32>, ServeError>>,
+}
+
+/// How often the idle worker wakes to check the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(20);
+
+/// The micro-batching runtime: owns the worker thread and the queue.
+/// Request submission goes through cloneable [`BatcherHandle`]s.
+#[derive(Debug)]
+pub struct MicroBatcher {
+    tx: mpsc::SyncSender<Job>,
+    stats: Arc<ServeStats>,
+    draining: Arc<AtomicBool>,
+    policy: BatchPolicy,
+    session: InferenceSession,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl MicroBatcher {
+    /// Spawns the batching worker over a frozen session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] for an invalid policy.
+    pub fn new(session: InferenceSession, policy: BatchPolicy) -> Result<Self, ServeError> {
+        policy.validate()?;
+        let (tx, rx) = mpsc::sync_channel::<Job>(policy.queue_depth);
+        let stats = Arc::new(ServeStats::default());
+        let draining = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let session = session.clone();
+            let stats = Arc::clone(&stats);
+            let draining = Arc::clone(&draining);
+            let policy = policy.clone();
+            thread::spawn(move || worker_loop(&rx, &session, &stats, &draining, &policy))
+        };
+        Ok(MicroBatcher {
+            tx,
+            stats,
+            draining,
+            policy,
+            session,
+            worker: Some(worker),
+        })
+    }
+
+    /// A cloneable submission handle (one per connection, typically).
+    pub fn handle(&self) -> BatcherHandle {
+        BatcherHandle {
+            tx: self.tx.clone(),
+            stats: Arc::clone(&self.stats),
+            draining: Arc::clone(&self.draining),
+            queue_depth: self.policy.queue_depth,
+        }
+    }
+
+    /// The session this batcher executes on.
+    pub fn session(&self) -> &InferenceSession {
+        &self.session
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The shared stats collector (for fronts that record their own
+    /// protocol-level counters).
+    pub fn stats_handle(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Graceful drain: stop admitting, execute everything already queued,
+    /// then join the worker. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.draining.store(true, Ordering::SeqCst);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A cheap, cloneable request-submission handle.
+#[derive(Debug, Clone)]
+pub struct BatcherHandle {
+    tx: mpsc::SyncSender<Job>,
+    stats: Arc<ServeStats>,
+    draining: Arc<AtomicBool>,
+    queue_depth: usize,
+}
+
+impl BatcherHandle {
+    /// Submits one flat sample and blocks until its output row (or a typed
+    /// rejection) comes back.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the admission queue is full,
+    /// [`ServeError::ShuttingDown`] during drain, and whatever the forward
+    /// pass reports (`BadRequest` for a wrong-length sample).
+    pub fn infer_blocking(&self, sample: Vec<f32>) -> Result<Vec<f32>, ServeError> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (resp_tx, resp_rx) = mpsc::sync_channel(1);
+        let job = Job {
+            sample,
+            enqueued: Instant::now(),
+            resp: resp_tx,
+        };
+        match self.tx.try_send(job) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.stats.record_shed();
+                return Err(ServeError::Overloaded {
+                    queue_depth: self.queue_depth,
+                });
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
+        }
+        match resp_rx.recv() {
+            Ok(result) => result,
+            // Worker exited between admission and execution — only
+            // possible on teardown.
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// `true` once drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// The worker: coalesce → execute → respond, until drained.
+fn worker_loop(
+    rx: &mpsc::Receiver<Job>,
+    session: &InferenceSession,
+    stats: &ServeStats,
+    draining: &AtomicBool,
+    policy: &BatchPolicy,
+) {
+    loop {
+        let first = match rx.recv_timeout(IDLE_POLL) {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if draining.load(Ordering::SeqCst) {
+                    // Admission is closed; whatever try_recv still sees
+                    // was accepted before the flag flipped. Execute it.
+                    drain_remaining(rx, session, stats, policy);
+                    return;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        let batch = coalesce(rx, first, policy);
+        run_batch(session, stats, batch);
+    }
+}
+
+/// Collects up to `max_batch` jobs, waiting at most `max_delay` past the
+/// first job's arrival.
+fn coalesce(rx: &mpsc::Receiver<Job>, first: Job, policy: &BatchPolicy) -> Vec<Job> {
+    let deadline = Instant::now() + policy.max_delay;
+    let mut jobs = vec![first];
+    while jobs.len() < policy.max_batch {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok(job) => jobs.push(job),
+            Err(_) => break,
+        }
+    }
+    jobs
+}
+
+/// Executes everything still in the queue as final batches.
+fn drain_remaining(
+    rx: &mpsc::Receiver<Job>,
+    session: &InferenceSession,
+    stats: &ServeStats,
+    policy: &BatchPolicy,
+) {
+    let mut jobs = Vec::new();
+    while let Ok(job) = rx.try_recv() {
+        jobs.push(job);
+        if jobs.len() == policy.max_batch {
+            run_batch(session, stats, std::mem::take(&mut jobs));
+        }
+    }
+    if !jobs.is_empty() {
+        run_batch(session, stats, jobs);
+    }
+}
+
+/// Runs one coalesced batch and distributes per-row results. Input vectors
+/// are recycled through the session arena after staging.
+fn run_batch(session: &InferenceSession, stats: &ServeStats, jobs: Vec<Job>) {
+    stats.record_batch(jobs.len());
+    let mut samples = Vec::with_capacity(jobs.len());
+    let mut waiters = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        samples.push(job.sample);
+        waiters.push((job.enqueued, job.resp));
+    }
+    match session.infer_samples(&samples) {
+        Ok(rows) => {
+            for ((enqueued, resp), row) in waiters.into_iter().zip(rows) {
+                let latency_us = enqueued.elapsed().as_micros().min(u128::from(u64::MAX));
+                stats.record_completed(latency_us as u64);
+                // A hung-up requester is not an error; drop its row.
+                let _ = resp.send(Ok(row));
+            }
+        }
+        Err(e) => {
+            for (_, resp) in waiters {
+                stats.record_error();
+                let _ = resp.send(Err(e.duplicate()));
+            }
+        }
+    }
+    for sample in samples {
+        session.arena().put(sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelArch, ModelSpec};
+    use apt_nn::checkpoint;
+
+    fn session() -> InferenceSession {
+        let spec = ModelSpec {
+            arch: ModelArch::Mlp(vec![5, 8, 3]),
+            classes: 3,
+            img_size: 0,
+            width_mult: 1.0,
+        };
+        let mut net = spec.build().unwrap();
+        let blob = checkpoint::save_full(&mut net);
+        InferenceSession::from_checkpoint(&spec, &blob).unwrap()
+    }
+
+    #[test]
+    fn single_request_round_trip() {
+        let s = session();
+        let want = s.infer_one(&vec![0.3; 5]).unwrap();
+        let batcher = MicroBatcher::new(s, BatchPolicy::default()).unwrap();
+        let got = batcher.handle().infer_blocking(vec![0.3; 5]).unwrap();
+        assert_eq!(got, want);
+        let snap = batcher.stats();
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.shed, 0);
+    }
+
+    #[test]
+    fn concurrent_requests_batch_and_match_single_sample() {
+        let s = session();
+        let policy = BatchPolicy {
+            max_batch: 4,
+            max_delay: Duration::from_millis(20),
+            queue_depth: 64,
+        };
+        let batcher = MicroBatcher::new(s.clone(), policy).unwrap();
+        let mut threads = Vec::new();
+        for t in 0..12 {
+            let h = batcher.handle();
+            let s = s.clone();
+            threads.push(thread::spawn(move || {
+                let sample = vec![t as f32 * 0.1; 5];
+                let got = h.infer_blocking(sample.clone()).unwrap();
+                let want = s.infer_one(&sample).unwrap();
+                assert_eq!(got, want, "batched result must be bit-identical");
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = batcher.stats();
+        assert_eq!(snap.completed, 12);
+        assert!(
+            snap.batches < 12,
+            "some coalescing expected, got {} batches",
+            snap.batches
+        );
+        assert!(snap.batch_hist.iter().all(|&(size, _)| size <= 4));
+    }
+
+    #[test]
+    fn wrong_length_sample_fails_typed() {
+        let batcher = MicroBatcher::new(session(), BatchPolicy::default()).unwrap();
+        let err = batcher.handle().infer_blocking(vec![1.0; 3]).unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest { .. }), "{err}");
+        assert_eq!(batcher.stats().errors, 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests() {
+        let mut batcher = MicroBatcher::new(session(), BatchPolicy::default()).unwrap();
+        let h = batcher.handle();
+        batcher.shutdown();
+        assert!(h.is_draining());
+        assert!(matches!(
+            h.infer_blocking(vec![0.0; 5]),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(BatchPolicy {
+            max_batch: 0,
+            ..BatchPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BatchPolicy {
+            queue_depth: 0,
+            ..BatchPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BatchPolicy::default().validate().is_ok());
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_error() {
+        // A policy that admits one queued request at a time, with a worker
+        // slow to pick up (max_delay stretches batch assembly).
+        let policy = BatchPolicy {
+            max_batch: 1,
+            max_delay: Duration::from_micros(1),
+            queue_depth: 1,
+        };
+        let batcher = MicroBatcher::new(session(), policy).unwrap();
+        let mut threads = Vec::new();
+        for _ in 0..16 {
+            let h = batcher.handle();
+            threads.push(thread::spawn(move || {
+                h.infer_blocking(vec![0.5; 5]).map(|_| ())
+            }));
+        }
+        let results: Vec<Result<(), ServeError>> =
+            threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        let shed = results
+            .iter()
+            .filter(|r| matches!(r, Err(ServeError::Overloaded { .. })))
+            .count();
+        assert_eq!(ok + shed, 16, "only Ok or Overloaded allowed: {results:?}");
+        assert!(ok >= 1);
+        let snap = batcher.stats();
+        assert_eq!(snap.completed as usize, ok);
+        assert_eq!(snap.shed as usize, shed);
+    }
+}

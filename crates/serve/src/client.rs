@@ -1,0 +1,86 @@
+//! A small blocking client for the serving protocol.
+//!
+//! Used by the examples, the bench harness, and the integration tests;
+//! applications embedding the runtime in-process should talk to
+//! [`crate::BatcherHandle`] directly instead.
+
+use crate::protocol::{
+    self, OP_HEALTH, OP_INFER, OP_STATS, STATUS_BAD_REQUEST, STATUS_OK, STATUS_OVERLOADED,
+    STATUS_SHUTTING_DOWN,
+};
+use crate::ServeError;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One blocking connection to an `apt serve` instance.
+///
+/// The connection stays open across requests; every method is one
+/// request/response round trip. Not `Sync` — use one client per thread
+/// (the server multiplexes fairly across connections).
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures as [`ServeError::Io`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient { stream })
+    }
+
+    /// Sends one frame and reads the response, mapping error statuses back
+    /// onto typed [`ServeError`]s.
+    fn round_trip(&mut self, op: u8, payload: &[u8]) -> Result<Vec<u8>, ServeError> {
+        protocol::write_frame(&mut self.stream, op, payload)?;
+        let (status, body) = protocol::read_frame(&mut self.stream)?;
+        let text = || String::from_utf8_lossy(&body).into_owned();
+        match status {
+            STATUS_OK => Ok(body),
+            STATUS_OVERLOADED => Err(ServeError::Overloaded { queue_depth: 0 }),
+            STATUS_BAD_REQUEST => Err(ServeError::BadRequest { reason: text() }),
+            STATUS_SHUTTING_DOWN => Err(ServeError::ShuttingDown),
+            _ => Err(ServeError::Internal { reason: text() }),
+        }
+    }
+
+    /// Runs one sample through the served model and returns its output row.
+    ///
+    /// # Errors
+    ///
+    /// Typed server-side failures ([`ServeError::Overloaded`],
+    /// [`ServeError::BadRequest`], [`ServeError::ShuttingDown`]) plus I/O
+    /// and protocol errors.
+    pub fn infer(&mut self, sample: &[f32]) -> Result<Vec<f32>, ServeError> {
+        let body = self.round_trip(OP_INFER, &protocol::encode_f32s(sample))?;
+        protocol::decode_f32s(&body)
+    }
+
+    /// Fetches the server's serving counters as a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// I/O, protocol, and server-side errors as for [`infer`](Self::infer).
+    pub fn stats_json(&mut self) -> Result<String, ServeError> {
+        let body = self.round_trip(OP_STATS, &[])?;
+        String::from_utf8(body).map_err(|_| ServeError::Protocol {
+            reason: "stats response is not UTF-8".to_string(),
+        })
+    }
+
+    /// Liveness/identity check; returns the health JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O, protocol, and server-side errors as for [`infer`](Self::infer).
+    pub fn health(&mut self) -> Result<String, ServeError> {
+        let body = self.round_trip(OP_HEALTH, &[])?;
+        String::from_utf8(body).map_err(|_| ServeError::Protocol {
+            reason: "health response is not UTF-8".to_string(),
+        })
+    }
+}

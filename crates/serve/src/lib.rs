@@ -1,0 +1,48 @@
+//! `apt-serve` — the quantized inference serving runtime.
+//!
+//! Turns a trained `.aptc` checkpoint into a servable model in three
+//! layers, each usable on its own:
+//!
+//! 1. **[`InferenceSession`]** — loads a checkpoint into an immutable,
+//!    `Arc`-shared frozen network. Packed quantized weights stay resident
+//!    at their physical width; the forward pass uses
+//!    `Network::forward_inference` (no activation caching, no gradient
+//!    bookkeeping) and stages request samples through a recycled
+//!    [`ScratchArena`] so the steady-state hot path does not grow the heap.
+//!    Outputs are bit-identical to the trainer's `Mode::Eval` forward.
+//! 2. **[`MicroBatcher`]** — a dynamic micro-batcher that coalesces
+//!    single-sample requests from an MPSC queue under a
+//!    [`BatchPolicy`] (`max_batch` / `max_delay_us`), executes them as one
+//!    batched forward on the `apt_tensor::par` worker pool, and applies
+//!    admission control: a bounded queue sheds excess load with a typed
+//!    [`ServeError::Overloaded`] instead of building an unbounded backlog.
+//!    Batching is lossless — batch-invariant kernels mean a coalesced
+//!    batch answers every request bit-identically to running it alone.
+//! 3. **[`Server`]** — a std-only TCP front-end speaking a length-prefixed
+//!    binary protocol ([`protocol`]) with infer, stats, and health ops,
+//!    graceful drain on shutdown, and lock-free serving metrics
+//!    ([`ServeStats`]: p50/p90/p99 latency, throughput counters,
+//!    batch-size distribution, shed counts). [`ServeClient`] is the
+//!    matching blocking client.
+//!
+//! The CLI front-end is `apt serve`; the measurement harness is the
+//! `serving` bench binary.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod batcher;
+mod client;
+mod error;
+mod server;
+mod session;
+mod stats;
+
+pub mod protocol;
+
+pub use batcher::{BatchPolicy, BatcherHandle, MicroBatcher};
+pub use client::ServeClient;
+pub use error::ServeError;
+pub use server::{Server, ServerConfig};
+pub use session::{InferenceSession, ModelArch, ModelSpec, ScratchArena};
+pub use stats::{ServeStats, StatsSnapshot};

@@ -1,0 +1,206 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! tag: u8 | len: u32 LE | payload: len bytes
+//! ```
+//!
+//! For requests the tag is the **op** ([`OP_INFER`], [`OP_STATS`],
+//! [`OP_HEALTH`]); for responses it is the **status** ([`STATUS_OK`] and
+//! the error statuses, which mirror the [`ServeError`] backpressure
+//! ladder). Infer payloads are a `count: u32 LE` followed by `count`
+//! little-endian `f32`s; stats/health payloads are UTF-8 JSON. Error
+//! responses carry the rendered error message as UTF-8.
+//!
+//! Frames are capped at [`MAX_FRAME`] so a corrupt or hostile length
+//! prefix cannot make the server allocate unboundedly.
+
+use crate::ServeError;
+use std::io::{Read, Write};
+
+/// Run one sample through the model; payload is `count + f32s`.
+pub const OP_INFER: u8 = 1;
+/// Fetch the serving counters as JSON; empty payload.
+pub const OP_STATS: u8 = 2;
+/// Liveness/identity check; empty payload.
+pub const OP_HEALTH: u8 = 3;
+
+/// Success; payload depends on the op.
+pub const STATUS_OK: u8 = 0;
+/// Shed by admission control ([`ServeError::Overloaded`]).
+pub const STATUS_OVERLOADED: u8 = 1;
+/// Malformed request ([`ServeError::BadRequest`] / protocol errors).
+pub const STATUS_BAD_REQUEST: u8 = 2;
+/// Server is draining ([`ServeError::ShuttingDown`]).
+pub const STATUS_SHUTTING_DOWN: u8 = 3;
+/// Anything else ([`ServeError::Internal`], model or I/O failures).
+pub const STATUS_INTERNAL: u8 = 4;
+
+/// Largest accepted frame payload (16 MiB).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Maps a runtime error onto its wire status byte.
+pub fn status_for(err: &ServeError) -> u8 {
+    match err {
+        ServeError::Overloaded { .. } => STATUS_OVERLOADED,
+        ServeError::BadRequest { .. } | ServeError::Protocol { .. } => STATUS_BAD_REQUEST,
+        ServeError::ShuttingDown => STATUS_SHUTTING_DOWN,
+        ServeError::Io(_) | ServeError::Nn(_) | ServeError::Internal { .. } => STATUS_INTERNAL,
+    }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] for an oversized payload and I/O
+/// errors from the writer.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<(), ServeError> {
+    if payload.len() > MAX_FRAME {
+        return Err(ServeError::Protocol {
+            reason: format!("outgoing frame of {} bytes exceeds cap", payload.len()),
+        });
+    }
+    w.write_all(&[tag])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, enforcing [`MAX_FRAME`].
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] for an oversized length prefix and
+/// I/O errors (including clean EOF) from the reader.
+pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), ServeError> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)?;
+    let tag = header[0];
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    if len > MAX_FRAME {
+        return Err(ServeError::Protocol {
+            reason: format!("incoming frame claims {len} bytes, cap is {MAX_FRAME}"),
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok((tag, payload))
+}
+
+/// Encodes a float vector as `count: u32 LE` + little-endian `f32`s.
+pub fn encode_f32s(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 4 * values.len());
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a float vector written by [`encode_f32s`].
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] when the count disagrees with the
+/// payload length.
+pub fn decode_f32s(payload: &[u8]) -> Result<Vec<f32>, ServeError> {
+    if payload.len() < 4 {
+        return Err(ServeError::Protocol {
+            reason: format!("float payload of {} bytes has no count", payload.len()),
+        });
+    }
+    let count = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+    let body = &payload[4..];
+    if body.len() != count * 4 {
+        return Err(ServeError::Protocol {
+            reason: format!(
+                "float payload count {count} disagrees with {} body bytes",
+                body.len()
+            ),
+        });
+    }
+    Ok(body
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_INFER, &[1, 2, 3]).unwrap();
+        let (tag, payload) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(tag, OP_INFER);
+        assert_eq!(payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exact() {
+        let values = vec![0.0f32, -1.5, f32::MIN_POSITIVE, 1e20, -0.0];
+        let decoded = decode_f32s(&encode_f32s(&values)).unwrap();
+        assert_eq!(values.len(), decoded.len());
+        for (a, b) in values.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(decode_f32s(&encode_f32s(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_payloads_are_protocol_errors() {
+        assert!(matches!(
+            decode_f32s(&[1, 0]),
+            Err(ServeError::Protocol { .. })
+        ));
+        let mut bad = encode_f32s(&[1.0, 2.0]);
+        bad.truncate(bad.len() - 1);
+        assert!(decode_f32s(&bad).is_err());
+    }
+
+    #[test]
+    fn oversized_frames_rejected_both_ways() {
+        let mut hdr = vec![OP_INFER];
+        hdr.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut hdr.as_slice()),
+            Err(ServeError::Protocol { .. })
+        ));
+        let huge = vec![0u8; MAX_FRAME + 1];
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, OP_INFER, &huge).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_STATS, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ServeError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn status_mapping_covers_ladder() {
+        assert_eq!(
+            status_for(&ServeError::Overloaded { queue_depth: 1 }),
+            STATUS_OVERLOADED
+        );
+        assert_eq!(status_for(&ServeError::ShuttingDown), STATUS_SHUTTING_DOWN);
+        assert_eq!(
+            status_for(&ServeError::BadRequest { reason: "x".into() }),
+            STATUS_BAD_REQUEST
+        );
+        assert_eq!(
+            status_for(&ServeError::Internal { reason: "x".into() }),
+            STATUS_INTERNAL
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! The std-only TCP serving front-end.
+//!
+//! One accept loop (non-blocking, polling a stop flag), one thread per
+//! connection, one shared [`MicroBatcher`] behind them all. Connections
+//! speak the length-prefixed protocol from [`crate::protocol`]; a
+//! connection stays open across any number of requests and closes on EOF,
+//! protocol violation, or server shutdown.
+
+use crate::protocol::{
+    self, OP_HEALTH, OP_INFER, OP_STATS, STATUS_BAD_REQUEST, STATUS_OK, STATUS_SHUTTING_DOWN,
+};
+use crate::{
+    BatchPolicy, BatcherHandle, InferenceSession, MicroBatcher, ServeError, StatsSnapshot,
+};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Front-end configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `"127.0.0.1:7878"` (`:0` picks a free port).
+    pub addr: String,
+    /// The micro-batching policy behind the socket.
+    pub policy: BatchPolicy,
+    /// Human-readable model identity reported by the health op.
+    pub model_name: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            policy: BatchPolicy::default(),
+            model_name: "unnamed".to_string(),
+        }
+    }
+}
+
+/// How often the accept loop and connection readers poll the stop flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// A running server. Dropping (or calling [`shutdown`](Server::shutdown))
+/// stops accepting, drains in-flight requests, and joins every thread.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    batcher: MicroBatcher,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the batcher and the accept loop, and
+    /// returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures and policy validation errors.
+    pub fn start(session: InferenceSession, config: ServerConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let batcher = MicroBatcher::new(session.clone(), config.policy.clone())?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            let handle = batcher.handle();
+            let ctx = Arc::new(ConnCtx {
+                handle,
+                session,
+                model_name: config.model_name,
+                stats: batcher.stats_handle(),
+            });
+            thread::spawn(move || accept_loop(&listener, &stop, &connections, &ctx))
+        };
+        Ok(Server {
+            addr,
+            stop,
+            batcher,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (useful with a `:0` ephemeral-port bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.batcher.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, answer in-flight requests, join
+    /// every connection thread and the batcher worker. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let drained: Vec<_> = match self.connections.lock() {
+            Ok(mut conns) => conns.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        for t in drained {
+            let _ = t.join();
+        }
+        self.batcher.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Everything a connection thread needs, bundled for one `Arc`.
+#[derive(Debug)]
+struct ConnCtx {
+    handle: BatcherHandle,
+    session: InferenceSession,
+    model_name: String,
+    stats: Arc<crate::ServeStats>,
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &Arc<AtomicBool>,
+    connections: &Mutex<Vec<thread::JoinHandle<()>>>,
+    ctx: &Arc<ConnCtx>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let ctx = Arc::clone(ctx);
+                let stop = Arc::clone(stop);
+                let t = thread::spawn(move || connection_loop(stream, &ctx, &stop));
+                if let Ok(mut conns) = connections.lock() {
+                    conns.push(t);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL),
+            // Transient accept errors (e.g. aborted handshake): keep going.
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, ctx: &ConnCtx, stop: &AtomicBool) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let _ = reader.set_read_timeout(Some(POLL));
+    let _ = writer.set_nodelay(true);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            let _ = protocol::write_frame(&mut writer, STATUS_SHUTTING_DOWN, b"server stopping");
+            return;
+        }
+        let (op, payload) = match protocol::read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(ServeError::Io(e))
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                continue; // idle poll tick — re-check the stop flag
+            }
+            Err(ServeError::Io(_)) => return, // EOF / peer reset
+            Err(e) => {
+                // Protocol violation: answer once, then hang up (the
+                // stream offset can no longer be trusted).
+                let _ = protocol::write_frame(
+                    &mut writer,
+                    STATUS_BAD_REQUEST,
+                    e.to_string().as_bytes(),
+                );
+                return;
+            }
+        };
+        let keep_going = handle_request(&mut writer, ctx, op, &payload);
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request frame; returns `false` when the connection
+/// should close.
+fn handle_request(writer: &mut TcpStream, ctx: &ConnCtx, op: u8, payload: &[u8]) -> bool {
+    let result: Result<Vec<u8>, ServeError> = match op {
+        OP_INFER => protocol::decode_f32s(payload)
+            .and_then(|sample| ctx.handle.infer_blocking(sample))
+            .map(|row| protocol::encode_f32s(&row)),
+        OP_STATS => Ok(ctx.stats.snapshot().to_json().into_bytes()),
+        OP_HEALTH => Ok(format!(
+            "{{\"status\":\"ok\",\"model\":\"{}\",\"sample_len\":{},\"num_outputs\":{}}}",
+            ctx.model_name,
+            ctx.session.sample_len(),
+            ctx.session.num_outputs()
+        )
+        .into_bytes()),
+        unknown => Err(ServeError::BadRequest {
+            reason: format!("unknown op {unknown}"),
+        }),
+    };
+    match result {
+        Ok(body) => protocol::write_frame(writer, STATUS_OK, &body).is_ok(),
+        Err(e) => {
+            let ok =
+                protocol::write_frame(writer, protocol::status_for(&e), e.to_string().as_bytes())
+                    .is_ok();
+            // Errors are answered in-band; only shutdown closes the stream.
+            ok && !matches!(e, ServeError::ShuttingDown)
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Lock-free serving metrics: request counters, a log₂-bucketed latency
+//! histogram (p50/p90/p99), and the batch-size distribution.
+//!
+//! Everything is plain atomics so the hot path (batcher worker, connection
+//! threads) records without locks, and any thread can snapshot at any time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ latency buckets: bucket `i` holds `[2^(i-1), 2^i)` µs
+/// (bucket 0 is `< 1` µs), so 40 buckets cover up to ~9 minutes.
+const LAT_BUCKETS: usize = 40;
+
+/// Batch sizes `1..=BATCH_BUCKETS-1` recorded exactly; larger clamp into
+/// the last bucket.
+const BATCH_BUCKETS: usize = 65;
+
+/// Shared, lock-free serving counters. One instance per runtime; handles
+/// clone the `Arc` around it.
+#[derive(Debug)]
+pub struct ServeStats {
+    completed: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    lat: [AtomicU64; LAT_BUCKETS],
+    batch_sizes: [AtomicU64; BATCH_BUCKETS],
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats {
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            lat: std::array::from_fn(|_| AtomicU64::new(0)),
+            batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Index of the log₂ bucket for a microsecond latency.
+fn lat_bucket(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(LAT_BUCKETS - 1)
+    }
+}
+
+/// Upper bound (µs) of a latency bucket — what the percentile estimator
+/// reports, making it a conservative (never understated) figure.
+fn bucket_upper_us(bucket: usize) -> u64 {
+    1u64 << bucket
+}
+
+impl ServeStats {
+    /// Records one successfully answered request and its end-to-end
+    /// latency (enqueue → response ready).
+    pub fn record_completed(&self, latency_us: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.lat[lat_bucket(latency_us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request shed by admission control.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request that failed inside the runtime.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one executed batch and its coalesced size.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_sizes[size.min(BATCH_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting. Counters are read
+    /// relaxed; exactness across concurrent updates is not required for
+    /// monitoring output.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let lat: Vec<u64> = self.lat.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = lat.iter().sum();
+        let pct = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let target = (q * total as f64).ceil() as u64;
+            let mut cum = 0;
+            for (i, &n) in lat.iter().enumerate() {
+                cum += n;
+                if cum >= target {
+                    return bucket_upper_us(i);
+                }
+            }
+            bucket_upper_us(LAT_BUCKETS - 1)
+        };
+        let batch_hist: Vec<(usize, u64)> = self
+            .batch_sizes
+            .iter()
+            .enumerate()
+            .filter_map(|(size, n)| {
+                let n = n.load(Ordering::Relaxed);
+                (n > 0).then_some((size, n))
+            })
+            .collect();
+        let batches = self.batches.load(Ordering::Relaxed);
+        let weighted: u64 = batch_hist.iter().map(|&(s, n)| s as u64 * n).sum();
+        StatsSnapshot {
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches,
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p99_us: pct(0.99),
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                weighted as f64 / batches as f64
+            },
+            batch_hist,
+        }
+    }
+}
+
+/// A point-in-time copy of the serving counters, with percentiles already
+/// estimated from the histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests shed by admission control (`Overloaded`).
+    pub shed: u64,
+    /// Requests that failed inside the runtime.
+    pub errors: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Median end-to-end latency, µs (log₂-bucket upper bound).
+    pub p50_us: u64,
+    /// 90th-percentile latency, µs.
+    pub p90_us: u64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: u64,
+    /// Mean coalesced batch size.
+    pub mean_batch: f64,
+    /// `(batch size, count)` pairs for every batch size observed.
+    pub batch_hist: Vec<(usize, u64)>,
+}
+
+impl StatsSnapshot {
+    /// Renders the snapshot as a self-contained JSON object (hand-rolled;
+    /// the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let hist: Vec<String> = self
+            .batch_hist
+            .iter()
+            .map(|&(s, n)| format!("{{\"size\":{s},\"count\":{n}}}"))
+            .collect();
+        format!(
+            "{{\"completed\":{},\"shed\":{},\"errors\":{},\"batches\":{},\
+             \"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"mean_batch\":{:.3},\
+             \"batch_hist\":[{}]}}",
+            self.completed,
+            self.shed,
+            self.errors,
+            self.batches,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.mean_batch,
+            hist.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone() {
+        assert_eq!(lat_bucket(0), 0);
+        assert_eq!(lat_bucket(1), 1);
+        assert_eq!(lat_bucket(2), 2);
+        assert_eq!(lat_bucket(1023), 10);
+        assert_eq!(lat_bucket(1024), 11);
+        assert_eq!(lat_bucket(u64::MAX), LAT_BUCKETS - 1);
+        for us in [1u64, 5, 100, 4096] {
+            assert!(us <= bucket_upper_us(lat_bucket(us)));
+        }
+    }
+
+    #[test]
+    fn percentiles_track_distribution() {
+        let s = ServeStats::default();
+        // 90 fast requests (~8 µs) and 10 slow ones (~4096 µs).
+        for _ in 0..90 {
+            s.record_completed(8);
+        }
+        for _ in 0..10 {
+            s.record_completed(4000);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.completed, 100);
+        assert!(snap.p50_us <= 16, "p50={}", snap.p50_us);
+        assert!(snap.p99_us >= 2048, "p99={}", snap.p99_us);
+        assert!(snap.p50_us <= snap.p90_us && snap.p90_us <= snap.p99_us);
+    }
+
+    #[test]
+    fn batch_histogram_and_mean() {
+        let s = ServeStats::default();
+        s.record_batch(1);
+        s.record_batch(1);
+        s.record_batch(8);
+        s.record_batch(1000); // clamps into the last bucket
+        let snap = s.snapshot();
+        assert_eq!(snap.batches, 4);
+        assert!(snap.batch_hist.contains(&(1, 2)));
+        assert!(snap.batch_hist.contains(&(8, 1)));
+        assert!(snap.batch_hist.contains(&(64, 1)));
+        assert!(snap.mean_batch > 1.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let s = ServeStats::default();
+        s.record_completed(10);
+        s.record_shed();
+        s.record_error();
+        s.record_batch(2);
+        let j = s.snapshot().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "completed",
+            "shed",
+            "errors",
+            "batches",
+            "p50_us",
+            "p99_us",
+            "batch_hist",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let snap = ServeStats::default().snapshot();
+        assert_eq!(snap.completed, 0);
+        assert_eq!(snap.p99_us, 0);
+        assert_eq!(snap.mean_batch, 0.0);
+        assert!(snap.batch_hist.is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Property test for the batching contract the micro-batcher relies on:
+//! however a set of requests is coalesced into batches, every sample's
+//! output is bit-for-bit what it would be alone. This is what makes
+//! dynamic micro-batching lossless rather than approximately-right.
+
+use apt_nn::checkpoint;
+use apt_serve::{InferenceSession, ModelArch, ModelSpec};
+use proptest::prelude::*;
+
+const IN_DIM: usize = 7;
+
+fn session() -> InferenceSession {
+    let spec = ModelSpec {
+        arch: ModelArch::Mlp(vec![IN_DIM, 16, 5]),
+        classes: 5,
+        img_size: 0,
+        width_mult: 1.0,
+    };
+    let mut net = spec.build().unwrap();
+    let blob = checkpoint::save_full(&mut net);
+    InferenceSession::from_checkpoint(&spec, &blob).unwrap()
+}
+
+fn sample(seed: u64, i: usize) -> Vec<f32> {
+    (0..IN_DIM)
+        .map(|j| {
+            let h = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(((i * IN_DIM + j) as u64).wrapping_mul(1442695040888963407));
+            ((h >> 33) % 4096) as f32 / 1024.0 - 2.0
+        })
+        .collect()
+}
+
+fn bits(rows: &[Vec<f32>]) -> Vec<u32> {
+    rows.iter().flatten().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // `cuts` is a bitmask: bit i set means "start a new batch before
+    // sample i", so the cases sweep every coalescing the batcher could
+    // produce — one big batch, all singles, and everything between.
+    #[test]
+    fn any_batch_split_is_bit_identical(
+        n in 1usize..12,
+        seed in 0u64..256,
+        cuts in 0u64..2048,
+    ) {
+        let s = session();
+        let samples: Vec<Vec<f32>> = (0..n).map(|i| sample(seed, i)).collect();
+
+        // Reference: every sample alone.
+        let mut solo = Vec::new();
+        for x in &samples {
+            solo.push(s.infer_one(x).unwrap());
+        }
+
+        // One maximal batch.
+        let whole = s.infer_samples(&samples).unwrap();
+        prop_assert_eq!(bits(&whole), bits(&solo));
+
+        // The arbitrary split.
+        let mut split = Vec::new();
+        let mut start = 0;
+        for i in 1..=n {
+            if i == n || cuts & (1 << i) != 0 {
+                split.extend(s.infer_samples(&samples[start..i]).unwrap());
+                start = i;
+            }
+        }
+        prop_assert_eq!(bits(&split), bits(&solo));
+    }
+}

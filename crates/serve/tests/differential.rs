@@ -1,0 +1,98 @@
+//! Differential proof that the serving path is the training eval path:
+//! an [`InferenceSession`] loaded from a checkpoint must produce logits
+//! **bit-identical** to the trainer's own `forward(Mode::Eval)` on the
+//! network that wrote the checkpoint — across every checkpoint version the
+//! loader accepts (v1 unframed, v2 byte-granular, v3 packed+CRC) and both
+//! code-store backends (legacy one-`i64`-per-code and tiered physical).
+//!
+//! The backend is selected through the process-global override, so this
+//! file holds a single serial `#[test]`.
+
+use apt_core::{PolicyConfig, TrainConfig, Trainer};
+use apt_data::{SynthCifar, SynthCifarConfig};
+use apt_nn::{checkpoint, Mode, Network};
+use apt_optim::LrSchedule;
+use apt_quant::{set_store_backend, StoreBackend};
+use apt_serve::{InferenceSession, ModelArch, ModelSpec};
+use apt_tensor::Tensor;
+
+fn spec() -> ModelSpec {
+    ModelSpec {
+        arch: ModelArch::Cifarnet,
+        classes: 3,
+        img_size: 8,
+        width_mult: 0.25,
+    }
+}
+
+/// A short real training run (APT policy on, batch norm collecting running
+/// stats) so the checkpoint carries non-trivial quantisers and BN state.
+fn trained_network() -> Network {
+    let data = SynthCifar::generate(&SynthCifarConfig {
+        num_classes: 3,
+        train_per_class: 16,
+        test_per_class: 6,
+        img_size: 8,
+        seed: 7,
+        ..Default::default()
+    })
+    .unwrap();
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        schedule: LrSchedule::Constant(0.05),
+        interval: 1,
+        policy: Some(PolicyConfig::default()),
+        ..Default::default()
+    };
+    let net = spec().build().unwrap();
+    let mut t = Trainer::new(net, cfg).unwrap();
+    t.train(&data.train, &data.test).unwrap();
+    // Steal the trained network back out of the trainer via a checkpoint
+    // round trip (Trainer keeps ownership of its Network).
+    let blob = checkpoint::save_full(t.network_mut());
+    let mut fresh = spec().build().unwrap();
+    checkpoint::load(&mut fresh, &blob).unwrap();
+    fresh
+}
+
+fn eval_logits(net: &mut Network, batch: &Tensor) -> Vec<u32> {
+    net.forward(batch, Mode::Eval)
+        .unwrap()
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+#[test]
+fn session_matches_trainer_eval_across_versions_and_backends() {
+    let samples: Vec<Vec<f32>> = (0..4)
+        .map(|i| {
+            (0..3 * 8 * 8)
+                .map(|j| ((i * 97 + j * 13) % 29) as f32 * 0.07 - 1.0)
+                .collect()
+        })
+        .collect();
+    let flat: Vec<f32> = samples.iter().flatten().copied().collect();
+    let batch = Tensor::from_vec(flat, &[4, 3, 8, 8]).unwrap();
+
+    for backend in [StoreBackend::I64, StoreBackend::Tiered] {
+        set_store_backend(backend);
+        let mut net = trained_network();
+        let want = eval_logits(&mut net, &batch);
+
+        for version in [1u16, 2, 3] {
+            let blob = checkpoint::save_full_as(&mut net, version).unwrap();
+            let session = InferenceSession::from_checkpoint(&spec(), &blob).unwrap();
+            let rows = session.infer_samples(&samples).unwrap();
+            let got: Vec<u32> = rows.iter().flatten().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                got, want,
+                "serving logits diverged from trainer eval \
+                 (checkpoint v{version}, backend {backend:?})"
+            );
+        }
+    }
+    set_store_backend(StoreBackend::Tiered);
+}

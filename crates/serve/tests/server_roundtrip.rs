@@ -1,0 +1,154 @@
+//! End-to-end tests for the TCP front-end: protocol round trips, bit-exact
+//! inference through the full stack, concurrent-load integrity, and
+//! graceful shutdown.
+
+use apt_nn::checkpoint;
+use apt_serve::protocol::{self, OP_INFER, STATUS_BAD_REQUEST, STATUS_OK};
+use apt_serve::{
+    BatchPolicy, InferenceSession, ModelArch, ModelSpec, ServeClient, ServeError, Server,
+    ServerConfig,
+};
+use std::net::TcpStream;
+use std::thread;
+
+fn session(dims: &[usize]) -> InferenceSession {
+    let spec = ModelSpec {
+        arch: ModelArch::Mlp(dims.to_vec()),
+        classes: *dims.last().unwrap(),
+        img_size: 0,
+        width_mult: 1.0,
+    };
+    let mut net = spec.build().unwrap();
+    let blob = checkpoint::save_full(&mut net);
+    InferenceSession::from_checkpoint(&spec, &blob).unwrap()
+}
+
+fn start_server(dims: &[usize], policy: BatchPolicy) -> (Server, InferenceSession) {
+    let s = session(dims);
+    let server = Server::start(
+        s.clone(),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            policy,
+            model_name: "test-mlp".to_string(),
+        },
+    )
+    .unwrap();
+    (server, s)
+}
+
+#[test]
+fn infer_over_tcp_is_bit_exact() {
+    let (mut server, local) = start_server(&[6, 10, 4], BatchPolicy::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    for i in 0..5 {
+        let sample: Vec<f32> = (0..6).map(|j| (i * 6 + j) as f32 * 0.17 - 1.0).collect();
+        let want = local.infer_one(&sample).unwrap();
+        let got = client.infer(&sample).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits(), "sample {i} diverged over TCP");
+        }
+    }
+
+    let health = client.health().unwrap();
+    assert!(health.contains("\"status\":\"ok\""));
+    assert!(health.contains("test-mlp"));
+    assert!(health.contains("\"sample_len\":6"));
+
+    let stats = client.stats_json().unwrap();
+    assert!(stats.contains("\"completed\":5"), "stats: {stats}");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_lose_nothing() {
+    let policy = BatchPolicy {
+        max_batch: 8,
+        max_delay: std::time::Duration::from_micros(500),
+        queue_depth: 256,
+    };
+    let (mut server, local) = start_server(&[4, 12, 3], policy);
+    let addr = server.addr();
+
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 25;
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let local = local.clone();
+        handles.push(thread::spawn(move || {
+            let mut client = ServeClient::connect(addr).unwrap();
+            for r in 0..PER_CLIENT {
+                let sample: Vec<f32> = (0..4)
+                    .map(|j| ((c * 31 + r * 7 + j) % 13) as f32 * 0.21 - 1.2)
+                    .collect();
+                let want = local.infer_one(&sample).unwrap();
+                let got = client.infer(&sample).unwrap();
+                assert_eq!(
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "client {c} request {r} corrupted"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let snap = server.stats();
+    assert_eq!(snap.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(snap.errors, 0);
+    assert_eq!(snap.shed, 0);
+    assert!(snap.batches <= snap.completed);
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_answered_in_band() {
+    let (mut server, _local) = start_server(&[3, 5, 2], BatchPolicy::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    // Wrong sample length: typed BadRequest, connection survives.
+    match client.infer(&[1.0, 2.0]) {
+        Err(ServeError::BadRequest { .. }) => {}
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    assert!(client.infer(&[0.1, 0.2, 0.3]).is_ok(), "connection died");
+
+    // Unknown op: BadRequest status, connection survives.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    protocol::write_frame(&mut raw, 99, &[]).unwrap();
+    let (status, _) = protocol::read_frame(&mut raw).unwrap();
+    assert_eq!(status, STATUS_BAD_REQUEST);
+    protocol::write_frame(&mut raw, OP_INFER, &protocol::encode_f32s(&[0.0, 0.0, 0.0])).unwrap();
+    let (status, _) = protocol::read_frame(&mut raw).unwrap();
+    assert_eq!(status, STATUS_OK);
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_refuses() {
+    let (mut server, _local) = start_server(&[3, 4, 2], BatchPolicy::default());
+    let addr = server.addr();
+    let mut client = ServeClient::connect(addr).unwrap();
+    client.infer(&[0.5, 0.5, 0.5]).unwrap();
+
+    server.shutdown();
+
+    // Existing connection: next round trip sees shutdown (in-band status)
+    // or a closed socket — never a hang or a corrupt frame.
+    match client.infer(&[0.5, 0.5, 0.5]) {
+        Err(ServeError::ShuttingDown) | Err(ServeError::Io(_)) => {}
+        Ok(_) => panic!("request answered after shutdown"),
+        Err(e) => panic!("unexpected error after shutdown: {e}"),
+    }
+
+    // New connections are refused once the listener is gone.
+    assert!(TcpStream::connect(addr).is_err());
+
+    // Idempotent.
+    server.shutdown();
+}

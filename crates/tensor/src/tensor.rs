@@ -127,6 +127,31 @@ impl Tensor {
         self.data
     }
 
+    /// Slice of the `i`-th entry along the first axis — for a `[n, d]`
+    /// batch, row `i`'s `d` features; for `[n, c, h, w]`, image `i`'s
+    /// `c·h·w` values. This is how the serving batcher splits a batched
+    /// output back into per-request responses without copying twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for rank-0 tensors and
+    /// [`TensorError::IndexOutOfBounds`] when `i` exceeds the first axis.
+    pub fn row(&self, i: usize) -> crate::Result<&[f32]> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                op: "row",
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let n = self.shape.dims()[0];
+        if i >= n {
+            return Err(TensorError::IndexOutOfBounds { index: i, bound: n });
+        }
+        let stride = self.data.len() / n;
+        Ok(&self.data[i * stride..(i + 1) * stride])
+    }
+
     /// Element access by multi-dimensional index.
     ///
     /// # Errors
@@ -300,6 +325,17 @@ impl fmt::Display for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn row_slices_first_axis() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+        assert_eq!(t.row(0).unwrap(), &[1.0, 2.0]);
+        assert_eq!(t.row(2).unwrap(), &[5.0, 6.0]);
+        assert!(t.row(3).is_err());
+        let img = Tensor::zeros(&[2, 3, 4, 4]);
+        assert_eq!(img.row(1).unwrap().len(), 48);
+        assert!(Tensor::scalar(1.0).row(0).is_err());
+    }
 
     #[test]
     fn constructors() {

@@ -5,15 +5,17 @@
 //! ```
 //!
 //! Trains a model with APT, saves it **at its adapted per-layer bitwidths**
-//! (integer codes, no fp32 anywhere), "ships" the blob to a fresh process
-//! (a new network instance), verifies bit-exact behaviour, then resumes
-//! in-situ training from the checkpoint — the paper's §I scenario of a
-//! device that "has to learn in-situ frequently after deployment".
+//! (integer codes, no fp32 anywhere), "ships" the blob into a frozen
+//! [`InferenceSession`] (the serving runtime's loader), verifies bit-exact
+//! behaviour, then resumes in-situ training from the same checkpoint — the
+//! paper's §I scenario of a device that "has to learn in-situ frequently
+//! after deployment".
 
 use apt::core::{PolicyConfig, TrainConfig, Trainer};
 use apt::data::{SynthCifar, SynthCifarConfig};
 use apt::nn::{checkpoint, models, Mode, QuantScheme};
 use apt::optim::LrSchedule;
+use apt::serve::{InferenceSession, ModelArch, ModelSpec};
 use apt::tensor::rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -54,8 +56,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fp32_equiv
     );
 
-    // Phase 3: "ship" — a fresh device instantiates the architecture and
-    // loads the blob; behaviour must be bit-exact.
+    // Phase 3: "ship" — the device loads the blob into a frozen inference
+    // session (exactly what `apt serve` does); behaviour must be bit-exact.
+    let spec = ModelSpec {
+        arch: ModelArch::Cifarnet,
+        classes: 10,
+        img_size: 12,
+        width_mult: 0.25,
+    };
+    let session = InferenceSession::from_checkpoint(&spec, &blob)?;
+    let x = data.test.image(0).clone().reshape(&[1, 3, 12, 12])?;
+    let a = trained.forward(&x, Mode::Eval)?;
+    let b = session.infer_batch(&x)?;
+    assert_eq!(a.data(), b.data(), "shipped model must match bit-exactly");
+    let logits = session.infer_one(x.data())?;
+    assert_eq!(
+        logits,
+        b.data(),
+        "single-sample path matches the batch path"
+    );
+    println!(
+        "shipped model verified bit-exact in the serving session \
+         ({} resident bytes, {} outputs)",
+        session.network().resident_bytes(),
+        session.num_outputs()
+    );
+
+    // Phase 4: resume learning in-situ on the device's own (shifted) data.
+    // Training needs a mutable network, so load the same blob once more.
     let mut device = models::cifarnet(
         10,
         12,
@@ -64,13 +92,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut rng::seeded(99),
     )?;
     checkpoint::load(&mut device, &blob)?;
-    let x = data.test.image(0).clone().reshape(&[1, 3, 12, 12])?;
-    let a = trained.forward(&x, Mode::Eval)?;
-    let b = device.forward(&x, Mode::Eval)?;
-    assert_eq!(a.data(), b.data(), "shipped model must match bit-exactly");
-    println!("shipped model verified bit-exact on device");
-
-    // Phase 4: resume learning in-situ on the device's own (shifted) data.
     let local = SynthCifar::generate(&SynthCifarConfig {
         num_classes: 10,
         train_per_class: 20,

@@ -16,6 +16,7 @@
 //! | [`metrics`] | `apt-metrics` | curves, records, CSV export |
 //! | [`core`] | `apt-core` | **the paper**: Gavg, Alg. 1 policy, Alg. 2 trainer |
 //! | [`baselines`] | `apt-baselines` | fixed-bit & fp32-master-copy comparators |
+//! | [`serve`] | `apt-serve` | inference sessions, micro-batching, TCP serving |
 //!
 //! ## Quickstart
 //!
@@ -36,4 +37,5 @@ pub use apt_metrics as metrics;
 pub use apt_nn as nn;
 pub use apt_optim as optim;
 pub use apt_quant as quant;
+pub use apt_serve as serve;
 pub use apt_tensor as tensor;

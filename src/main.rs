@@ -1,0 +1,233 @@
+//! `apt` — the command-line front door to the APT runtime.
+//!
+//! ```text
+//! apt serve --checkpoint results/run.aptc --model cifarnet --classes 10 \
+//!     --img-size 12 --width-mult 0.25 --addr 127.0.0.1:7878
+//! ```
+//!
+//! Today the CLI has one subcommand, `serve`, which loads a trained
+//! `.aptc` checkpoint into an [`apt_serve::InferenceSession`] and exposes
+//! it over the length-prefixed TCP protocol. Training stays with the
+//! `train` bench binary (`cargo run -p apt-bench --bin train`).
+//!
+//! Every malformed invocation exits with a one-line message and usage
+//! text (exit code 2); runtime failures exit 1. Nothing in this binary
+//! panics on bad user input.
+
+use apt_serve::{BatchPolicy, InferenceSession, ModelArch, ModelSpec, Server, ServerConfig};
+use std::fmt;
+use std::str::FromStr;
+use std::time::Duration;
+
+/// Typed CLI failure: either a usage mistake (bad flag, missing value,
+/// unparseable number — exit 2 with usage text) or a runtime failure
+/// (unreadable checkpoint, bind error — exit 1).
+#[derive(Debug)]
+enum CliError {
+    /// The invocation itself is malformed.
+    Usage(String),
+    /// The invocation was well-formed but execution failed.
+    Runtime(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+const USAGE: &str = "usage: apt serve --checkpoint PATH --model MODEL [options]
+
+required:
+  --checkpoint PATH     trained .aptc checkpoint (v1/v2/v3)
+  --model MODEL         cifarnet | vgg_small | resnet20 | resnet110 |
+                        mobilenet_v2 | mlp:IN-HIDDEN-...-OUT
+
+model geometry (must match how the checkpoint was trained):
+  --classes N           classifier outputs            [default 10]
+  --img-size N          input image side length       [default 12]
+  --width-mult F        channel width multiplier      [default 0.25]
+
+serving:
+  --addr HOST:PORT      bind address                  [default 127.0.0.1:7878]
+  --max-batch N         micro-batch coalescing cap    [default 8]
+  --max-delay-us N      batching window in microsecs  [default 2000]
+  --queue-depth N       admission queue bound         [default 128]
+  --threads N           compute pool size             [default all cores]
+  --stats-every SECS    print serving stats period    [default 10, 0 = off]";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let code = match argv.get(1).map(String::as_str) {
+        Some("serve") => match run_serve(&argv[2..]) {
+            Ok(()) => 0,
+            Err(CliError::Usage(m)) => {
+                eprintln!("apt serve: {m}\n\n{USAGE}");
+                2
+            }
+            Err(CliError::Runtime(m)) => {
+                eprintln!("apt serve: {m}");
+                1
+            }
+        },
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            if argv.len() < 2 {
+                2
+            } else {
+                0
+            }
+        }
+        Some(other) => {
+            eprintln!("apt: unknown subcommand `{other}` (only `serve` exists)\n\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Parses one flag value with a typed error naming the flag.
+fn parse_flag<T: FromStr>(flag: &str, value: &str) -> Result<T, CliError>
+where
+    T::Err: fmt::Display,
+{
+    value
+        .parse::<T>()
+        .map_err(|e| CliError::Usage(format!("bad value `{value}` for {flag}: {e}")))
+}
+
+/// Everything `apt serve` needs, parsed and validated.
+struct ServeArgs {
+    checkpoint: String,
+    model: ModelArch,
+    classes: usize,
+    img_size: usize,
+    width_mult: f32,
+    addr: String,
+    policy: BatchPolicy,
+    threads: Option<usize>,
+    stats_every: u64,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut checkpoint: Option<String> = None;
+    let mut model: Option<ModelArch> = None;
+    let mut out = ServeArgs {
+        checkpoint: String::new(),
+        model: ModelArch::Cifarnet,
+        classes: 10,
+        img_size: 12,
+        width_mult: 0.25,
+        addr: "127.0.0.1:7878".to_string(),
+        policy: BatchPolicy::default(),
+        threads: None,
+        stats_every: 10,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            eprintln!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("missing value for {flag}")))?;
+        match flag {
+            "--checkpoint" => checkpoint = Some(value.clone()),
+            "--model" => {
+                model = Some(
+                    value
+                        .parse::<ModelArch>()
+                        .map_err(|e| CliError::Usage(e.to_string()))?,
+                )
+            }
+            "--classes" => out.classes = parse_flag(flag, value)?,
+            "--img-size" => out.img_size = parse_flag(flag, value)?,
+            "--width-mult" => out.width_mult = parse_flag(flag, value)?,
+            "--addr" => out.addr = value.clone(),
+            "--max-batch" => out.policy.max_batch = parse_flag(flag, value)?,
+            "--max-delay-us" => {
+                out.policy.max_delay = Duration::from_micros(parse_flag(flag, value)?)
+            }
+            "--queue-depth" => out.policy.queue_depth = parse_flag(flag, value)?,
+            "--threads" => {
+                let n: usize = parse_flag(flag, value)?;
+                if n == 0 {
+                    return Err(CliError::Usage("--threads needs a value ≥ 1".into()));
+                }
+                out.threads = Some(n);
+            }
+            "--stats-every" => out.stats_every = parse_flag(flag, value)?,
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+        i += 2;
+    }
+    out.checkpoint =
+        checkpoint.ok_or_else(|| CliError::Usage("--checkpoint is required".into()))?;
+    out.model = model.ok_or_else(|| CliError::Usage("--model is required".into()))?;
+    out.policy
+        .validate()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    Ok(out)
+}
+
+fn run_serve(args: &[String]) -> Result<(), CliError> {
+    let a = parse_serve_args(args)?;
+    if let Some(n) = a.threads {
+        apt_tensor::par::set_global_threads(n);
+    }
+
+    let blob = std::fs::read(&a.checkpoint).map_err(|e| {
+        CliError::Runtime(format!("cannot read checkpoint `{}`: {e}", a.checkpoint))
+    })?;
+    let spec = ModelSpec {
+        arch: a.model.clone(),
+        classes: a.classes,
+        img_size: a.img_size,
+        width_mult: a.width_mult,
+    };
+    let session = InferenceSession::from_checkpoint(&spec, &blob).map_err(|e| {
+        CliError::Runtime(format!(
+            "cannot load `{}` as {:?} (classes {}, img {}, width {}): {e}",
+            a.checkpoint, a.model, a.classes, a.img_size, a.width_mult
+        ))
+    })?;
+
+    let model_name = format!("{:?}", a.model);
+    let config = ServerConfig {
+        addr: a.addr.clone(),
+        policy: a.policy.clone(),
+        model_name: model_name.clone(),
+    };
+    let server = Server::start(session.clone(), config)
+        .map_err(|e| CliError::Runtime(format!("cannot start server on `{}`: {e}", a.addr)))?;
+    println!(
+        "serving {model_name} ({} inputs → {} outputs, {} resident bytes) on {}",
+        session.sample_len(),
+        session.num_outputs(),
+        session.network().resident_bytes(),
+        server.addr()
+    );
+    println!(
+        "policy: max_batch {}, max_delay {}µs, queue_depth {}",
+        a.policy.max_batch,
+        a.policy.max_delay.as_micros(),
+        a.policy.queue_depth
+    );
+
+    // Foreground loop: the server runs on its own threads; this thread
+    // periodically reports stats until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(a.stats_every.max(1)));
+        if a.stats_every > 0 {
+            let s = server.stats();
+            println!(
+                "stats: {} ok / {} shed / {} errors | p50 {}µs p90 {}µs p99 {}µs | mean batch {:.2}",
+                s.completed, s.shed, s.errors, s.p50_us, s.p90_us, s.p99_us, s.mean_batch
+            );
+        }
+    }
+}

@@ -1,5 +1,5 @@
-//! Serving-throughput benchmark: batch-policy × threads × bitwidth over
-//! the full TCP stack.
+//! Serving benchmark: throughput cells (batch-policy × threads × bitwidth)
+//! plus three robustness cells that attack the connection plane.
 //!
 //! Every cell trains nothing — it freezes a deterministic quantized MLP
 //! into an [`InferenceSession`], starts a real [`Server`] on an ephemeral
@@ -9,6 +9,20 @@
 //! the sweep doubles as an end-to-end correctness check: any lost,
 //! corrupted, or misrouted response is counted and fails the smoke gate.
 //!
+//! The robustness cells exercise the overload model:
+//!
+//! * **soak** — [`SOAK_CONNS`] idle connections squat on the server while
+//!   one healthy client keeps working; a counting global allocator bounds
+//!   the per-connection heap cost and the healthy stream must stay
+//!   bit-exact.
+//! * **slowloris** — byte-dribbling writers hold frames open past the read
+//!   deadline; the server must reap them (typed `slow_reaped` accounting)
+//!   without disturbing concurrent healthy clients.
+//! * **overload** — closed-loop clients at several times the queue's
+//!   capacity; every submission must resolve to a bit-exact answer or a
+//!   typed `Overloaded`/`DeadlineExceeded` refusal, with client-observed
+//!   counts matching the server's shed taxonomy exactly.
+//!
 //! Outputs: `results/serving.csv` + `BENCH_serving.json`.
 //!
 //! `--smoke` runs a reduced matrix and enforces the CI gates:
@@ -16,24 +30,60 @@
 //! 2. batched throughput ≥ 2.0× single-sample throughput at 4 threads
 //!    (enforced when the machine has ≥ 4 cores, like the kernels gate;
 //!    smaller machines enforce a ≥ 1.2× batching floor instead, loudly),
-//! 3. p99 latency under [`P99_BUDGET_US`] on the batched cell.
+//! 3. p99 latency under [`P99_BUDGET_US`] on the batched cell,
+//! 4. soak: idle connections cost bounded heap and the healthy client
+//!    holds p99 and bit-exactness,
+//! 5. slowloris: every dribbler reaped, healthy clients unharmed,
+//! 6. overload: exact typed accounting, nothing lost or corrupted.
 
 use apt_bench::results_dir;
 use apt_nn::{checkpoint, models, QuantScheme};
 use apt_quant::Bitwidth;
 use apt_serve::{
-    BatchPolicy, InferenceSession, ModelArch, ModelSpec, ServeClient, ServeError, Server,
-    ServerConfig,
+    protocol, BatchPolicy, ConnLimits, InferenceSession, ModelArch, ModelSpec, RetryPolicy,
+    ServeClient, ServeError, Server, ServerConfig,
 };
 use apt_tensor::{par, rng};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Write;
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
+
+/// Global allocator that tracks live (alloc − dealloc) heap bytes, so the
+/// soak cell can assert that an idle connection costs bounded memory.
+/// `realloc`/`alloc_zeroed` route through `alloc`+`dealloc` by default, so
+/// overriding these two is sufficient.
+struct TrackingAlloc;
+
+static LIVE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            LIVE.fetch_add(layout.size(), std::sync::atomic::Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), std::sync::atomic::Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+fn live_heap() -> usize {
+    LIVE.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// MLP geometry for every cell: big enough that a coalesced batch
 /// amortises the weight-matrix traversal, small enough for CI.
 const DIMS: &[usize] = &[256, 256, 128, 10];
 
-/// Concurrent client connections per cell.
+/// Concurrent client connections per throughput cell.
 const CLIENTS: usize = 8;
 
 /// Distinct samples each client cycles through.
@@ -41,6 +91,20 @@ const DISTINCT: usize = 8;
 
 /// Smoke-gate p99 budget (server-side queue→response latency).
 const P99_BUDGET_US: u64 = 50_000;
+
+/// Idle connections held open by the soak cell.
+const SOAK_CONNS: usize = 1000;
+
+/// Heap budget per idle connection (server side). A registered connection
+/// is a table entry, an empty decoder, and an empty output buffer — 16 KiB
+/// is an order of magnitude of headroom over the observed cost.
+const SOAK_HEAP_PER_CONN: usize = 16 * 1024;
+
+/// Byte-dribbling attackers in the slowloris cell.
+const SLOWLORIS_ATTACKERS: usize = 4;
+
+/// Closed-loop clients in the overload cell (~4× the queue's capacity).
+const OVERLOAD_CLIENTS: usize = 24;
 
 /// Builds a frozen session at the given weight bitwidth (32 = fp32) via a
 /// full checkpoint round-trip, exactly as `apt serve` would load it.
@@ -60,6 +124,24 @@ fn build_session(bits: u32) -> InferenceSession {
         width_mult: 1.0,
     };
     InferenceSession::from_checkpoint(&spec, &blob).expect("session loads")
+}
+
+/// Deterministic per-client request sets with locally computed expected
+/// outputs (bit-identical by batch invariance).
+fn build_workloads(session: &InferenceSession, n: usize) -> Vec<(Vec<Vec<f32>>, Vec<Vec<f32>>)> {
+    (0..n)
+        .map(|c| {
+            let mut r = rng::substream(997, c as u64);
+            let samples: Vec<Vec<f32>> = (0..DISTINCT)
+                .map(|_| rng::normal(&[DIMS[0]], 1.0, &mut r).into_vec())
+                .collect();
+            let expected: Vec<Vec<f32>> = samples
+                .iter()
+                .map(|s| session.infer_one(s).expect("local forward"))
+                .collect();
+            (samples, expected)
+        })
+        .collect()
 }
 
 #[derive(Clone)]
@@ -88,6 +170,7 @@ const POLICIES: &[Policy] = &[
 ];
 
 struct Row {
+    cell: &'static str,
     bits: u32,
     threads: usize,
     policy: &'static str,
@@ -97,8 +180,12 @@ struct Row {
     requests: u64,
     ok: u64,
     shed: u64,
+    deadline_expired: u64,
     corrupted: u64,
     lost: u64,
+    refused_accept: u64,
+    idle_reaped: u64,
+    slow_reaped: u64,
     wall_ms: f64,
     rps: f64,
     p50_us: u64,
@@ -107,27 +194,13 @@ struct Row {
     mean_batch: f64,
 }
 
-/// Drives one cell: starts a server, hammers it with [`CLIENTS`]
+/// Drives one throughput cell: starts a server, hammers it with [`CLIENTS`]
 /// connections × `per_client` requests, verifies every response
 /// bit-exactly, and reads the server-side histograms.
 fn run_cell(bits: u32, threads: usize, policy: &Policy, per_client: usize) -> Row {
     par::set_global_threads(threads);
     let session = build_session(bits);
-
-    // Deterministic per-client request sets with locally computed expected
-    // outputs (bit-identical by batch invariance).
-    let mut workloads: Vec<(Vec<Vec<f32>>, Vec<Vec<f32>>)> = Vec::with_capacity(CLIENTS);
-    for c in 0..CLIENTS {
-        let mut r = rng::substream(997, c as u64);
-        let samples: Vec<Vec<f32>> = (0..DISTINCT)
-            .map(|_| rng::normal(&[DIMS[0]], 1.0, &mut r).into_vec())
-            .collect();
-        let expected: Vec<Vec<f32>> = samples
-            .iter()
-            .map(|s| session.infer_one(s).expect("local forward"))
-            .collect();
-        workloads.push((samples, expected));
-    }
+    let workloads = build_workloads(&session, CLIENTS);
 
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -137,6 +210,7 @@ fn run_cell(bits: u32, threads: usize, policy: &Policy, per_client: usize) -> Ro
             queue_depth: 128,
         },
         model_name: format!("mlp-k{bits}"),
+        limits: ConnLimits::default(),
     };
     let mut server = Server::start(session, config).expect("server starts");
     let addr = server.addr();
@@ -144,7 +218,8 @@ fn run_cell(bits: u32, threads: usize, policy: &Policy, per_client: usize) -> Ro
     let t0 = Instant::now();
     let handles: Vec<_> = workloads
         .into_iter()
-        .map(|(samples, expected)| {
+        .enumerate()
+        .map(|(c, (samples, expected))| {
             std::thread::spawn(move || {
                 let mut ok = 0u64;
                 let mut corrupted = 0u64;
@@ -153,32 +228,32 @@ fn run_cell(bits: u32, threads: usize, policy: &Policy, per_client: usize) -> Ro
                     Ok(c) => c,
                     Err(_) => return (0, 0, per_client as u64),
                 };
+                // Typed backpressure is retried with jittered exponential
+                // backoff; effectively unbounded so a transient shed never
+                // counts as a lost request in the throughput cells.
+                let retry = RetryPolicy {
+                    max_retries: 10_000,
+                    base_delay: Duration::from_micros(200),
+                    max_delay: Duration::from_millis(2),
+                    jitter: 0.5,
+                    seed: c as u64,
+                };
                 for i in 0..per_client {
                     let which = i % DISTINCT;
-                    loop {
-                        match client.infer(&samples[which]) {
-                            Ok(row) => {
-                                let exact = row.len() == expected[which].len()
-                                    && row
-                                        .iter()
-                                        .zip(&expected[which])
-                                        .all(|(a, b)| a.to_bits() == b.to_bits());
-                                if exact {
-                                    ok += 1;
-                                } else {
-                                    corrupted += 1;
-                                }
-                                break;
-                            }
-                            // Typed backpressure: back off and retry.
-                            Err(ServeError::Overloaded { .. }) => {
-                                std::thread::sleep(Duration::from_micros(200));
-                            }
-                            Err(_) => {
-                                lost += 1;
-                                break;
+                    match client.infer_retry(&samples[which], &retry) {
+                        Ok(row) => {
+                            let exact = row.len() == expected[which].len()
+                                && row
+                                    .iter()
+                                    .zip(&expected[which])
+                                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                            if exact {
+                                ok += 1;
+                            } else {
+                                corrupted += 1;
                             }
                         }
+                        Err(_) => lost += 1,
                     }
                 }
                 (ok, corrupted, lost)
@@ -199,6 +274,7 @@ fn run_cell(bits: u32, threads: usize, policy: &Policy, per_client: usize) -> Ro
     server.shutdown();
 
     Row {
+        cell: "throughput",
         bits,
         threads,
         policy: policy.name,
@@ -208,8 +284,12 @@ fn run_cell(bits: u32, threads: usize, policy: &Policy, per_client: usize) -> Ro
         requests: (CLIENTS * per_client) as u64,
         ok,
         shed: stats.shed,
+        deadline_expired: stats.deadline_expired,
         corrupted,
         lost,
+        refused_accept: stats.refused_accept,
+        idle_reaped: stats.idle_reaped,
+        slow_reaped: stats.slow_reaped,
         wall_ms: wall.as_secs_f64() * 1e3,
         rps: ok as f64 / wall.as_secs_f64().max(1e-9),
         p50_us: stats.p50_us,
@@ -219,10 +299,470 @@ fn run_cell(bits: u32, threads: usize, policy: &Policy, per_client: usize) -> Ro
     }
 }
 
+/// Soak cell: [`SOAK_CONNS`] registered-but-silent connections squat on
+/// the table while one healthy client keeps inferring. Returns the row and
+/// whether the gates (bounded per-connection heap, healthy stream
+/// bit-exact) held.
+fn soak_cell(per_client: usize) -> (Row, bool) {
+    par::set_global_threads(1);
+    let session = build_session(8);
+    let workloads = build_workloads(&session, 1);
+    let mut gate_ok = true;
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        policy: BatchPolicy {
+            max_batch: 8,
+            max_delay: Duration::from_micros(2000),
+            queue_depth: 128,
+        },
+        model_name: "mlp-k8-soak".to_string(),
+        limits: ConnLimits {
+            max_connections: SOAK_CONNS + 8,
+            // Long enough that squatters survive the whole cell.
+            idle_timeout: Duration::from_secs(600),
+            ..ConnLimits::default()
+        },
+    };
+    let mut server = Server::start(session, config).expect("server starts");
+    let addr = server.addr();
+
+    // Open the squatters and wait until the server has registered every
+    // one, so the heap delta covers exactly SOAK_CONNS table entries.
+    let heap_before = live_heap();
+    let mut squatters = Vec::with_capacity(SOAK_CONNS);
+    for _ in 0..SOAK_CONNS {
+        squatters.push(TcpStream::connect(addr).expect("soak connect"));
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let open = server.stats().open_conns;
+        if open as usize >= SOAK_CONNS {
+            break;
+        }
+        if Instant::now() > deadline {
+            println!("FAIL: soak registered only {open}/{SOAK_CONNS} connections");
+            gate_ok = false;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let heap_after = live_heap();
+    let heap_delta = heap_after.saturating_sub(heap_before);
+    // The bench process's own TcpStream handles allocate almost nothing;
+    // the delta is dominated by the server's per-connection state.
+    let budget = SOAK_CONNS * SOAK_HEAP_PER_CONN;
+    println!(
+        "  soak: {} idle conns cost {} KiB live heap ({} bytes/conn, budget {})",
+        SOAK_CONNS,
+        heap_delta / 1024,
+        heap_delta / SOAK_CONNS.max(1),
+        SOAK_HEAP_PER_CONN
+    );
+    if heap_delta > budget {
+        println!(
+            "FAIL: soak heap delta {} bytes exceeds {} ({} per conn)",
+            heap_delta, budget, SOAK_HEAP_PER_CONN
+        );
+        gate_ok = false;
+    }
+
+    // One healthy client works through the crowd.
+    let (samples, expected) = &workloads[0];
+    let mut client = ServeClient::connect(addr).expect("healthy connect");
+    let mut ok = 0u64;
+    let mut corrupted = 0u64;
+    let mut lost = 0u64;
+    let t0 = Instant::now();
+    for i in 0..per_client {
+        let which = i % DISTINCT;
+        match client.infer(&samples[which]) {
+            Ok(row) => {
+                let exact = row
+                    .iter()
+                    .zip(&expected[which])
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+                    && row.len() == expected[which].len();
+                if exact {
+                    ok += 1;
+                } else {
+                    corrupted += 1;
+                }
+            }
+            Err(_) => lost += 1,
+        }
+    }
+    let wall = t0.elapsed();
+    let stats = server.stats();
+    if corrupted != 0 || lost != 0 || ok != per_client as u64 {
+        println!("FAIL: soak healthy client: {ok} ok, {corrupted} corrupted, {lost} lost");
+        gate_ok = false;
+    }
+    if stats.p99_us > P99_BUDGET_US {
+        println!(
+            "FAIL: soak healthy p99 {}µs over {}µs budget",
+            stats.p99_us, P99_BUDGET_US
+        );
+        gate_ok = false;
+    }
+    drop(squatters);
+    server.shutdown();
+
+    (
+        Row {
+            cell: "soak",
+            bits: 8,
+            threads: 1,
+            policy: "batch8",
+            max_batch: 8,
+            max_delay_us: 2000,
+            clients: SOAK_CONNS + 1,
+            requests: per_client as u64,
+            ok,
+            shed: stats.shed,
+            deadline_expired: stats.deadline_expired,
+            corrupted,
+            lost,
+            refused_accept: stats.refused_accept,
+            idle_reaped: stats.idle_reaped,
+            slow_reaped: stats.slow_reaped,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            rps: ok as f64 / wall.as_secs_f64().max(1e-9),
+            p50_us: stats.p50_us,
+            p90_us: stats.p90_us,
+            p99_us: stats.p99_us,
+            mean_batch: stats.mean_batch,
+        },
+        gate_ok,
+    )
+}
+
+/// Slowloris cell: [`SLOWLORIS_ATTACKERS`] writers dribble one byte of an
+/// open frame at a time while healthy clients run a full workload. Gates:
+/// every attacker reaped (typed `slow_reaped`), healthy stream bit-exact.
+fn slowloris_cell(per_client: usize) -> (Row, bool) {
+    par::set_global_threads(1);
+    let session = build_session(8);
+    let healthy_n = 4;
+    let workloads = build_workloads(&session, healthy_n);
+    let mut gate_ok = true;
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        policy: BatchPolicy {
+            max_batch: 8,
+            max_delay: Duration::from_micros(2000),
+            queue_depth: 128,
+        },
+        model_name: "mlp-k8-slowloris".to_string(),
+        limits: ConnLimits {
+            read_timeout: Duration::from_millis(300),
+            ..ConnLimits::default()
+        },
+    };
+    let mut server = Server::start(session, config).expect("server starts");
+    let addr = server.addr();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let attackers: Vec<_> = (0..SLOWLORIS_ATTACKERS)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                // A valid header claiming a large frame, then a dribble the
+                // server must not wait out.
+                let mut s = match TcpStream::connect(addr) {
+                    Ok(s) => s,
+                    Err(_) => return,
+                };
+                let mut header = vec![protocol::OP_INFER];
+                header.extend_from_slice(&100_000u32.to_le_bytes());
+                if s.write_all(&header).is_err() {
+                    return;
+                }
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    if s.write_all(&[0]).is_err() {
+                        return; // reaped — mission accomplished (for us)
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            })
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = workloads
+        .into_iter()
+        .map(|(samples, expected)| {
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut corrupted = 0u64;
+                let mut lost = 0u64;
+                let mut client = match ServeClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => return (0, 0, per_client as u64),
+                };
+                for i in 0..per_client {
+                    let which = i % DISTINCT;
+                    match client.infer(&samples[which]) {
+                        Ok(row) => {
+                            let exact = row.len() == expected[which].len()
+                                && row
+                                    .iter()
+                                    .zip(&expected[which])
+                                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                            if exact {
+                                ok += 1;
+                            } else {
+                                corrupted += 1;
+                            }
+                        }
+                        Err(ServeError::Overloaded { .. }) => {
+                            std::thread::sleep(Duration::from_micros(200));
+                            lost += 1;
+                        }
+                        Err(_) => lost += 1,
+                    }
+                }
+                (ok, corrupted, lost)
+            })
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut corrupted = 0u64;
+    let mut lost = 0u64;
+    for h in handles {
+        let (o, c, l) = h.join().expect("healthy client thread");
+        ok += o;
+        corrupted += c;
+        lost += l;
+    }
+
+    // Give the sweeper time to reap every attacker, then stop them.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while (server.stats().slow_reaped as usize) < SLOWLORIS_ATTACKERS && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for a in attackers {
+        a.join().expect("attacker thread");
+    }
+    let wall = t0.elapsed();
+    let stats = server.stats();
+    server.shutdown();
+
+    println!(
+        "  slowloris: {} attackers, {} reaped after {:.0}ms; healthy {}/{} ok",
+        SLOWLORIS_ATTACKERS,
+        stats.slow_reaped,
+        wall.as_secs_f64() * 1e3,
+        ok,
+        healthy_n * per_client
+    );
+    if (stats.slow_reaped as usize) < SLOWLORIS_ATTACKERS {
+        println!(
+            "FAIL: only {}/{} slowloris connections reaped",
+            stats.slow_reaped, SLOWLORIS_ATTACKERS
+        );
+        gate_ok = false;
+    }
+    if corrupted != 0 || lost != 0 || ok != (healthy_n * per_client) as u64 {
+        println!("FAIL: slowloris healthy clients: {ok} ok, {corrupted} corrupted, {lost} lost");
+        gate_ok = false;
+    }
+
+    (
+        Row {
+            cell: "slowloris",
+            bits: 8,
+            threads: 1,
+            policy: "batch8",
+            max_batch: 8,
+            max_delay_us: 2000,
+            clients: healthy_n + SLOWLORIS_ATTACKERS,
+            requests: (healthy_n * per_client) as u64,
+            ok,
+            shed: stats.shed,
+            deadline_expired: stats.deadline_expired,
+            corrupted,
+            lost,
+            refused_accept: stats.refused_accept,
+            idle_reaped: stats.idle_reaped,
+            slow_reaped: stats.slow_reaped,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            rps: ok as f64 / wall.as_secs_f64().max(1e-9),
+            p50_us: stats.p50_us,
+            p90_us: stats.p90_us,
+            p99_us: stats.p99_us,
+            mean_batch: stats.mean_batch,
+        },
+        gate_ok,
+    )
+}
+
+/// Overload cell: [`OVERLOAD_CLIENTS`] closed-loop clients against a tiny
+/// admission queue with a short request deadline — roughly 4× what the
+/// queue can hold. Gates: every request resolves to a bit-exact answer or
+/// a typed refusal (`Overloaded`/`DeadlineExceeded`), client-observed
+/// refusal counts match the server's shed taxonomy exactly, zero
+/// lost/corrupted, and completed-request p99 stays inside the budget.
+fn overload_cell(per_client: usize) -> (Row, bool) {
+    par::set_global_threads(1);
+    let session = build_session(8);
+    let workloads = build_workloads(&session, OVERLOAD_CLIENTS);
+    let mut gate_ok = true;
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        policy: BatchPolicy {
+            max_batch: 4,
+            max_delay: Duration::from_micros(500),
+            queue_depth: 6,
+        },
+        model_name: "mlp-k8-overload".to_string(),
+        limits: ConnLimits {
+            // Tight enough that queue waits at the contention tail expire
+            // (exercising deadline shedding), loose enough that the bulk
+            // of admitted work still completes.
+            request_timeout: Duration::from_millis(5),
+            ..ConnLimits::default()
+        },
+    };
+    let mut server = Server::start(session, config).expect("server starts");
+    let addr = server.addr();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = workloads
+        .into_iter()
+        .map(|(samples, expected)| {
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut shed = 0u64;
+                let mut expired = 0u64;
+                let mut corrupted = 0u64;
+                let mut lost = 0u64;
+                let mut client = match ServeClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => return (0, 0, 0, 0, per_client as u64),
+                };
+                for i in 0..per_client {
+                    let which = i % DISTINCT;
+                    match client.infer(&samples[which]) {
+                        Ok(row) => {
+                            let exact = row.len() == expected[which].len()
+                                && row
+                                    .iter()
+                                    .zip(&expected[which])
+                                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                            if exact {
+                                ok += 1;
+                            } else {
+                                corrupted += 1;
+                            }
+                        }
+                        Err(ServeError::Overloaded { .. }) => shed += 1,
+                        Err(ServeError::DeadlineExceeded { .. }) => expired += 1,
+                        Err(_) => lost += 1,
+                    }
+                }
+                (ok, shed, expired, corrupted, lost)
+            })
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut shed_seen = 0u64;
+    let mut expired_seen = 0u64;
+    let mut corrupted = 0u64;
+    let mut lost = 0u64;
+    for h in handles {
+        let (o, s, e, c, l) = h.join().expect("overload client thread");
+        ok += o;
+        shed_seen += s;
+        expired_seen += e;
+        corrupted += c;
+        lost += l;
+    }
+    let wall = t0.elapsed();
+    let stats = server.stats();
+    server.shutdown();
+
+    let total = (OVERLOAD_CLIENTS * per_client) as u64;
+    println!(
+        "  overload: {total} submissions → {ok} ok, {shed_seen} shed, {expired_seen} expired \
+         ({} server-shed, {} server-expired), p99 {}µs",
+        stats.shed, stats.deadline_expired, stats.p99_us
+    );
+    if corrupted != 0 || lost != 0 {
+        println!("FAIL: overload produced {corrupted} corrupted, {lost} lost responses");
+        gate_ok = false;
+    }
+    if ok + shed_seen + expired_seen != total {
+        println!("FAIL: overload accounting leak: {ok} + {shed_seen} + {expired_seen} != {total}");
+        gate_ok = false;
+    }
+    // Exact taxonomy match: what clients saw is what the server recorded.
+    if shed_seen != stats.shed || expired_seen != stats.deadline_expired {
+        println!(
+            "FAIL: taxonomy mismatch: clients saw {shed_seen} shed / {expired_seen} expired, \
+             server recorded {} / {}",
+            stats.shed, stats.deadline_expired
+        );
+        gate_ok = false;
+    }
+    if stats.completed != ok {
+        println!(
+            "FAIL: server completed {} but clients verified {ok}",
+            stats.completed
+        );
+        gate_ok = false;
+    }
+    if stats.p99_us > P99_BUDGET_US {
+        println!(
+            "FAIL: overload p99 {}µs over {}µs budget — admission control is not protecting \
+             latency",
+            stats.p99_us, P99_BUDGET_US
+        );
+        gate_ok = false;
+    }
+    if ok == 0 {
+        println!("FAIL: overload starved every client — no goodput at all");
+        gate_ok = false;
+    }
+
+    (
+        Row {
+            cell: "overload",
+            bits: 8,
+            threads: 1,
+            policy: "batch4",
+            max_batch: 4,
+            max_delay_us: 500,
+            clients: OVERLOAD_CLIENTS,
+            requests: total,
+            ok,
+            shed: stats.shed,
+            deadline_expired: stats.deadline_expired,
+            corrupted,
+            lost,
+            refused_accept: stats.refused_accept,
+            idle_reaped: stats.idle_reaped,
+            slow_reaped: stats.slow_reaped,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            rps: ok as f64 / wall.as_secs_f64().max(1e-9),
+            p50_us: stats.p50_us,
+            p90_us: stats.p90_us,
+            p99_us: stats.p99_us,
+            mean_batch: stats.mean_batch,
+        },
+        gate_ok,
+    )
+}
+
 fn print_row(r: &Row) {
     println!(
-        "k={:<2} threads={} {:<7} {:>7.0} req/s | p50 {:>6}µs p90 {:>6}µs p99 {:>6}µs | \
-         mean batch {:>5.2} | ok {} shed {} corrupt {} lost {}",
+        "{:<10} k={:<2} threads={} {:<7} {:>7.0} req/s | p50 {:>6}µs p90 {:>6}µs p99 {:>6}µs | \
+         mean batch {:>5.2} | ok {} shed {} expired {} corrupt {} lost {} | refused {} \
+         idle-reaped {} slow-reaped {}",
+        r.cell,
         r.bits,
         r.threads,
         r.policy,
@@ -233,20 +773,26 @@ fn print_row(r: &Row) {
         r.mean_batch,
         r.ok,
         r.shed,
+        r.deadline_expired,
         r.corrupted,
-        r.lost
+        r.lost,
+        r.refused_accept,
+        r.idle_reaped,
+        r.slow_reaped
     );
 }
 
 fn write_outputs(rows: &[Row]) {
     let csv_path = results_dir().join("serving.csv");
     let mut csv = String::from(
-        "bits,threads,policy,max_batch,max_delay_us,clients,requests,ok,shed,corrupted,lost,\
+        "cell,bits,threads,policy,max_batch,max_delay_us,clients,requests,ok,shed,\
+         deadline_expired,corrupted,lost,refused_accept,idle_reaped,slow_reaped,\
          wall_ms,rps,p50_us,p90_us,p99_us,mean_batch\n",
     );
     for r in rows {
         csv.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{},{},{},{:.3}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{},{},{},{:.3}\n",
+            r.cell,
             r.bits,
             r.threads,
             r.policy,
@@ -256,8 +802,12 @@ fn write_outputs(rows: &[Row]) {
             r.requests,
             r.ok,
             r.shed,
+            r.deadline_expired,
             r.corrupted,
             r.lost,
+            r.refused_accept,
+            r.idle_reaped,
+            r.slow_reaped,
             r.wall_ms,
             r.rps,
             r.p50_us,
@@ -273,10 +823,13 @@ fn write_outputs(rows: &[Row]) {
         .iter()
         .map(|r| {
             format!(
-                "  {{\"bits\":{},\"threads\":{},\"policy\":\"{}\",\"max_batch\":{},\
-                 \"max_delay_us\":{},\"clients\":{},\"requests\":{},\"ok\":{},\"shed\":{},\
-                 \"corrupted\":{},\"lost\":{},\"wall_ms\":{:.1},\"rps\":{:.1},\
+                "  {{\"cell\":\"{}\",\"bits\":{},\"threads\":{},\"policy\":\"{}\",\
+                 \"max_batch\":{},\"max_delay_us\":{},\"clients\":{},\"requests\":{},\
+                 \"ok\":{},\"shed\":{},\"deadline_expired\":{},\"corrupted\":{},\"lost\":{},\
+                 \"refused_accept\":{},\"idle_reaped\":{},\"slow_reaped\":{},\
+                 \"wall_ms\":{:.1},\"rps\":{:.1},\
                  \"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"mean_batch\":{:.3}}}",
+                r.cell,
                 r.bits,
                 r.threads,
                 r.policy,
@@ -286,8 +839,12 @@ fn write_outputs(rows: &[Row]) {
                 r.requests,
                 r.ok,
                 r.shed,
+                r.deadline_expired,
                 r.corrupted,
                 r.lost,
+                r.refused_accept,
+                r.idle_reaped,
+                r.slow_reaped,
                 r.wall_ms,
                 r.rps,
                 r.p50_us,
@@ -386,14 +943,39 @@ fn smoke() -> bool {
         ok = false;
     }
 
-    write_outputs(&[single, batched]);
+    // Gates 4–6: the connection plane under attack.
+    println!("# smoke gate 4: soak — {SOAK_CONNS} idle conns, bounded heap, healthy p99 holds");
+    let (soak, soak_ok) = soak_cell(per_client);
+    print_row(&soak);
+    if soak_ok {
+        println!("ok: soak gates held");
+    }
+    ok &= soak_ok;
+
+    println!("# smoke gate 5: slowloris — dribblers reaped, healthy clients bit-exact");
+    let (slow, slow_ok) = slowloris_cell(per_client);
+    print_row(&slow);
+    if slow_ok {
+        println!("ok: slowloris gates held");
+    }
+    ok &= slow_ok;
+
+    println!("# smoke gate 6: overload — typed refusals, exact accounting, p99 protected");
+    let (over, over_ok) = overload_cell(per_client);
+    print_row(&over);
+    if over_ok {
+        println!("ok: overload gates held");
+    }
+    ok &= over_ok;
+
+    write_outputs(&[single, batched, soak, slow, over]);
     ok
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--smoke") {
-        println!("# serving --smoke: end-to-end correctness + batching gates");
+        println!("# serving --smoke: end-to-end correctness + batching + overload gates");
         if !smoke() {
             std::process::exit(1);
         }
@@ -415,5 +997,15 @@ fn main() {
             }
         }
     }
+    println!("# robustness cells: soak / slowloris / overload");
+    let (soak, _) = soak_cell(150);
+    print_row(&soak);
+    rows.push(soak);
+    let (slow, _) = slowloris_cell(150);
+    print_row(&slow);
+    rows.push(slow);
+    let (over, _) = overload_cell(150);
+    print_row(&over);
+    rows.push(over);
     write_outputs(&rows);
 }

@@ -61,12 +61,68 @@ impl BatchPolicy {
     }
 }
 
+/// Where a finished (or shed) request's result goes.
+///
+/// Blocking callers park on a rendezvous channel; the event-loop server
+/// instead receives a [`Completion`] tagged with its connection token and
+/// per-connection sequence number on a shared channel, so the reactor
+/// thread never blocks on inference.
+#[derive(Debug)]
+pub(crate) enum Reply {
+    /// Rendezvous for [`BatcherHandle::infer_blocking`].
+    Blocking(mpsc::SyncSender<Result<Vec<f32>, ServeError>>),
+    /// Completion-channel delivery for the event-loop front-end.
+    Event {
+        /// Connection token the reactor routes the completion back to.
+        conn: u64,
+        /// Per-connection request sequence number (response ordering).
+        seq: u64,
+        /// The reactor's completion queue.
+        tx: mpsc::Sender<Completion>,
+    },
+}
+
+impl Reply {
+    fn send(self, result: Result<Vec<f32>, ServeError>) {
+        match self {
+            // A hung-up requester is not an error; drop its result.
+            Reply::Blocking(tx) => {
+                let _ = tx.send(result);
+            }
+            Reply::Event { conn, seq, tx } => {
+                let _ = tx.send(Completion { conn, seq, result });
+            }
+        }
+    }
+}
+
+/// One finished request routed back to the event loop.
+#[derive(Debug)]
+pub(crate) struct Completion {
+    /// Connection token assigned by the reactor at accept time.
+    pub conn: u64,
+    /// Per-connection request sequence number.
+    pub seq: u64,
+    /// The inference result (or a typed shed/failure).
+    pub result: Result<Vec<f32>, ServeError>,
+}
+
 /// One admitted request: the flat sample, its enqueue time (for the
-/// latency histogram), and the rendezvous channel the caller blocks on.
+/// latency histogram), an optional absolute deadline, and where the
+/// result goes.
 struct Job {
     sample: Vec<f32>,
     enqueued: Instant,
-    resp: mpsc::SyncSender<Result<Vec<f32>, ServeError>>,
+    deadline: Option<Instant>,
+    resp: Reply,
+}
+
+impl Job {
+    /// `true` once the job's deadline has passed — such work is shed
+    /// *before* inference, not run and discarded after.
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
 }
 
 /// How often the idle worker wakes to check the shutdown flag.
@@ -178,30 +234,77 @@ impl BatcherHandle {
     /// [`ServeError::ShuttingDown`] during drain, and whatever the forward
     /// pass reports (`BadRequest` for a wrong-length sample).
     pub fn infer_blocking(&self, sample: Vec<f32>) -> Result<Vec<f32>, ServeError> {
-        if self.draining.load(Ordering::SeqCst) {
-            return Err(ServeError::ShuttingDown);
-        }
+        self.infer_with_deadline(sample, None)
+    }
+
+    /// Like [`infer_blocking`](Self::infer_blocking), but the request
+    /// carries an absolute deadline: if it is still queued when the
+    /// deadline passes, the worker sheds it with
+    /// [`ServeError::DeadlineExceeded`] instead of running inference.
+    ///
+    /// # Errors
+    ///
+    /// As [`infer_blocking`](Self::infer_blocking), plus
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn infer_with_deadline(
+        &self,
+        sample: Vec<f32>,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<f32>, ServeError> {
         let (resp_tx, resp_rx) = mpsc::sync_channel(1);
-        let job = Job {
-            sample,
-            enqueued: Instant::now(),
-            resp: resp_tx,
-        };
-        match self.tx.try_send(job) {
-            Ok(()) => {}
-            Err(mpsc::TrySendError::Full(_)) => {
-                self.stats.record_shed();
-                return Err(ServeError::Overloaded {
-                    queue_depth: self.queue_depth,
-                });
-            }
-            Err(mpsc::TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
-        }
+        self.submit(sample, deadline, Reply::Blocking(resp_tx))?;
         match resp_rx.recv() {
             Ok(result) => result,
             // Worker exited between admission and execution — only
             // possible on teardown.
             Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Non-blocking submission for the event-loop front-end: the result
+    /// comes back as a [`Completion`] on `tx`, tagged `(conn, seq)`.
+    ///
+    /// # Errors
+    ///
+    /// Admission failures ([`ServeError::Overloaded`],
+    /// [`ServeError::ShuttingDown`]) are returned synchronously — in that
+    /// case **no** completion will arrive for this `(conn, seq)`.
+    pub(crate) fn submit_event(
+        &self,
+        sample: Vec<f32>,
+        deadline: Option<Instant>,
+        conn: u64,
+        seq: u64,
+        tx: mpsc::Sender<Completion>,
+    ) -> Result<(), ServeError> {
+        self.submit(sample, deadline, Reply::Event { conn, seq, tx })
+    }
+
+    /// Shared admission path: typed refusal, never blocks.
+    fn submit(
+        &self,
+        sample: Vec<f32>,
+        deadline: Option<Instant>,
+        resp: Reply,
+    ) -> Result<(), ServeError> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let job = Job {
+            sample,
+            enqueued: Instant::now(),
+            deadline,
+            resp,
+        };
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.stats.record_shed();
+                Err(ServeError::Overloaded {
+                    queue_depth: self.queue_depth,
+                })
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
         }
     }
 
@@ -233,9 +336,41 @@ fn worker_loop(
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => return,
         };
+        // An already-expired head is shed without opening a batch window.
+        if first.expired(Instant::now()) {
+            shed_expired(first, stats);
+            continue;
+        }
         let batch = coalesce(rx, first, policy);
-        run_batch(session, stats, batch);
+        let live = shed_expired_jobs(batch, stats);
+        if !live.is_empty() {
+            run_batch(session, stats, live);
+        }
     }
+}
+
+/// Answers one expired job with a typed deadline error; inference never
+/// runs for it.
+fn shed_expired(job: Job, stats: &ServeStats) {
+    stats.record_deadline_expired();
+    let waited_us = job.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    job.resp
+        .send(Err(ServeError::DeadlineExceeded { waited_us }));
+}
+
+/// Splits a batch into live jobs (returned) and expired ones (answered
+/// with typed errors immediately).
+fn shed_expired_jobs(jobs: Vec<Job>, stats: &ServeStats) -> Vec<Job> {
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if job.expired(now) {
+            shed_expired(job, stats);
+        } else {
+            live.push(job);
+        }
+    }
+    live
 }
 
 /// Collects up to `max_batch` jobs, waiting at most `max_delay` past the
@@ -265,6 +400,12 @@ fn drain_remaining(
 ) {
     let mut jobs = Vec::new();
     while let Ok(job) = rx.try_recv() {
+        // Deadlines hold during drain too: expired queued work gets a
+        // typed error, not a hang and not a post-deadline answer.
+        if job.expired(Instant::now()) {
+            shed_expired(job, stats);
+            continue;
+        }
         jobs.push(job);
         if jobs.len() == policy.max_batch {
             run_batch(session, stats, std::mem::take(&mut jobs));
@@ -290,14 +431,13 @@ fn run_batch(session: &InferenceSession, stats: &ServeStats, jobs: Vec<Job>) {
             for ((enqueued, resp), row) in waiters.into_iter().zip(rows) {
                 let latency_us = enqueued.elapsed().as_micros().min(u128::from(u64::MAX));
                 stats.record_completed(latency_us as u64);
-                // A hung-up requester is not an error; drop its row.
-                let _ = resp.send(Ok(row));
+                resp.send(Ok(row));
             }
         }
         Err(e) => {
             for (_, resp) in waiters {
                 stats.record_error();
-                let _ = resp.send(Err(e.duplicate()));
+                resp.send(Err(e.duplicate()));
             }
         }
     }
@@ -387,6 +527,79 @@ mod tests {
             h.infer_blocking(vec![0.0; 5]),
             Err(ServeError::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_inference() {
+        let batcher = MicroBatcher::new(session(), BatchPolicy::default()).unwrap();
+        let h = batcher.handle();
+        let past = Instant::now() - Duration::from_millis(5);
+        match h.infer_with_deadline(vec![0.2; 5], Some(past)) {
+            Err(ServeError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let snap = batcher.stats();
+        assert_eq!(snap.deadline_expired, 1);
+        assert_eq!(snap.completed, 0, "expired work must never run");
+        // A live deadline still gets a real answer.
+        let future = Instant::now() + Duration::from_secs(30);
+        assert!(h.infer_with_deadline(vec![0.2; 5], Some(future)).is_ok());
+        assert_eq!(batcher.stats().completed, 1);
+    }
+
+    /// Drain contract: every request admitted before shutdown gets exactly
+    /// one response — in-flight work completes bit-exactly, queued-but-
+    /// expired work gets a typed deadline error, and nothing hangs, is
+    /// lost, or is answered twice.
+    #[test]
+    fn drain_completes_inflight_and_sheds_expired() {
+        let s = session();
+        let policy = BatchPolicy {
+            max_batch: 4,
+            max_delay: Duration::from_millis(25),
+            queue_depth: 64,
+        };
+        let mut batcher = MicroBatcher::new(s.clone(), policy).unwrap();
+        const N: usize = 24;
+        let mut threads = Vec::new();
+        for t in 0..N {
+            let h = batcher.handle();
+            let s = s.clone();
+            // Odd requests carry a deadline that will expire while they sit
+            // behind the 25ms coalescing windows of earlier batches.
+            let deadline = (t % 2 == 1).then(|| Instant::now() + Duration::from_millis(10));
+            threads.push(thread::spawn(move || {
+                let sample = vec![t as f32 * 0.05; 5];
+                let result = h.infer_with_deadline(sample.clone(), deadline);
+                let want = s.infer_one(&sample).unwrap();
+                (result, want)
+            }));
+        }
+        // Begin drain while the queue is still full.
+        thread::sleep(Duration::from_millis(5));
+        batcher.shutdown();
+
+        let mut ok = 0u64;
+        let mut expired = 0u64;
+        let mut shed = 0u64;
+        for t in threads {
+            match t.join().unwrap() {
+                (Ok(row), want) => {
+                    assert_eq!(row, want, "drained response must stay bit-exact");
+                    ok += 1;
+                }
+                (Err(ServeError::DeadlineExceeded { .. }), _) => expired += 1,
+                (Err(ServeError::Overloaded { .. }), _) => shed += 1,
+                (Err(ServeError::ShuttingDown), _) => shed += 1,
+                (Err(e), _) => panic!("untyped drain failure: {e}"),
+            }
+        }
+        assert_eq!(ok + expired + shed, N as u64, "every request answered once");
+        assert!(ok >= 1, "some admitted work must have completed");
+        let snap = batcher.stats();
+        assert_eq!(snap.completed, ok, "no duplicated or lost completions");
+        assert_eq!(snap.deadline_expired, expired);
+        assert_eq!(snap.errors, 0);
     }
 
     #[test]

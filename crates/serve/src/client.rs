@@ -3,13 +3,100 @@
 //! Used by the examples, the bench harness, and the integration tests;
 //! applications embedding the runtime in-process should talk to
 //! [`crate::BatcherHandle`] directly instead.
+//!
+//! Two robustness layers are opt-in:
+//!
+//! * [`ClientConfig`] — connect/read/write socket timeouts, so a hung or
+//!   drained server surfaces as a typed I/O error instead of a parked
+//!   thread.
+//! * [`RetryPolicy`] — bounded retry with exponential backoff and
+//!   deterministic jitter for the two transient failures worth retrying:
+//!   [`ServeError::Overloaded`] shed and connect failures. Everything else
+//!   (bad request, protocol violation) fails fast.
 
 use crate::protocol::{
-    self, OP_HEALTH, OP_INFER, OP_STATS, STATUS_BAD_REQUEST, STATUS_OK, STATUS_OVERLOADED,
-    STATUS_SHUTTING_DOWN,
+    self, OP_HEALTH, OP_INFER, OP_STATS, STATUS_BAD_REQUEST, STATUS_DEADLINE_EXCEEDED, STATUS_OK,
+    STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
 };
 use crate::ServeError;
-use std::net::{TcpStream, ToSocketAddrs};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Socket-level timeouts for a [`ServeClient`]. `None` means "wait
+/// forever", matching pre-timeout behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each blocking read (response wait).
+    pub read_timeout: Option<Duration>,
+    /// Bound on each blocking write.
+    pub write_timeout: Option<Duration>,
+}
+
+impl ClientConfig {
+    /// A sane interactive profile: 1s connect, 5s read, 5s write.
+    pub fn with_deadlines() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(1)),
+            read_timeout: Some(Duration::from_secs(5)),
+            write_timeout: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// Bounded retry with exponential backoff and jitter.
+///
+/// Retries fire only on [`ServeError::Overloaded`] (the server said "back
+/// off and come back") and on transient connect failures during
+/// reconnection — never on `BadRequest`/`Protocol` (client bugs) or
+/// `ShuttingDown` (the instance is going away). Off by default: plain
+/// [`ServeClient::infer`] never retries.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = no retry).
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `base_delay · 2^k`, capped at
+    /// [`max_delay`](Self::max_delay).
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Fraction of each backoff randomised away (`0.0..=1.0`); jitter
+    /// de-synchronises retry storms from many clients.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream (reproducible benches).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(250),
+            jitter: 0.5,
+            seed: 0x5e7e,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep before retry `attempt` (0-based), jittered.
+    pub fn backoff(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(attempt.min(16)))
+            .min(self.max_delay);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return exp;
+        }
+        // Uniform in [1 - jitter, 1] of the exponential delay.
+        let scale = 1.0 - jitter * rng.gen_range(0.0..1.0);
+        exp.mul_f64(scale)
+    }
+}
 
 /// One blocking connection to an `apt serve` instance.
 ///
@@ -19,18 +106,63 @@ use std::net::{TcpStream, ToSocketAddrs};
 #[derive(Debug)]
 pub struct ServeClient {
     stream: TcpStream,
+    addr: SocketAddr,
+    config: ClientConfig,
+    retry_nonce: u64,
 }
 
 impl ServeClient {
-    /// Connects to a running server.
+    /// Connects to a running server with no socket timeouts.
     ///
     /// # Errors
     ///
     /// Propagates connection failures as [`ServeError::Io`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ServeError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(ServeClient { stream })
+        ServeClient::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects with explicit connect/read/write timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (including connect timeout) as
+    /// [`ServeError::Io`].
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: &ClientConfig,
+    ) -> Result<ServeClient, ServeError> {
+        let mut last_err: Option<std::io::Error> = None;
+        for resolved in addr.to_socket_addrs()? {
+            let attempt = match config.connect_timeout {
+                Some(t) => TcpStream::connect_timeout(&resolved, t),
+                None => TcpStream::connect(resolved),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(config.read_timeout)?;
+                    stream.set_write_timeout(config.write_timeout)?;
+                    return Ok(ServeClient {
+                        stream,
+                        addr: resolved,
+                        config: config.clone(),
+                        retry_nonce: 0,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(ServeError::Io(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })))
+    }
+
+    /// The resolved address this client talks (and reconnects) to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
     }
 
     /// Sends one frame and reads the response, mapping error statuses back
@@ -44,6 +176,7 @@ impl ServeClient {
             STATUS_OVERLOADED => Err(ServeError::Overloaded { queue_depth: 0 }),
             STATUS_BAD_REQUEST => Err(ServeError::BadRequest { reason: text() }),
             STATUS_SHUTTING_DOWN => Err(ServeError::ShuttingDown),
+            STATUS_DEADLINE_EXCEEDED => Err(ServeError::DeadlineExceeded { waited_us: 0 }),
             _ => Err(ServeError::Internal { reason: text() }),
         }
     }
@@ -53,11 +186,60 @@ impl ServeClient {
     /// # Errors
     ///
     /// Typed server-side failures ([`ServeError::Overloaded`],
-    /// [`ServeError::BadRequest`], [`ServeError::ShuttingDown`]) plus I/O
-    /// and protocol errors.
+    /// [`ServeError::BadRequest`], [`ServeError::DeadlineExceeded`],
+    /// [`ServeError::ShuttingDown`]) plus I/O and protocol errors.
     pub fn infer(&mut self, sample: &[f32]) -> Result<Vec<f32>, ServeError> {
         let body = self.round_trip(OP_INFER, &protocol::encode_f32s(sample))?;
         protocol::decode_f32s(&body)
+    }
+
+    /// Like [`infer`](Self::infer), but retries `Overloaded` sheds with
+    /// the policy's backoff, reconnecting (also with backoff) if the
+    /// connection drops mid-retry.
+    ///
+    /// # Errors
+    ///
+    /// The last error once `policy.max_retries` extra attempts are spent,
+    /// or immediately for non-retryable failures (`BadRequest`,
+    /// `Protocol`, `ShuttingDown`, `DeadlineExceeded`).
+    pub fn infer_retry(
+        &mut self,
+        sample: &[f32],
+        policy: &RetryPolicy,
+    ) -> Result<Vec<f32>, ServeError> {
+        self.retry_nonce = self.retry_nonce.wrapping_add(1);
+        let mut rng = StdRng::seed_from_u64(policy.seed ^ self.retry_nonce);
+        let mut attempt = 0u32;
+        let mut broken = false;
+        loop {
+            let result = if broken {
+                match ServeClient::connect_with(self.addr, &self.config) {
+                    Ok(fresh) => {
+                        self.stream = fresh.stream;
+                        broken = false;
+                        self.infer(sample)
+                    }
+                    Err(e) => Err(e),
+                }
+            } else {
+                self.infer(sample)
+            };
+            match result {
+                Ok(row) => return Ok(row),
+                Err(e @ (ServeError::Overloaded { .. } | ServeError::Io(_))) => {
+                    if matches!(e, ServeError::Io(_)) {
+                        // The stream state is unknown; reconnect next try.
+                        broken = true;
+                    }
+                    if attempt >= policy.max_retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(policy.backoff(attempt, &mut rng));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Fetches the server's serving counters as a JSON string.
@@ -82,5 +264,57 @@ impl ServeClient {
         String::from_utf8(body).map_err(|_| ServeError::Protocol {
             reason: "health response is not UTF-8".to_string(),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_within_bounds() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(100),
+            jitter: 0.5,
+            seed: 7,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut prev_cap = Duration::ZERO;
+        for attempt in 0..8 {
+            let cap = p
+                .base_delay
+                .saturating_mul(2u32.saturating_pow(attempt))
+                .min(p.max_delay);
+            for _ in 0..32 {
+                let d = p.backoff(attempt, &mut rng);
+                assert!(d <= cap, "attempt {attempt}: {d:?} > cap {cap:?}");
+                assert!(d >= cap.mul_f64(0.5), "attempt {attempt}: {d:?} too small");
+            }
+            assert!(cap >= prev_cap);
+            prev_cap = cap;
+        }
+        // Zero jitter is exact.
+        let exact = RetryPolicy {
+            jitter: 0.0,
+            ..p.clone()
+        };
+        assert_eq!(exact.backoff(0, &mut rng), Duration::from_millis(2));
+        assert_eq!(exact.backoff(20, &mut rng), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn connect_with_timeout_fails_fast_on_dead_port() {
+        // Port 1 on loopback: nothing listens there; either refused
+        // instantly or timed out — both must surface as typed Io.
+        let cfg = ClientConfig {
+            connect_timeout: Some(Duration::from_millis(200)),
+            ..ClientConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let r = ServeClient::connect_with("127.0.0.1:1", &cfg);
+        assert!(matches!(r, Err(ServeError::Io(_))));
+        assert!(t0.elapsed() < Duration::from_secs(5));
     }
 }

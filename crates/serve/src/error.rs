@@ -16,6 +16,12 @@ pub enum ServeError {
     },
     /// The runtime is draining; no new requests are accepted.
     ShuttingDown,
+    /// The request's deadline expired before inference ran; the work was
+    /// shed from the queue, never executed.
+    DeadlineExceeded {
+        /// How long the request sat in the queue before expiring, in µs.
+        waited_us: u64,
+    },
     /// The request itself is malformed (wrong sample length, bad op).
     BadRequest {
         /// Explanation of the violated expectation.
@@ -47,6 +53,13 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::ShuttingDown => write!(f, "shutting down: request not accepted"),
+            ServeError::DeadlineExceeded { waited_us } => {
+                write!(
+                    f,
+                    "deadline exceeded: request expired after {waited_us}µs queued, \
+                     shed before inference"
+                )
+            }
             ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
             ServeError::Protocol { reason } => write!(f, "protocol error: {reason}"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
@@ -96,6 +109,9 @@ impl ServeError {
                 queue_depth: *queue_depth,
             },
             ServeError::ShuttingDown => ServeError::ShuttingDown,
+            ServeError::DeadlineExceeded { waited_us } => ServeError::DeadlineExceeded {
+                waited_us: *waited_us,
+            },
             ServeError::BadRequest { reason } => ServeError::BadRequest {
                 reason: reason.clone(),
             },
@@ -122,6 +138,7 @@ mod tests {
         let errs = vec![
             ServeError::Overloaded { queue_depth: 4 },
             ServeError::ShuttingDown,
+            ServeError::DeadlineExceeded { waited_us: 100 },
             ServeError::BadRequest { reason: "x".into() },
             ServeError::Protocol { reason: "y".into() },
             ServeError::Io(std::io::Error::new(std::io::ErrorKind::Other, "z")),

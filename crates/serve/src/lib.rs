@@ -18,12 +18,21 @@
 //!    [`ServeError::Overloaded`] instead of building an unbounded backlog.
 //!    Batching is lossless — batch-invariant kernels mean a coalesced
 //!    batch answers every request bit-identically to running it alone.
-//! 3. **[`Server`]** — a std-only TCP front-end speaking a length-prefixed
-//!    binary protocol ([`protocol`]) with infer, stats, and health ops,
-//!    graceful drain on shutdown, and lock-free serving metrics
-//!    ([`ServeStats`]: p50/p90/p99 latency, throughput counters,
-//!    batch-size distribution, shed counts). [`ServeClient`] is the
-//!    matching blocking client.
+//! 3. **[`Server`]** — a std-only TCP front-end built on a nonblocking
+//!    readiness-driven reactor: one thread drives every connection through
+//!    incremental per-connection frame state machines, so slow or hostile
+//!    peers cost a table slot, not a thread. Overload protection is typed
+//!    end-to-end ([`ConnLimits`]): connection caps refuse at accept, idle
+//!    and mid-frame deadlines reap slowloris peers, request deadlines
+//!    propagate into the batcher so expired work is shed *before*
+//!    inference, and per-connection pipelining bounds plus a round-robin
+//!    scan keep healthy clients fair under attack. Lock-free serving
+//!    metrics ([`ServeStats`]) expose the full shed taxonomy
+//!    (refused-at-accept, deadline-expired, idle-reaped, slow-reaped)
+//!    alongside p50/p90/p99 latency and batch histograms. [`ServeClient`]
+//!    is the matching blocking client, with optional socket timeouts
+//!    ([`ClientConfig`]) and bounded exponential-backoff retry
+//!    ([`RetryPolicy`]).
 //!
 //! The CLI front-end is `apt serve`; the measurement harness is the
 //! `serving` bench binary.
@@ -41,8 +50,8 @@ mod stats;
 pub mod protocol;
 
 pub use batcher::{BatchPolicy, BatcherHandle, MicroBatcher};
-pub use client::ServeClient;
+pub use client::{ClientConfig, RetryPolicy, ServeClient};
 pub use error::ServeError;
-pub use server::{Server, ServerConfig};
+pub use server::{ConnLimits, Server, ServerConfig};
 pub use session::{InferenceSession, ModelArch, ModelSpec, ScratchArena};
 pub use stats::{ServeStats, StatsSnapshot};

@@ -36,6 +36,9 @@ pub const STATUS_BAD_REQUEST: u8 = 2;
 pub const STATUS_SHUTTING_DOWN: u8 = 3;
 /// Anything else ([`ServeError::Internal`], model or I/O failures).
 pub const STATUS_INTERNAL: u8 = 4;
+/// The request's deadline expired while it was queued
+/// ([`ServeError::DeadlineExceeded`]); the work was shed, never executed.
+pub const STATUS_DEADLINE_EXCEEDED: u8 = 5;
 
 /// Largest accepted frame payload (16 MiB).
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
@@ -46,6 +49,7 @@ pub fn status_for(err: &ServeError) -> u8 {
         ServeError::Overloaded { .. } => STATUS_OVERLOADED,
         ServeError::BadRequest { .. } | ServeError::Protocol { .. } => STATUS_BAD_REQUEST,
         ServeError::ShuttingDown => STATUS_SHUTTING_DOWN,
+        ServeError::DeadlineExceeded { .. } => STATUS_DEADLINE_EXCEEDED,
         ServeError::Io(_) | ServeError::Nn(_) | ServeError::Internal { .. } => STATUS_INTERNAL,
     }
 }
@@ -69,6 +73,19 @@ pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<(), Se
     Ok(())
 }
 
+/// Encodes one frame into a byte vector (for buffered, non-blocking
+/// writers that flush incrementally). The payload is truncated to
+/// [`MAX_FRAME`] defensively; runtime responses are orders of magnitude
+/// smaller.
+pub fn encode_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let payload = &payload[..payload.len().min(MAX_FRAME)];
+    let mut out = Vec::with_capacity(5 + payload.len());
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
 /// Reads one frame, enforcing [`MAX_FRAME`].
 ///
 /// # Errors
@@ -88,6 +105,102 @@ pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), ServeError> {
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok((tag, payload))
+}
+
+/// An incremental, non-blocking frame decoder for the event-loop server.
+///
+/// Bytes arrive in whatever fragments the kernel hands out — a hostile or
+/// slow client may deliver one byte at a time, or three frames glued
+/// together. [`feed`](FrameDecoder::feed) appends raw bytes;
+/// [`try_frame`](FrameDecoder::try_frame) yields complete frames without
+/// ever blocking, returning `Ok(None)` (*need more bytes*) on a torn read.
+///
+/// An oversized length prefix is rejected the moment the 5-byte header is
+/// visible — **before** any payload is buffered — and the decoder latches
+/// the error: the stream offset can no longer be trusted, so every
+/// subsequent call reports the same violation and the connection must be
+/// closed.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    poisoned: Option<String>,
+}
+
+/// Consumed-prefix threshold past which the decoder compacts its buffer.
+const COMPACT_AT: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// A fresh decoder with nothing buffered.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes from the socket. Cheap; no parsing happens here.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as complete frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` while a frame has started arriving but is not yet complete —
+    /// the condition a slowloris read-deadline watches.
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Tries to extract the next complete frame.
+    ///
+    /// Returns `Ok(Some((tag, payload)))` for a complete frame,
+    /// `Ok(None)` when more bytes are needed (torn/short read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] as soon as a header claims more
+    /// than [`MAX_FRAME`] bytes; the error is latched and re-reported on
+    /// every subsequent call.
+    pub fn try_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, ServeError> {
+        if let Some(reason) = &self.poisoned {
+            return Err(ServeError::Protocol {
+                reason: reason.clone(),
+            });
+        }
+        if self.buffered() < 5 {
+            self.compact();
+            return Ok(None);
+        }
+        let h = &self.buf[self.pos..self.pos + 5];
+        let tag = h[0];
+        let len = u32::from_le_bytes([h[1], h[2], h[3], h[4]]) as usize;
+        if len > MAX_FRAME {
+            let reason = format!("incoming frame claims {len} bytes, cap is {MAX_FRAME}");
+            self.poisoned = Some(reason.clone());
+            return Err(ServeError::Protocol { reason });
+        }
+        if self.buffered() < 5 + len {
+            return Ok(None);
+        }
+        let start = self.pos + 5;
+        let payload = self.buf[start..start + len].to_vec();
+        self.pos = start + len;
+        self.compact();
+        Ok(Some((tag, payload)))
+    }
+
+    /// Reclaims the consumed prefix once it is large (or the buffer is
+    /// fully drained) so long-lived connections do not accrete memory.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > COMPACT_AT {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
 }
 
 /// Encodes a float vector as `count: u32 LE` + little-endian `f32`s.
@@ -188,12 +301,72 @@ mod tests {
     }
 
     #[test]
+    fn incremental_decoder_handles_torn_reads() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, OP_INFER, &encode_f32s(&[1.0, -2.5])).unwrap();
+        write_frame(&mut wire, OP_STATS, &[]).unwrap();
+
+        // Byte at a time: NeedMore until each frame completes.
+        let mut d = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for &b in &wire {
+            d.feed(&[b]);
+            while let Some(f) = d.try_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].0, OP_INFER);
+        assert_eq!(decode_f32s(&frames[0].1).unwrap(), vec![1.0, -2.5]);
+        assert_eq!(frames[1], (OP_STATS, Vec::new()));
+        assert!(!d.mid_frame());
+
+        // All at once: identical result.
+        let mut d2 = FrameDecoder::new();
+        d2.feed(&wire);
+        assert_eq!(d2.try_frame().unwrap().unwrap().0, OP_INFER);
+        assert_eq!(d2.try_frame().unwrap().unwrap().0, OP_STATS);
+        assert!(d2.try_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_header_before_buffering() {
+        let mut d = FrameDecoder::new();
+        let mut hdr = vec![OP_INFER];
+        hdr.extend_from_slice(&(u32::MAX).to_le_bytes());
+        d.feed(&hdr);
+        assert!(matches!(d.try_frame(), Err(ServeError::Protocol { .. })));
+        // Latched: the stream offset is untrusted from here on.
+        d.feed(&[0; 16]);
+        assert!(matches!(d.try_frame(), Err(ServeError::Protocol { .. })));
+    }
+
+    #[test]
+    fn decoder_mid_frame_tracks_partial_input() {
+        let mut d = FrameDecoder::new();
+        assert!(!d.mid_frame());
+        d.feed(&[OP_INFER, 8, 0, 0]); // 4 of 5 header bytes
+        assert!(d.try_frame().unwrap().is_none());
+        assert!(d.mid_frame());
+        d.feed(&[0]); // header complete, claims 8 payload bytes
+        assert!(d.try_frame().unwrap().is_none());
+        d.feed(&[0; 8]);
+        let (tag, payload) = d.try_frame().unwrap().unwrap();
+        assert_eq!((tag, payload.len()), (OP_INFER, 8));
+        assert!(!d.mid_frame());
+    }
+
+    #[test]
     fn status_mapping_covers_ladder() {
         assert_eq!(
             status_for(&ServeError::Overloaded { queue_depth: 1 }),
             STATUS_OVERLOADED
         );
         assert_eq!(status_for(&ServeError::ShuttingDown), STATUS_SHUTTING_DOWN);
+        assert_eq!(
+            status_for(&ServeError::DeadlineExceeded { waited_us: 9 }),
+            STATUS_DEADLINE_EXCEEDED
+        );
         assert_eq!(
             status_for(&ServeError::BadRequest { reason: "x".into() }),
             STATUS_BAD_REQUEST

@@ -22,6 +22,11 @@ pub struct ServeStats {
     shed: AtomicU64,
     errors: AtomicU64,
     batches: AtomicU64,
+    refused_accept: AtomicU64,
+    deadline_expired: AtomicU64,
+    idle_reaped: AtomicU64,
+    slow_reaped: AtomicU64,
+    open_conns: AtomicU64,
     lat: [AtomicU64; LAT_BUCKETS],
     batch_sizes: [AtomicU64; BATCH_BUCKETS],
 }
@@ -33,6 +38,11 @@ impl Default for ServeStats {
             shed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            refused_accept: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
+            slow_reaped: AtomicU64::new(0),
+            open_conns: AtomicU64::new(0),
             lat: std::array::from_fn(|_| AtomicU64::new(0)),
             batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -70,6 +80,38 @@ impl ServeStats {
     /// Records one request that failed inside the runtime.
     pub fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection refused at accept time (connection limit).
+    pub fn record_refused_accept(&self) {
+        self.refused_accept.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request whose deadline expired in the queue; the work
+    /// was shed before inference ran.
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection reaped for sitting idle past its deadline.
+    pub fn record_idle_reaped(&self) {
+        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection reaped for stalling mid-frame or mid-write
+    /// (slowloris defence).
+    pub fn record_slow_reaped(&self) {
+        self.slow_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adjusts the open-connection gauge at accept (+1) / close (−1).
+    pub fn record_conn_open(&self) {
+        self.open_conns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// See [`record_conn_open`](Self::record_conn_open).
+    pub fn record_conn_close(&self) {
+        self.open_conns.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Records one executed batch and its coalesced size.
@@ -114,6 +156,11 @@ impl ServeStats {
             shed: self.shed.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             batches,
+            refused_accept: self.refused_accept.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
+            slow_reaped: self.slow_reaped.load(Ordering::Relaxed),
+            open_conns: self.open_conns.load(Ordering::Relaxed),
             p50_us: pct(0.50),
             p90_us: pct(0.90),
             p99_us: pct(0.99),
@@ -139,6 +186,16 @@ pub struct StatsSnapshot {
     pub errors: u64,
     /// Batches executed.
     pub batches: u64,
+    /// Connections refused at accept time by the connection limit.
+    pub refused_accept: u64,
+    /// Requests whose deadline expired in the queue (shed pre-inference).
+    pub deadline_expired: u64,
+    /// Connections reaped for exceeding the idle deadline.
+    pub idle_reaped: u64,
+    /// Connections reaped for stalling mid-frame or mid-write (slowloris).
+    pub slow_reaped: u64,
+    /// Connections currently open (gauge, not a counter).
+    pub open_conns: u64,
     /// Median end-to-end latency, µs (log₂-bucket upper bound).
     pub p50_us: u64,
     /// 90th-percentile latency, µs.
@@ -162,12 +219,19 @@ impl StatsSnapshot {
             .collect();
         format!(
             "{{\"completed\":{},\"shed\":{},\"errors\":{},\"batches\":{},\
+             \"refused_accept\":{},\"deadline_expired\":{},\"idle_reaped\":{},\
+             \"slow_reaped\":{},\"open_conns\":{},\
              \"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"mean_batch\":{:.3},\
              \"batch_hist\":[{}]}}",
             self.completed,
             self.shed,
             self.errors,
             self.batches,
+            self.refused_accept,
+            self.deadline_expired,
+            self.idle_reaped,
+            self.slow_reaped,
+            self.open_conns,
             self.p50_us,
             self.p90_us,
             self.p99_us,
@@ -224,6 +288,35 @@ mod tests {
         assert!(snap.batch_hist.contains(&(8, 1)));
         assert!(snap.batch_hist.contains(&(64, 1)));
         assert!(snap.mean_batch > 1.0);
+    }
+
+    #[test]
+    fn failure_taxonomy_counts_exactly() {
+        let s = ServeStats::default();
+        s.record_refused_accept();
+        s.record_refused_accept();
+        s.record_deadline_expired();
+        s.record_idle_reaped();
+        s.record_slow_reaped();
+        s.record_conn_open();
+        s.record_conn_open();
+        s.record_conn_close();
+        let snap = s.snapshot();
+        assert_eq!(snap.refused_accept, 2);
+        assert_eq!(snap.deadline_expired, 1);
+        assert_eq!(snap.idle_reaped, 1);
+        assert_eq!(snap.slow_reaped, 1);
+        assert_eq!(snap.open_conns, 1);
+        let j = snap.to_json();
+        for key in [
+            "refused_accept",
+            "deadline_expired",
+            "idle_reaped",
+            "slow_reaped",
+            "open_conns",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Hostile-client fault suite for the event-loop front-end: slowloris
+//! writers, idle squatters, connection floods, oversized frames, and
+//! pipelining — each must degrade into a typed refusal or a reaped
+//! connection while healthy clients keep getting bit-exact answers.
+
+use apt_nn::checkpoint;
+use apt_serve::protocol::{
+    self, OP_INFER, STATUS_BAD_REQUEST, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
+};
+use apt_serve::{
+    BatchPolicy, ConnLimits, InferenceSession, ModelArch, ModelSpec, ServeClient, ServeError,
+    Server, ServerConfig,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const IN_DIM: usize = 5;
+
+fn session() -> InferenceSession {
+    let spec = ModelSpec {
+        arch: ModelArch::Mlp(vec![IN_DIM, 8, 3]),
+        classes: 3,
+        img_size: 0,
+        width_mult: 1.0,
+    };
+    let mut net = spec.build().unwrap();
+    let blob = checkpoint::save_full(&mut net);
+    InferenceSession::from_checkpoint(&spec, &blob).unwrap()
+}
+
+fn start(limits: ConnLimits) -> (Server, InferenceSession) {
+    let s = session();
+    let server = Server::start(
+        s.clone(),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            policy: BatchPolicy::default(),
+            model_name: "hostile-test".to_string(),
+            limits,
+        },
+    )
+    .unwrap();
+    (server, s)
+}
+
+/// Reads until EOF or timeout; returns all bytes seen.
+fn read_until_eof(stream: &mut TcpStream, budget: Duration) -> Vec<u8> {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let mut all = Vec::new();
+    let mut buf = [0u8; 1024];
+    let t0 = Instant::now();
+    while t0.elapsed() < budget {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => all.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+    all
+}
+
+#[test]
+fn slowloris_is_reaped_while_healthy_client_unaffected() {
+    let (mut server, local) = start(ConnLimits {
+        read_timeout: Duration::from_millis(150),
+        ..ConnLimits::default()
+    });
+    let addr = server.addr();
+
+    // The attacker: a valid-looking header claiming 1000 bytes, then one
+    // byte every 40ms — the frame would take 40 seconds to complete.
+    let mut slow = TcpStream::connect(addr).unwrap();
+    let mut header = vec![OP_INFER];
+    header.extend_from_slice(&1000u32.to_le_bytes());
+    slow.write_all(&header).unwrap();
+
+    let t0 = Instant::now();
+    let mut reaped_after = None;
+    for _ in 0..100 {
+        if slow.write_all(&[0]).is_err() {
+            reaped_after = Some(t0.elapsed());
+            break;
+        }
+        // A closed peer can also surface as EOF on read.
+        slow.set_read_timeout(Some(Duration::from_millis(1)))
+            .unwrap();
+        let mut b = [0u8; 16];
+        if matches!(slow.read(&mut b), Ok(0)) {
+            reaped_after = Some(t0.elapsed());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+
+        // Healthy traffic keeps flowing the whole time.
+        let mut healthy = ServeClient::connect(addr).unwrap();
+        let sample = vec![0.25; IN_DIM];
+        assert_eq!(
+            healthy.infer(&sample).unwrap(),
+            local.infer_one(&sample).unwrap(),
+            "healthy client corrupted while slowloris in progress"
+        );
+    }
+    let reaped_after = reaped_after.expect("slowloris connection was never reaped");
+    assert!(
+        reaped_after >= Duration::from_millis(100),
+        "reaped too eagerly ({reaped_after:?}) — legitimate slow frames need headroom"
+    );
+    assert!(
+        reaped_after < Duration::from_secs(5),
+        "reaped too late ({reaped_after:?})"
+    );
+    let snap = server.stats();
+    assert!(snap.slow_reaped >= 1, "slow_reaped not counted: {snap:?}");
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_and_counted() {
+    let (mut server, _local) = start(ConnLimits {
+        idle_timeout: Duration::from_millis(120),
+        ..ConnLimits::default()
+    });
+    let mut idle = TcpStream::connect(server.addr()).unwrap();
+
+    // The peer says nothing at all; within a few sweep periods the server
+    // must close it.
+    let bytes = read_until_eof(&mut idle, Duration::from_secs(3));
+    assert!(bytes.is_empty(), "unexpected data on an idle connection");
+    let deadline = Instant::now() + Duration::from_secs(3);
+    loop {
+        let snap = server.stats();
+        if snap.idle_reaped >= 1 {
+            assert_eq!(snap.open_conns, 0, "gauge must drop back to zero");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "idle conn never reaped: {snap:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn connection_limit_refuses_typed_at_accept() {
+    let (mut server, local) = start(ConnLimits {
+        max_connections: 2,
+        ..ConnLimits::default()
+    });
+    let addr = server.addr();
+
+    // Two residents, both registered (a round trip proves acceptance).
+    let mut a = ServeClient::connect(addr).unwrap();
+    let mut b = ServeClient::connect(addr).unwrap();
+    a.health().unwrap();
+    b.health().unwrap();
+
+    // The third connect is answered with a typed Overloaded frame, then
+    // closed.
+    let mut refused = TcpStream::connect(addr).unwrap();
+    let bytes = read_until_eof(&mut refused, Duration::from_secs(3));
+    assert!(
+        bytes.len() >= 5,
+        "no refusal frame, got {} bytes",
+        bytes.len()
+    );
+    assert_eq!(bytes[0], STATUS_OVERLOADED, "refusal must be typed");
+
+    let snap = server.stats();
+    assert_eq!(snap.refused_accept, 1);
+    assert_eq!(snap.open_conns, 2);
+
+    // The residents are unharmed.
+    let sample = vec![-0.5; IN_DIM];
+    assert_eq!(a.infer(&sample).unwrap(), local.infer_one(&sample).unwrap());
+
+    // Capacity freed by a departing resident is reusable.
+    drop(b);
+    let deadline = Instant::now() + Duration::from_secs(3);
+    let mut c = loop {
+        if let Ok(mut c) = ServeClient::connect(addr) {
+            if c.health().is_ok() {
+                break c;
+            }
+        }
+        assert!(Instant::now() < deadline, "slot never freed");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(c.infer(&sample).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_gets_bad_request_then_close() {
+    let (mut server, _local) = start(ConnLimits::default());
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    let mut hdr = vec![OP_INFER];
+    hdr.extend_from_slice(&u32::MAX.to_le_bytes());
+    raw.write_all(&hdr).unwrap();
+
+    let bytes = read_until_eof(&mut raw, Duration::from_secs(3));
+    assert!(bytes.len() >= 5, "no error frame before close");
+    assert_eq!(bytes[0], STATUS_BAD_REQUEST);
+    // After the error frame the server hung up (EOF was reached) — any
+    // following write eventually errors.
+    let mut dead = false;
+    for _ in 0..50 {
+        if raw.write_all(&[0u8; 64]).is_err() {
+            dead = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(dead, "connection survived a framing violation");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answered_in_order() {
+    let (mut server, local) = start(ConnLimits::default());
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+
+    // Fire 8 infer frames back-to-back without reading.
+    let samples: Vec<Vec<f32>> = (0..8)
+        .map(|i| {
+            (0..IN_DIM)
+                .map(|j| (i * IN_DIM + j) as f32 * 0.13 - 1.0)
+                .collect()
+        })
+        .collect();
+    let mut burst = Vec::new();
+    for s in &samples {
+        protocol::write_frame(&mut burst, OP_INFER, &protocol::encode_f32s(s)).unwrap();
+    }
+    raw.write_all(&burst).unwrap();
+
+    // Responses come back in request order, each bit-exact.
+    for (i, s) in samples.iter().enumerate() {
+        let (status, body) = protocol::read_frame(&mut raw).unwrap();
+        assert_eq!(status, STATUS_OK, "pipelined request {i} failed");
+        let got = protocol::decode_f32s(&body).unwrap();
+        let want = local.infer_one(s).unwrap();
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "pipelined request {i} corrupted or misordered"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pipelining_beyond_bound_is_throttled_not_dropped() {
+    // max_pipeline 2: the server stops reading while 2 requests are in
+    // flight, but every request still gets exactly one in-order answer.
+    let (mut server, local) = start(ConnLimits {
+        max_pipeline: 2,
+        ..ConnLimits::default()
+    });
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    let samples: Vec<Vec<f32>> = (0..12)
+        .map(|i| vec![i as f32 * 0.07 - 0.4; IN_DIM])
+        .collect();
+    let mut burst = Vec::new();
+    for s in &samples {
+        protocol::write_frame(&mut burst, OP_INFER, &protocol::encode_f32s(s)).unwrap();
+    }
+    raw.write_all(&burst).unwrap();
+    for (i, s) in samples.iter().enumerate() {
+        let (status, body) = protocol::read_frame(&mut raw).unwrap();
+        assert_eq!(status, STATUS_OK, "request {i}");
+        assert_eq!(
+            protocol::decode_f32s(&body).unwrap(),
+            local.infer_one(s).unwrap(),
+            "request {i} corrupted under pipeline throttling"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn request_deadline_sheds_typed_through_the_wire() {
+    // A zero-ish request deadline: everything expires in the queue and
+    // must come back as a typed deadline status, never a hang.
+    let (mut server, _local) = start(ConnLimits {
+        request_timeout: Duration::from_nanos(1),
+        ..ConnLimits::default()
+    });
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    match client.infer(&vec![0.1; IN_DIM]) {
+        Err(ServeError::DeadlineExceeded { .. }) => {}
+        other => panic!("expected DeadlineExceeded over the wire, got {other:?}"),
+    }
+    let snap = server.stats();
+    assert_eq!(snap.deadline_expired, 1);
+    assert_eq!(snap.completed, 0, "expired work must not run");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_notice_is_typed_on_idle_connections() {
+    let (mut server, _local) = start(ConnLimits::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    client.health().unwrap();
+    server.shutdown();
+    // The pushed SHUTTING_DOWN frame (or a closed socket) is what the next
+    // round trip sees.
+    match client.infer(&vec![0.0; IN_DIM]) {
+        Err(ServeError::ShuttingDown) | Err(ServeError::Io(_)) => {}
+        other => panic!("expected typed shutdown, got {other:?}"),
+    }
+    // And the raw bytes really are the typed status, when they made it out.
+    let (mut server2, _) = start(ConnLimits::default());
+    let mut raw = TcpStream::connect(server2.addr()).unwrap();
+    // Ensure registration before shutdown.
+    protocol::write_frame(&mut raw, apt_serve::protocol::OP_HEALTH, &[]).unwrap();
+    let (status, _) = protocol::read_frame(&mut raw).unwrap();
+    assert_eq!(status, STATUS_OK);
+    server2.shutdown();
+    let bytes = read_until_eof(&mut raw, Duration::from_secs(3));
+    if bytes.len() >= 5 {
+        assert_eq!(bytes[0], STATUS_SHUTTING_DOWN);
+    }
+}
+
+#[test]
+fn retry_policy_rides_out_overload() {
+    // Tiny queue on a slow batch window: bare sends shed; retried sends
+    // eventually land.
+    let s = session();
+    let server = Server::start(
+        s.clone(),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            policy: BatchPolicy {
+                max_batch: 1,
+                max_delay: Duration::from_micros(1),
+                queue_depth: 1,
+            },
+            model_name: "retry-test".to_string(),
+            limits: ConnLimits::default(),
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let mut threads = Vec::new();
+    for t in 0..6 {
+        let s = s.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut client = ServeClient::connect(addr).unwrap();
+            let policy = apt_serve::RetryPolicy {
+                max_retries: 40,
+                base_delay: Duration::from_micros(200),
+                max_delay: Duration::from_millis(10),
+                jitter: 0.5,
+                seed: t,
+            };
+            let sample = vec![t as f32 * 0.11; IN_DIM];
+            let got = client.infer_retry(&sample, &policy).unwrap();
+            assert_eq!(got, s.infer_one(&sample).unwrap());
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let mut server = server;
+    server.shutdown();
+}

@@ -31,6 +31,7 @@ fn start_server(dims: &[usize], policy: BatchPolicy) -> (Server, InferenceSessio
             addr: "127.0.0.1:0".to_string(),
             policy,
             model_name: "test-mlp".to_string(),
+            ..ServerConfig::default()
         },
     )
     .unwrap();

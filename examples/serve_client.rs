@@ -14,7 +14,8 @@
 
 use apt::nn::checkpoint;
 use apt::serve::{
-    BatchPolicy, InferenceSession, ModelArch, ModelSpec, ServeClient, Server, ServerConfig,
+    BatchPolicy, ClientConfig, ConnLimits, InferenceSession, ModelArch, ModelSpec, RetryPolicy,
+    ServeClient, Server, ServerConfig,
 };
 use apt::tensor::rng;
 use std::time::Duration;
@@ -42,13 +43,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             queue_depth: 64,
         },
         model_name: "mlp:48-32-10".to_string(),
+        // Overload protection: connection cap, idle/read deadlines for
+        // hostile peers, and a per-request queue deadline. Defaults are
+        // production-ish; shown explicitly here.
+        limits: ConnLimits {
+            max_connections: 64,
+            request_timeout: Duration::from_secs(2),
+            ..ConnLimits::default()
+        },
     };
     let mut server = Server::start(session.clone(), config)?;
     let addr = server.addr();
     println!("serving on {addr}");
 
-    // Client side: liveness + identity first.
-    let mut client = ServeClient::connect(addr)?;
+    // Client side: socket deadlines so a hung server can never park this
+    // thread forever. Liveness + identity first.
+    let mut client = ServeClient::connect_with(addr, &ClientConfig::with_deadlines())?;
     println!("health: {}", client.health()?);
 
     // Concurrent inference from four connections; every response is
@@ -57,11 +67,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for c in 0..4u64 {
         let expect_session = session.clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
-            let mut client = ServeClient::connect(addr).map_err(|e| e.to_string())?;
+            let mut client = ServeClient::connect_with(addr, &ClientConfig::with_deadlines())
+                .map_err(|e| e.to_string())?;
+            // If the server sheds under load, back off and retry with
+            // jittered exponential backoff instead of failing the request.
+            let retry = RetryPolicy::default();
             let mut r = rng::substream(7, c);
             for _ in 0..25 {
                 let sample = rng::normal(&[48], 1.0, &mut r).into_vec();
-                let got = client.infer(&sample).map_err(|e| e.to_string())?;
+                let got = client
+                    .infer_retry(&sample, &retry)
+                    .map_err(|e| e.to_string())?;
                 let want = expect_session
                     .infer_one(&sample)
                     .map_err(|e| e.to_string())?;

@@ -14,7 +14,9 @@
 //! text (exit code 2); runtime failures exit 1. Nothing in this binary
 //! panics on bad user input.
 
-use apt_serve::{BatchPolicy, InferenceSession, ModelArch, ModelSpec, Server, ServerConfig};
+use apt_serve::{
+    BatchPolicy, ConnLimits, InferenceSession, ModelArch, ModelSpec, Server, ServerConfig,
+};
 use std::fmt;
 use std::str::FromStr;
 use std::time::Duration;
@@ -56,7 +58,14 @@ serving:
   --max-delay-us N      batching window in microsecs  [default 2000]
   --queue-depth N       admission queue bound         [default 128]
   --threads N           compute pool size             [default all cores]
-  --stats-every SECS    print serving stats period    [default 10, 0 = off]";
+  --stats-every SECS    print serving stats period    [default 10, 0 = off]
+
+overload protection:
+  --max-conns N         concurrent connection cap     [default 1024]
+  --idle-timeout-ms N   reap silent connections after [default 60000, 0 = off]
+  --read-timeout-ms N   reap mid-frame stalls after   [default 10000, 0 = off]
+  --request-timeout-ms N  shed queued requests after  [default 5000, 0 = off]
+  --max-pipeline N      per-connection in-flight cap  [default 32]";
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
@@ -107,6 +116,7 @@ struct ServeArgs {
     width_mult: f32,
     addr: String,
     policy: BatchPolicy,
+    limits: ConnLimits,
     threads: Option<usize>,
     stats_every: u64,
 }
@@ -122,6 +132,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
         width_mult: 0.25,
         addr: "127.0.0.1:7878".to_string(),
         policy: BatchPolicy::default(),
+        limits: ConnLimits::default(),
         threads: None,
         stats_every: 10,
     };
@@ -153,6 +164,17 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
                 out.policy.max_delay = Duration::from_micros(parse_flag(flag, value)?)
             }
             "--queue-depth" => out.policy.queue_depth = parse_flag(flag, value)?,
+            "--max-conns" => out.limits.max_connections = parse_flag(flag, value)?,
+            "--idle-timeout-ms" => {
+                out.limits.idle_timeout = Duration::from_millis(parse_flag(flag, value)?)
+            }
+            "--read-timeout-ms" => {
+                out.limits.read_timeout = Duration::from_millis(parse_flag(flag, value)?)
+            }
+            "--request-timeout-ms" => {
+                out.limits.request_timeout = Duration::from_millis(parse_flag(flag, value)?)
+            }
+            "--max-pipeline" => out.limits.max_pipeline = parse_flag(flag, value)?,
             "--threads" => {
                 let n: usize = parse_flag(flag, value)?;
                 if n == 0 {
@@ -169,6 +191,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
         checkpoint.ok_or_else(|| CliError::Usage("--checkpoint is required".into()))?;
     out.model = model.ok_or_else(|| CliError::Usage("--model is required".into()))?;
     out.policy
+        .validate()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    out.limits
         .validate()
         .map_err(|e| CliError::Usage(e.to_string()))?;
     Ok(out)
@@ -201,6 +226,7 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
         addr: a.addr.clone(),
         policy: a.policy.clone(),
         model_name: model_name.clone(),
+        limits: a.limits.clone(),
     };
     let server = Server::start(session.clone(), config)
         .map_err(|e| CliError::Runtime(format!("cannot start server on `{}`: {e}", a.addr)))?;
@@ -217,6 +243,14 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
         a.policy.max_delay.as_micros(),
         a.policy.queue_depth
     );
+    println!(
+        "limits: max_conns {}, idle {}ms, read {}ms, request {}ms, pipeline {}",
+        a.limits.max_connections,
+        a.limits.idle_timeout.as_millis(),
+        a.limits.read_timeout.as_millis(),
+        a.limits.request_timeout.as_millis(),
+        a.limits.max_pipeline
+    );
 
     // Foreground loop: the server runs on its own threads; this thread
     // periodically reports stats until the process is killed.
@@ -225,8 +259,19 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
         if a.stats_every > 0 {
             let s = server.stats();
             println!(
-                "stats: {} ok / {} shed / {} errors | p50 {}µs p90 {}µs p99 {}µs | mean batch {:.2}",
-                s.completed, s.shed, s.errors, s.p50_us, s.p90_us, s.p99_us, s.mean_batch
+                "stats: {} ok / {} shed / {} expired / {} errors | p50 {}µs p90 {}µs p99 {}µs | mean batch {:.2} | conns {} open, {} refused, {} idle-reaped, {} slow-reaped",
+                s.completed,
+                s.shed,
+                s.deadline_expired,
+                s.errors,
+                s.p50_us,
+                s.p90_us,
+                s.p99_us,
+                s.mean_batch,
+                s.open_conns,
+                s.refused_accept,
+                s.idle_reaped,
+                s.slow_reaped
             );
         }
     }

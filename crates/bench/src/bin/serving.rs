@@ -9,7 +9,7 @@
 //! the sweep doubles as an end-to-end correctness check: any lost,
 //! corrupted, or misrouted response is counted and fails the smoke gate.
 //!
-//! The robustness cells exercise the overload model:
+//! The robustness cells exercise the overload model and the model fleet:
 //!
 //! * **soak** — [`SOAK_CONNS`] idle connections squat on the server while
 //!   one healthy client keeps working; a counting global allocator bounds
@@ -22,6 +22,15 @@
 //!   capacity; every submission must resolve to a bit-exact answer or a
 //!   typed `Overloaded`/`DeadlineExceeded` refusal, with client-observed
 //!   counts matching the server's shed taxonomy exactly.
+//! * **fleet** — [`FLEET_SWAPS`] hot-swaps of the default model under
+//!   closed-loop load (every response bit-exact for the plan version that
+//!   served it, swap p99 measured through the full validation ladder),
+//!   then budgeted eviction: the cold tenant answers typed
+//!   `ModelUnavailable` while the hot one keeps serving.
+//! * **corruption** — a campaign of flipped and truncated checkpoint
+//!   uploads hits the in-band reload path; 100% must be typed-rejected and
+//!   quarantined with reason sidecars while the published plan serves on,
+//!   bit-exact.
 //!
 //! Outputs: `results/serving.csv` + `BENCH_serving.json`.
 //!
@@ -34,19 +43,25 @@
 //! 4. soak: idle connections cost bounded heap and the healthy client
 //!    holds p99 and bit-exactness,
 //! 5. slowloris: every dribbler reaped, healthy clients unharmed,
-//! 6. overload: exact typed accounting, nothing lost or corrupted.
+//! 6. overload: exact typed accounting, nothing lost or corrupted,
+//! 7. fleet: zero corruption across ≥100 hot-swaps, swap p99 under
+//!    [`SWAP_P99_BUDGET_US`], typed eviction under memory pressure,
+//! 8. corruption: every damaged upload quarantined, serving undisturbed.
 
 use apt_bench::results_dir;
+use apt_core::faults::{flip_byte, truncate_file};
 use apt_nn::{checkpoint, models, QuantScheme};
 use apt_quant::Bitwidth;
 use apt_serve::{
-    protocol, BatchPolicy, ConnLimits, InferenceSession, ModelArch, ModelSpec, RetryPolicy,
-    ServeClient, ServeError, Server, ServerConfig,
+    protocol, BatchPolicy, ConnLimits, InferenceSession, ModelArch, ModelRegistry, ModelSpec,
+    RegistryConfig, RetryPolicy, ServeClient, ServeError, Server, ServerConfig,
 };
 use apt_tensor::{par, rng};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Write;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Global allocator that tracks live (alloc − dealloc) heap bytes, so the
@@ -106,24 +121,51 @@ const SLOWLORIS_ATTACKERS: usize = 4;
 /// Closed-loop clients in the overload cell (~4× the queue's capacity).
 const OVERLOAD_CLIENTS: usize = 24;
 
+/// Hot-swaps performed under load by the fleet cell.
+const FLEET_SWAPS: usize = 100;
+
+/// Distinct checkpoint versions the fleet swapper rotates through.
+const FLEET_VERSIONS: usize = 6;
+
+/// Closed-loop clients hammering the default model during the swaps.
+const FLEET_CLIENTS: usize = 4;
+
+/// Smoke-gate p99 budget for one full hot-swap: the whole validation
+/// ladder (structural verify → load + probe forward → digest stability)
+/// plus the atomic publish, measured at the caller.
+const SWAP_P99_BUDGET_US: u64 = 250_000;
+
 /// Builds a frozen session at the given weight bitwidth (32 = fp32) via a
 /// full checkpoint round-trip, exactly as `apt serve` would load it.
 fn build_session(bits: u32) -> InferenceSession {
+    let blob = build_blob(bits, 11);
+    InferenceSession::from_checkpoint(&fleet_spec(), &blob).expect("session loads")
+}
+
+/// The [`ModelSpec`] every fleet/corruption checkpoint loads against.
+fn fleet_spec() -> ModelSpec {
+    ModelSpec {
+        arch: ModelArch::Mlp(DIMS.to_vec()),
+        classes: *DIMS.last().expect("dims nonempty"),
+        img_size: 0,
+        width_mult: 1.0,
+    }
+}
+
+/// A frozen network at the given weight bitwidth with weights drawn from
+/// `seed` — distinct seeds give bit-distinguishable plans.
+fn build_net(bits: u32, seed: u64) -> apt_nn::Network {
     let scheme = if bits == 32 {
         QuantScheme::float32()
     } else {
         QuantScheme::fully_quantized(Bitwidth::new(bits).expect("valid bitwidth"))
     };
-    let mut net =
-        models::mlp("serve-bench", DIMS, &scheme, &mut rng::seeded(11)).expect("model builds");
-    let blob = checkpoint::save_full(&mut net);
-    let spec = ModelSpec {
-        arch: ModelArch::Mlp(DIMS.to_vec()),
-        classes: *DIMS.last().expect("dims nonempty"),
-        img_size: 0,
-        width_mult: 1.0,
-    };
-    InferenceSession::from_checkpoint(&spec, &blob).expect("session loads")
+    models::mlp("serve-bench", DIMS, &scheme, &mut rng::seeded(seed)).expect("model builds")
+}
+
+/// A current-version checkpoint blob for [`build_net`]'s network.
+fn build_blob(bits: u32, seed: u64) -> Vec<u8> {
+    checkpoint::save_full(&mut build_net(bits, seed))
 }
 
 /// Deterministic per-client request sets with locally computed expected
@@ -192,6 +234,11 @@ struct Row {
     p90_us: u64,
     p99_us: u64,
     mean_batch: f64,
+    swaps: u64,
+    evictions: u64,
+    quarantines: u64,
+    model_unavailable: u64,
+    swap_p99_us: u64,
 }
 
 /// Drives one throughput cell: starts a server, hammers it with [`CLIENTS`]
@@ -296,6 +343,11 @@ fn run_cell(bits: u32, threads: usize, policy: &Policy, per_client: usize) -> Ro
         p90_us: stats.p90_us,
         p99_us: stats.p99_us,
         mean_batch: stats.mean_batch,
+        swaps: stats.swaps,
+        evictions: stats.evictions,
+        quarantines: stats.quarantines,
+        model_unavailable: stats.model_unavailable,
+        swap_p99_us: 0,
     }
 }
 
@@ -432,6 +484,11 @@ fn soak_cell(per_client: usize) -> (Row, bool) {
             p90_us: stats.p90_us,
             p99_us: stats.p99_us,
             mean_batch: stats.mean_batch,
+            swaps: stats.swaps,
+            evictions: stats.evictions,
+            quarantines: stats.quarantines,
+            model_unavailable: stats.model_unavailable,
+            swap_p99_us: 0,
         },
         gate_ok,
     )
@@ -594,6 +651,11 @@ fn slowloris_cell(per_client: usize) -> (Row, bool) {
             p90_us: stats.p90_us,
             p99_us: stats.p99_us,
             mean_batch: stats.mean_batch,
+            swaps: stats.swaps,
+            evictions: stats.evictions,
+            quarantines: stats.quarantines,
+            model_unavailable: stats.model_unavailable,
+            swap_p99_us: 0,
         },
         gate_ok,
     )
@@ -752,6 +814,485 @@ fn overload_cell(per_client: usize) -> (Row, bool) {
             p90_us: stats.p90_us,
             p99_us: stats.p99_us,
             mean_batch: stats.mean_batch,
+            swaps: stats.swaps,
+            evictions: stats.evictions,
+            quarantines: stats.quarantines,
+            model_unavailable: stats.model_unavailable,
+            swap_p99_us: 0,
+        },
+        gate_ok,
+    )
+}
+
+/// Fleet cell: closed-loop clients hammer the default model while
+/// [`FLEET_SWAPS`] hot-swaps push new checkpoint versions through the full
+/// validation ladder, then the memory-pressure leg evicts a cold tenant
+/// under a tight resident-bytes budget.
+///
+/// Gates: every response is bit-exact for *some* published plan version
+/// (zero corrupted/lost), client/server completion and refusal counts
+/// reconcile exactly, every republish counts as a swap, swap p99 stays
+/// under [`SWAP_P99_BUDGET_US`], the evicted tenant answers typed
+/// `ModelUnavailable`, and the hot model keeps serving bit-exactly.
+fn fleet_cell() -> (Row, bool) {
+    par::set_global_threads(1);
+    let mut gate_ok = true;
+    let spec = fleet_spec();
+    let blobs: Vec<Vec<u8>> = (0..FLEET_VERSIONS as u64)
+        .map(|v| build_blob(8, 4000 + v))
+        .collect();
+    let sample = rng::normal(&[DIMS[0]], 1.0, &mut rng::seeded(31)).into_vec();
+
+    // The differential baseline: a fresh single-model session per
+    // checkpoint defines the only legal response bits for that version.
+    let expected: Vec<Vec<u32>> = blobs
+        .iter()
+        .map(|b| {
+            let fresh = InferenceSession::from_checkpoint(&spec, b).expect("fresh session");
+            let row = fresh.infer_one(&sample).expect("local forward");
+            row.iter().map(|v| v.to_bits()).collect()
+        })
+        .collect();
+
+    // Budget sized for roughly two resident plans so the eviction leg
+    // exercises real memory pressure rather than an unbounded fleet.
+    let probe = ModelRegistry::new(RegistryConfig::default());
+    probe
+        .ingest_blob("probe", &spec, &blobs[0])
+        .expect("probe ingest");
+    let one = probe.resident_bytes();
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+        budget_bytes: one * 2 + one / 2,
+        ..RegistryConfig::default()
+    }));
+    registry
+        .ingest_blob("m", &spec, &blobs[0])
+        .expect("initial publish");
+    let mut server = Server::start_with_registry(
+        Arc::clone(&registry),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            policy: BatchPolicy {
+                max_batch: 8,
+                max_delay: Duration::from_micros(500),
+                queue_depth: 256,
+            },
+            model_name: "m".to_string(),
+            limits: ConnLimits::default(),
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let t0 = Instant::now();
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..FLEET_CLIENTS)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let sample = sample.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut corrupted = 0u64;
+                let mut lost = 0u64;
+                let mut typed = 0u64;
+                let mut versions = vec![false; FLEET_VERSIONS];
+                let mut client = match ServeClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => return (0, 0, 1, 0, versions),
+                };
+                while !stop.load(Ordering::SeqCst) {
+                    match client.infer(&sample) {
+                        Ok(row) => {
+                            let got: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+                            match expected.iter().position(|want| *want == got) {
+                                Some(v) => {
+                                    versions[v] = true;
+                                    ok += 1;
+                                }
+                                None => corrupted += 1,
+                            }
+                        }
+                        Err(
+                            ServeError::Overloaded { .. } | ServeError::DeadlineExceeded { .. },
+                        ) => typed += 1,
+                        Err(_) => lost += 1,
+                    }
+                }
+                (ok, corrupted, lost, typed, versions)
+            })
+        })
+        .collect();
+
+    // The swapper: each republish runs the whole ladder before the atomic
+    // pointer swap, so its duration is the swap latency a deployer sees.
+    let mut swap_us: Vec<u64> = Vec::with_capacity(FLEET_SWAPS);
+    for i in 0..FLEET_SWAPS {
+        let b = &blobs[(i + 1) % FLEET_VERSIONS];
+        let s0 = Instant::now();
+        let outcome = registry.ingest_blob("m", &spec, b).expect("swap publish");
+        swap_us.push(s0.elapsed().as_micros() as u64);
+        if !outcome.replaced {
+            println!("FAIL: fleet swap {i} did not replace the resident plan");
+            gate_ok = false;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::SeqCst);
+
+    let mut ok = 0u64;
+    let mut corrupted = 0u64;
+    let mut lost = 0u64;
+    let mut typed = 0u64;
+    let mut seen = vec![false; FLEET_VERSIONS];
+    for h in clients {
+        let (o, co, l, ty, versions) = h.join().expect("fleet client thread");
+        ok += o;
+        corrupted += co;
+        lost += l;
+        typed += ty;
+        for (a, b) in seen.iter_mut().zip(versions) {
+            *a |= b;
+        }
+    }
+
+    // Post-quiesce differential: the resident plan must match a fresh
+    // session over the last published checkpoint, bit for bit.
+    let final_bits = &expected[FLEET_SWAPS % FLEET_VERSIONS];
+    let mut main_client = ServeClient::connect(addr).expect("post-swap connect");
+    let check_hot = |client: &mut ServeClient, when: &str| -> (u64, u64) {
+        let row = client.infer(&sample).expect("hot-model infer");
+        let got: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+        if got == *final_bits {
+            (1, 0)
+        } else {
+            println!("FAIL: fleet hot model diverged from the last published plan ({when})");
+            (0, 1)
+        }
+    };
+    let (o, c) = check_hot(&mut main_client, "post-swap");
+    ok += o;
+    corrupted += c;
+    gate_ok &= c == 0;
+
+    // Memory-pressure leg: a second tenant fills the budget; touching the
+    // default keeps it hot, so the third publish evicts the cold one.
+    registry
+        .ingest_blob("cold", &spec, &build_blob(8, 5001))
+        .expect("cold publish");
+    let (o, c) = check_hot(&mut main_client, "post-cold-publish");
+    ok += o;
+    corrupted += c;
+    gate_ok &= c == 0;
+    let outcome = registry
+        .ingest_blob("third", &spec, &build_blob(8, 5002))
+        .expect("third publish");
+    if outcome.evicted != vec!["cold".to_string()] {
+        println!(
+            "FAIL: budget eviction removed {:?}, wanted [\"cold\"]",
+            outcome.evicted
+        );
+        gate_ok = false;
+    }
+    match main_client.infer_model("cold", &sample) {
+        Err(ServeError::ModelUnavailable { model, reason })
+            if model == "cold" && reason.contains("evicted") => {}
+        other => {
+            println!("FAIL: evicted tenant answered {other:?}, wanted typed ModelUnavailable");
+            gate_ok = false;
+        }
+    }
+    let (o, c) = check_hot(&mut main_client, "post-eviction");
+    ok += o;
+    corrupted += c;
+    gate_ok &= c == 0;
+
+    let wall = t0.elapsed();
+    let snap = server.stats();
+    server.shutdown();
+
+    swap_us.sort_unstable();
+    let swap_p99 = swap_us[((swap_us.len() * 99) / 100).min(swap_us.len() - 1)];
+
+    println!(
+        "  fleet: {} swaps (p99 {}µs), {} bit-exact responses across {} plan versions, \
+         {} evictions, {} typed unavailable",
+        FLEET_SWAPS,
+        swap_p99,
+        ok,
+        seen.iter().filter(|&&v| v).count(),
+        snap.evictions,
+        snap.model_unavailable
+    );
+    if corrupted != 0 || lost != 0 {
+        println!("FAIL: fleet saw {corrupted} corrupted, {lost} lost responses under swap load");
+        gate_ok = false;
+    }
+    if snap.completed != ok {
+        println!(
+            "FAIL: fleet server completed {} but clients verified {ok}",
+            snap.completed
+        );
+        gate_ok = false;
+    }
+    if snap.shed + snap.deadline_expired != typed {
+        println!(
+            "FAIL: fleet refusal taxonomy: clients saw {typed}, server recorded {}",
+            snap.shed + snap.deadline_expired
+        );
+        gate_ok = false;
+    }
+    if snap.errors != 0 {
+        println!("FAIL: fleet recorded {} batch errors", snap.errors);
+        gate_ok = false;
+    }
+    if snap.swaps != FLEET_SWAPS as u64 {
+        println!(
+            "FAIL: {} swaps recorded, expected {FLEET_SWAPS}",
+            snap.swaps
+        );
+        gate_ok = false;
+    }
+    if snap.evictions != 1 || snap.model_unavailable != 1 {
+        println!(
+            "FAIL: eviction accounting: {} evictions / {} unavailable, expected 1 / 1",
+            snap.evictions, snap.model_unavailable
+        );
+        gate_ok = false;
+    }
+    if seen.iter().filter(|&&v| v).count() < 2 {
+        println!("FAIL: load never observed a hot-swap take effect: {seen:?}");
+        gate_ok = false;
+    }
+    if swap_p99 > SWAP_P99_BUDGET_US {
+        println!("FAIL: swap p99 {swap_p99}µs over {SWAP_P99_BUDGET_US}µs budget");
+        gate_ok = false;
+    }
+
+    (
+        Row {
+            cell: "fleet",
+            bits: 8,
+            threads: 1,
+            policy: "batch8",
+            max_batch: 8,
+            max_delay_us: 500,
+            clients: FLEET_CLIENTS + 1,
+            requests: ok + typed + corrupted + lost,
+            ok,
+            shed: snap.shed,
+            deadline_expired: snap.deadline_expired,
+            corrupted,
+            lost,
+            refused_accept: snap.refused_accept,
+            idle_reaped: snap.idle_reaped,
+            slow_reaped: snap.slow_reaped,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            rps: ok as f64 / wall.as_secs_f64().max(1e-9),
+            p50_us: snap.p50_us,
+            p90_us: snap.p90_us,
+            p99_us: snap.p99_us,
+            mean_batch: snap.mean_batch,
+            swaps: snap.swaps,
+            evictions: snap.evictions,
+            quarantines: snap.quarantines,
+            model_unavailable: snap.model_unavailable,
+            swap_p99_us: swap_p99,
+        },
+        gate_ok,
+    )
+}
+
+/// Corruption-campaign cell: flipped and truncated checkpoint uploads hit
+/// the in-band directory-reload path (`OP_RELOAD`). The campaign uses
+/// CRC-protected versions (v2/v3) for flips — where rejection is a hard
+/// contract — and every version for truncations, which are structural.
+///
+/// Gates: 100% of the damaged uploads are typed-rejected and moved to
+/// quarantine with `.reason` sidecars, none is left in the model dir, the
+/// published plan keeps serving bit-exactly through the campaign, and a
+/// quarantined id answers typed `ModelUnavailable` on the wire.
+fn corruption_cell() -> (Row, bool) {
+    par::set_global_threads(1);
+    let mut gate_ok = true;
+    let dir = std::env::temp_dir().join(format!("apt-bench-corruption-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("campaign dir");
+    let qdir = dir.join("quarantine");
+
+    let spec = fleet_spec();
+    std::fs::write(dir.join("serving.aptc"), build_blob(8, 77)).expect("write serving model");
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+        model_dir: Some(dir.clone()),
+        quarantine_dir: Some(qdir.clone()),
+        spec: Some(spec),
+        ..RegistryConfig::default()
+    }));
+    let report = registry.rescan().expect("initial rescan");
+    if report.ingested != vec!["serving".to_string()] {
+        println!("FAIL: initial rescan ingested {:?}", report.ingested);
+        gate_ok = false;
+    }
+    let mut server = Server::start_with_registry(
+        Arc::clone(&registry),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            policy: BatchPolicy {
+                max_batch: 8,
+                max_delay: Duration::from_micros(2000),
+                queue_depth: 128,
+            },
+            model_name: "serving".to_string(),
+            limits: ConnLimits::default(),
+        },
+    )
+    .expect("server starts");
+    let mut client = ServeClient::connect(server.addr()).expect("client connect");
+    let sample = rng::normal(&[DIMS[0]], 1.0, &mut rng::seeded(61)).into_vec();
+    let baseline: Vec<u32> = client
+        .infer(&sample)
+        .expect("baseline infer")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let mut ok = 1u64;
+    let mut corrupted = 0u64;
+
+    // The campaign: drop damaged files into the watched directory.
+    let t0 = Instant::now();
+    let mut campaign = 0usize;
+    for version in [2u16, 3] {
+        let original = checkpoint::save_full_as(&mut build_net(8, 90 + version as u64), version)
+            .expect("versioned save");
+        for k in 0..6usize {
+            let path = dir.join(format!("bad-v{version}-flip{k}.aptc"));
+            std::fs::write(&path, &original).expect("write campaign file");
+            flip_byte(&path, (original.len() / 7) * (k + 1), 0x5A).expect("flip");
+            campaign += 1;
+        }
+    }
+    for version in [1u16, 2, 3] {
+        let original = checkpoint::save_full_as(&mut build_net(8, 90 + version as u64), version)
+            .expect("versioned save");
+        for k in 0..3usize {
+            let path = dir.join(format!("bad-v{version}-cut{k}.aptc"));
+            std::fs::write(&path, &original).expect("write campaign file");
+            truncate_file(&path, original.len() / (k + 2)).expect("truncate");
+            campaign += 1;
+        }
+    }
+
+    // Reload in-band, over the same connection that keeps inferring.
+    let report_json = client.reload().expect("in-band reload");
+    if !report_json.contains("bad-v3-flip0.aptc") {
+        println!("FAIL: reload report does not name the rejected files: {report_json}");
+        gate_ok = false;
+    }
+
+    // 100% rejection + quarantine with sidecars; nothing left behind.
+    for entry in std::fs::read_dir(&dir).expect("read model dir") {
+        let name = entry.expect("dir entry").file_name();
+        if name.to_string_lossy().starts_with("bad-") {
+            println!("FAIL: corrupt upload {name:?} left in the model dir");
+            gate_ok = false;
+        }
+    }
+    let (mut moved, mut sidecars) = (0usize, 0usize);
+    if qdir.is_dir() {
+        for entry in std::fs::read_dir(&qdir).expect("read quarantine dir") {
+            let name = entry.expect("dir entry").file_name();
+            if name.to_string_lossy().ends_with(".reason") {
+                sidecars += 1;
+            } else {
+                moved += 1;
+            }
+        }
+    }
+    if moved != campaign || sidecars != campaign {
+        println!(
+            "FAIL: quarantine holds {moved} files + {sidecars} sidecars, expected {campaign} each"
+        );
+        gate_ok = false;
+    }
+
+    // The serving plan is untouched bit-for-bit, and a quarantined id is
+    // a typed in-band miss — the connection survives both.
+    let after: Vec<u32> = client
+        .infer(&sample)
+        .expect("post-campaign infer")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    if after == baseline {
+        ok += 1;
+    } else {
+        println!("FAIL: corrupt uploads disturbed the serving plan");
+        corrupted += 1;
+        gate_ok = false;
+    }
+    match client.infer_model("bad-v3-flip0", &sample) {
+        Err(ServeError::ModelUnavailable { .. }) => {}
+        other => {
+            println!("FAIL: quarantined id answered {other:?}, wanted typed ModelUnavailable");
+            gate_ok = false;
+        }
+    }
+
+    let wall = t0.elapsed();
+    let snap = server.stats();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "  corruption: {campaign} damaged uploads → {} quarantined with sidecars; \
+         serving plan bit-exact, {} resident",
+        snap.quarantines, snap.models_resident
+    );
+    if snap.quarantines != campaign as u64 {
+        println!(
+            "FAIL: only {}/{campaign} corrupt uploads counted as quarantined",
+            snap.quarantines
+        );
+        gate_ok = false;
+    }
+    if snap.models_resident != 1 {
+        println!(
+            "FAIL: {} models resident after the campaign, expected 1",
+            snap.models_resident
+        );
+        gate_ok = false;
+    }
+
+    (
+        Row {
+            cell: "corruption",
+            bits: 8,
+            threads: 1,
+            policy: "batch8",
+            max_batch: 8,
+            max_delay_us: 2000,
+            clients: 1,
+            requests: ok + corrupted,
+            ok,
+            shed: snap.shed,
+            deadline_expired: snap.deadline_expired,
+            corrupted,
+            lost: 0,
+            refused_accept: snap.refused_accept,
+            idle_reaped: snap.idle_reaped,
+            slow_reaped: snap.slow_reaped,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            rps: ok as f64 / wall.as_secs_f64().max(1e-9),
+            p50_us: snap.p50_us,
+            p90_us: snap.p90_us,
+            p99_us: snap.p99_us,
+            mean_batch: snap.mean_batch,
+            swaps: snap.swaps,
+            evictions: snap.evictions,
+            quarantines: snap.quarantines,
+            model_unavailable: snap.model_unavailable,
+            swap_p99_us: 0,
         },
         gate_ok,
     )
@@ -761,7 +1302,7 @@ fn print_row(r: &Row) {
     println!(
         "{:<10} k={:<2} threads={} {:<7} {:>7.0} req/s | p50 {:>6}µs p90 {:>6}µs p99 {:>6}µs | \
          mean batch {:>5.2} | ok {} shed {} expired {} corrupt {} lost {} | refused {} \
-         idle-reaped {} slow-reaped {}",
+         idle-reaped {} slow-reaped {} | swaps {} evict {} quar {} unavail {} swap-p99 {}µs",
         r.cell,
         r.bits,
         r.threads,
@@ -778,7 +1319,12 @@ fn print_row(r: &Row) {
         r.lost,
         r.refused_accept,
         r.idle_reaped,
-        r.slow_reaped
+        r.slow_reaped,
+        r.swaps,
+        r.evictions,
+        r.quarantines,
+        r.model_unavailable,
+        r.swap_p99_us
     );
 }
 
@@ -787,11 +1333,13 @@ fn write_outputs(rows: &[Row]) {
     let mut csv = String::from(
         "cell,bits,threads,policy,max_batch,max_delay_us,clients,requests,ok,shed,\
          deadline_expired,corrupted,lost,refused_accept,idle_reaped,slow_reaped,\
-         wall_ms,rps,p50_us,p90_us,p99_us,mean_batch\n",
+         wall_ms,rps,p50_us,p90_us,p99_us,mean_batch,\
+         swaps,evictions,quarantines,model_unavailable,swap_p99_us\n",
     );
     for r in rows {
         csv.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{},{},{},{:.3}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{},{},{},{:.3},\
+             {},{},{},{},{}\n",
             r.cell,
             r.bits,
             r.threads,
@@ -813,7 +1361,12 @@ fn write_outputs(rows: &[Row]) {
             r.p50_us,
             r.p90_us,
             r.p99_us,
-            r.mean_batch
+            r.mean_batch,
+            r.swaps,
+            r.evictions,
+            r.quarantines,
+            r.model_unavailable,
+            r.swap_p99_us
         ));
     }
     std::fs::write(&csv_path, &csv).expect("write serving.csv");
@@ -828,7 +1381,9 @@ fn write_outputs(rows: &[Row]) {
                  \"ok\":{},\"shed\":{},\"deadline_expired\":{},\"corrupted\":{},\"lost\":{},\
                  \"refused_accept\":{},\"idle_reaped\":{},\"slow_reaped\":{},\
                  \"wall_ms\":{:.1},\"rps\":{:.1},\
-                 \"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"mean_batch\":{:.3}}}",
+                 \"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"mean_batch\":{:.3},\
+                 \"swaps\":{},\"evictions\":{},\"quarantines\":{},\
+                 \"model_unavailable\":{},\"swap_p99_us\":{}}}",
                 r.cell,
                 r.bits,
                 r.threads,
@@ -850,7 +1405,12 @@ fn write_outputs(rows: &[Row]) {
                 r.p50_us,
                 r.p90_us,
                 r.p99_us,
-                r.mean_batch
+                r.mean_batch,
+                r.swaps,
+                r.evictions,
+                r.quarantines,
+                r.model_unavailable,
+                r.swap_p99_us
             )
         })
         .collect();
@@ -968,7 +1528,26 @@ fn smoke() -> bool {
     }
     ok &= over_ok;
 
-    write_outputs(&[single, batched, soak, slow, over]);
+    println!(
+        "# smoke gate 7: fleet — {FLEET_SWAPS} hot-swaps under load, swap p99 ≤ \
+         {SWAP_P99_BUDGET_US}µs, typed eviction under memory pressure"
+    );
+    let (fleet, fleet_ok) = fleet_cell();
+    print_row(&fleet);
+    if fleet_ok {
+        println!("ok: fleet gates held");
+    }
+    ok &= fleet_ok;
+
+    println!("# smoke gate 8: corruption — 100% quarantine, serving plan undisturbed");
+    let (corrupt, corrupt_ok) = corruption_cell();
+    print_row(&corrupt);
+    if corrupt_ok {
+        println!("ok: corruption gates held");
+    }
+    ok &= corrupt_ok;
+
+    write_outputs(&[single, batched, soak, slow, over, fleet, corrupt]);
     ok
 }
 
@@ -997,7 +1576,7 @@ fn main() {
             }
         }
     }
-    println!("# robustness cells: soak / slowloris / overload");
+    println!("# robustness cells: soak / slowloris / overload / fleet / corruption");
     let (soak, _) = soak_cell(150);
     print_row(&soak);
     rows.push(soak);
@@ -1007,5 +1586,11 @@ fn main() {
     let (over, _) = overload_cell(150);
     print_row(&over);
     rows.push(over);
+    let (fleet, _) = fleet_cell();
+    print_row(&fleet);
+    rows.push(fleet);
+    let (corrupt, _) = corruption_cell();
+    print_row(&corrupt);
+    rows.push(corrupt);
     write_outputs(&rows);
 }

@@ -424,6 +424,121 @@ fn load_payload(net: &mut Network, payload: &[u8], version: u16) -> crate::Resul
     Ok(())
 }
 
+/// What a structurally valid checkpoint blob claims to contain, as
+/// reported by [`verify`] — framing facts only; no network is consulted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSummary {
+    /// Format version (1, 2, or 3).
+    pub version: u16,
+    /// Payload bytes (everything after the framed header).
+    pub payload_len: usize,
+    /// Parameter entries in the payload.
+    pub params: usize,
+    /// Buffer entries in the payload.
+    pub buffers: usize,
+}
+
+/// Structurally validates a checkpoint blob **without a network**: framing
+/// (magic, version, length, CRC for v2/v3) plus a full walk of every
+/// section boundary — names, tags, dims, bitwidths, and the exact byte
+/// extent of every data section — with nothing materialised into tensors.
+///
+/// This is the cheap first rung of an ingestion ladder: a server can
+/// reject a truncated or bit-flipped upload before spending a network
+/// construction on it. Passing [`verify`] does **not** guarantee [`load`]
+/// succeeds (the blob may not match the target architecture, and value-
+/// level checks like quantizer parameters and packed-word padding run at
+/// load time); failing it guarantees `load` would fail too.
+///
+/// # Errors
+///
+/// Returns [`NnError::Corrupt`] for structural damage and
+/// [`NnError::UnsupportedVersion`] for unknown versions — the same typed
+/// errors [`load`] produces, never a panic.
+pub fn verify(blob: &[u8]) -> crate::Result<CheckpointSummary> {
+    let mut r = Reader { blob, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(corrupt("not an APTC checkpoint"));
+    }
+    let version = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes"));
+    let payload = match version {
+        1 => &blob[r.pos..],
+        2 | 3 => {
+            let len = r.read_u32()? as usize;
+            let expected_crc = r.read_u32()?;
+            let payload = r.take(len)?;
+            if r.pos != blob.len() {
+                return Err(corrupt("trailing bytes after checkpoint payload"));
+            }
+            if crc32(payload) != expected_crc {
+                return Err(corrupt("CRC32 mismatch (truncated or bit-flipped blob)"));
+            }
+            payload
+        }
+        other => return Err(NnError::UnsupportedVersion { version: other }),
+    };
+    let mut r = Reader {
+        blob: payload,
+        pos: 0,
+    };
+    let param_count = r.read_u32()? as usize;
+    let buffer_count = r.read_u32()? as usize;
+    if param_count > r.remaining() / MIN_PARAM_BYTES
+        || buffer_count > r.remaining() / MIN_BUFFER_BYTES
+    {
+        return Err(corrupt("section count exceeds available bytes"));
+    }
+    for _ in 0..param_count {
+        let _name = r.read_str()?;
+        let tag = r.read_u8()?;
+        let dims = r.read_dims()?;
+        let volume = checked_volume(&dims)?;
+        match tag {
+            0 => r.skip_f32s(volume)?,
+            1 => {
+                let bits = Bitwidth::new(u32::from(r.read_u8()?))?;
+                let _scale = r.read_f32()?;
+                let _zero = r.read_i64()?;
+                r.skip_code_section(volume, bits, version)?;
+            }
+            2 => {
+                let _bits = Bitwidth::new(u32::from(r.read_u8()?))?;
+                r.skip_f32s(volume)?;
+            }
+            3 => {
+                if r.read_u8()? > 1 {
+                    return Err(corrupt("unknown projection"));
+                }
+                r.skip_f32s(volume)?;
+            }
+            4 => {
+                let bits = Bitwidth::new(u32::from(r.read_u8()?))?;
+                let channels = r.read_u32()? as usize;
+                if channels > r.remaining() / 12 {
+                    return Err(corrupt("per-channel count exceeds available bytes"));
+                }
+                r.take(channels * 12)?;
+                r.skip_code_section(volume, bits, version)?;
+            }
+            other => return Err(corrupt(&format!("unknown store tag {other}"))),
+        }
+    }
+    for _ in 0..buffer_count {
+        let _name = r.read_str()?;
+        let dims = r.read_dims()?;
+        r.skip_f32s(checked_volume(&dims)?)?;
+    }
+    if r.remaining() != 0 {
+        return Err(corrupt("trailing bytes after checkpoint sections"));
+    }
+    Ok(CheckpointSummary {
+        version,
+        payload_len: payload.len(),
+        params: param_count,
+        buffers: buffer_count,
+    })
+}
+
 fn bad(reason: &str) -> NnError {
     NnError::BadConfig {
         reason: reason.to_string(),
@@ -573,6 +688,27 @@ impl<'a> Reader<'a> {
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect())
+    }
+    /// Skips an f32 section without materialising it (used by [`verify`]).
+    fn skip_f32s(&mut self, n: usize) -> crate::Result<()> {
+        let byte_len = n
+            .checked_mul(4)
+            .ok_or_else(|| corrupt("f32 section length overflows"))?;
+        self.take(byte_len).map(|_| ())
+    }
+    /// Skips a quantised-code section (v3 packed words or legacy v2
+    /// byte-granular bitstream) without decoding it.
+    fn skip_code_section(&mut self, n: usize, bits: Bitwidth, version: u16) -> crate::Result<()> {
+        let byte_len = if version >= 3 {
+            n.checked_mul(bits.get() as usize)
+                .map(|b| b.div_ceil(64) * 8)
+                .ok_or_else(|| corrupt("packed word section length overflows"))?
+        } else {
+            n.checked_mul(bits.get() as usize)
+                .map(|b| b.div_ceil(8))
+                .ok_or_else(|| corrupt("packed code section length overflows"))?
+        };
+        self.take(byte_len).map(|_| ())
     }
     /// Reads `n` bit-packed codes at `bits` bits each, bounds-checking the
     /// packed length before any allocation is sized from it.
@@ -860,6 +996,64 @@ mod tests {
         }
         for cut in 0..v1.len() {
             let _ = load(&mut target, &v1[..cut]);
+        }
+    }
+
+    #[test]
+    fn verify_accepts_all_written_versions() {
+        let mut net = trained_net(&QuantScheme::paper_apt());
+        let mut params = 0usize;
+        net.visit_params_ref(&mut |_| params += 1);
+        for version in [1u16, 2, 3] {
+            let blob = save_full_as(&mut net, version).unwrap();
+            let s = verify(&blob).unwrap();
+            assert_eq!(s.version, version);
+            assert_eq!(s.params, params);
+            assert!(s.buffers > 0, "cifarnet has BN buffers");
+            assert!(s.payload_len > 0);
+        }
+        // Every store kind walks cleanly.
+        for scheme in [
+            QuantScheme::float32(),
+            QuantScheme::master_copy(b6()),
+            QuantScheme::projected(Projection::Binary),
+            QuantScheme::fully_quantized(b6()),
+        ] {
+            let mut net = trained_net(&scheme);
+            verify(&save_full(&mut net)).unwrap();
+        }
+    }
+
+    #[test]
+    fn verify_rejects_what_load_rejects() {
+        let mut net = trained_net(&QuantScheme::paper_apt());
+        let blob = save_full(&mut net);
+        assert!(verify(b"nope").is_err());
+        assert!(verify(b"APTC").is_err());
+        let mut vbad = blob.clone();
+        vbad[4] = 99;
+        assert!(matches!(
+            verify(&vbad),
+            Err(NnError::UnsupportedVersion { version: 99 })
+        ));
+        // Any single byte flip breaks the v3 framing for verify too.
+        for i in 0..blob.len() {
+            let mut hurt = blob.clone();
+            hurt[i] ^= 0x10;
+            assert!(verify(&hurt).is_err(), "flip at byte {i}");
+        }
+        for cut in 0..blob.len() {
+            assert!(verify(&blob[..cut]).is_err(), "truncation to {cut}");
+        }
+        // v1 (no CRC): structural damage still never panics.
+        let v1 = as_v1(&save_full_v2(&mut net));
+        for i in 0..v1.len() {
+            let mut hurt = v1.clone();
+            hurt[i] ^= 0xFF;
+            let _ = verify(&hurt);
+        }
+        for cut in 0..v1.len() {
+            let _ = verify(&v1[..cut]);
         }
     }
 

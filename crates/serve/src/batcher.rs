@@ -13,6 +13,14 @@
 //! draining runtime answers [`ServeError::ShuttingDown`]. Shutdown is
 //! graceful — everything already admitted is executed before the worker
 //! exits.
+//!
+//! **Fleet routing**: every job carries the [`InferenceSession`] it was
+//! resolved against at admission time, so one worker serves many models.
+//! A coalesced batch is partitioned by plan identity (the `Arc` pointer of
+//! the frozen network) before execution — requests resolved against an old
+//! plan finish on that old plan even if a hot-swap published a new one
+//! mid-flight, which is exactly the drain guarantee the registry's
+//! `Arc`-swap relies on.
 
 use crate::{InferenceSession, ServeError, ServeStats, StatsSnapshot};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -89,7 +97,11 @@ impl Reply {
             Reply::Blocking(tx) => {
                 let _ = tx.send(result);
             }
+            // Event completions carry the *encoded* response payload so
+            // the serialisation cost lands on the worker thread, not the
+            // reactor.
             Reply::Event { conn, seq, tx } => {
+                let result = result.map(|row| crate::protocol::encode_f32s(&row));
                 let _ = tx.send(Completion { conn, seq, result });
             }
         }
@@ -103,15 +115,18 @@ pub(crate) struct Completion {
     pub conn: u64,
     /// Per-connection request sequence number.
     pub seq: u64,
-    /// The inference result (or a typed shed/failure).
-    pub result: Result<Vec<f32>, ServeError>,
+    /// The encoded response payload (or a typed shed/failure). Inference
+    /// completions carry `encode_f32s` bytes; out-of-band completions
+    /// (e.g. reload reports) carry their own payload.
+    pub result: Result<Vec<u8>, ServeError>,
 }
 
-/// One admitted request: the flat sample, its enqueue time (for the
-/// latency histogram), an optional absolute deadline, and where the
-/// result goes.
+/// One admitted request: the flat sample, the plan it was resolved
+/// against, its enqueue time (for the latency histogram), an optional
+/// absolute deadline, and where the result goes.
 struct Job {
     sample: Vec<f32>,
+    session: InferenceSession,
     enqueued: Instant,
     deadline: Option<Instant>,
     resp: Reply,
@@ -141,22 +156,35 @@ pub struct MicroBatcher {
 }
 
 impl MicroBatcher {
-    /// Spawns the batching worker over a frozen session.
+    /// Spawns the batching worker over a frozen session (the **default**
+    /// plan for submissions that don't carry their own).
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::BadRequest`] for an invalid policy.
     pub fn new(session: InferenceSession, policy: BatchPolicy) -> Result<Self, ServeError> {
+        MicroBatcher::with_stats(session, policy, Arc::new(ServeStats::default()))
+    }
+
+    /// As [`new`](Self::new), recording into a shared stats collector so
+    /// the registry, server, and batcher report as one fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] for an invalid policy.
+    pub fn with_stats(
+        session: InferenceSession,
+        policy: BatchPolicy,
+        stats: Arc<ServeStats>,
+    ) -> Result<Self, ServeError> {
         policy.validate()?;
         let (tx, rx) = mpsc::sync_channel::<Job>(policy.queue_depth);
-        let stats = Arc::new(ServeStats::default());
         let draining = Arc::new(AtomicBool::new(false));
         let worker = {
-            let session = session.clone();
             let stats = Arc::clone(&stats);
             let draining = Arc::clone(&draining);
             let policy = policy.clone();
-            thread::spawn(move || worker_loop(&rx, &session, &stats, &draining, &policy))
+            thread::spawn(move || worker_loop(&rx, &stats, &draining, &policy))
         };
         Ok(MicroBatcher {
             tx,
@@ -174,6 +202,7 @@ impl MicroBatcher {
             tx: self.tx.clone(),
             stats: Arc::clone(&self.stats),
             draining: Arc::clone(&self.draining),
+            session: self.session.clone(),
             queue_depth: self.policy.queue_depth,
         }
     }
@@ -221,6 +250,7 @@ pub struct BatcherHandle {
     tx: mpsc::SyncSender<Job>,
     stats: Arc<ServeStats>,
     draining: Arc<AtomicBool>,
+    session: InferenceSession,
     queue_depth: usize,
 }
 
@@ -252,7 +282,12 @@ impl BatcherHandle {
         deadline: Option<Instant>,
     ) -> Result<Vec<f32>, ServeError> {
         let (resp_tx, resp_rx) = mpsc::sync_channel(1);
-        self.submit(sample, deadline, Reply::Blocking(resp_tx))?;
+        self.submit(
+            self.session.clone(),
+            sample,
+            deadline,
+            Reply::Blocking(resp_tx),
+        )?;
         match resp_rx.recv() {
             Ok(result) => result,
             // Worker exited between admission and execution — only
@@ -261,8 +296,10 @@ impl BatcherHandle {
         }
     }
 
-    /// Non-blocking submission for the event-loop front-end: the result
-    /// comes back as a [`Completion`] on `tx`, tagged `(conn, seq)`.
+    /// Non-blocking submission for the event-loop front-end: the request
+    /// runs on `session` (resolved against the registry at admission
+    /// time) and the result comes back as a [`Completion`] on `tx`,
+    /// tagged `(conn, seq)`.
     ///
     /// # Errors
     ///
@@ -271,18 +308,20 @@ impl BatcherHandle {
     /// case **no** completion will arrive for this `(conn, seq)`.
     pub(crate) fn submit_event(
         &self,
+        session: InferenceSession,
         sample: Vec<f32>,
         deadline: Option<Instant>,
         conn: u64,
         seq: u64,
         tx: mpsc::Sender<Completion>,
     ) -> Result<(), ServeError> {
-        self.submit(sample, deadline, Reply::Event { conn, seq, tx })
+        self.submit(session, sample, deadline, Reply::Event { conn, seq, tx })
     }
 
     /// Shared admission path: typed refusal, never blocks.
     fn submit(
         &self,
+        session: InferenceSession,
         sample: Vec<f32>,
         deadline: Option<Instant>,
         resp: Reply,
@@ -292,6 +331,7 @@ impl BatcherHandle {
         }
         let job = Job {
             sample,
+            session,
             enqueued: Instant::now(),
             deadline,
             resp,
@@ -317,7 +357,6 @@ impl BatcherHandle {
 /// The worker: coalesce → execute → respond, until drained.
 fn worker_loop(
     rx: &mpsc::Receiver<Job>,
-    session: &InferenceSession,
     stats: &ServeStats,
     draining: &AtomicBool,
     policy: &BatchPolicy,
@@ -329,7 +368,7 @@ fn worker_loop(
                 if draining.load(Ordering::SeqCst) {
                     // Admission is closed; whatever try_recv still sees
                     // was accepted before the flag flipped. Execute it.
-                    drain_remaining(rx, session, stats, policy);
+                    drain_remaining(rx, stats, policy);
                     return;
                 }
                 continue;
@@ -344,7 +383,7 @@ fn worker_loop(
         let batch = coalesce(rx, first, policy);
         let live = shed_expired_jobs(batch, stats);
         if !live.is_empty() {
-            run_batch(session, stats, live);
+            run_batches(stats, live);
         }
     }
 }
@@ -392,12 +431,7 @@ fn coalesce(rx: &mpsc::Receiver<Job>, first: Job, policy: &BatchPolicy) -> Vec<J
 }
 
 /// Executes everything still in the queue as final batches.
-fn drain_remaining(
-    rx: &mpsc::Receiver<Job>,
-    session: &InferenceSession,
-    stats: &ServeStats,
-    policy: &BatchPolicy,
-) {
+fn drain_remaining(rx: &mpsc::Receiver<Job>, stats: &ServeStats, policy: &BatchPolicy) {
     let mut jobs = Vec::new();
     while let Ok(job) = rx.try_recv() {
         // Deadlines hold during drain too: expired queued work gets a
@@ -408,18 +442,37 @@ fn drain_remaining(
         }
         jobs.push(job);
         if jobs.len() == policy.max_batch {
-            run_batch(session, stats, std::mem::take(&mut jobs));
+            run_batches(stats, std::mem::take(&mut jobs));
         }
     }
     if !jobs.is_empty() {
-        run_batch(session, stats, jobs);
+        run_batches(stats, jobs);
     }
 }
 
-/// Runs one coalesced batch and distributes per-row results. Input vectors
+/// Partitions a coalesced batch by plan identity (the `Arc` pointer of
+/// each job's frozen network) and executes one sub-batch per plan,
+/// preserving submission order within each plan. In the common
+/// single-model case this is one group and zero extra copies.
+fn run_batches(stats: &ServeStats, jobs: Vec<Job>) {
+    let mut groups: Vec<(*const apt_nn::Network, Vec<Job>)> = Vec::new();
+    for job in jobs {
+        let key = Arc::as_ptr(job.session.network());
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, group)) => group.push(job),
+            None => groups.push((key, vec![job])),
+        }
+    }
+    for (_, group) in groups {
+        run_batch(stats, group);
+    }
+}
+
+/// Runs one same-plan batch and distributes per-row results. Input vectors
 /// are recycled through the session arena after staging.
-fn run_batch(session: &InferenceSession, stats: &ServeStats, jobs: Vec<Job>) {
+fn run_batch(stats: &ServeStats, jobs: Vec<Job>) {
     stats.record_batch(jobs.len());
+    let session = jobs[0].session.clone();
     let mut samples = Vec::with_capacity(jobs.len());
     let mut waiters = Vec::with_capacity(jobs.len());
     for job in jobs {
@@ -617,6 +670,61 @@ mod tests {
         .validate()
         .is_err());
         assert!(BatchPolicy::default().validate().is_ok());
+    }
+
+    #[test]
+    fn mixed_plan_batch_splits_and_stays_exact() {
+        // Two distinct plans with identical geometry but different weights:
+        // interleaved submissions must each run on the plan they were
+        // resolved against, even when coalesced into one queue window.
+        let spec = ModelSpec {
+            arch: ModelArch::Mlp(vec![5, 8, 3]),
+            classes: 3,
+            img_size: 0,
+            width_mult: 1.0,
+        };
+        let make = |seed: u64| {
+            let mut net = apt_nn::models::mlp(
+                "mlp",
+                &[5, 8, 3],
+                &apt_nn::QuantScheme::paper_apt(),
+                &mut apt_tensor::rng::seeded(seed),
+            )
+            .unwrap();
+            let blob = checkpoint::save_full(&mut net);
+            InferenceSession::from_checkpoint(&spec, &blob).unwrap()
+        };
+        let a = make(11);
+        let b = make(22);
+        let sample = vec![0.7; 5];
+        let want_a = a.infer_one(&sample).unwrap();
+        let want_b = b.infer_one(&sample).unwrap();
+        assert_ne!(want_a, want_b, "plans must actually differ");
+
+        let policy = BatchPolicy {
+            max_batch: 16,
+            max_delay: Duration::from_millis(30),
+            queue_depth: 64,
+        };
+        let batcher = MicroBatcher::new(a.clone(), policy).unwrap();
+        let h = batcher.handle();
+        let (tx, rx) = mpsc::channel();
+        const N: u64 = 10;
+        for seq in 0..N {
+            let session = if seq % 2 == 0 { a.clone() } else { b.clone() };
+            h.submit_event(session, sample.clone(), None, 1, seq, tx.clone())
+                .unwrap();
+        }
+        let mut seen = 0;
+        while seen < N {
+            let c = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            let payload = c.result.expect("no typed failures expected");
+            let row = crate::protocol::decode_f32s(&payload).unwrap();
+            let want = if c.seq % 2 == 0 { &want_a } else { &want_b };
+            assert_eq!(&row, want, "seq {} answered by the wrong plan", c.seq);
+            seen += 1;
+        }
+        assert_eq!(batcher.stats().completed, N);
     }
 
     #[test]

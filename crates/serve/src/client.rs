@@ -15,7 +15,8 @@
 //!   (bad request, protocol violation) fails fast.
 
 use crate::protocol::{
-    self, OP_HEALTH, OP_INFER, OP_STATS, STATUS_BAD_REQUEST, STATUS_DEADLINE_EXCEEDED, STATUS_OK,
+    self, OP_HEALTH, OP_INFER, OP_INFER_MODEL, OP_RELOAD, OP_STATS, STATUS_BAD_REQUEST,
+    STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL, STATUS_MODEL_UNAVAILABLE, STATUS_OK,
     STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
 };
 use crate::ServeError;
@@ -177,7 +178,20 @@ impl ServeClient {
             STATUS_BAD_REQUEST => Err(ServeError::BadRequest { reason: text() }),
             STATUS_SHUTTING_DOWN => Err(ServeError::ShuttingDown),
             STATUS_DEADLINE_EXCEEDED => Err(ServeError::DeadlineExceeded { waited_us: 0 }),
-            _ => Err(ServeError::Internal { reason: text() }),
+            // The model field is filled in by callers that know which
+            // model the request named (e.g. `infer_model`).
+            STATUS_MODEL_UNAVAILABLE => Err(ServeError::ModelUnavailable {
+                model: String::new(),
+                reason: text(),
+            }),
+            STATUS_INTERNAL => Err(ServeError::Internal { reason: text() }),
+            // Forward compatibility: a newer server may speak statuses this
+            // build does not know. The request's fate IS known (the server
+            // answered), so this is typed distinctly and never retried.
+            unknown => Err(ServeError::UnrecognizedStatus {
+                status: unknown,
+                reason: text(),
+            }),
         }
     }
 
@@ -189,8 +203,22 @@ impl ServeClient {
     /// [`ServeError::BadRequest`], [`ServeError::DeadlineExceeded`],
     /// [`ServeError::ShuttingDown`]) plus I/O and protocol errors.
     pub fn infer(&mut self, sample: &[f32]) -> Result<Vec<f32>, ServeError> {
-        let body = self.round_trip(OP_INFER, &protocol::encode_f32s(sample))?;
-        protocol::decode_f32s(&body)
+        self.infer_frame(OP_INFER, &protocol::encode_f32s(sample))
+    }
+
+    /// Runs one sample through the **named** model on a multi-tenant
+    /// server and returns its output row.
+    ///
+    /// # Errors
+    ///
+    /// As [`infer`](Self::infer), plus [`ServeError::ModelUnavailable`]
+    /// (with the model id filled in) when the model is unknown or was
+    /// evicted under the server's resident-bytes budget — a condition this
+    /// client never retries.
+    pub fn infer_model(&mut self, model: &str, sample: &[f32]) -> Result<Vec<f32>, ServeError> {
+        let payload = protocol::encode_model_infer(model, sample);
+        self.infer_frame(OP_INFER_MODEL, &payload)
+            .map_err(|e| fill_model(e, model))
     }
 
     /// Like [`infer`](Self::infer), but retries `Overloaded` sheds with
@@ -201,10 +229,64 @@ impl ServeClient {
     ///
     /// The last error once `policy.max_retries` extra attempts are spent,
     /// or immediately for non-retryable failures (`BadRequest`,
-    /// `Protocol`, `ShuttingDown`, `DeadlineExceeded`).
+    /// `Protocol`, `ShuttingDown`, `DeadlineExceeded`,
+    /// `ModelUnavailable`, `UnrecognizedStatus`).
     pub fn infer_retry(
         &mut self,
         sample: &[f32],
+        policy: &RetryPolicy,
+    ) -> Result<Vec<f32>, ServeError> {
+        self.retry_frame(OP_INFER, &protocol::encode_f32s(sample), policy)
+    }
+
+    /// [`infer_model`](Self::infer_model) with the retry policy of
+    /// [`infer_retry`](Self::infer_retry). [`ServeError::ModelUnavailable`]
+    /// is **not** retried: re-sending the same request to the same
+    /// instance cannot succeed until someone re-publishes the model.
+    ///
+    /// # Errors
+    ///
+    /// As [`infer_retry`](Self::infer_retry).
+    pub fn infer_model_retry(
+        &mut self,
+        model: &str,
+        sample: &[f32],
+        policy: &RetryPolicy,
+    ) -> Result<Vec<f32>, ServeError> {
+        let payload = protocol::encode_model_infer(model, sample);
+        self.retry_frame(OP_INFER_MODEL, &payload, policy)
+            .map_err(|e| fill_model(e, model))
+    }
+
+    /// Asks the server to rescan its model directory, ingesting new or
+    /// changed checkpoints (and quarantining bad ones). Returns the JSON
+    /// rescan report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the server has no model directory,
+    /// [`ServeError::Overloaded`] when a rescan is already running, plus
+    /// I/O and protocol errors.
+    pub fn reload(&mut self) -> Result<String, ServeError> {
+        let body = self.round_trip(OP_RELOAD, &[])?;
+        String::from_utf8(body).map_err(|_| ServeError::Protocol {
+            reason: "reload response is not UTF-8".to_string(),
+        })
+    }
+
+    /// One inference round trip for any infer-shaped op.
+    fn infer_frame(&mut self, op: u8, payload: &[u8]) -> Result<Vec<f32>, ServeError> {
+        let body = self.round_trip(op, payload)?;
+        protocol::decode_f32s(&body)
+    }
+
+    /// The shared retry loop: only [`ServeError::Overloaded`] and
+    /// [`ServeError::Io`] are transient; everything else is the request's
+    /// final fate.
+    fn retry_frame(
+        &mut self,
+        op: u8,
+        payload: &[u8],
         policy: &RetryPolicy,
     ) -> Result<Vec<f32>, ServeError> {
         self.retry_nonce = self.retry_nonce.wrapping_add(1);
@@ -217,12 +299,12 @@ impl ServeClient {
                     Ok(fresh) => {
                         self.stream = fresh.stream;
                         broken = false;
-                        self.infer(sample)
+                        self.infer_frame(op, payload)
                     }
                     Err(e) => Err(e),
                 }
             } else {
-                self.infer(sample)
+                self.infer_frame(op, payload)
             };
             match result {
                 Ok(row) => return Ok(row),
@@ -267,6 +349,20 @@ impl ServeClient {
     }
 }
 
+/// Stamps the requested model id onto a bare wire-level
+/// `ModelUnavailable` (the status frame doesn't echo the id back).
+fn fill_model(e: ServeError, model: &str) -> ServeError {
+    match e {
+        ServeError::ModelUnavailable { model: m, reason } if m.is_empty() => {
+            ServeError::ModelUnavailable {
+                model: model.to_string(),
+                reason,
+            }
+        }
+        other => other,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +398,74 @@ mod tests {
         };
         assert_eq!(exact.backoff(0, &mut rng), Duration::from_millis(2));
         assert_eq!(exact.backoff(20, &mut rng), Duration::from_millis(100));
+    }
+
+    /// A one-connection fake server that answers every request frame with
+    /// a fixed status byte, counting how many requests it saw. Lets the
+    /// client's status mapping and retry exclusions be tested without a
+    /// real fleet.
+    fn fixed_status_server(status: u8) -> (SocketAddr, std::sync::mpsc::Receiver<usize>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut served = 0usize;
+            while let Ok((_op, _payload)) = protocol::read_frame(&mut stream) {
+                let _ = protocol::write_frame(&mut stream, status, b"future ladder rung");
+                served += 1;
+            }
+            let _ = tx.send(served);
+        });
+        (addr, rx)
+    }
+
+    #[test]
+    fn model_unavailable_status_is_typed_with_model_id_and_never_retried() {
+        let (addr, served) = fixed_status_server(STATUS_MODEL_UNAVAILABLE);
+        let mut client = ServeClient::connect(addr).unwrap();
+        match client.infer_model("fleet-a", &[1.0, 2.0]) {
+            Err(ServeError::ModelUnavailable { model, reason }) => {
+                assert_eq!(model, "fleet-a");
+                assert!(reason.contains("future ladder rung"));
+            }
+            other => panic!("expected ModelUnavailable, got {other:?}"),
+        }
+        // With a generous retry budget the client must still send exactly
+        // one more request: unavailability is not transient here.
+        let policy = RetryPolicy {
+            max_retries: 10,
+            ..RetryPolicy::default()
+        };
+        assert!(matches!(
+            client.infer_model_retry("fleet-a", &[1.0, 2.0], &policy),
+            Err(ServeError::ModelUnavailable { .. })
+        ));
+        drop(client);
+        assert_eq!(served.recv().unwrap(), 2, "no retries may have fired");
+    }
+
+    #[test]
+    fn unknown_status_byte_maps_typed_and_never_retried() {
+        let (addr, served) = fixed_status_server(213);
+        let mut client = ServeClient::connect(addr).unwrap();
+        match client.infer(&[0.5]) {
+            Err(ServeError::UnrecognizedStatus { status, reason }) => {
+                assert_eq!(status, 213);
+                assert!(reason.contains("future ladder rung"));
+            }
+            other => panic!("expected UnrecognizedStatus, got {other:?}"),
+        }
+        let policy = RetryPolicy {
+            max_retries: 10,
+            ..RetryPolicy::default()
+        };
+        assert!(matches!(
+            client.infer_retry(&[0.5], &policy),
+            Err(ServeError::UnrecognizedStatus { .. })
+        ));
+        drop(client);
+        assert_eq!(served.recv().unwrap(), 2, "no retries may have fired");
     }
 
     #[test]

@@ -27,6 +27,24 @@ pub enum ServeError {
         /// Explanation of the violated expectation.
         reason: String,
     },
+    /// The named model is not resident: never published, evicted under the
+    /// resident-bytes budget, or rejected at ingestion. Retrying the same
+    /// instance without re-publishing the model will fail the same way.
+    ModelUnavailable {
+        /// The model id the request named.
+        model: String,
+        /// Why it cannot serve (unknown, evicted, rejected).
+        reason: String,
+    },
+    /// The server answered with a status byte this client build does not
+    /// know — a newer server speaking a newer ladder. The request's fate is
+    /// known (the server answered), so this is **not** retried.
+    UnrecognizedStatus {
+        /// The unknown status byte from the wire.
+        status: u8,
+        /// The response body (servers put the rendered error there).
+        reason: String,
+    },
     /// A wire-protocol violation (bad magic, oversized frame, truncation).
     Protocol {
         /// Explanation of the framing failure.
@@ -61,6 +79,12 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::ModelUnavailable { model, reason } => {
+                write!(f, "model `{model}` unavailable: {reason}")
+            }
+            ServeError::UnrecognizedStatus { status, reason } => {
+                write!(f, "unrecognized response status {status}: {reason}")
+            }
             ServeError::Protocol { reason } => write!(f, "protocol error: {reason}"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
             ServeError::Nn(e) => write!(f, "model error: {e}"),
@@ -115,6 +139,14 @@ impl ServeError {
             ServeError::BadRequest { reason } => ServeError::BadRequest {
                 reason: reason.clone(),
             },
+            ServeError::ModelUnavailable { model, reason } => ServeError::ModelUnavailable {
+                model: model.clone(),
+                reason: reason.clone(),
+            },
+            ServeError::UnrecognizedStatus { status, reason } => ServeError::UnrecognizedStatus {
+                status: *status,
+                reason: reason.clone(),
+            },
             ServeError::Protocol { reason } => ServeError::Protocol {
                 reason: reason.clone(),
             },
@@ -140,6 +172,14 @@ mod tests {
             ServeError::ShuttingDown,
             ServeError::DeadlineExceeded { waited_us: 100 },
             ServeError::BadRequest { reason: "x".into() },
+            ServeError::ModelUnavailable {
+                model: "m".into(),
+                reason: "evicted".into(),
+            },
+            ServeError::UnrecognizedStatus {
+                status: 250,
+                reason: "future ladder".into(),
+            },
             ServeError::Protocol { reason: "y".into() },
             ServeError::Io(std::io::Error::new(std::io::ErrorKind::Other, "z")),
             ServeError::Internal { reason: "w".into() },

@@ -34,6 +34,16 @@
 //!    ([`ClientConfig`]) and bounded exponential-backoff retry
 //!    ([`RetryPolicy`]).
 //!
+//! Above the session sits the **[`ModelRegistry`]** — a crash-safe
+//! multi-tenant fleet keyed by model id. Checkpoints pass a validation
+//! ladder (structural verify → full decode + probe forward → digest
+//! stability) before they can serve; rejected files are quarantined with a
+//! `.reason` sidecar. Publishing is an atomic `Arc` swap: new requests run
+//! the new plan instantly while in-flight requests finish on the old one.
+//! A resident-bytes budget evicts least-recently-used models, and missing
+//! or evicted models answer a typed [`ServeError::ModelUnavailable`]
+//! (`STATUS_MODEL_UNAVAILABLE` on the wire) — degradation, never OOM.
+//!
 //! The CLI front-end is `apt serve`; the measurement harness is the
 //! `serving` bench binary.
 
@@ -43,6 +53,7 @@
 mod batcher;
 mod client;
 mod error;
+mod registry;
 mod server;
 mod session;
 mod stats;
@@ -52,6 +63,7 @@ pub mod protocol;
 pub use batcher::{BatchPolicy, BatcherHandle, MicroBatcher};
 pub use client::{ClientConfig, RetryPolicy, ServeClient};
 pub use error::ServeError;
+pub use registry::{ModelInfo, ModelRegistry, PublishOutcome, RegistryConfig, RescanReport};
 pub use server::{ConnLimits, Server, ServerConfig};
 pub use session::{InferenceSession, ModelArch, ModelSpec, ScratchArena};
 pub use stats::{ServeStats, StatsSnapshot};

@@ -7,11 +7,13 @@
 //! ```
 //!
 //! For requests the tag is the **op** ([`OP_INFER`], [`OP_STATS`],
-//! [`OP_HEALTH`]); for responses it is the **status** ([`STATUS_OK`] and
-//! the error statuses, which mirror the [`ServeError`] backpressure
-//! ladder). Infer payloads are a `count: u32 LE` followed by `count`
-//! little-endian `f32`s; stats/health payloads are UTF-8 JSON. Error
-//! responses carry the rendered error message as UTF-8.
+//! [`OP_HEALTH`], [`OP_INFER_MODEL`], [`OP_RELOAD`]); for responses it is
+//! the **status** ([`STATUS_OK`] and the error statuses, which mirror the
+//! [`ServeError`] backpressure ladder). Infer payloads are a
+//! `count: u32 LE` followed by `count` little-endian `f32`s; named-model
+//! infer payloads prepend a versioned model-id header
+//! ([`encode_model_infer`]); stats/health/reload payloads are UTF-8 JSON.
+//! Error responses carry the rendered error message as UTF-8.
 //!
 //! Frames are capped at [`MAX_FRAME`] so a corrupt or hostile length
 //! prefix cannot make the server allocate unboundedly.
@@ -19,12 +21,20 @@
 use crate::ServeError;
 use std::io::{Read, Write};
 
-/// Run one sample through the model; payload is `count + f32s`.
+/// Run one sample through the default model; payload is `count + f32s`.
 pub const OP_INFER: u8 = 1;
 /// Fetch the serving counters as JSON; empty payload.
 pub const OP_STATS: u8 = 2;
 /// Liveness/identity check; empty payload.
 pub const OP_HEALTH: u8 = 3;
+/// Run one sample through a **named** model; payload is the versioned
+/// model-infer encoding ([`encode_model_infer`]). Servers predating the
+/// model fleet answer `STATUS_BAD_REQUEST` (unknown op) — the original
+/// [`OP_INFER`] frame layout is untouched, so old clients keep working.
+pub const OP_INFER_MODEL: u8 = 4;
+/// Rescan the server's model directory, ingesting new or changed
+/// checkpoints; empty payload, JSON report response.
+pub const OP_RELOAD: u8 = 5;
 
 /// Success; payload depends on the op.
 pub const STATUS_OK: u8 = 0;
@@ -39,6 +49,10 @@ pub const STATUS_INTERNAL: u8 = 4;
 /// The request's deadline expired while it was queued
 /// ([`ServeError::DeadlineExceeded`]); the work was shed, never executed.
 pub const STATUS_DEADLINE_EXCEEDED: u8 = 5;
+/// The named model is not resident — unknown, evicted under the
+/// resident-bytes budget, or rejected at ingestion
+/// ([`ServeError::ModelUnavailable`]).
+pub const STATUS_MODEL_UNAVAILABLE: u8 = 6;
 
 /// Largest accepted frame payload (16 MiB).
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
@@ -50,7 +64,14 @@ pub fn status_for(err: &ServeError) -> u8 {
         ServeError::BadRequest { .. } | ServeError::Protocol { .. } => STATUS_BAD_REQUEST,
         ServeError::ShuttingDown => STATUS_SHUTTING_DOWN,
         ServeError::DeadlineExceeded { .. } => STATUS_DEADLINE_EXCEEDED,
-        ServeError::Io(_) | ServeError::Nn(_) | ServeError::Internal { .. } => STATUS_INTERNAL,
+        ServeError::ModelUnavailable { .. } => STATUS_MODEL_UNAVAILABLE,
+        // `UnrecognizedStatus` only exists on the client side (a response
+        // was already received); a server never produces it, so it folds
+        // into the internal bucket defensively.
+        ServeError::Io(_)
+        | ServeError::Nn(_)
+        | ServeError::Internal { .. }
+        | ServeError::UnrecognizedStatus { .. } => STATUS_INTERNAL,
     }
 }
 
@@ -241,6 +262,73 @@ pub fn decode_f32s(payload: &[u8]) -> Result<Vec<f32>, ServeError> {
         .collect())
 }
 
+/// Version byte of the current [`OP_INFER_MODEL`] payload encoding. The
+/// version leads the payload so the layout can evolve without a new op:
+/// decoders reject versions they do not know with a typed error instead of
+/// misparsing.
+pub const MODEL_INFER_V1: u8 = 1;
+
+/// Longest accepted model id on the wire (also bounds registry keys).
+pub const MAX_MODEL_ID: usize = 255;
+
+/// Encodes a named-model inference request:
+///
+/// ```text
+/// ver: u8 = 1 | id_len: u8 | id: utf8 | count: u32 LE | f32 × count
+/// ```
+///
+/// An over-long model id is truncated at [`MAX_MODEL_ID`] bytes
+/// defensively; the server validates ids at publish time, so a truncated
+/// id simply fails lookup with a typed status.
+pub fn encode_model_infer(model: &str, sample: &[f32]) -> Vec<u8> {
+    let id = &model.as_bytes()[..model.len().min(MAX_MODEL_ID)];
+    let mut out = Vec::with_capacity(2 + id.len() + 4 + 4 * sample.len());
+    out.push(MODEL_INFER_V1);
+    out.push(id.len() as u8);
+    out.extend_from_slice(id);
+    out.extend_from_slice(&encode_f32s(sample));
+    out
+}
+
+/// Decodes an [`OP_INFER_MODEL`] payload into `(model_id, sample)`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] for an unknown payload version, a
+/// truncated id section, a non-UTF-8 id, or a malformed float section.
+pub fn decode_model_infer(payload: &[u8]) -> Result<(String, Vec<f32>), ServeError> {
+    if payload.len() < 2 {
+        return Err(ServeError::Protocol {
+            reason: format!(
+                "model-infer payload of {} bytes has no header",
+                payload.len()
+            ),
+        });
+    }
+    let ver = payload[0];
+    if ver != MODEL_INFER_V1 {
+        return Err(ServeError::Protocol {
+            reason: format!("unknown model-infer payload version {ver} (this build speaks 1)"),
+        });
+    }
+    let id_len = payload[1] as usize;
+    if payload.len() < 2 + id_len {
+        return Err(ServeError::Protocol {
+            reason: format!(
+                "model-infer id claims {id_len} bytes, only {} present",
+                payload.len() - 2
+            ),
+        });
+    }
+    let id = std::str::from_utf8(&payload[2..2 + id_len])
+        .map_err(|_| ServeError::Protocol {
+            reason: "model id is not UTF-8".to_string(),
+        })?
+        .to_string();
+    let sample = decode_f32s(&payload[2 + id_len..])?;
+    Ok((id, sample))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,5 +463,69 @@ mod tests {
             status_for(&ServeError::Internal { reason: "x".into() }),
             STATUS_INTERNAL
         );
+        assert_eq!(
+            status_for(&ServeError::ModelUnavailable {
+                model: "m".into(),
+                reason: "evicted".into()
+            }),
+            STATUS_MODEL_UNAVAILABLE
+        );
+        assert_eq!(
+            status_for(&ServeError::UnrecognizedStatus {
+                status: 200,
+                reason: "x".into()
+            }),
+            STATUS_INTERNAL
+        );
+    }
+
+    #[test]
+    fn model_infer_round_trip() {
+        let sample = vec![1.5f32, -0.25, 0.0, f32::MIN_POSITIVE];
+        let payload = encode_model_infer("edge-07", &sample);
+        let (id, decoded) = decode_model_infer(&payload).unwrap();
+        assert_eq!(id, "edge-07");
+        assert_eq!(
+            decoded.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            sample.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Empty id and empty sample are legal encodings.
+        let (id, decoded) = decode_model_infer(&encode_model_infer("", &[])).unwrap();
+        assert!(id.is_empty() && decoded.is_empty());
+    }
+
+    #[test]
+    fn model_infer_rejects_malformed_payloads_typed() {
+        // No header.
+        assert!(matches!(
+            decode_model_infer(&[]),
+            Err(ServeError::Protocol { .. })
+        ));
+        // Unknown payload version.
+        assert!(matches!(
+            decode_model_infer(&[9, 0, 0, 0, 0, 0]),
+            Err(ServeError::Protocol { .. })
+        ));
+        // Id length overruns the payload.
+        assert!(matches!(
+            decode_model_infer(&[MODEL_INFER_V1, 10, b'a']),
+            Err(ServeError::Protocol { .. })
+        ));
+        // Non-UTF-8 id.
+        assert!(matches!(
+            decode_model_infer(&[MODEL_INFER_V1, 1, 0xFF, 0, 0, 0, 0]),
+            Err(ServeError::Protocol { .. })
+        ));
+        // Torn float section.
+        let mut torn = encode_model_infer("m", &[1.0, 2.0]);
+        torn.truncate(torn.len() - 3);
+        assert!(matches!(
+            decode_model_infer(&torn),
+            Err(ServeError::Protocol { .. })
+        ));
+        // Over-long id truncates instead of panicking.
+        let long = "x".repeat(4000);
+        let (id, _) = decode_model_infer(&encode_model_infer(&long, &[])).unwrap();
+        assert_eq!(id.len(), MAX_MODEL_ID);
     }
 }

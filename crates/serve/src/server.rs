@@ -34,12 +34,12 @@
 
 use crate::batcher::Completion;
 use crate::protocol::{
-    self, FrameDecoder, OP_HEALTH, OP_INFER, OP_STATS, STATUS_BAD_REQUEST, STATUS_OK,
-    STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
+    self, FrameDecoder, OP_HEALTH, OP_INFER, OP_INFER_MODEL, OP_RELOAD, OP_STATS,
+    STATUS_BAD_REQUEST, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
 };
 use crate::{
-    BatchPolicy, BatcherHandle, InferenceSession, MicroBatcher, ServeError, ServeStats,
-    StatsSnapshot,
+    BatchPolicy, BatcherHandle, InferenceSession, MicroBatcher, ModelRegistry, RegistryConfig,
+    ServeError, ServeStats, StatsSnapshot,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::io::{ErrorKind, Read, Write};
@@ -151,29 +151,54 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     batcher: MicroBatcher,
+    registry: Arc<ModelRegistry>,
     reactor_thread: Option<thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the listener, spawns the batcher and the reactor thread, and
-    /// returns immediately.
+    /// Single-model convenience: wraps `session` in a fresh unbounded
+    /// [`ModelRegistry`] published under [`ServerConfig::model_name`] and
+    /// starts the fleet server on it.
     ///
     /// # Errors
     ///
     /// Propagates bind failures and policy/limit validation errors.
     pub fn start(session: InferenceSession, config: ServerConfig) -> Result<Server, ServeError> {
+        let registry = Arc::new(ModelRegistry::new(RegistryConfig::default()));
+        registry.publish(&config.model_name, session)?;
+        Server::start_with_registry(registry, config)
+    }
+
+    /// Binds the listener, spawns the batcher and the reactor thread over
+    /// an existing model fleet, and returns immediately.
+    /// [`ServerConfig::model_name`] names the **default model** — the plan
+    /// `OP_INFER` requests (which carry no model id) resolve to; it must be
+    /// resident at start. Publishing to the registry while the server runs
+    /// hot-swaps plans under live traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures, policy/limit validation errors, and a
+    /// missing default model.
+    pub fn start_with_registry(
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
         config.limits.validate()?;
+        let default_session = registry.get(&config.model_name)?;
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let batcher = MicroBatcher::new(session.clone(), config.policy.clone())?;
+        let stats = registry.stats_handle();
+        let batcher = MicroBatcher::with_stats(default_session, config.policy.clone(), stats)?;
         let stop = Arc::new(AtomicBool::new(false));
         let reactor_thread = {
             let ctx = ConnCtx {
                 handle: batcher.handle(),
-                session,
-                model_name: config.model_name,
+                registry: Arc::clone(&registry),
+                default_model: config.model_name,
                 stats: batcher.stats_handle(),
+                reload_busy: Arc::new(AtomicBool::new(false)),
             };
             let stop = Arc::clone(&stop);
             let limits = config.limits.clone();
@@ -183,6 +208,7 @@ impl Server {
             addr,
             stop,
             batcher,
+            registry,
             reactor_thread: Some(reactor_thread),
         })
     }
@@ -190,6 +216,14 @@ impl Server {
     /// The bound address (useful with a `:0` ephemeral-port bind).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The model fleet behind this server. Publishing or ingesting through
+    /// it while the server runs performs an atomic hot-swap: requests
+    /// resolved after the publish run the new plan, in-flight requests
+    /// finish on the old one.
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// Snapshot of the serving counters.
@@ -219,9 +253,13 @@ impl Drop for Server {
 #[derive(Debug)]
 struct ConnCtx {
     handle: BatcherHandle,
-    session: InferenceSession,
-    model_name: String,
+    registry: Arc<ModelRegistry>,
+    /// The model `OP_INFER` (no model id on the wire) resolves to.
+    default_model: String,
     stats: Arc<ServeStats>,
+    /// At most one directory rescan runs at a time; concurrent `OP_RELOAD`
+    /// requests are refused typed rather than queued.
+    reload_busy: Arc<AtomicBool>,
 }
 
 /// Why a connection is being closed (drives the shed taxonomy).
@@ -460,7 +498,7 @@ impl Reactor {
         if let Some(conn) = self.conns.get_mut(&c.conn) {
             conn.inflight = conn.inflight.saturating_sub(1);
             let frame = match c.result {
-                Ok(row) => protocol::encode_frame(STATUS_OK, &protocol::encode_f32s(&row)),
+                Ok(payload) => protocol::encode_frame(STATUS_OK, &payload),
                 Err(e) => {
                     protocol::encode_frame(protocol::status_for(&e), e.to_string().as_bytes())
                 }
@@ -691,7 +729,9 @@ fn read_and_dispatch(
 }
 
 /// Handles one complete request frame: infer goes to the batcher with a
-/// deadline attached; stats/health/errors are answered immediately.
+/// deadline attached (the sample resolved against the fleet registry at
+/// admission time); reloads run on a spawned thread and answer through the
+/// completion channel; stats/health/errors are answered immediately.
 fn dispatch(
     conn: &mut Conn,
     token: u64,
@@ -705,31 +745,88 @@ fn dispatch(
     let seq = conn.next_seq;
     conn.next_seq += 1;
     let immediate: Result<Vec<u8>, ServeError> = match op {
-        OP_INFER => match protocol::decode_f32s(payload) {
-            Ok(sample) => {
-                let deadline =
-                    (!limits.request_timeout.is_zero()).then(|| now + limits.request_timeout);
-                match ctx
-                    .handle
-                    .submit_event(sample, deadline, token, seq, completions.clone())
-                {
-                    Ok(()) => {
-                        conn.inflight += 1;
-                        return; // response arrives via the completion channel
-                    }
-                    Err(e) => Err(e), // typed admission refusal, answered now
+        OP_INFER => {
+            let admitted = protocol::decode_f32s(payload).and_then(|sample| {
+                submit_infer(
+                    &ctx.default_model,
+                    sample,
+                    now,
+                    token,
+                    seq,
+                    ctx,
+                    limits,
+                    completions,
+                )
+            });
+            match admitted {
+                Ok(()) => {
+                    conn.inflight += 1;
+                    return; // response arrives via the completion channel
                 }
+                Err(e) => Err(e), // typed refusal, answered now
             }
-            Err(e) => Err(e),
-        },
+        }
+        OP_INFER_MODEL => {
+            let admitted = protocol::decode_model_infer(payload).and_then(|(model, sample)| {
+                submit_infer(&model, sample, now, token, seq, ctx, limits, completions)
+            });
+            match admitted {
+                Ok(()) => {
+                    conn.inflight += 1;
+                    return;
+                }
+                Err(e) => Err(e),
+            }
+        }
+        OP_RELOAD => {
+            if ctx.registry.config().model_dir.is_none() {
+                Err(ServeError::BadRequest {
+                    reason: "server has no model directory to rescan".to_string(),
+                })
+            } else if ctx.reload_busy.swap(true, Ordering::SeqCst) {
+                Err(ServeError::Overloaded { queue_depth: 1 })
+            } else {
+                // Rescans validate checkpoints (probe forwards included),
+                // which is far too slow for the reactor thread: run it on
+                // a one-shot thread and deliver the report as a normal
+                // sequenced completion.
+                let registry = Arc::clone(&ctx.registry);
+                let busy = Arc::clone(&ctx.reload_busy);
+                let tx = completions.clone();
+                thread::spawn(move || {
+                    let result = registry.rescan().map(|r| r.to_json().into_bytes());
+                    busy.store(false, Ordering::SeqCst);
+                    let _ = tx.send(Completion {
+                        conn: token,
+                        seq,
+                        result,
+                    });
+                });
+                conn.inflight += 1;
+                return;
+            }
+        }
         OP_STATS => Ok(ctx.stats.snapshot().to_json().into_bytes()),
-        OP_HEALTH => Ok(format!(
-            "{{\"status\":\"ok\",\"model\":\"{}\",\"sample_len\":{},\"num_outputs\":{}}}",
-            ctx.model_name,
-            ctx.session.sample_len(),
-            ctx.session.num_outputs()
-        )
-        .into_bytes()),
+        OP_HEALTH => {
+            let resident = ctx.stats.snapshot().models_resident;
+            let body = match ctx.registry.peek(&ctx.default_model) {
+                Some(s) => format!(
+                    "{{\"status\":\"ok\",\"model\":\"{}\",\"sample_len\":{},\
+                     \"num_outputs\":{},\"models_resident\":{resident}}}",
+                    ctx.default_model,
+                    s.sample_len(),
+                    s.num_outputs()
+                ),
+                // The default model was evicted or never came back: the
+                // process is alive but degraded; say so instead of lying.
+                None => format!(
+                    "{{\"status\":\"degraded\",\"model\":\"{}\",\"sample_len\":0,\
+                     \"num_outputs\":0,\"models_resident\":{resident}}}",
+                    ctx.default_model
+                ),
+            };
+            Ok(body.into_bytes())
+        }
         unknown => Err(ServeError::BadRequest {
             reason: format!("unknown op {unknown}"),
         }),
@@ -739,4 +836,38 @@ fn dispatch(
         Err(e) => protocol::encode_frame(protocol::status_for(&e), e.to_string().as_bytes()),
     };
     conn.push_response(seq, frame, now);
+}
+
+/// Resolves `model` against the fleet and submits the sample to the
+/// batcher. `Ok(())` means a completion will arrive for `(token, seq)`.
+#[allow(clippy::too_many_arguments)]
+fn submit_infer(
+    model: &str,
+    sample: Vec<f32>,
+    now: Instant,
+    token: u64,
+    seq: u64,
+    ctx: &ConnCtx,
+    limits: &ConnLimits,
+    completions: &mpsc::Sender<Completion>,
+) -> Result<(), ServeError> {
+    // The hot-swap read point: the plan is pinned here, so this request
+    // finishes on it even if a new version is published a microsecond
+    // later.
+    let session = ctx.registry.get(model)?;
+    // Geometry is checked against the pinned plan before admission, so a
+    // wrong-length sample can never reach (and fail) a coalesced batch
+    // that also carries other connections' requests.
+    if sample.len() != session.sample_len() {
+        return Err(ServeError::BadRequest {
+            reason: format!(
+                "model `{model}` expects {} input values, got {}",
+                session.sample_len(),
+                sample.len()
+            ),
+        });
+    }
+    let deadline = (!limits.request_timeout.is_zero()).then(|| now + limits.request_timeout);
+    ctx.handle
+        .submit_event(session, sample, deadline, token, seq, completions.clone())
 }

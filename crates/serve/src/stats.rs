@@ -27,6 +27,12 @@ pub struct ServeStats {
     idle_reaped: AtomicU64,
     slow_reaped: AtomicU64,
     open_conns: AtomicU64,
+    swaps: AtomicU64,
+    evictions: AtomicU64,
+    quarantines: AtomicU64,
+    model_unavailable: AtomicU64,
+    models_resident: AtomicU64,
+    resident_bytes: AtomicU64,
     lat: [AtomicU64; LAT_BUCKETS],
     batch_sizes: [AtomicU64; BATCH_BUCKETS],
 }
@@ -43,6 +49,12 @@ impl Default for ServeStats {
             idle_reaped: AtomicU64::new(0),
             slow_reaped: AtomicU64::new(0),
             open_conns: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            model_unavailable: AtomicU64::new(0),
+            models_resident: AtomicU64::new(0),
+            resident_bytes: AtomicU64::new(0),
             lat: std::array::from_fn(|_| AtomicU64::new(0)),
             batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -114,6 +126,36 @@ impl ServeStats {
         self.open_conns.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Records one hot-swap: a publish that **replaced** an existing entry
+    /// for the same model id (first publishes are not swaps).
+    pub fn record_swap(&self) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cold model evicted under the resident-bytes budget.
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one checkpoint file rejected at ingestion and moved to the
+    /// quarantine directory.
+    pub fn record_quarantine(&self) {
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request answered `ModelUnavailable` (unknown id or
+    /// evicted model).
+    pub fn record_model_unavailable(&self) {
+        self.model_unavailable.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the fleet gauges: models currently resident and their summed
+    /// resident bytes. Called by the registry after every mutation.
+    pub fn set_fleet(&self, models: u64, bytes: u64) {
+        self.models_resident.store(models, Ordering::Relaxed);
+        self.resident_bytes.store(bytes, Ordering::Relaxed);
+    }
+
     /// Records one executed batch and its coalesced size.
     pub fn record_batch(&self, size: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
@@ -161,6 +203,12 @@ impl ServeStats {
             idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
             slow_reaped: self.slow_reaped.load(Ordering::Relaxed),
             open_conns: self.open_conns.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            model_unavailable: self.model_unavailable.load(Ordering::Relaxed),
+            models_resident: self.models_resident.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
             p50_us: pct(0.50),
             p90_us: pct(0.90),
             p99_us: pct(0.99),
@@ -196,6 +244,18 @@ pub struct StatsSnapshot {
     pub slow_reaped: u64,
     /// Connections currently open (gauge, not a counter).
     pub open_conns: u64,
+    /// Publishes that replaced an already-registered model (hot-swaps).
+    pub swaps: u64,
+    /// Cold models evicted under the resident-bytes budget.
+    pub evictions: u64,
+    /// Checkpoint files rejected at ingestion and quarantined.
+    pub quarantines: u64,
+    /// Requests answered `ModelUnavailable` (unknown or evicted model).
+    pub model_unavailable: u64,
+    /// Models currently resident in the registry (gauge).
+    pub models_resident: u64,
+    /// Summed resident bytes of every resident model (gauge).
+    pub resident_bytes: u64,
     /// Median end-to-end latency, µs (log₂-bucket upper bound).
     pub p50_us: u64,
     /// 90th-percentile latency, µs.
@@ -221,6 +281,9 @@ impl StatsSnapshot {
             "{{\"completed\":{},\"shed\":{},\"errors\":{},\"batches\":{},\
              \"refused_accept\":{},\"deadline_expired\":{},\"idle_reaped\":{},\
              \"slow_reaped\":{},\"open_conns\":{},\
+             \"swaps\":{},\"evictions\":{},\"quarantines\":{},\
+             \"model_unavailable\":{},\"models_resident\":{},\
+             \"resident_bytes\":{},\
              \"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"mean_batch\":{:.3},\
              \"batch_hist\":[{}]}}",
             self.completed,
@@ -232,6 +295,12 @@ impl StatsSnapshot {
             self.idle_reaped,
             self.slow_reaped,
             self.open_conns,
+            self.swaps,
+            self.evictions,
+            self.quarantines,
+            self.model_unavailable,
+            self.models_resident,
+            self.resident_bytes,
             self.p50_us,
             self.p90_us,
             self.p99_us,
@@ -314,6 +383,42 @@ mod tests {
             "idle_reaped",
             "slow_reaped",
             "open_conns",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn fleet_counters_and_gauges() {
+        let s = ServeStats::default();
+        s.record_swap();
+        s.record_swap();
+        s.record_eviction();
+        s.record_quarantine();
+        s.record_quarantine();
+        s.record_quarantine();
+        s.record_model_unavailable();
+        s.set_fleet(4, 12_345);
+        let snap = s.snapshot();
+        assert_eq!(snap.swaps, 2);
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.quarantines, 3);
+        assert_eq!(snap.model_unavailable, 1);
+        assert_eq!(snap.models_resident, 4);
+        assert_eq!(snap.resident_bytes, 12_345);
+        // Gauges are set, not accumulated.
+        s.set_fleet(2, 99);
+        let snap = s.snapshot();
+        assert_eq!(snap.models_resident, 2);
+        assert_eq!(snap.resident_bytes, 99);
+        let j = snap.to_json();
+        for key in [
+            "\"swaps\":2",
+            "\"evictions\":1",
+            "\"quarantines\":3",
+            "\"model_unavailable\":1",
+            "\"models_resident\":2",
+            "\"resident_bytes\":99",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

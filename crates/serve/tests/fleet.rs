@@ -1,0 +1,200 @@
+//! Multi-tenant fleet behaviour over the wire: named-model routing,
+//! directory reloads through `OP_RELOAD`, and memory-pressure degradation
+//! (budgeted eviction answering typed `STATUS_MODEL_UNAVAILABLE`, never
+//! aborting).
+
+use apt_nn::checkpoint;
+use apt_serve::{
+    BatchPolicy, ModelArch, ModelRegistry, ModelSpec, RegistryConfig, ServeClient, ServeError,
+    Server, ServerConfig,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const DIMS: [usize; 3] = [5, 9, 3];
+
+fn spec() -> ModelSpec {
+    ModelSpec {
+        arch: ModelArch::Mlp(DIMS.to_vec()),
+        classes: DIMS[2],
+        img_size: 0,
+        width_mult: 1.0,
+    }
+}
+
+fn blob(seed: u64) -> Vec<u8> {
+    let mut net = apt_nn::models::mlp(
+        "mlp",
+        &DIMS,
+        &apt_nn::QuantScheme::paper_apt(),
+        &mut apt_tensor::rng::seeded(seed),
+    )
+    .unwrap();
+    checkpoint::save_full(&mut net)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("apt-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start_fleet(registry: Arc<ModelRegistry>, default: &str) -> Server {
+    Server::start_with_registry(
+        registry,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            policy: BatchPolicy::default(),
+            model_name: default.to_string(),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// `OP_RELOAD` ingests new checkpoint files, quarantines corrupt ones,
+/// and the new model serves immediately — all without restarting or
+/// disturbing the models already resident.
+#[test]
+fn reload_over_tcp_ingests_and_quarantines() {
+    let dir = temp_dir("reload");
+    std::fs::write(dir.join("alpha.aptc"), blob(1)).unwrap();
+
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+        model_dir: Some(dir.clone()),
+        spec: Some(spec()),
+        ..RegistryConfig::default()
+    }));
+    let report = registry.rescan().unwrap();
+    assert_eq!(report.ingested, vec!["alpha".to_string()]);
+    let server = start_fleet(Arc::clone(&registry), "alpha");
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let sample: Vec<f32> = (0..DIMS[0]).map(|j| j as f32 * 0.2 - 0.5).collect();
+    let before = client.infer(&sample).unwrap();
+
+    // Drop in one good and one corrupt checkpoint, then reload in-band.
+    std::fs::write(dir.join("beta.aptc"), blob(2)).unwrap();
+    let mut bad = blob(3);
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x10;
+    std::fs::write(dir.join("broken.aptc"), &bad).unwrap();
+
+    let report = client.reload().unwrap();
+    assert!(report.contains("\"beta\""), "report: {report}");
+    assert!(report.contains("broken.aptc"), "report: {report}");
+
+    // The new model serves; the corrupt one was quarantined with a
+    // reason sidecar; the old model is untouched bit-for-bit.
+    assert!(client.infer_model("beta", &sample).is_ok());
+    assert!(matches!(
+        client.infer_model("broken", &sample),
+        Err(ServeError::ModelUnavailable { .. })
+    ));
+    let qdir = dir.join("quarantine");
+    assert!(qdir.join("broken.aptc").exists());
+    assert!(qdir.join("broken.aptc.reason").exists());
+    assert!(!dir.join("broken.aptc").exists());
+    let after = client.infer(&sample).unwrap();
+    assert_eq!(
+        before.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        after.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    let stats = client.stats_json().unwrap();
+    assert!(stats.contains("\"quarantines\":1"), "stats: {stats}");
+    assert!(stats.contains("\"models_resident\":2"), "stats: {stats}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Under a tight resident-bytes budget the fleet degrades by evicting
+/// cold models — evicted ids answer typed `ModelUnavailable` on the wire
+/// while hot models keep serving bit-exactly.
+#[test]
+fn budget_eviction_degrades_typed_over_tcp() {
+    // Measure one plan's residency, then budget for roughly two.
+    let probe = ModelRegistry::new(RegistryConfig::default());
+    probe.ingest_blob("p", &spec(), &blob(0)).unwrap();
+    let one = probe.resident_bytes();
+
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+        budget_bytes: one * 2 + one / 2,
+        ..RegistryConfig::default()
+    }));
+    registry.ingest_blob("hot", &spec(), &blob(10)).unwrap();
+    registry.ingest_blob("cold", &spec(), &blob(11)).unwrap();
+    let server = start_fleet(Arc::clone(&registry), "hot");
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let sample: Vec<f32> = (0..DIMS[0]).map(|j| j as f32 * 0.15 - 0.2).collect();
+
+    let hot_before = client.infer_model("hot", &sample).unwrap();
+    // Publishing a third model exceeds the budget; "cold" is the LRU
+    // victim ("hot" was just touched).
+    let outcome = registry.ingest_blob("third", &spec(), &blob(12)).unwrap();
+    assert_eq!(outcome.evicted, vec!["cold".to_string()]);
+
+    match client.infer_model("cold", &sample) {
+        Err(ServeError::ModelUnavailable { model, reason }) => {
+            assert_eq!(model, "cold");
+            assert!(reason.contains("evicted"), "reason: {reason}");
+        }
+        other => panic!("expected typed eviction, got {other:?}"),
+    }
+    // Hot and new models serve on; hot is bit-identical to before.
+    let hot_after = client.infer_model("hot", &sample).unwrap();
+    assert_eq!(
+        hot_before.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        hot_after.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    assert!(client.infer_model("third", &sample).is_ok());
+
+    let stats = client.stats_json().unwrap();
+    assert!(stats.contains("\"evictions\":1"), "stats: {stats}");
+    assert!(stats.contains("\"model_unavailable\":1"), "stats: {stats}");
+}
+
+/// A plan too large for the whole budget is refused at publish — the
+/// fleet is never evicted wholesale to make room, and the server keeps
+/// serving.
+#[test]
+fn oversized_publish_rejected_fleet_survives() {
+    let probe = ModelRegistry::new(RegistryConfig::default());
+    probe.ingest_blob("p", &spec(), &blob(0)).unwrap();
+    let one = probe.resident_bytes();
+
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+        budget_bytes: one + one / 4,
+        ..RegistryConfig::default()
+    }));
+    registry.ingest_blob("small", &spec(), &blob(20)).unwrap();
+
+    // A wider model that cannot fit alone.
+    let big_spec = ModelSpec {
+        arch: ModelArch::Mlp(vec![5, 512, 3]),
+        classes: 3,
+        img_size: 0,
+        width_mult: 1.0,
+    };
+    let mut big_net = apt_nn::models::mlp(
+        "mlp",
+        &[5, 512, 3],
+        &apt_nn::QuantScheme::paper_apt(),
+        &mut apt_tensor::rng::seeded(9),
+    )
+    .unwrap();
+    let big_blob = checkpoint::save_full(&mut big_net);
+    match registry.ingest_blob("big", &big_spec, &big_blob) {
+        Err(ServeError::ModelUnavailable { model, .. }) => assert_eq!(model, "big"),
+        other => panic!("expected budget rejection, got {other:?}"),
+    }
+
+    let server = start_fleet(Arc::clone(&registry), "small");
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let sample: Vec<f32> = (0..DIMS[0]).map(|j| j as f32 * 0.1).collect();
+    assert!(client.infer_model("small", &sample).is_ok());
+    assert_eq!(
+        registry.models().len(),
+        1,
+        "rejected plan must not register"
+    );
+}

@@ -131,6 +131,51 @@ fn protocol_errors_answered_in_band() {
 }
 
 #[test]
+fn model_infer_routes_and_unknown_model_is_typed() {
+    let (mut server, local) = start_server(&[6, 10, 4], BatchPolicy::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let sample: Vec<f32> = (0..6).map(|j| j as f32 * 0.3 - 0.8).collect();
+    let want = local.infer_one(&sample).unwrap();
+
+    // Naming the default model explicitly answers bit-identically to the
+    // plain infer op.
+    let got = client.infer_model("test-mlp", &sample).unwrap();
+    assert_eq!(
+        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+
+    // An unknown model is a typed in-band failure carrying the id; the
+    // connection survives it.
+    match client.infer_model("no-such-model", &sample) {
+        Err(ServeError::ModelUnavailable { model, reason }) => {
+            assert_eq!(model, "no-such-model");
+            assert!(!reason.is_empty());
+        }
+        other => panic!("expected ModelUnavailable, got {other:?}"),
+    }
+    assert!(client.infer(&sample).is_ok(), "connection died");
+
+    // The miss is visible in the fleet counters and health keeps serving.
+    let stats = client.stats_json().unwrap();
+    assert!(stats.contains("\"model_unavailable\":1"), "stats: {stats}");
+    assert!(stats.contains("\"models_resident\":1"), "stats: {stats}");
+    let health = client.health().unwrap();
+    assert!(health.contains("\"models_resident\":1"), "health: {health}");
+
+    // A second model published under live traffic serves its own plan.
+    let other = session(&[6, 10, 4]);
+    let want_b = other.infer_one(&sample).unwrap();
+    server.registry().publish("side", other).unwrap();
+    let got_b = client.infer_model("side", &sample).unwrap();
+    assert_eq!(
+        got_b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        want_b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    server.shutdown();
+}
+
+#[test]
 fn shutdown_drains_and_refuses() {
     let (mut server, _local) = start_server(&[3, 4, 2], BatchPolicy::default());
     let addr = server.addr();

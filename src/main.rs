@@ -5,21 +5,28 @@
 //!     --img-size 12 --width-mult 0.25 --addr 127.0.0.1:7878
 //! ```
 //!
-//! Today the CLI has one subcommand, `serve`, which loads a trained
-//! `.aptc` checkpoint into an [`apt_serve::InferenceSession`] and exposes
-//! it over the length-prefixed TCP protocol. Training stays with the
-//! `train` bench binary (`cargo run -p apt-bench --bin train`).
+//! Today the CLI has one subcommand, `serve`, which loads one trained
+//! `.aptc` checkpoint (`--checkpoint`) or a whole directory of them
+//! (`--model-dir`, one model per file) into an
+//! [`apt_serve::ModelRegistry`] and exposes the fleet over the
+//! length-prefixed TCP protocol. Training stays with the `train` bench
+//! binary (`cargo run -p apt-bench --bin train`).
 //!
 //! Every malformed invocation exits with a one-line message and usage
 //! text (exit code 2); runtime failures exit 1. Nothing in this binary
-//! panics on bad user input.
+//! panics on bad user input. `SIGINT`/`SIGTERM` trigger a graceful
+//! shutdown: stop accepting, drain in-flight work, print a final stats
+//! snapshot.
 
 use apt_serve::{
-    BatchPolicy, ConnLimits, InferenceSession, ModelArch, ModelSpec, Server, ServerConfig,
+    BatchPolicy, ConnLimits, ModelArch, ModelRegistry, ModelSpec, RegistryConfig, Server,
+    ServerConfig,
 };
 use std::fmt;
+use std::path::PathBuf;
 use std::str::FromStr;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Typed CLI failure: either a usage mistake (bad flag, missing value,
 /// unparseable number — exit 2 with usage text) or a runtime failure
@@ -40,12 +47,21 @@ impl fmt::Display for CliError {
     }
 }
 
-const USAGE: &str = "usage: apt serve --checkpoint PATH --model MODEL [options]
+const USAGE: &str = "usage: apt serve (--checkpoint PATH | --model-dir DIR) --model MODEL [options]
 
 required:
-  --checkpoint PATH     trained .aptc checkpoint (v1/v2/v3)
+  --checkpoint PATH     one trained .aptc checkpoint (v1/v2/v3), or
+  --model-dir DIR       directory of .aptc checkpoints (model id = file
+                        stem); bad files are quarantined, OP_RELOAD rescans
   --model MODEL         cifarnet | vgg_small | resnet20 | resnet110 |
                         mobilenet_v2 | mlp:IN-HIDDEN-...-OUT
+
+fleet:
+  --default-model ID    model answering plain INFER requests
+                        [default: checkpoint file stem / first ingested]
+  --resident-budget-mb N  resident-bytes budget across models; coldest
+                        models are evicted past it        [default 0 = off]
+  --quarantine-dir DIR  where rejected checkpoints move   [default DIR/quarantine]
 
 model geometry (must match how the checkpoint was trained):
   --classes N           classifier outputs            [default 10]
@@ -109,7 +125,11 @@ where
 
 /// Everything `apt serve` needs, parsed and validated.
 struct ServeArgs {
-    checkpoint: String,
+    checkpoint: Option<String>,
+    model_dir: Option<String>,
+    quarantine_dir: Option<String>,
+    default_model: Option<String>,
+    budget_mb: u64,
     model: ModelArch,
     classes: usize,
     img_size: usize,
@@ -122,10 +142,13 @@ struct ServeArgs {
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
-    let mut checkpoint: Option<String> = None;
     let mut model: Option<ModelArch> = None;
     let mut out = ServeArgs {
-        checkpoint: String::new(),
+        checkpoint: None,
+        model_dir: None,
+        quarantine_dir: None,
+        default_model: None,
+        budget_mb: 0,
         model: ModelArch::Cifarnet,
         classes: 10,
         img_size: 12,
@@ -147,7 +170,11 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
             .get(i + 1)
             .ok_or_else(|| CliError::Usage(format!("missing value for {flag}")))?;
         match flag {
-            "--checkpoint" => checkpoint = Some(value.clone()),
+            "--checkpoint" => out.checkpoint = Some(value.clone()),
+            "--model-dir" => out.model_dir = Some(value.clone()),
+            "--quarantine-dir" => out.quarantine_dir = Some(value.clone()),
+            "--default-model" => out.default_model = Some(value.clone()),
+            "--resident-budget-mb" => out.budget_mb = parse_flag(flag, value)?,
             "--model" => {
                 model = Some(
                     value
@@ -187,8 +214,19 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
         }
         i += 2;
     }
-    out.checkpoint =
-        checkpoint.ok_or_else(|| CliError::Usage("--checkpoint is required".into()))?;
+    match (&out.checkpoint, &out.model_dir) {
+        (None, None) => {
+            return Err(CliError::Usage(
+                "one of --checkpoint or --model-dir is required".into(),
+            ))
+        }
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--checkpoint and --model-dir are mutually exclusive".into(),
+            ))
+        }
+        _ => {}
+    }
     out.model = model.ok_or_else(|| CliError::Usage("--model is required".into()))?;
     out.policy
         .validate()
@@ -205,36 +243,82 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
         apt_tensor::par::set_global_threads(n);
     }
 
-    let blob = std::fs::read(&a.checkpoint).map_err(|e| {
-        CliError::Runtime(format!("cannot read checkpoint `{}`: {e}", a.checkpoint))
-    })?;
     let spec = ModelSpec {
         arch: a.model.clone(),
         classes: a.classes,
         img_size: a.img_size,
         width_mult: a.width_mult,
     };
-    let session = InferenceSession::from_checkpoint(&spec, &blob).map_err(|e| {
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+        budget_bytes: a.budget_mb * 1024 * 1024,
+        model_dir: a.model_dir.clone().map(PathBuf::from),
+        quarantine_dir: a.quarantine_dir.clone().map(PathBuf::from),
+        spec: Some(spec.clone()),
+    }));
+
+    // Populate the fleet: one validated checkpoint, or a directory scan
+    // that quarantines what fails the ingestion ladder.
+    let default_model = if let Some(ckpt) = &a.checkpoint {
+        let id = a.default_model.clone().unwrap_or_else(|| {
+            std::path::Path::new(ckpt)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("default")
+                .to_string()
+        });
+        registry
+            .ingest_file(&id, std::path::Path::new(ckpt))
+            .map_err(|e| {
+                CliError::Runtime(format!(
+                    "cannot load `{ckpt}` as {:?} (classes {}, img {}, width {}): {e}",
+                    a.model, a.classes, a.img_size, a.width_mult
+                ))
+            })?;
+        id
+    } else {
+        let report = registry
+            .rescan()
+            .map_err(|e| CliError::Runtime(format!("cannot scan model directory: {e}")))?;
+        for (file, reason) in &report.rejected {
+            eprintln!("apt serve: quarantined `{file}`: {reason}");
+        }
+        for id in &report.ingested {
+            println!("ingested model `{id}`");
+        }
+        match a
+            .default_model
+            .clone()
+            .or_else(|| report.ingested.first().cloned())
+        {
+            Some(id) => id,
+            None => {
+                return Err(CliError::Runtime(
+                    "no model survived ingestion; nothing to serve".into(),
+                ))
+            }
+        }
+    };
+    let session = registry.get(&default_model).map_err(|e| {
         CliError::Runtime(format!(
-            "cannot load `{}` as {:?} (classes {}, img {}, width {}): {e}",
-            a.checkpoint, a.model, a.classes, a.img_size, a.width_mult
+            "default model `{default_model}` is not resident: {e}"
         ))
     })?;
 
-    let model_name = format!("{:?}", a.model);
     let config = ServerConfig {
         addr: a.addr.clone(),
         policy: a.policy.clone(),
-        model_name: model_name.clone(),
+        model_name: default_model.clone(),
         limits: a.limits.clone(),
     };
-    let server = Server::start(session.clone(), config)
+    let mut server = Server::start_with_registry(Arc::clone(&registry), config)
         .map_err(|e| CliError::Runtime(format!("cannot start server on `{}`: {e}", a.addr)))?;
     println!(
-        "serving {model_name} ({} inputs → {} outputs, {} resident bytes) on {}",
+        "serving {default_model} [{:?}] ({} inputs → {} outputs, {} resident bytes, {} models) on {}",
+        a.model,
         session.sample_len(),
         session.num_outputs(),
-        session.network().resident_bytes(),
+        registry.resident_bytes(),
+        registry.models().len(),
         server.addr()
     );
     println!(
@@ -251,28 +335,92 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
         a.limits.request_timeout.as_millis(),
         a.limits.max_pipeline
     );
+    if a.budget_mb > 0 {
+        println!("budget: {} MiB resident; LRU eviction past it", a.budget_mb);
+    }
 
     // Foreground loop: the server runs on its own threads; this thread
-    // periodically reports stats until the process is killed.
-    loop {
-        std::thread::sleep(Duration::from_secs(a.stats_every.max(1)));
-        if a.stats_every > 0 {
-            let s = server.stats();
-            println!(
-                "stats: {} ok / {} shed / {} expired / {} errors | p50 {}µs p90 {}µs p99 {}µs | mean batch {:.2} | conns {} open, {} refused, {} idle-reaped, {} slow-reaped",
-                s.completed,
-                s.shed,
-                s.deadline_expired,
-                s.errors,
-                s.p50_us,
-                s.p90_us,
-                s.p99_us,
-                s.mean_batch,
-                s.open_conns,
-                s.refused_accept,
-                s.idle_reaped,
-                s.slow_reaped
-            );
+    // polls for SIGINT/SIGTERM and periodically reports stats.
+    signals::install();
+    let mut last_stats = Instant::now();
+    while !signals::stop_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+        if a.stats_every > 0 && last_stats.elapsed() >= Duration::from_secs(a.stats_every) {
+            print_stats(&server.stats());
+            last_stats = Instant::now();
         }
+    }
+
+    // Graceful shutdown: refuse new connections, drain everything already
+    // in flight, then report the final counters.
+    println!("shutdown requested; draining in-flight requests...");
+    server.shutdown();
+    let s = server.stats();
+    print_stats(&s);
+    println!(
+        "final: {} responses delivered, {} swaps, {} evictions, {} quarantined, {} unavailable",
+        s.completed, s.swaps, s.evictions, s.quarantines, s.model_unavailable
+    );
+    Ok(())
+}
+
+fn print_stats(s: &apt_serve::StatsSnapshot) {
+    println!(
+        "stats: {} ok / {} shed / {} expired / {} errors | p50 {}µs p90 {}µs p99 {}µs | mean batch {:.2} | conns {} open, {} refused, {} idle-reaped, {} slow-reaped | fleet {} resident ({} bytes), {} swaps, {} evictions, {} quarantined",
+        s.completed,
+        s.shed,
+        s.deadline_expired,
+        s.errors,
+        s.p50_us,
+        s.p90_us,
+        s.p99_us,
+        s.mean_batch,
+        s.open_conns,
+        s.refused_accept,
+        s.idle_reaped,
+        s.slow_reaped,
+        s.models_resident,
+        s.resident_bytes,
+        s.swaps,
+        s.evictions,
+        s.quarantines
+    );
+}
+
+/// Minimal `SIGINT`/`SIGTERM` latching without any signal-handling crate:
+/// the handler only sets an atomic flag, which is async-signal-safe; the
+/// foreground loop polls it.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn latch_stop(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        // SIGINT = 2 and SIGTERM = 15 on every Unix this builds for.
+        unsafe {
+            signal(2, latch_stop as *const () as usize);
+            signal(15, latch_stop as *const () as usize);
+        }
+    }
+
+    pub fn stop_requested() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+
+    pub fn stop_requested() -> bool {
+        false
     }
 }

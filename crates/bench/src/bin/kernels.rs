@@ -23,11 +23,16 @@
 //!    zero-skip kernel (kept here as a reference implementation), within
 //!    a 10 % tolerance for timer noise, and
 //! 3. on machines with ≥ 4 cores, 4-thread 256³ matmul reaches ≥ 1.5×
-//!    the 1-thread throughput (skipped, loudly, on smaller machines).
+//!    the 1-thread throughput (skipped, loudly, on smaller machines),
+//! 4. the integer GEMM beats f32 matmul at 256³ single-thread (paired
+//!    interleaved rounds, median ratio — robust to shared-host noise),
+//! 5. branch-free quantize/dequantize stay above absolute Gelem/s floors
+//!    (a regression to the old branchy loops is ~100× and trips them).
 
 use apt_bench::results_dir;
 use apt_quant::{AffineQuantizer, Bitwidth};
 use apt_tensor::ops::conv::{conv2d, conv2d_backward_input, conv2d_backward_weight, Conv2dParams};
+use apt_tensor::ops::int_gemm::{self, gemm_i8_rescale, IntRescale};
 use apt_tensor::ops::pool::max_pool2d;
 use apt_tensor::ops::softmax::softmax_rows;
 use apt_tensor::ops::{add, matmul, matmul_a_bt, matmul_at_b};
@@ -146,6 +151,52 @@ fn kernels() -> Vec<Kernel> {
             shape: "8x16x32x32k2".into(),
             flops: (8 * 16 * 32 * 32) as f64,
             run: Box::new(move || max_pool2d(&x, 2).unwrap().output.data().to_vec()),
+        });
+    }
+    {
+        // Fused integer GEMM (the dequant-free serving kernel): i8 codes,
+        // k=4 centered weight codes, per-channel rescale + bias folded in.
+        let s = 256usize;
+        let mut r = rng::seeded(15);
+        let a: Vec<i8> = rng::normal(&[s * s], 1.0, &mut r)
+            .data()
+            .iter()
+            .map(|v| (v * 40.0).clamp(-128.0, 127.0) as i8)
+            .collect();
+        let w: Vec<i8> = rng::normal(&[s * s], 1.0, &mut r)
+            .data()
+            .iter()
+            .map(|v| (v * 4.0).clamp(-8.0, 7.0) as i8)
+            .collect();
+        let w_sum: Vec<i64> = (0..s)
+            .map(|o| w[o * s..(o + 1) * s].iter().map(|&v| i64::from(v)).sum())
+            .collect();
+        let act_sum: Vec<i64> = (0..s)
+            .map(|i| a[i * s..(i + 1) * s].iter().map(|&v| i64::from(v)).sum())
+            .collect();
+        let w_scale = vec![0.02f32; s];
+        let w_dw = vec![1i32; s];
+        let act_scale = vec![0.01f32; s];
+        let act_dx = vec![3i32; s];
+        let bias = vec![0.1f32; s];
+        v.push(Kernel {
+            op: "i8_gemm",
+            shape: format!("{s}x{s}x{s}"),
+            flops: 2.0 * (s * s * s) as f64,
+            run: Box::new(move || {
+                let mut out = vec![0.0f32; s * s];
+                let p = IntRescale {
+                    w_scale: &w_scale,
+                    w_dw: &w_dw,
+                    w_sum: &w_sum,
+                    act_scale: &act_scale,
+                    act_dx: &act_dx,
+                    act_sum: &act_sum,
+                    bias: Some(&bias),
+                };
+                gemm_i8_rescale(&a, &w, &mut out, s, s, s, &p);
+                out
+            }),
         });
     }
     {
@@ -374,6 +425,93 @@ fn smoke() -> bool {
         }
     } else {
         println!("# smoke gate 3 SKIPPED: only {cores} core(s) available, need >= 4");
+    }
+
+    // Gate 4: the integer GEMM must beat f32 matmul at 256^3, single
+    // thread. Shared CI hosts drift through multi-second throughput
+    // phases (noisy neighbours hit the store-heavy staged kernel harder
+    // than the register-blocked f32 one), so a single timing of each side
+    // is a coin flip: the gate instead interleaves the two kernels over
+    // several rounds, takes best-of-3 within each round, and judges the
+    // MEDIAN of the per-round ratios. Fast phases show >= 2x (the SSE2
+    // pmaddwd ceiling); the floor is set at the sustained worst-phase
+    // advantage with margin. DESIGN.md section 14 has the full analysis.
+    println!("# smoke gate 4: i8 GEMM vs f32 matmul (256^3, 1 thread, paired rounds)");
+    const I8_VS_F32_FLOOR: f64 = 1.15;
+    {
+        let s = 256usize;
+        let mut r = rng::seeded(15);
+        let af = rng::normal(&[s, s], 1.0, &mut r);
+        let bf = rng::normal(&[s, s], 1.0, &mut r);
+        let a8: Vec<i8> = (0..s * s)
+            .map(|i| (((i * 7) % 255) as i32 - 127) as i8)
+            .collect();
+        let w8: Vec<i8> = (0..s * s)
+            .map(|i| (((i * 13) % 15) as i32 - 7) as i8)
+            .collect();
+        let flops = 2.0 * (s * s * s) as f64;
+        let mut ratios = Vec::new();
+        par::with_threads(1, || {
+            for round in 0..5 {
+                let mut f32_ns = f64::MAX;
+                let mut i8_ns = f64::MAX;
+                for _ in 0..3 {
+                    let t = Instant::now();
+                    std::hint::black_box(matmul(&af, &bf).unwrap());
+                    f32_ns = f32_ns.min(t.elapsed().as_secs_f64() * 1e9);
+                    let t = Instant::now();
+                    let mut c = vec![0i32; s * s];
+                    int_gemm::gemm_i8(&a8, &w8, &mut c, s, s, s);
+                    std::hint::black_box(&c);
+                    i8_ns = i8_ns.min(t.elapsed().as_secs_f64() * 1e9);
+                }
+                let ratio = f32_ns / i8_ns;
+                ratios.push(ratio);
+                println!(
+                    "  round {round}: i8 {:.2} GFLOP/s, f32 {:.2} GFLOP/s ({ratio:.2}x)",
+                    flops / i8_ns,
+                    flops / f32_ns
+                );
+            }
+        });
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = ratios[ratios.len() / 2];
+        println!("  median i8/f32 ratio {median:.2}x (floor {I8_VS_F32_FLOOR}x)");
+        if median < I8_VS_F32_FLOOR {
+            eprintln!(
+                "FAIL: i8 GEMM below {I8_VS_F32_FLOOR}x f32 matmul throughput at 256^3 (median)"
+            );
+            ok = false;
+        }
+    }
+    let all = kernels();
+    let cell = |op: &str| {
+        all.iter()
+            .find(|k| k.op == op)
+            .unwrap_or_else(|| panic!("missing kernel cell `{op}`"))
+    };
+    let measure_1t = |k: &Kernel| par::with_threads(1, || time_kernel(k));
+
+    // Gate 5: branch-free quantize/dequantize absolute throughput floors.
+    // Set at ~40% of the worst observed single-thread rate on the
+    // reference CI host (0.14 / 0.45 Gelem/s across machine phases), so a
+    // regression to the old branchy inner loops (~100x slower) trips the
+    // gate without flaking on a slow phase.
+    println!("# smoke gate 5: quantize/dequantize throughput floors (1 thread)");
+    const QUANT_FLOOR_GELEMS: f64 = 0.06;
+    const DEQUANT_FLOOR_GELEMS: f64 = 0.18;
+    for (op, floor) in [
+        ("quantize", QUANT_FLOOR_GELEMS),
+        ("dequantize", DEQUANT_FLOOR_GELEMS),
+    ] {
+        let k = cell(op);
+        let ns = measure_1t(k);
+        let gelems = k.flops / ns;
+        println!("  {op:<10} {gelems:.3} Gelem/s (floor {floor})");
+        if gelems < floor {
+            eprintln!("FAIL: {op} below the {floor} Gelem/s floor");
+            ok = false;
+        }
     }
 
     ok

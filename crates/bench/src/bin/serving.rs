@@ -38,7 +38,10 @@
 //! 1. zero lost/corrupted responses under concurrent load,
 //! 2. batched throughput ≥ 2.0× single-sample throughput at 4 threads
 //!    (enforced when the machine has ≥ 4 cores, like the kernels gate;
-//!    smaller machines enforce a ≥ 1.2× batching floor instead, loudly),
+//!    smaller machines enforce a ≥ 1.2× batching floor instead, loudly,
+//!    pinned to the fp32 lane — with cached or packed weights a single
+//!    core has too little per-request compute left for coalescing to
+//!    amortise, which is exactly the fast-lane point),
 //! 3. p99 latency under [`P99_BUDGET_US`] on the batched cell,
 //! 4. soak: idle connections cost bounded heap and the healthy client
 //!    holds p99 and bit-exactness,
@@ -46,15 +49,18 @@
 //! 6. overload: exact typed accounting, nothing lost or corrupted,
 //! 7. fleet: zero corruption across ≥100 hot-swaps, swap p99 under
 //!    [`SWAP_P99_BUDGET_US`], typed eviction under memory pressure,
-//! 8. corruption: every damaged upload quarantined, serving undisturbed.
+//! 8. corruption: every damaged upload quarantined, serving undisturbed,
+//! 9. parity: the same k=4 checkpoint served over the dequant-free
+//!    integer lane must beat the fp32 lane (dequantise every forward) on
+//!    batched single-thread throughput, with every response bit-exact.
 
 use apt_bench::results_dir;
 use apt_core::faults::{flip_byte, truncate_file};
 use apt_nn::{checkpoint, models, QuantScheme};
 use apt_quant::Bitwidth;
 use apt_serve::{
-    protocol, BatchPolicy, ConnLimits, InferenceSession, ModelArch, ModelRegistry, ModelSpec,
-    RegistryConfig, RetryPolicy, ServeClient, ServeError, Server, ServerConfig,
+    protocol, BatchPolicy, ConnLimits, InferenceSession, KernelLane, ModelArch, ModelRegistry,
+    ModelSpec, RegistryConfig, RetryPolicy, ServeClient, ServeError, Server, ServerConfig,
 };
 use apt_tensor::{par, rng};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -138,8 +144,14 @@ const SWAP_P99_BUDGET_US: u64 = 250_000;
 /// Builds a frozen session at the given weight bitwidth (32 = fp32) via a
 /// full checkpoint round-trip, exactly as `apt serve` would load it.
 fn build_session(bits: u32) -> InferenceSession {
+    build_session_lane(bits, KernelLane::default())
+}
+
+/// [`build_session`] with an explicit kernel-lane request. The parity
+/// cells pin the lane; every other cell serves on the default cache.
+fn build_session_lane(bits: u32, lane: KernelLane) -> InferenceSession {
     let blob = build_blob(bits, 11);
-    InferenceSession::from_checkpoint(&fleet_spec(), &blob).expect("session loads")
+    InferenceSession::from_checkpoint_with_lane(&fleet_spec(), &blob, lane).expect("session loads")
 }
 
 /// The [`ModelSpec`] every fleet/corruption checkpoint loads against.
@@ -214,6 +226,7 @@ const POLICIES: &[Policy] = &[
 struct Row {
     cell: &'static str,
     bits: u32,
+    lane: &'static str,
     threads: usize,
     policy: &'static str,
     max_batch: usize,
@@ -244,9 +257,16 @@ struct Row {
 /// Drives one throughput cell: starts a server, hammers it with [`CLIENTS`]
 /// connections × `per_client` requests, verifies every response
 /// bit-exactly, and reads the server-side histograms.
-fn run_cell(bits: u32, threads: usize, policy: &Policy, per_client: usize) -> Row {
+fn run_cell(
+    bits: u32,
+    threads: usize,
+    policy: &Policy,
+    per_client: usize,
+    lane: KernelLane,
+) -> Row {
     par::set_global_threads(threads);
-    let session = build_session(bits);
+    let session = build_session_lane(bits, lane);
+    let achieved = session.lane();
     let workloads = build_workloads(&session, CLIENTS);
 
     let config = ServerConfig {
@@ -323,6 +343,7 @@ fn run_cell(bits: u32, threads: usize, policy: &Policy, per_client: usize) -> Ro
     Row {
         cell: "throughput",
         bits,
+        lane: achieved.as_str(),
         threads,
         policy: policy.name,
         max_batch: policy.max_batch,
@@ -464,6 +485,7 @@ fn soak_cell(per_client: usize) -> (Row, bool) {
         Row {
             cell: "soak",
             bits: 8,
+            lane: KernelLane::default().as_str(),
             threads: 1,
             policy: "batch8",
             max_batch: 8,
@@ -631,6 +653,7 @@ fn slowloris_cell(per_client: usize) -> (Row, bool) {
         Row {
             cell: "slowloris",
             bits: 8,
+            lane: KernelLane::default().as_str(),
             threads: 1,
             policy: "batch8",
             max_batch: 8,
@@ -794,6 +817,7 @@ fn overload_cell(per_client: usize) -> (Row, bool) {
         Row {
             cell: "overload",
             bits: 8,
+            lane: KernelLane::default().as_str(),
             threads: 1,
             policy: "batch4",
             max_batch: 4,
@@ -1074,6 +1098,7 @@ fn fleet_cell() -> (Row, bool) {
         Row {
             cell: "fleet",
             bits: 8,
+            lane: KernelLane::default().as_str(),
             threads: 1,
             policy: "batch8",
             max_batch: 8,
@@ -1268,6 +1293,7 @@ fn corruption_cell() -> (Row, bool) {
         Row {
             cell: "corruption",
             bits: 8,
+            lane: KernelLane::default().as_str(),
             threads: 1,
             policy: "batch8",
             max_batch: 8,
@@ -1298,13 +1324,59 @@ fn corruption_cell() -> (Row, bool) {
     )
 }
 
+/// Parity cells: the same k=4 checkpoint served twice at batch8 on one
+/// thread — once over the fp32 lane (weights dequantised on every
+/// forward) and once over the dequant-free integer lane. The integer lane
+/// must win on throughput with zero corrupted or lost responses; this is
+/// the serving-level form of the integer fast lane's headline claim
+/// (DESIGN.md §14), and it is robust to kernel-level noise because the
+/// fp32 lane pays the full bit-unpack dequantisation on every batch.
+fn parity_cells(per_client: usize) -> (Row, Row, bool) {
+    let mut gate_ok = true;
+    let mut f32_row = run_cell(4, 1, &POLICIES[1], per_client, KernelLane::F32);
+    f32_row.cell = "parity";
+    let mut int_row = run_cell(4, 1, &POLICIES[1], per_client, KernelLane::IntGemm);
+    int_row.cell = "parity";
+    if int_row.lane != KernelLane::IntGemm.as_str() {
+        println!(
+            "FAIL: parity session armed lane {}, wanted int-gemm",
+            int_row.lane
+        );
+        gate_ok = false;
+    }
+    for r in [&f32_row, &int_row] {
+        if r.corrupted != 0 || r.lost != 0 || r.ok != r.requests {
+            println!(
+                "FAIL: parity lane {} completed {}/{} with {} corrupted, {} lost",
+                r.lane, r.ok, r.requests, r.corrupted, r.lost
+            );
+            gate_ok = false;
+        }
+    }
+    let ratio = int_row.rps / f32_row.rps.max(1e-9);
+    if int_row.rps >= f32_row.rps {
+        println!(
+            "ok: int-gemm {:.0} req/s ≥ fp32 {:.0} req/s ({ratio:.2}×), every response bit-exact",
+            int_row.rps, f32_row.rps
+        );
+    } else {
+        println!(
+            "FAIL: int-gemm lane {:.0} req/s below fp32 lane {:.0} req/s ({ratio:.2}×)",
+            int_row.rps, f32_row.rps
+        );
+        gate_ok = false;
+    }
+    (f32_row, int_row, gate_ok)
+}
+
 fn print_row(r: &Row) {
     println!(
-        "{:<10} k={:<2} threads={} {:<7} {:>7.0} req/s | p50 {:>6}µs p90 {:>6}µs p99 {:>6}µs | \
+        "{:<10} k={:<2} {:<13} threads={} {:<7} {:>7.0} req/s | p50 {:>6}µs p90 {:>6}µs p99 {:>6}µs | \
          mean batch {:>5.2} | ok {} shed {} expired {} corrupt {} lost {} | refused {} \
          idle-reaped {} slow-reaped {} | swaps {} evict {} quar {} unavail {} swap-p99 {}µs",
         r.cell,
         r.bits,
+        r.lane,
         r.threads,
         r.policy,
         r.rps,
@@ -1331,17 +1403,18 @@ fn print_row(r: &Row) {
 fn write_outputs(rows: &[Row]) {
     let csv_path = results_dir().join("serving.csv");
     let mut csv = String::from(
-        "cell,bits,threads,policy,max_batch,max_delay_us,clients,requests,ok,shed,\
+        "cell,bits,lane,threads,policy,max_batch,max_delay_us,clients,requests,ok,shed,\
          deadline_expired,corrupted,lost,refused_accept,idle_reaped,slow_reaped,\
          wall_ms,rps,p50_us,p90_us,p99_us,mean_batch,\
          swaps,evictions,quarantines,model_unavailable,swap_p99_us\n",
     );
     for r in rows {
         csv.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{},{},{},{:.3},\
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{},{},{},{:.3},\
              {},{},{},{},{}\n",
             r.cell,
             r.bits,
+            r.lane,
             r.threads,
             r.policy,
             r.max_batch,
@@ -1376,7 +1449,7 @@ fn write_outputs(rows: &[Row]) {
         .iter()
         .map(|r| {
             format!(
-                "  {{\"cell\":\"{}\",\"bits\":{},\"threads\":{},\"policy\":\"{}\",\
+                "  {{\"cell\":\"{}\",\"bits\":{},\"lane\":\"{}\",\"threads\":{},\"policy\":\"{}\",\
                  \"max_batch\":{},\"max_delay_us\":{},\"clients\":{},\"requests\":{},\
                  \"ok\":{},\"shed\":{},\"deadline_expired\":{},\"corrupted\":{},\"lost\":{},\
                  \"refused_accept\":{},\"idle_reaped\":{},\"slow_reaped\":{},\
@@ -1386,6 +1459,7 @@ fn write_outputs(rows: &[Row]) {
                  \"model_unavailable\":{},\"swap_p99_us\":{}}}",
                 r.cell,
                 r.bits,
+                r.lane,
                 r.threads,
                 r.policy,
                 r.max_batch,
@@ -1433,12 +1507,27 @@ fn smoke() -> bool {
     let mut ok = true;
     let cores = par::default_threads();
     let gate_threads = if cores >= 4 { 4 } else { 1 };
+    // On one core, batching pays only by amortising per-forward compute.
+    // The cached/packed lanes leave so little per-request work that the
+    // floor stops being meaningful there, so the single-core form pins
+    // the fp32 lane, where the dequantisation traversal is the thing a
+    // coalesced batch amortises — the same path the gate has always
+    // measured. With ≥ 4 cores the batch parallelises across the pool
+    // and the strict form holds on the default lane.
+    let gate_lane = if cores >= 4 {
+        KernelLane::default()
+    } else {
+        KernelLane::F32
+    };
     let per_client = 100;
 
-    println!("# smoke cells: single vs batched @ k=8, {gate_threads} thread(s)");
-    let single = run_cell(8, gate_threads, &POLICIES[0], per_client);
+    println!(
+        "# smoke cells: single vs batched @ k=8, {gate_threads} thread(s), {} lane",
+        gate_lane.as_str()
+    );
+    let single = run_cell(8, gate_threads, &POLICIES[0], per_client, gate_lane);
     print_row(&single);
-    let batched = run_cell(8, gate_threads, &POLICIES[1], per_client);
+    let batched = run_cell(8, gate_threads, &POLICIES[1], per_client, gate_lane);
     print_row(&batched);
 
     // Gate 1: nothing lost or corrupted under concurrent load.
@@ -1547,7 +1636,18 @@ fn smoke() -> bool {
     }
     ok &= corrupt_ok;
 
-    write_outputs(&[single, batched, soak, slow, over, fleet, corrupt]);
+    println!(
+        "# smoke gate 9: parity — k=4 int-gemm lane ≥ fp32 lane rps at batch8, 1 thread, \
+         zero corrupted/lost"
+    );
+    let (parity_f32, parity_int, parity_ok) = parity_cells(per_client);
+    print_row(&parity_f32);
+    print_row(&parity_int);
+    ok &= parity_ok;
+
+    write_outputs(&[
+        single, batched, soak, slow, over, fleet, corrupt, parity_f32, parity_int,
+    ]);
     ok
 }
 
@@ -1568,14 +1668,29 @@ fn main() {
     );
     let mut rows = Vec::new();
     for &bits in &[4u32, 8, 32] {
+        // Quantized models serve on both the default cache and the
+        // dequant-free integer lane; fp32 has only its native lane.
+        let lanes: &[KernelLane] = if bits == 32 {
+            &[KernelLane::default()]
+        } else {
+            &[KernelLane::DequantCache, KernelLane::IntGemm]
+        };
         for &threads in &[1usize, 2, 4] {
             for policy in POLICIES {
-                let row = run_cell(bits, threads, policy, 150);
-                print_row(&row);
-                rows.push(row);
+                for &lane in lanes {
+                    let row = run_cell(bits, threads, policy, 150, lane);
+                    print_row(&row);
+                    rows.push(row);
+                }
             }
         }
     }
+    println!("# parity cells: fp32 lane vs dequant-free integer lane on the same k=4 model");
+    let (parity_f32, parity_int, _) = parity_cells(150);
+    print_row(&parity_f32);
+    print_row(&parity_int);
+    rows.push(parity_f32);
+    rows.push(parity_int);
     println!("# robustness cells: soak / slowloris / overload / fleet / corruption");
     let (soak, _) = soak_cell(150);
     print_row(&soak);

@@ -42,7 +42,7 @@ mod network;
 mod param;
 
 pub use error::NnError;
-pub use layer::{Layer, Mode};
+pub use layer::{KernelLane, Layer, Mode};
 pub use network::Network;
 pub use param::{Param, ParamKind, ParamPrecision, ParamStore, Projection, QuantScheme};
 

@@ -21,6 +21,10 @@
 //!   memory instead of a simulated 64. [`QuantizedTensor::resident_bytes`]
 //!   reports the real footprint next to the modeled
 //!   [`memory_bits`](QuantizedTensor::memory_bits).
+//! * [`WeightPanel`] / [`ActPanel`] — GEMM-ready integer panels for the
+//!   dequant-free serving lane: codes unpacked once at session load
+//!   (weights) or per request (activations) into the centered row-major
+//!   layout the `apt_tensor::ops::int_gemm` kernels consume.
 //! * [`fake`] — one-shot "fake quantisation" (quantise→dequantise in float),
 //!   plus ternarisation/binarisation; these power the fp32-master-copy
 //!   baselines of Table I (DoReFa/TTQ/TWN/BNN/TernGrad style).
@@ -50,6 +54,7 @@ mod bitwidth;
 mod code_store;
 mod error;
 pub mod fake;
+mod panel;
 mod per_channel;
 mod quantizer;
 mod rounding;
@@ -58,6 +63,7 @@ mod tensor_q;
 pub use bitwidth::Bitwidth;
 pub use code_store::{set_store_backend, store_backend, CodeStore, PackedCodes, StoreBackend};
 pub use error::QuantError;
+pub use panel::{ActPanel, WeightPanel};
 pub use per_channel::PerChannelQuantized;
 pub use quantizer::AffineQuantizer;
 pub use rounding::RoundingMode;

@@ -182,15 +182,41 @@ impl AffineQuantizer {
     ///
     /// Pure per-element map, so it chunks onto the [`apt_tensor::par`]
     /// pool; results are bit-identical for every thread count.
+    ///
+    /// For `k ≤ 16` the inner loop is branch-free: the grid bounds
+    /// `[−Z, 2^k−1−Z]` are integers of magnitude ≤ 65535, exactly
+    /// representable in f32, so the clamp runs in f32 lanes and the final
+    /// conversion is a plain f32→i32 cast. This is bit-equivalent to
+    /// [`quantize_value`](Self::quantize_value) for every input including
+    /// NaN (→ `Z`, since both `NaN as i64` and `NaN as i32` are 0) and
+    /// ±Inf (→ the grid rails), but unlike the scalar path it
+    /// autovectorises.
     pub fn quantize_tensor(&self, t: &Tensor) -> Vec<i64> {
         let mut codes = vec![0i64; t.len()];
         let rd = t.data();
-        par::for_each_chunk_mut(&mut codes, QUANT_CHUNK, |ci, chunk| {
-            let base = ci * QUANT_CHUNK;
-            for (j, q) in chunk.iter_mut().enumerate() {
-                *q = self.quantize_value(rd[base + j]);
-            }
-        });
+        if self.bits.get() <= 16 {
+            let scale = self.scale;
+            let z = self.zero_point;
+            let lo = -(z as f32);
+            let hi = (self.bits.num_steps() as i64 - z) as f32;
+            par::for_each_chunk_mut(&mut codes, QUANT_CHUNK, |ci, chunk| {
+                let base = ci * QUANT_CHUNK;
+                let src = &rd[base..base + chunk.len()];
+                for (q, &r) in chunk.iter_mut().zip(src) {
+                    let t = (r / scale).round().clamp(lo, hi);
+                    *q = i64::from(t as i32) + z;
+                }
+            });
+        } else {
+            // Above 16 bits the rails are no longer exact in f32; keep the
+            // saturating scalar path.
+            par::for_each_chunk_mut(&mut codes, QUANT_CHUNK, |ci, chunk| {
+                let base = ci * QUANT_CHUNK;
+                for (j, q) in chunk.iter_mut().enumerate() {
+                    *q = self.quantize_value(rd[base + j]);
+                }
+            });
+        }
         codes
     }
 
@@ -198,17 +224,45 @@ impl AffineQuantizer {
     ///
     /// Pure per-element map (parallel, bit-identical for any thread count).
     ///
+    /// For `k ≤ 16`, chunks whose codes are all on the grid take a
+    /// branch-free lane: `q − Z` fits an `i32`, so the conversion is a
+    /// vectorisable i32→f32 cast producing the same f32 value as the
+    /// scalar i64→f32 conversion (same integer, same rounding). Chunks
+    /// containing out-of-grid codes — impossible from a [`crate::CodeStore`],
+    /// but allowed by this public API — fall back to the saturating scalar
+    /// path, keeping the output bit-identical in every case.
+    ///
     /// # Errors
     ///
     /// Returns a tensor error if `codes.len()` disagrees with `dims`.
     pub fn dequantize_tensor(&self, codes: &[i64], dims: &[usize]) -> crate::Result<Tensor> {
         let mut data = vec![0.0f32; codes.len()];
-        par::for_each_chunk_mut(&mut data, QUANT_CHUNK, |ci, chunk| {
-            let base = ci * QUANT_CHUNK;
-            for (j, r) in chunk.iter_mut().enumerate() {
-                *r = self.dequantize_value(codes[base + j]);
-            }
-        });
+        if self.bits.get() <= 16 {
+            let scale = self.scale;
+            let z = self.zero_point;
+            let max = self.bits.num_steps() as i64;
+            par::for_each_chunk_mut(&mut data, QUANT_CHUNK, |ci, chunk| {
+                let base = ci * QUANT_CHUNK;
+                let src = &codes[base..base + chunk.len()];
+                let on_grid = src.iter().fold(true, |ok, &q| ok & (q >= 0) & (q <= max));
+                if on_grid {
+                    for (r, &q) in chunk.iter_mut().zip(src) {
+                        *r = scale * ((q - z) as i32 as f32);
+                    }
+                } else {
+                    for (r, &q) in chunk.iter_mut().zip(src) {
+                        *r = self.dequantize_value(q);
+                    }
+                }
+            });
+        } else {
+            par::for_each_chunk_mut(&mut data, QUANT_CHUNK, |ci, chunk| {
+                let base = ci * QUANT_CHUNK;
+                for (j, r) in chunk.iter_mut().enumerate() {
+                    *r = self.dequantize_value(codes[base + j]);
+                }
+            });
+        }
         Ok(Tensor::from_vec(data, dims)?)
     }
 }
@@ -296,6 +350,51 @@ mod tests {
             assert!((a - b_).abs() <= q.eps() / 2.0 + 1e-6);
         }
         assert!(q.dequantize_tensor(&codes, &[3]).is_err());
+    }
+
+    #[test]
+    fn branch_free_paths_match_scalar_bitwise() {
+        // The k ≤ 16 fast lanes must agree with quantize_value /
+        // dequantize_value to the last bit for every input class,
+        // including non-finite values and off-grid codes.
+        for k in [2u32, 4, 8, 12, 16, 20, 32] {
+            let q = AffineQuantizer::from_range(-1.3, 2.7, b(k)).unwrap();
+            let mut vals: Vec<f32> = vec![
+                0.0,
+                -0.0,
+                1.0,
+                -1.3,
+                2.7,
+                1e30,
+                -1e30,
+                f32::NAN,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                f32::MIN_POSITIVE,
+            ];
+            for i in 0..1000 {
+                vals.push(-2.0 + 5.0 * (i as f32 / 999.0));
+            }
+            let t = Tensor::from_vec(vals.clone(), &[vals.len()]).unwrap();
+            let codes = q.quantize_tensor(&t);
+            for (&r, &c) in vals.iter().zip(&codes) {
+                assert_eq!(c, q.quantize_value(r), "k={k} r={r}");
+            }
+            let back = q.dequantize_tensor(&codes, t.dims()).unwrap();
+            for (&c, &r) in codes.iter().zip(back.data()) {
+                assert_eq!(
+                    r.to_bits(),
+                    q.dequantize_value(c).to_bits(),
+                    "k={k} code={c}"
+                );
+            }
+            // Off-grid codes exercise the per-chunk fallback.
+            let wild = vec![-1i64, q.bits().num_steps() as i64 + 7, i64::MIN, i64::MAX];
+            let back = q.dequantize_tensor(&wild, &[4]).unwrap();
+            for (&c, &r) in wild.iter().zip(back.data()) {
+                assert_eq!(r.to_bits(), q.dequantize_value(c).to_bits(), "k={k}");
+            }
+        }
     }
 
     #[test]

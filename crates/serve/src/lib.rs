@@ -9,7 +9,10 @@
 //!    `Network::forward_inference` (no activation caching, no gradient
 //!    bookkeeping) and stages request samples through a recycled
 //!    [`ScratchArena`] so the steady-state hot path does not grow the heap.
-//!    Outputs are bit-identical to the trainer's `Mode::Eval` forward.
+//!    A [`KernelLane`] is armed at load: the default dequant cache keeps
+//!    outputs bit-identical to the trainer's `Mode::Eval` forward, while
+//!    the opt-in `int-gemm` lane serves dequant-free from packed integer
+//!    panels (bit-close, documented bound, faster than fp32 at low `k`).
 //! 2. **[`MicroBatcher`]** — a dynamic micro-batcher that coalesces
 //!    single-sample requests from an MPSC queue under a
 //!    [`BatchPolicy`] (`max_batch` / `max_delay_us`), executes them as one
@@ -60,6 +63,7 @@ mod stats;
 
 pub mod protocol;
 
+pub use apt_nn::KernelLane;
 pub use batcher::{BatchPolicy, BatcherHandle, MicroBatcher};
 pub use client::{ClientConfig, RetryPolicy, ServeClient};
 pub use error::ServeError;

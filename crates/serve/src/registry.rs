@@ -33,7 +33,7 @@
 //! single model larger than the whole budget is rejected at publish time.
 
 use crate::protocol::MAX_MODEL_ID;
-use crate::{InferenceSession, ModelSpec, ServeError, ServeStats, StatsSnapshot};
+use crate::{InferenceSession, KernelLane, ModelSpec, ServeError, ServeStats, StatsSnapshot};
 use apt_nn::checkpoint;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -54,6 +54,10 @@ pub struct RegistryConfig {
     /// Architecture used to load checkpoints ingested from files. Blob
     /// ingestion ([`ModelRegistry::ingest_blob`]) carries its own spec.
     pub spec: Option<ModelSpec>,
+    /// Kernel lane armed on every ingested plan (default: the bit-exact
+    /// dequant cache). Panels or cached weights built for the lane are
+    /// part of each plan's resident bytes, so the budget sees them.
+    pub lane: KernelLane,
 }
 
 /// One registered model's bookkeeping.
@@ -422,8 +426,9 @@ impl ModelRegistry {
     fn validate(&self, spec: &ModelSpec, blob: &[u8]) -> Result<InferenceSession, ServeError> {
         // Rung 1: structural walk — framing, version, CRC, section bounds.
         checkpoint::verify(blob)?;
-        // Rung 2: full decode + construction-time probe forward.
-        let session = InferenceSession::from_checkpoint(spec, blob)?;
+        // Rung 2: full decode + construction-time probe forward, arming
+        // the configured kernel lane.
+        let session = InferenceSession::from_checkpoint_with_lane(spec, blob, self.config.lane)?;
         // Rung 3: digest stability — inference must not mutate the plan.
         let before = session.network().integrity_digests();
         let zeros = vec![0.0f32; session.sample_len()];

@@ -8,6 +8,14 @@
 //! loaded verbatim from the checkpoint; nothing is inflated to fp32 at
 //! rest).
 //!
+//! At load time the session arms a [`KernelLane`] on the network — the
+//! default [`KernelLane::DequantCache`] caches each weight's f32 value once
+//! (bit-exact vs the unarmed forward), while [`KernelLane::IntGemm`] serves
+//! straight from packed integer panels through the fused integer GEMM
+//! kernels (bit-close, documented bound). Whatever the plans keep resident
+//! is counted by [`apt_nn::Network::resident_bytes`], so registry eviction
+//! budgets see the real footprint.
+//!
 //! Input staging goes through a [`ScratchArena`] so steady-state request
 //! handling reuses buffers instead of allocating per call. Layer
 //! intermediates inside ops still allocate; the arena removes the
@@ -15,7 +23,7 @@
 //! allocation the runtime actually controls.
 
 use crate::ServeError;
-use apt_nn::{checkpoint, models, Network, QuantScheme};
+use apt_nn::{checkpoint, models, KernelLane, Network, QuantScheme};
 use apt_tensor::{rng, Tensor};
 use std::str::FromStr;
 use std::sync::{Arc, Mutex};
@@ -196,25 +204,43 @@ pub struct InferenceSession {
     sample_dims: Vec<usize>,
     sample_len: usize,
     num_outputs: usize,
+    lane: KernelLane,
 }
 
 impl InferenceSession {
     /// Loads a `.aptc` checkpoint blob (any supported version: v1, v2, v3)
-    /// into the architecture described by `spec` and freezes the result.
+    /// into the architecture described by `spec` and freezes the result,
+    /// arming the default [`KernelLane::DequantCache`] (bit-exact).
     ///
     /// # Errors
     ///
     /// Propagates architecture construction and checkpoint decode errors,
     /// and fails if a probe forward pass cannot run.
     pub fn from_checkpoint(spec: &ModelSpec, blob: &[u8]) -> Result<Self, ServeError> {
+        Self::from_checkpoint_with_lane(spec, blob, KernelLane::default())
+    }
+
+    /// [`from_checkpoint`](Self::from_checkpoint) with an explicit kernel
+    /// lane request; see [`from_network_with_lane`]
+    /// (Self::from_network_with_lane) for lane semantics.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`from_checkpoint`](Self::from_checkpoint).
+    pub fn from_checkpoint_with_lane(
+        spec: &ModelSpec,
+        blob: &[u8],
+        lane: KernelLane,
+    ) -> Result<Self, ServeError> {
         let mut net = spec.build()?;
         checkpoint::load(&mut net, blob)?;
-        Self::from_network(net, &spec.sample_dims())
+        Self::from_network_with_lane(net, &spec.sample_dims(), lane)
     }
 
     /// Freezes an already-constructed network (e.g. straight out of a
-    /// trainer) into a session. `sample_dims` is the shape of one input
-    /// sample without the batch axis.
+    /// trainer) into a session, arming the default
+    /// [`KernelLane::DequantCache`]. `sample_dims` is the shape of one
+    /// input sample without the batch axis.
     ///
     /// # Errors
     ///
@@ -222,11 +248,31 @@ impl InferenceSession {
     /// which catches sample-shape mismatches at construction time rather
     /// than on the first request.
     pub fn from_network(net: Network, sample_dims: &[usize]) -> Result<Self, ServeError> {
+        Self::from_network_with_lane(net, sample_dims, KernelLane::default())
+    }
+
+    /// [`from_network`](Self::from_network) with an explicit kernel lane.
+    /// The requested lane is armed on every layer before the network is
+    /// frozen; the session records the **achieved** lane (layers that
+    /// cannot build an integer panel degrade, see
+    /// [`apt_nn::Network::prepare_inference`]), readable via
+    /// [`lane`](Self::lane).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`from_network`](Self::from_network), plus any
+    /// plan-construction error from the layers.
+    pub fn from_network_with_lane(
+        mut net: Network,
+        sample_dims: &[usize],
+        lane: KernelLane,
+    ) -> Result<Self, ServeError> {
         if sample_dims.is_empty() || sample_dims.contains(&0) {
             return Err(ServeError::BadRequest {
                 reason: format!("invalid sample dims {sample_dims:?}"),
             });
         }
+        let achieved = net.prepare_inference(lane)?;
         let sample_len: usize = sample_dims.iter().product();
         let mut probe_dims = vec![1];
         probe_dims.extend_from_slice(sample_dims);
@@ -238,12 +284,19 @@ impl InferenceSession {
             sample_dims: sample_dims.to_vec(),
             sample_len,
             num_outputs,
+            lane: achieved,
         })
     }
 
     /// The frozen network.
     pub fn network(&self) -> &Arc<Network> {
         &self.net
+    }
+
+    /// The kernel lane the session actually achieved at load time (the
+    /// weakest lane across its weight-bearing layers).
+    pub fn lane(&self) -> KernelLane {
+        self.lane
     }
 
     /// Shape of one input sample (no batch axis).

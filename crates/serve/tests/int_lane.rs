@@ -1,0 +1,191 @@
+//! Differential coverage for the dequant-free integer serving lane.
+//!
+//! Two claims, both against the exact (unarmed / `fp32`-lane) forward:
+//!
+//! 1. **Dequant cache is bit-exact.** Arming [`KernelLane::DequantCache`]
+//!    must not change a single output bit on any backbone — it is the same
+//!    arithmetic reading a cached weight tensor.
+//! 2. **Integer lane is bit-close with a documented bound.** The
+//!    [`KernelLane::IntGemm`] lane computes entirely on integer codes; its
+//!    only approximation is the per-row 8-bit activation requantisation
+//!    (weight side exact, integer bracket exact in `i64`). Per layer that
+//!    is an error of at most `εx/2 · Σ|ŵ|`; end to end we assert logits
+//!    within 6% of the largest exact logit magnitude on every supported
+//!    backbone, and across every checkpoint version (v1/v2/v3) and both
+//!    code-store backends on a *trained* network.
+//!
+//! The store backend is a process global, so this file holds a single
+//! serial `#[test]` (integration tests compile to their own binary, so
+//! this cannot race `differential.rs`).
+
+use apt_core::{PolicyConfig, TrainConfig, Trainer};
+use apt_data::{SynthCifar, SynthCifarConfig};
+use apt_nn::{checkpoint, Network};
+use apt_optim::LrSchedule;
+use apt_quant::{set_store_backend, StoreBackend};
+use apt_serve::{InferenceSession, KernelLane, ModelArch, ModelSpec};
+
+fn cifar_spec() -> ModelSpec {
+    ModelSpec {
+        arch: ModelArch::Cifarnet,
+        classes: 3,
+        img_size: 8,
+        width_mult: 0.25,
+    }
+}
+
+/// A short real training run so the checkpoint carries non-trivial
+/// quantisers and batch-norm state (mirrors `differential.rs`).
+fn trained_network() -> Network {
+    let data = SynthCifar::generate(&SynthCifarConfig {
+        num_classes: 3,
+        train_per_class: 16,
+        test_per_class: 6,
+        img_size: 8,
+        seed: 7,
+        ..Default::default()
+    })
+    .unwrap();
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        schedule: LrSchedule::Constant(0.05),
+        interval: 1,
+        policy: Some(PolicyConfig::default()),
+        ..Default::default()
+    };
+    let net = cifar_spec().build().unwrap();
+    let mut t = Trainer::new(net, cfg).unwrap();
+    t.train(&data.train, &data.test).unwrap();
+    let blob = checkpoint::save_full(t.network_mut());
+    let mut fresh = cifar_spec().build().unwrap();
+    checkpoint::load(&mut fresh, &blob).unwrap();
+    fresh
+}
+
+fn synth_samples(n: usize, sample_len: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..sample_len)
+                .map(|j| ((i * 31 + j * 7) % 23) as f32 * 0.08 - 0.9)
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_rows_bitwise(got: &[Vec<f32>], want: &[Vec<f32>], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: row count");
+    for (gr, wr) in got.iter().zip(want) {
+        assert_eq!(gr.len(), wr.len(), "{ctx}: row width");
+        for (g, w) in gr.iter().zip(wr) {
+            assert_eq!(g.to_bits(), w.to_bits(), "{ctx}: {g} vs {w}");
+        }
+    }
+}
+
+/// Logit-level closeness: every element within `rel` of the largest exact
+/// logit magnitude (floored at 1 so near-zero logits don't demand exact
+/// zeros). Also proves no row was lost or resized — "zero corrupted or
+/// lost responses" at the session level.
+fn assert_rows_close(got: &[Vec<f32>], want: &[Vec<f32>], rel: f32, ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: row count");
+    let scale = want.iter().flatten().fold(1.0f32, |a, &v| a.max(v.abs()));
+    for (i, (gr, wr)) in got.iter().zip(want).enumerate() {
+        assert_eq!(gr.len(), wr.len(), "{ctx}: row {i} width");
+        for (g, w) in gr.iter().zip(wr) {
+            assert!(g.is_finite(), "{ctx}: non-finite logit {g}");
+            assert!(
+                (g - w).abs() <= rel * scale,
+                "{ctx}: row {i}: {g} vs {w} (± {} = {rel}·{scale})",
+                rel * scale
+            );
+        }
+    }
+}
+
+#[test]
+fn integer_lane_is_bit_close_everywhere_dequant_cache_bit_exact() {
+    set_store_backend(StoreBackend::Tiered);
+    // ── Claim 1 + 2 across every supported backbone (fresh paper-APT
+    //    quantised weights straight from the model zoo). ──
+    let backbones = [
+        ModelSpec {
+            arch: ModelArch::Mlp(vec![48, 32, 3]),
+            classes: 3,
+            img_size: 0,
+            width_mult: 1.0,
+        },
+        cifar_spec(),
+        ModelSpec {
+            arch: ModelArch::VggSmall,
+            ..cifar_spec()
+        },
+        ModelSpec {
+            arch: ModelArch::Resnet20,
+            ..cifar_spec()
+        },
+        ModelSpec {
+            arch: ModelArch::Resnet110,
+            ..cifar_spec()
+        },
+        ModelSpec {
+            arch: ModelArch::MobilenetV2,
+            ..cifar_spec()
+        },
+    ];
+    for spec in &backbones {
+        let ctx = format!("{:?}", spec.arch);
+        let mut net = spec.build().unwrap();
+        let blob = checkpoint::save_full(&mut net);
+        let sample_len: usize = spec.sample_dims().iter().product();
+        let samples = synth_samples(2, sample_len);
+
+        let exact =
+            InferenceSession::from_checkpoint_with_lane(spec, &blob, KernelLane::F32).unwrap();
+        assert_eq!(exact.lane(), KernelLane::F32);
+        assert_eq!(exact.network().plan_resident_bytes(), 0);
+        let want = exact.infer_samples(&samples).unwrap();
+
+        let cached =
+            InferenceSession::from_checkpoint_with_lane(spec, &blob, KernelLane::DequantCache)
+                .unwrap();
+        assert_eq!(cached.lane(), KernelLane::DequantCache);
+        assert_rows_bitwise(&cached.infer_samples(&samples).unwrap(), &want, &ctx);
+
+        let int =
+            InferenceSession::from_checkpoint_with_lane(spec, &blob, KernelLane::IntGemm).unwrap();
+        assert_eq!(
+            int.lane(),
+            KernelLane::IntGemm,
+            "{ctx}: paper-APT weights are quantised, the whole net must go integer"
+        );
+        assert!(
+            int.network().plan_resident_bytes() > 0,
+            "{ctx}: panels must be counted resident"
+        );
+        assert_rows_close(&int.infer_samples(&samples).unwrap(), &want, 0.06, &ctx);
+    }
+
+    // ── Claim 2 on a trained network, across checkpoint versions and
+    //    both store backends. ──
+    let spec = cifar_spec();
+    let samples = synth_samples(4, 3 * 8 * 8);
+    for backend in [StoreBackend::I64, StoreBackend::Tiered] {
+        set_store_backend(backend);
+        let mut net = trained_network();
+        let blob = checkpoint::save_full(&mut net);
+        let exact =
+            InferenceSession::from_checkpoint_with_lane(&spec, &blob, KernelLane::F32).unwrap();
+        let want = exact.infer_samples(&samples).unwrap();
+        for version in [1u16, 2, 3] {
+            let vblob = checkpoint::save_full_as(&mut net, version).unwrap();
+            let session =
+                InferenceSession::from_checkpoint_with_lane(&spec, &vblob, KernelLane::IntGemm)
+                    .unwrap();
+            assert_eq!(session.lane(), KernelLane::IntGemm);
+            let ctx = format!("trained cifarnet v{version} {backend:?}");
+            assert_rows_close(&session.infer_samples(&samples).unwrap(), &want, 0.06, &ctx);
+        }
+    }
+    set_store_backend(StoreBackend::Tiered);
+}

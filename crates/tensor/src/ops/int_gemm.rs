@@ -1,0 +1,553 @@
+//! Integer-domain GEMM micro-kernels for the dequant-free serving lane.
+//!
+//! These kernels compute on quantised codes directly — no f32 weight
+//! materialisation — and rescale **once per output element** at the end:
+//!
+//! * [`gemm_i8`] — `C[m×n] = A·Wᵀ` in pure integer arithmetic
+//!   (`i8 × i8 → i32` accumulate). `A` is an activation panel of centered
+//!   8-bit codes, `W` a weight panel with one output channel per row.
+//! * [`gemm_i8_rescale`] — the fused serving kernel: the same integer
+//!   GEMM plus the affine correction terms and per-output-channel
+//!   rescale + bias straight to f32.
+//! * [`gemm_i16_rescale`] — the `8 < k ≤ 16` weight tier
+//!   (`i8 × i16 → i64` accumulate).
+//!
+//! ## Layout contract
+//!
+//! Both operands are **row-major panels over the shared dimension**: the
+//! dot products run over contiguous memory on both sides, which is what
+//! lets the inner loops autovectorise (`pmaddwd`-style on x86). Codes are
+//! *centered*: `aq = q − 2^7` for the 8-bit activation grid and
+//! `wq = q − 2^(k−1)` for a `k`-bit weight grid — exactly the payload the
+//! tiered `CodeStore` already keeps, so panel construction is a copy, not
+//! an arithmetic pass.
+//!
+//! ## Rescale math
+//!
+//! With activations `x̂_ij = Sx_i·(aq_ij + dx_i)` (per-row scale,
+//! `dx_i = 2^7 − Zx_i`) and weights `ŵ_oj = Sw_o·(wq_oj + dw_o)`
+//! (`dw_o = 2^(k−1) − Zw_o`), the f32 output expands to
+//!
+//! ```text
+//! y[i,o] = Sx_i·Sw_o·( dot_io + dw_o·asum_i + dx_i·wsum_o + K·dx_i·dw_o ) + b_o
+//! ```
+//!
+//! where `dot_io = Σ_j aq_ij·wq_oj` is the integer GEMM, `asum_i` the
+//! activation row sum and `wsum_o` the weight row sum — both O(1) per
+//! output element. The bracket is exact in `i64`; the scales multiply in
+//! `f64` and round to f32 once. Integer addition is associative, so the
+//! kernels are bit-identical for every thread count by construction.
+//!
+//! ## Overflow bounds
+//!
+//! An `i8 × i8` product is at most `2^14`, so an `i32` accumulator is
+//! exact for shared dimensions up to `2^17` elements — far beyond any
+//! im2col panel this workspace produces; callers must respect
+//! [`MAX_I8_DOT_LEN`] (the panel builder in `apt-quant` enforces it and
+//! falls back to the f32 lane otherwise). The `i16` tier accumulates in
+//! `i64` and has no practical length limit.
+
+use crate::par;
+use std::cell::RefCell;
+
+/// Largest shared dimension for which the `i8 × i8 → i32` accumulator is
+/// provably exact (`2^31 / 2^14`, with headroom).
+pub const MAX_I8_DOT_LEN: usize = 1 << 17;
+
+thread_local! {
+    /// `i8 → i16` widened copy of the activation panel, grown
+    /// monotonically and reused across calls.
+    static A16_SCRATCH: RefCell<Vec<i16>> = const { RefCell::new(Vec::new()) };
+    /// `i8 → i16` widened copy of the weight panel.
+    static W16_SCRATCH: RefCell<Vec<i16>> = const { RefCell::new(Vec::new()) };
+    /// Per-worker pair-product staging buffer for the quad micro-kernel
+    /// (`2·kk` i32 = four rows of `kk/2` pair sums).
+    static PAIR_SCRATCH: RefCell<Vec<i32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Widens an `i8` code panel into the reusable `i16` scratch. One cheap
+/// linear pass, amortised over the O(m·n·kk) GEMM that follows; the
+/// widened copy is what lets the dot kernel take the packed
+/// multiply-add path.
+fn widen_i16(src: &[i8], dst: &mut Vec<i16>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&v| i16::from(v)));
+}
+
+/// Per-operand metadata of the fused integer GEMM: everything needed to
+/// turn an integer dot product back into f32.
+///
+/// Activation slices are indexed by output **row** `i < m`, weight slices
+/// by output **column** (channel) `o < n`. Per-tensor weight scales are
+/// expressed by splatting the same scale/offset into every channel slot.
+#[derive(Debug, Clone, Copy)]
+pub struct IntRescale<'a> {
+    /// Per-channel weight scale `Sw_o`.
+    pub w_scale: &'a [f32],
+    /// Per-channel weight zero-point correction `dw_o = 2^(k−1) − Zw_o`.
+    pub w_dw: &'a [i32],
+    /// Per-channel weight code sum `wsum_o = Σ_j wq_oj`.
+    pub w_sum: &'a [i64],
+    /// Per-row activation scale `Sx_i`.
+    pub act_scale: &'a [f32],
+    /// Per-row activation zero-point correction `dx_i = 2^7 − Zx_i`.
+    pub act_dx: &'a [i32],
+    /// Per-row activation code sum `asum_i = Σ_j aq_ij`.
+    pub act_sum: &'a [i64],
+    /// Optional per-channel bias added after the rescale.
+    pub bias: Option<&'a [f32]>,
+}
+
+/// Contiguous dot product over pre-widened `i16` codes. The
+/// `i16 × i16 → i32` reduction is exactly the shape the x86 backend
+/// lowers to `pmaddwd` (eight multiplies and four adds per instruction on
+/// baseline SSE2), which is where the integer lane's throughput edge over
+/// f32 comes from.
+#[inline(always)]
+fn dot_i8(a: &[i16], w: &[i16]) -> i32 {
+    let mut s = 0i32;
+    for (&x, &y) in a.iter().zip(w) {
+        s += i32::from(x) * i32::from(y);
+    }
+    s
+}
+
+/// Pass 1 of the quad micro-kernel: pair sums of four weight rows against
+/// one shared activation row, staged into `tmp` (`4 × kk/2` i32).
+///
+/// Each tmp element is `x₂ₚ·w₂ₚ + x₂ₚ₊₁·w₂ₚ₊₁` — precisely one `pmaddwd`
+/// lane, so the loop compiles to one packed multiply-add plus one store
+/// per four pairs, with the activation load shared by all four rows.
+/// Kept `inline(never)`: given its own frame, LLVM register-allocates the
+/// five streams cleanly instead of blending them into the caller.
+#[inline(never)]
+fn quad_pairs(a: &[i16], w0: &[i16], w1: &[i16], w2: &[i16], w3: &[i16], tmp: &mut [i32]) {
+    let kk = a.len();
+    let np = kk / 2;
+    let (t0, rest) = tmp.split_at_mut(np);
+    let (t1, rest) = rest.split_at_mut(np);
+    let (t2, t3) = rest.split_at_mut(np);
+    let (w0, w1, w2, w3) = (&w0[..kk], &w1[..kk], &w2[..kk], &w3[..kk]);
+    for p in 0..np {
+        let x0 = i32::from(a[2 * p]);
+        let x1 = i32::from(a[2 * p + 1]);
+        t0[p] = x0 * i32::from(w0[2 * p]) + x1 * i32::from(w0[2 * p + 1]);
+        t1[p] = x0 * i32::from(w1[2 * p]) + x1 * i32::from(w1[2 * p + 1]);
+        t2[p] = x0 * i32::from(w2[2 * p]) + x1 * i32::from(w2[2 * p + 1]);
+        t3[p] = x0 * i32::from(w3[2 * p]) + x1 * i32::from(w3[2 * p + 1]);
+    }
+}
+
+/// Pass 2 of the quad micro-kernel: reduce the four staged pair-sum rows
+/// to four dot products (vectorised `paddd` chains).
+#[inline(never)]
+fn quad_sum(tmp: &[i32], np: usize) -> [i32; 4] {
+    let (t0, rest) = tmp.split_at(np);
+    let (t1, rest) = rest.split_at(np);
+    let (t2, t3) = rest.split_at(np);
+    let (mut s0, mut s1, mut s2, mut s3) = (0i32, 0i32, 0i32, 0i32);
+    for p in 0..np {
+        s0 += t0[p];
+        s1 += t1[p];
+        s2 += t2[p];
+        s3 += t3[p];
+    }
+    [s0, s1, s2, s3]
+}
+
+/// Four dot products of one activation row against four consecutive
+/// weight rows, via the two-pass staged quad kernel. Handles an odd
+/// shared dimension with a scalar tail.
+#[inline(always)]
+fn dot4_i8(a: &[i16], w: &[i16], o: usize, kk: usize, tmp: &mut [i32]) -> [i32; 4] {
+    let w0 = &w[o * kk..(o + 1) * kk];
+    let w1 = &w[(o + 1) * kk..(o + 2) * kk];
+    let w2 = &w[(o + 2) * kk..(o + 3) * kk];
+    let w3 = &w[(o + 3) * kk..(o + 4) * kk];
+    quad_pairs(a, w0, w1, w2, w3, tmp);
+    let np = kk / 2;
+    let mut s = quad_sum(tmp, np);
+    for j in 2 * np..kk {
+        let x = i32::from(a[j]);
+        s[0] += x * i32::from(w0[j]);
+        s[1] += x * i32::from(w1[j]);
+        s[2] += x * i32::from(w2[j]);
+        s[3] += x * i32::from(w3[j]);
+    }
+    s
+}
+
+/// Contiguous `i8 × i16` dot product with an exact `i64` accumulator.
+#[inline(always)]
+fn dot_i16(a: &[i8], w: &[i16]) -> i64 {
+    let mut s = 0i64;
+    for (&x, &y) in a.iter().zip(w) {
+        s += i64::from(i32::from(x) * i32::from(y));
+    }
+    s
+}
+
+/// Turns one integer dot product into the final f32 output element.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn rescale(
+    dot: i64,
+    kk: i64,
+    sx: f64,
+    dx: i64,
+    asum: i64,
+    sw: f32,
+    dw: i64,
+    wsum: i64,
+    bias: f32,
+) -> f32 {
+    let acc = dot + dw * asum + dx * wsum + kk * dx * dw;
+    (sx * f64::from(sw) * acc as f64) as f32 + bias
+}
+
+/// `C[m×n] = A[m×kk] · Wᵀ` with `W` stored `[n×kk]`, pure integer
+/// `i8 × i8 → i32`. `kk` must not exceed [`MAX_I8_DOT_LEN`].
+///
+/// Parallel over C row chunks; integer accumulation is exact, so the
+/// result is identical for every thread count.
+pub fn gemm_i8(a: &[i8], w: &[i8], c: &mut [i32], m: usize, n: usize, kk: usize) {
+    debug_assert_eq!(a.len(), m * kk);
+    debug_assert_eq!(w.len(), n * kk);
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert!(kk <= MAX_I8_DOT_LEN);
+    if m == 0 || n == 0 {
+        return;
+    }
+    A16_SCRATCH.with(|ac| {
+        W16_SCRATCH.with(|wc| {
+            let mut a16 = ac.borrow_mut();
+            let mut w16 = wc.borrow_mut();
+            widen_i16(a, &mut a16);
+            widen_i16(w, &mut w16);
+            let (a16, w16) = (&a16[..], &w16[..]);
+            let row_cost = 2 * n * kk.max(1);
+            let run_rows = |c_rows: &mut [i32], row0: usize| {
+                PAIR_SCRATCH.with(|pc| {
+                    let mut tmp = pc.borrow_mut();
+                    if tmp.len() < 2 * kk {
+                        tmp.resize(2 * kk, 0);
+                    }
+                    let tmp = &mut tmp[..2 * kk];
+                    for (r, c_row) in c_rows.chunks_mut(n).enumerate() {
+                        let a_row = &a16[(row0 + r) * kk..(row0 + r + 1) * kk];
+                        gemm_i8_row(a_row, w16, c_row, kk, tmp);
+                    }
+                })
+            };
+            if !par::worth_parallelising(m * row_cost) {
+                run_rows(c, 0);
+                return;
+            }
+            let rows_per_chunk = par::chunk_items(m, row_cost);
+            par::for_each_chunk_mut(c, rows_per_chunk * n, |ci, c_rows| {
+                run_rows(c_rows, ci * rows_per_chunk);
+            });
+        })
+    });
+}
+
+/// One C row of [`gemm_i8`]: four weight rows (output channels) per pass,
+/// sharing the activation row while it is hot in L1.
+#[inline]
+fn gemm_i8_row(a_row: &[i16], w: &[i16], c_row: &mut [i32], kk: usize, tmp: &mut [i32]) {
+    let n = c_row.len();
+    let mut o = 0;
+    while o + 4 <= n {
+        let d = dot4_i8(a_row, w, o, kk, tmp);
+        c_row[o..o + 4].copy_from_slice(&d);
+        o += 4;
+    }
+    while o < n {
+        c_row[o] = dot_i8(a_row, &w[o * kk..(o + 1) * kk]);
+        o += 1;
+    }
+}
+
+/// The fused serving kernel: integer GEMM + per-output-channel rescale +
+/// bias, writing f32 directly. Shapes as in [`gemm_i8`]; `p`'s slices
+/// must cover `m` rows and `n` channels.
+pub fn gemm_i8_rescale(
+    a: &[i8],
+    w: &[i8],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    kk: usize,
+    p: &IntRescale<'_>,
+) {
+    debug_assert_eq!(a.len(), m * kk);
+    debug_assert_eq!(w.len(), n * kk);
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert!(kk <= MAX_I8_DOT_LEN);
+    debug_assert!(p.w_scale.len() >= n && p.w_dw.len() >= n && p.w_sum.len() >= n);
+    debug_assert!(p.act_scale.len() >= m && p.act_dx.len() >= m && p.act_sum.len() >= m);
+    if m == 0 || n == 0 {
+        return;
+    }
+    A16_SCRATCH.with(|ac| {
+        W16_SCRATCH.with(|wc| {
+            let mut a16 = ac.borrow_mut();
+            let mut w16 = wc.borrow_mut();
+            widen_i16(a, &mut a16);
+            widen_i16(w, &mut w16);
+            let (a16, w16) = (&a16[..], &w16[..]);
+            let row_cost = 2 * n * kk.max(1);
+            let run_rows = |o_rows: &mut [f32], row0: usize| {
+                PAIR_SCRATCH.with(|pc| {
+                    let mut tmp = pc.borrow_mut();
+                    if tmp.len() < 2 * kk {
+                        tmp.resize(2 * kk, 0);
+                    }
+                    let tmp = &mut tmp[..2 * kk];
+                    for (r, o_row) in o_rows.chunks_mut(n).enumerate() {
+                        let i = row0 + r;
+                        let a_row = &a16[i * kk..(i + 1) * kk];
+                        let (sx, dx, asum) = (
+                            f64::from(p.act_scale[i]),
+                            i64::from(p.act_dx[i]),
+                            p.act_sum[i],
+                        );
+                        let mut o = 0;
+                        while o + 4 <= n {
+                            let d = dot4_i8(a_row, w16, o, kk, tmp);
+                            for (q, &dq) in d.iter().enumerate() {
+                                let oc = o + q;
+                                let b = p.bias.map_or(0.0, |b| b[oc]);
+                                o_row[oc] = rescale(
+                                    i64::from(dq),
+                                    kk as i64,
+                                    sx,
+                                    dx,
+                                    asum,
+                                    p.w_scale[oc],
+                                    i64::from(p.w_dw[oc]),
+                                    p.w_sum[oc],
+                                    b,
+                                );
+                            }
+                            o += 4;
+                        }
+                        while o < n {
+                            let d = i64::from(dot_i8(a_row, &w16[o * kk..(o + 1) * kk]));
+                            let b = p.bias.map_or(0.0, |b| b[o]);
+                            o_row[o] = rescale(
+                                d,
+                                kk as i64,
+                                sx,
+                                dx,
+                                asum,
+                                p.w_scale[o],
+                                i64::from(p.w_dw[o]),
+                                p.w_sum[o],
+                                b,
+                            );
+                            o += 1;
+                        }
+                    }
+                })
+            };
+            if !par::worth_parallelising(m * row_cost) {
+                run_rows(out, 0);
+                return;
+            }
+            let rows_per_chunk = par::chunk_items(m, row_cost);
+            par::for_each_chunk_mut(out, rows_per_chunk * n, |ci, o_rows| {
+                run_rows(o_rows, ci * rows_per_chunk);
+            });
+        })
+    });
+}
+
+/// `8 < k ≤ 16` weight tier of [`gemm_i8_rescale`]: `i16` weight codes,
+/// exact `i64` accumulation, otherwise identical semantics.
+pub fn gemm_i16_rescale(
+    a: &[i8],
+    w: &[i16],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    kk: usize,
+    p: &IntRescale<'_>,
+) {
+    debug_assert_eq!(a.len(), m * kk);
+    debug_assert_eq!(w.len(), n * kk);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let row_cost = 2 * n * kk.max(1);
+    let run_rows = |o_rows: &mut [f32], row0: usize| {
+        for (r, o_row) in o_rows.chunks_mut(n).enumerate() {
+            let i = row0 + r;
+            let a_row = &a[i * kk..(i + 1) * kk];
+            let (sx, dx, asum) = (
+                f64::from(p.act_scale[i]),
+                i64::from(p.act_dx[i]),
+                p.act_sum[i],
+            );
+            for (o, out_v) in o_row.iter_mut().enumerate() {
+                let d = dot_i16(a_row, &w[o * kk..(o + 1) * kk]);
+                let b = p.bias.map_or(0.0, |b| b[o]);
+                *out_v = rescale(
+                    d,
+                    kk as i64,
+                    sx,
+                    dx,
+                    asum,
+                    p.w_scale[o],
+                    i64::from(p.w_dw[o]),
+                    p.w_sum[o],
+                    b,
+                );
+            }
+        }
+    };
+    if !par::worth_parallelising(m * row_cost) {
+        run_rows(out, 0);
+        return;
+    }
+    let rows_per_chunk = par::chunk_items(m, row_cost);
+    par::for_each_chunk_mut(out, rows_per_chunk * n, |ci, o_rows| {
+        run_rows(o_rows, ci * rows_per_chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_i8(a: &[i8], w: &[i8], m: usize, n: usize, kk: usize) -> Vec<i32> {
+        let mut c = vec![0i32; m * n];
+        for i in 0..m {
+            for o in 0..n {
+                let mut s = 0i32;
+                for j in 0..kk {
+                    s += i32::from(a[i * kk + j]) * i32::from(w[o * kk + j]);
+                }
+                c[i * n + o] = s;
+            }
+        }
+        c
+    }
+
+    fn pseudo(seed: u64, lo: i64, hi: i64, len: usize) -> Vec<i64> {
+        // Small deterministic LCG; spans the requested inclusive range.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..len)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                lo + ((s >> 33) as i64).rem_euclid(hi - lo + 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemm_i8_matches_naive() {
+        for &(m, n, kk) in &[(1, 1, 1), (3, 5, 7), (8, 4, 64), (5, 9, 130), (0, 3, 4)] {
+            let a: Vec<i8> = pseudo(1, -128, 127, m * kk)
+                .iter()
+                .map(|&v| v as i8)
+                .collect();
+            let w: Vec<i8> = pseudo(2, -128, 127, n * kk)
+                .iter()
+                .map(|&v| v as i8)
+                .collect();
+            let mut c = vec![0i32; m * n];
+            gemm_i8(&a, &w, &mut c, m, n, kk);
+            assert_eq!(c, naive_i8(&a, &w, m, n, kk), "m={m} n={n} kk={kk}");
+        }
+    }
+
+    #[test]
+    fn gemm_i8_thread_invariant() {
+        let (m, n, kk) = (37, 23, 100);
+        let a: Vec<i8> = pseudo(3, -128, 127, m * kk)
+            .iter()
+            .map(|&v| v as i8)
+            .collect();
+        let w: Vec<i8> = pseudo(4, -128, 127, n * kk)
+            .iter()
+            .map(|&v| v as i8)
+            .collect();
+        let reference = par::with_threads(1, || {
+            let mut c = vec![0i32; m * n];
+            gemm_i8(&a, &w, &mut c, m, n, kk);
+            c
+        });
+        for threads in [2, 3, 7] {
+            let got = par::with_threads(threads, || {
+                let mut c = vec![0i32; m * n];
+                gemm_i8(&a, &w, &mut c, m, n, kk);
+                c
+            });
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn rescale_reconstructs_affine_product() {
+        // Build a random affine-quantised problem and check the fused
+        // kernel against the dequantise-then-f64-matmul reference.
+        let (m, n, kk) = (4, 6, 50);
+        let aq: Vec<i8> = pseudo(5, -128, 127, m * kk)
+            .iter()
+            .map(|&v| v as i8)
+            .collect();
+        let wq: Vec<i8> = pseudo(6, -8, 7, n * kk).iter().map(|&v| v as i8).collect();
+        let act_scale: Vec<f32> = (0..m).map(|i| 0.01 + 0.002 * i as f32).collect();
+        let act_dx: Vec<i32> = (0..m).map(|i| 128 - 10 * i as i32).collect();
+        let act_sum: Vec<i64> = (0..m)
+            .map(|i| aq[i * kk..(i + 1) * kk].iter().map(|&v| i64::from(v)).sum())
+            .collect();
+        let w_scale: Vec<f32> = (0..n).map(|o| 0.1 + 0.01 * o as f32).collect();
+        let w_dw: Vec<i32> = (0..n).map(|o| 8 - o as i32).collect();
+        let w_sum: Vec<i64> = (0..n)
+            .map(|o| wq[o * kk..(o + 1) * kk].iter().map(|&v| i64::from(v)).sum())
+            .collect();
+        let bias: Vec<f32> = (0..n).map(|o| o as f32 * 0.5).collect();
+        let p = IntRescale {
+            w_scale: &w_scale,
+            w_dw: &w_dw,
+            w_sum: &w_sum,
+            act_scale: &act_scale,
+            act_dx: &act_dx,
+            act_sum: &act_sum,
+            bias: Some(&bias),
+        };
+        let mut out = vec![0.0f32; m * n];
+        gemm_i8_rescale(&aq, &wq, &mut out, m, n, kk, &p);
+        // i16 tier must agree exactly on the same (i8-range) codes.
+        let wq16: Vec<i16> = wq.iter().map(|&v| i16::from(v)).collect();
+        let mut out16 = vec![0.0f32; m * n];
+        gemm_i16_rescale(&aq, &wq16, &mut out16, m, n, kk, &p);
+        for i in 0..m {
+            for o in 0..n {
+                let mut acc = 0.0f64;
+                for j in 0..kk {
+                    let x =
+                        f64::from(act_scale[i]) * f64::from(i32::from(aq[i * kk + j]) + act_dx[i]);
+                    let y = f64::from(w_scale[o]) * f64::from(i32::from(wq[o * kk + j]) + w_dw[o]);
+                    acc += x * y;
+                }
+                let want = acc as f32 + bias[o];
+                let got = out[i * n + o];
+                assert!(
+                    (want - got).abs() <= want.abs().max(1.0) * 1e-5,
+                    "[{i},{o}] want={want} got={got}"
+                );
+                assert_eq!(
+                    got.to_bits(),
+                    out16[i * n + o].to_bits(),
+                    "i16 tier differs"
+                );
+            }
+        }
+    }
+}

@@ -9,11 +9,13 @@
 //! Each is a register/cache-blocked micro-kernel parallelised over output
 //! rows with the [`crate::par`] pool. `matmul` tiles the shared dimension
 //! (so a `KC`-row panel of B stays hot in cache) and processes C in quads
-//! of rows that share each B-row load; `matmul_a_bt` computes four dot
-//! products per pass over an A row. Every per-element accumulation runs
-//! in the same order as the naive serial loop (k ascending for `matmul`
-//! and `matmul_at_b`, j ascending for `matmul_a_bt`), so results are
-//! bit-identical for every thread count.
+//! of rows that share each B-row load; `matmul_a_bt` packs Bᵀ into a
+//! contiguous panel once and reuses the same blocked core (falling back to
+//! a four-wide register dot kernel when C has too few rows to amortise the
+//! transpose). Every per-element accumulation runs in the same order as
+//! the naive serial loop (k ascending for `matmul` and `matmul_at_b`,
+//! j ascending for `matmul_a_bt`), so results are bit-identical for every
+//! thread count and across both `matmul_a_bt` paths.
 //!
 //! The old kernels skipped `aik == 0.0` terms; that branch defeated
 //! autovectorisation and silently swallowed NaN/Inf coming from B (a
@@ -26,12 +28,27 @@
 //! tensor allocation.
 
 use crate::{par, Result, Tensor, TensorError};
+use std::cell::RefCell;
 
 /// Shared-dimension tile: one tile of B (`KC × n` floats) is streamed
 /// through while a block of C rows stays resident.
 const KC: usize = 128;
 /// C-row quad size: four output rows share each B-row load.
 const MR: usize = 4;
+/// Minimum C-row count before [`gemm_a_bt`] packs Bᵀ into a contiguous
+/// panel: below this the one-off transpose rivals the GEMM itself and the
+/// register-dot kernel wins.
+const ABT_PACK_MIN_ROWS: usize = 8;
+
+thread_local! {
+    /// Packed Bᵀ panel for the blocked `gemm_a_bt` path, grown
+    /// monotonically and reused across calls.
+    static BT_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-chunk zeroed accumulator for the blocked `gemm_a_bt` path (so
+    /// callers that `+=` into non-zero C keep the one-add-per-element
+    /// semantics of the dot kernel).
+    static ABT_ACC_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 fn check_matrix(op: &'static str, t: &Tensor) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -170,6 +187,10 @@ pub(crate) fn gemm_a_bt(ad: &[f32], bd: &[f32], cd: &mut [f32], m: usize, k: usi
     if m == 0 || k == 0 {
         return;
     }
+    if m >= ABT_PACK_MIN_ROWS && n > 0 {
+        gemm_a_bt_packed(ad, bd, cd, m, k, n);
+        return;
+    }
     let row_cost = 2 * k * n.max(1);
     if !par::worth_parallelising(m * row_cost) {
         a_bt_rows(ad, bd, cd, 0, k, n);
@@ -178,6 +199,58 @@ pub(crate) fn gemm_a_bt(ad: &[f32], bd: &[f32], cd: &mut [f32], m: usize, k: usi
     let rows_per_chunk = par::chunk_items(m, row_cost);
     par::for_each_chunk_mut(cd, rows_per_chunk * k, |ci, c_rows| {
         a_bt_rows(ad, bd, c_rows, ci * rows_per_chunk, k, n);
+    });
+}
+
+/// Packed-Bᵀ path of [`gemm_a_bt`]: transposes B once into a contiguous
+/// `[n×k]` panel so the inner kernel streams unit-stride rows (the strided
+/// dot kernel ran at roughly half the `gemm` throughput), then reuses the
+/// blocked [`gemm_rows`] core with the roles of `k` and `n` swapped.
+///
+/// Bit-compatibility with [`a_bt_rows`]: each C element there is a single
+/// register dot product (j-ascending from `0.0`) added to C once. Here the
+/// same j-ascending chain accumulates in a zeroed scratch element — the KC
+/// tiling only pauses the chain, never reorders it — and is then added to C
+/// once, so the f32 operation sequence per element is identical for both
+/// zeroed (matmul) and pre-accumulated (conv backward-weight) destinations.
+fn gemm_a_bt_packed(ad: &[f32], bd: &[f32], cd: &mut [f32], m: usize, k: usize, n: usize) {
+    BT_SCRATCH.with(|cell| {
+        let mut bt_buf = cell.borrow_mut();
+        if bt_buf.len() < n * k {
+            bt_buf.resize(n * k, 0.0);
+        }
+        let bt = &mut bt_buf[..n * k];
+        for kk in 0..k {
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (j, &v) in b_row.iter().enumerate() {
+                bt[j * k + kk] = v;
+            }
+        }
+        let bt: &[f32] = bt;
+        let run = |c_rows: &mut [f32], row0: usize| {
+            ABT_ACC_SCRATCH.with(|acc_cell| {
+                let mut acc_buf = acc_cell.borrow_mut();
+                if acc_buf.len() < c_rows.len() {
+                    acc_buf.resize(c_rows.len(), 0.0);
+                }
+                let acc = &mut acc_buf[..c_rows.len()];
+                acc.fill(0.0);
+                // Shared dim is n, output width is k: C_chunk = A_chunk · Bᵀ.
+                gemm_rows(ad, bt, acc, row0, n, k);
+                for (cv, &sv) in c_rows.iter_mut().zip(acc.iter()) {
+                    *cv += sv;
+                }
+            });
+        };
+        let row_cost = 2 * k * n;
+        if !par::worth_parallelising(m * row_cost) {
+            run(cd, 0);
+            return;
+        }
+        let rows_per_chunk = par::chunk_items(m, row_cost);
+        par::for_each_chunk_mut(cd, rows_per_chunk * k, |ci, c_rows| {
+            run(c_rows, ci * rows_per_chunk);
+        });
     });
 }
 
@@ -388,6 +461,50 @@ mod tests {
         let mut rng = crate::rng::seeded(3);
         let a = crate::rng::normal(&[5, 7], 1.0, &mut rng);
         let b = crate::rng::normal(&[4, 7], 1.0, &mut rng);
+        let expected = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        assert!(close(&matmul_a_bt(&a, &b).unwrap(), &expected, 1e-4));
+    }
+
+    #[test]
+    fn packed_a_bt_is_bitwise_dot_kernel() {
+        // The packed-Bᵀ path must reproduce the register-dot kernel to the
+        // last bit — for zeroed C (matmul_a_bt) AND for destinations that
+        // already hold partial sums (conv2d_backward_weight accumulates
+        // per-image gradients straight into dW).
+        let mut rng = crate::rng::seeded(11);
+        for &(m, k, n) in &[
+            (8, 1, 1),
+            (8, 4, 3),
+            (9, 7, 5),
+            (33, 13, 150),
+            (64, 32, 257),
+        ] {
+            let a = crate::rng::normal(&[m, n], 1.0, &mut rng);
+            let b = crate::rng::normal(&[k, n], 1.0, &mut rng);
+            let seed = crate::rng::normal(&[m, k], 1.0, &mut rng);
+
+            let mut packed = seed.data().to_vec();
+            gemm_a_bt(a.data(), b.data(), &mut packed, m, k, n);
+            assert!(
+                m >= ABT_PACK_MIN_ROWS,
+                "shape must exercise the packed path"
+            );
+
+            let mut dotk = seed.data().to_vec();
+            a_bt_rows(a.data(), b.data(), &mut dotk, 0, k, n);
+
+            assert!(packed
+                .iter()
+                .zip(dotk.iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn packed_a_bt_matches_explicit_transpose() {
+        let mut rng = crate::rng::seeded(12);
+        let a = crate::rng::normal(&[16, 40], 1.0, &mut rng);
+        let b = crate::rng::normal(&[9, 40], 1.0, &mut rng);
         let expected = matmul(&a, &transpose(&b).unwrap()).unwrap();
         assert!(close(&matmul_a_bt(&a, &b).unwrap(), &expected, 1e-4));
     }

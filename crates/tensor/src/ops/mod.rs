@@ -4,6 +4,8 @@
 //!
 //! * [`elementwise`] — add/sub/mul/axpy/scale and friends.
 //! * [`matmul`](self::matmul()) — cache-blocked GEMM plus transposed variants.
+//! * [`int_gemm`] — integer-domain GEMM with fused per-channel rescale
+//!   (the dequant-free serving lane's compute kernel).
 //! * [`conv`] — 2-D convolution (im2col + GEMM) with both backward kernels.
 //! * [`pool`] — max/average/global-average pooling with backward.
 //! * [`reduce`] — sums, means, argmax and axis reductions.
@@ -15,6 +17,7 @@
 
 pub mod conv;
 pub mod elementwise;
+pub mod int_gemm;
 mod matmul_impl;
 pub mod pad;
 pub mod pool;

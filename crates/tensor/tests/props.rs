@@ -135,6 +135,38 @@ proptest! {
     }
 
     #[test]
+    fn i8_gemm_matches_naive_integer_reference(
+        seed in 0u64..1000,
+        k in 2u32..=8,
+        m in 1usize..6,
+        n in 1usize..6,
+        kk in 1usize..48,
+    ) {
+        // Centered k-bit weight codes occupy [−2^(k−1), 2^(k−1)−1]; the
+        // activation side always carries full 8-bit codes. The unrolled
+        // kernel must agree bit-for-bit with the obvious triple loop.
+        let mut r = rng::seeded(seed);
+        let half = 1i32 << (k - 1);
+        let code = |r: &mut _, lo: i32, hi: i32| -> i8 {
+            let u = rng::normal(&[1], 1.0, r).data()[0];
+            (((u * 64.0) as i32).clamp(lo, hi - 1)) as i8
+        };
+        let a: Vec<i8> = (0..m * kk).map(|_| code(&mut r, -128, 128)).collect();
+        let w: Vec<i8> = (0..n * kk).map(|_| code(&mut r, -half, half)).collect();
+        let mut got = vec![0i32; m * n];
+        ops::int_gemm::gemm_i8(&a, &w, &mut got, m, n, kk);
+        for i in 0..m {
+            for o in 0..n {
+                let mut acc = 0i32;
+                for j in 0..kk {
+                    acc += i32::from(a[i * kk + j]) * i32::from(w[o * kk + j]);
+                }
+                prop_assert_eq!(got[i * n + o], acc, "row {} col {} k {}", i, o, k);
+            }
+        }
+    }
+
+    #[test]
     fn shuffle_is_permutation(n in 1usize..200, seed in 0u64..1000) {
         let mut idx: Vec<usize> = (0..n).collect();
         rng::shuffle_indices(&mut idx, &mut rng::seeded(seed));

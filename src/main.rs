@@ -19,8 +19,8 @@
 //! snapshot.
 
 use apt_serve::{
-    BatchPolicy, ConnLimits, ModelArch, ModelRegistry, ModelSpec, RegistryConfig, Server,
-    ServerConfig,
+    BatchPolicy, ConnLimits, KernelLane, ModelArch, ModelRegistry, ModelSpec, RegistryConfig,
+    Server, ServerConfig,
 };
 use std::fmt;
 use std::path::PathBuf;
@@ -70,6 +70,9 @@ model geometry (must match how the checkpoint was trained):
 
 serving:
   --addr HOST:PORT      bind address                  [default 127.0.0.1:7878]
+  --lane LANE           compute kernel lane: fp32 | dequant-cache | int-gemm
+                        (int-gemm serves straight from packed integer codes;
+                        bit-close, not bit-exact)     [default dequant-cache]
   --max-batch N         micro-batch coalescing cap    [default 8]
   --max-delay-us N      batching window in microsecs  [default 2000]
   --queue-depth N       admission queue bound         [default 128]
@@ -135,6 +138,7 @@ struct ServeArgs {
     img_size: usize,
     width_mult: f32,
     addr: String,
+    lane: KernelLane,
     policy: BatchPolicy,
     limits: ConnLimits,
     threads: Option<usize>,
@@ -154,6 +158,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
         img_size: 12,
         width_mult: 0.25,
         addr: "127.0.0.1:7878".to_string(),
+        lane: KernelLane::default(),
         policy: BatchPolicy::default(),
         limits: ConnLimits::default(),
         threads: None,
@@ -186,6 +191,13 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
             "--img-size" => out.img_size = parse_flag(flag, value)?,
             "--width-mult" => out.width_mult = parse_flag(flag, value)?,
             "--addr" => out.addr = value.clone(),
+            "--lane" => {
+                out.lane = KernelLane::parse(value).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "bad value `{value}` for --lane (want fp32 | dequant-cache | int-gemm)"
+                    ))
+                })?
+            }
             "--max-batch" => out.policy.max_batch = parse_flag(flag, value)?,
             "--max-delay-us" => {
                 out.policy.max_delay = Duration::from_micros(parse_flag(flag, value)?)
@@ -254,6 +266,7 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
         model_dir: a.model_dir.clone().map(PathBuf::from),
         quarantine_dir: a.quarantine_dir.clone().map(PathBuf::from),
         spec: Some(spec.clone()),
+        lane: a.lane,
     }));
 
     // Populate the fleet: one validated checkpoint, or a directory scan
@@ -313,12 +326,13 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
     let mut server = Server::start_with_registry(Arc::clone(&registry), config)
         .map_err(|e| CliError::Runtime(format!("cannot start server on `{}`: {e}", a.addr)))?;
     println!(
-        "serving {default_model} [{:?}] ({} inputs → {} outputs, {} resident bytes, {} models) on {}",
+        "serving {default_model} [{:?}] ({} inputs → {} outputs, {} resident bytes, {} models, lane {}) on {}",
         a.model,
         session.sample_len(),
         session.num_outputs(),
         registry.resident_bytes(),
         registry.models().len(),
+        session.lane().as_str(),
         server.addr()
     );
     println!(

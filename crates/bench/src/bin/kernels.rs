@@ -27,11 +27,15 @@
 //! 4. the integer GEMM beats f32 matmul at 256³ single-thread (paired
 //!    interleaved rounds, median ratio — robust to shared-host noise),
 //! 5. branch-free quantize/dequantize stay above absolute Gelem/s floors
-//!    (a regression to the old branchy loops is ~100× and trips them).
+//!    (a regression to the old branchy loops is ~100× and trips them),
+//! 6. the freeze compiler's fused conv+bias+ReLU kernel is bit-identical
+//!    to the unfused conv → bias → ReLU sequence and at least as fast
+//!    within timer tolerance (paired rounds, median ratio).
 
 use apt_bench::results_dir;
 use apt_quant::{AffineQuantizer, Bitwidth};
 use apt_tensor::ops::conv::{conv2d, conv2d_backward_input, conv2d_backward_weight, Conv2dParams};
+use apt_tensor::ops::fused;
 use apt_tensor::ops::int_gemm::{self, gemm_i8_rescale, IntRescale};
 use apt_tensor::ops::pool::max_pool2d;
 use apt_tensor::ops::softmax::softmax_rows;
@@ -124,13 +128,43 @@ fn kernels() -> Vec<Kernel> {
         });
         v.push(Kernel {
             op: "conv2d_bwd_weight",
-            shape,
+            shape: shape.clone(),
             flops,
             run: Box::new(move || {
                 conv2d_backward_weight(&x, &go, &[c_out, c_in, k, k], &p)
                     .unwrap()
                     .data()
                     .to_vec()
+            }),
+        });
+        // The freeze compiler's fused serving kernel: same conv
+        // decomposition with the bias add and ReLU applied in-slice.
+        let xs = tensor(&[n, c_in, hw, hw], 7).data().to_vec();
+        let ws = tensor(&[c_out, c_in, k, k], 8).data().to_vec();
+        let bias = tensor(&[c_out], 12).data().to_vec();
+        let out_len = n * c_out * hw * hw;
+        v.push(Kernel {
+            op: "conv2d_bias_relu",
+            shape,
+            flops,
+            run: Box::new(move || {
+                let mut out = vec![0.0f32; out_len];
+                fused::conv2d_bias_act(
+                    &xs,
+                    &ws,
+                    &mut out,
+                    n,
+                    c_in,
+                    hw,
+                    hw,
+                    c_out,
+                    k,
+                    &p,
+                    Some(&bias),
+                    fused::Epilogue::Relu,
+                )
+                .unwrap();
+                out
             }),
         });
     }
@@ -510,6 +544,104 @@ fn smoke() -> bool {
         println!("  {op:<10} {gelems:.3} Gelem/s (floor {floor})");
         if gelems < floor {
             eprintln!("FAIL: {op} below the {floor} Gelem/s floor");
+            ok = false;
+        }
+    }
+
+    // Gate 6: the freeze compiler's fused conv+bias+ReLU kernel against
+    // the unfused conv → bias add → ReLU sequence it replaces. The fused
+    // form must be bit-identical (the compiled plan's correctness
+    // contract: same gemm core, epilogue applied per element in the same
+    // order) and at least as fast within the usual 10% timer tolerance —
+    // it saves two full passes over the output and one allocation, which
+    // is a small fraction of the im2col+gemm cost at this shape, so the
+    // gate is a regression floor, not a speedup claim. Paired interleaved
+    // rounds with a median ratio keep it robust on noisy hosts.
+    println!("# smoke gate 6: fused conv+bias+relu vs unfused sequence (1 thread, paired rounds)");
+    {
+        let (n, c_in, c_out, hw, k) = (8usize, 8usize, 16usize, 16usize, 3usize);
+        let p = Conv2dParams::new(1, 1, 1);
+        let x = tensor(&[n, c_in, hw, hw], 31);
+        let w = tensor(&[c_out, c_in, k, k], 32);
+        let bias = tensor(&[c_out], 33).data().to_vec();
+        let (xs, ws) = (x.data().to_vec(), w.data().to_vec());
+        let out_len = n * c_out * hw * hw;
+        let plane = hw * hw;
+
+        let unfused = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut out = conv2d(&x, &w, &p).unwrap().data().to_vec();
+                for img in out.chunks_mut(c_out * plane) {
+                    for (ch, row) in img.chunks_mut(plane).enumerate() {
+                        let b = bias[ch];
+                        for v in row {
+                            *v = (*v + b).max(0.0);
+                        }
+                    }
+                }
+                out
+            })
+        };
+        let fused_run = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut out = vec![0.0f32; out_len];
+                fused::conv2d_bias_act(
+                    &xs,
+                    &ws,
+                    &mut out,
+                    n,
+                    c_in,
+                    hw,
+                    hw,
+                    c_out,
+                    k,
+                    &p,
+                    Some(&bias),
+                    fused::Epilogue::Relu,
+                )
+                .unwrap();
+                out
+            })
+        };
+        for threads in [1usize, 3] {
+            let want = unfused(threads);
+            let got = fused_run(threads);
+            let bitwise_equal = want.len() == got.len()
+                && want.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
+            if bitwise_equal {
+                println!("  fused == unfused bit-identical at {threads} thread(s)");
+            } else {
+                eprintln!("FAIL: fused conv+bias+relu differs from the unfused sequence at {threads} threads");
+                ok = false;
+            }
+        }
+        let mut ratios = Vec::new();
+        par::with_threads(1, || {
+            for round in 0..5 {
+                let mut unfused_ns = f64::MAX;
+                let mut fused_ns = f64::MAX;
+                for _ in 0..3 {
+                    let t = Instant::now();
+                    std::hint::black_box(unfused(1));
+                    unfused_ns = unfused_ns.min(t.elapsed().as_secs_f64() * 1e9);
+                    let t = Instant::now();
+                    std::hint::black_box(fused_run(1));
+                    fused_ns = fused_ns.min(t.elapsed().as_secs_f64() * 1e9);
+                }
+                let ratio = unfused_ns / fused_ns;
+                ratios.push(ratio);
+                println!(
+                    "  round {round}: fused {:.3} ms, unfused {:.3} ms ({ratio:.2}x)",
+                    fused_ns / 1e6,
+                    unfused_ns / 1e6
+                );
+            }
+        });
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = ratios[ratios.len() / 2];
+        println!("  median unfused/fused ratio {median:.2}x (floor 0.90x)");
+        if median < 0.90 {
+            eprintln!("FAIL: fused conv+bias+relu slower than the unfused sequence (median)");
             ok = false;
         }
     }

@@ -52,7 +52,15 @@
 //! 8. corruption: every damaged upload quarantined, serving undisturbed,
 //! 9. parity: the same k=4 checkpoint served over the dequant-free
 //!    integer lane must beat the fp32 lane (dequantise every forward) on
-//!    batched single-thread throughput, with every response bit-exact.
+//!    batched single-thread throughput, with every response bit-exact
+//!    (both sessions on the layer-replay path — freezing would delete the
+//!    dequantisation cost this gate measures),
+//! 10. freeze: the compiled frozen plan must be at least as fast as layer
+//!     replay on the same checkpoint and bit-identical to it (the bench
+//!     MLP has no batch norm, so nothing folds and no drift is allowed),
+//! 11. zero-alloc: once warm, a frozen session's `infer_into` steady
+//!     state performs **zero** heap allocations per request, proven by
+//!     the counting global allocator.
 
 use apt_bench::results_dir;
 use apt_core::faults::{flip_byte, truncate_file};
@@ -71,18 +79,22 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Global allocator that tracks live (alloc − dealloc) heap bytes, so the
-/// soak cell can assert that an idle connection costs bounded memory.
+/// soak cell can assert that an idle connection costs bounded memory, and
+/// counts allocation *calls*, so the zero-alloc cell can assert that a
+/// frozen plan's steady state never touches the heap at all.
 /// `realloc`/`alloc_zeroed` route through `alloc`+`dealloc` by default, so
 /// overriding these two is sufficient.
 struct TrackingAlloc;
 
 static LIVE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+static ALLOC_CALLS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
 unsafe impl GlobalAlloc for TrackingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
             LIVE.fetch_add(layout.size(), std::sync::atomic::Ordering::Relaxed);
+            ALLOC_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         p
     }
@@ -98,6 +110,10 @@ static ALLOC: TrackingAlloc = TrackingAlloc;
 
 fn live_heap() -> usize {
     LIVE.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+fn alloc_calls() -> usize {
+    ALLOC_CALLS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 /// MLP geometry for every cell: big enough that a coalesced batch
@@ -150,8 +166,18 @@ fn build_session(bits: u32) -> InferenceSession {
 /// [`build_session`] with an explicit kernel-lane request. The parity
 /// cells pin the lane; every other cell serves on the default cache.
 fn build_session_lane(bits: u32, lane: KernelLane) -> InferenceSession {
+    build_session_opts(bits, lane, true)
+}
+
+/// [`build_session_lane`] with freezing made explicit. The lane-economics
+/// cells (gate 2's single-core form, gate 9's parity pair) pin
+/// `freeze: false` because their claims are about the **layer replay**
+/// kernels — a frozen plan dequantises at compile time, which removes the
+/// very per-request cost those gates measure.
+fn build_session_opts(bits: u32, lane: KernelLane, freeze: bool) -> InferenceSession {
     let blob = build_blob(bits, 11);
-    InferenceSession::from_checkpoint_with_lane(&fleet_spec(), &blob, lane).expect("session loads")
+    InferenceSession::from_checkpoint_with_options(&fleet_spec(), &blob, lane, freeze)
+        .expect("session loads")
 }
 
 /// The [`ModelSpec`] every fleet/corruption checkpoint loads against.
@@ -263,9 +289,10 @@ fn run_cell(
     policy: &Policy,
     per_client: usize,
     lane: KernelLane,
+    freeze: bool,
 ) -> Row {
     par::set_global_threads(threads);
-    let session = build_session_lane(bits, lane);
+    let session = build_session_opts(bits, lane, freeze);
     let achieved = session.lane();
     let workloads = build_workloads(&session, CLIENTS);
 
@@ -1331,11 +1358,15 @@ fn corruption_cell() -> (Row, bool) {
 /// the serving-level form of the integer fast lane's headline claim
 /// (DESIGN.md §14), and it is robust to kernel-level noise because the
 /// fp32 lane pays the full bit-unpack dequantisation on every batch.
+///
+/// Both sessions pin `freeze: false`: the claim compares layer-replay
+/// lanes, and a frozen plan would dequantise the fp32 lane's weights at
+/// compile time, deleting the cost this cell exists to measure.
 fn parity_cells(per_client: usize) -> (Row, Row, bool) {
     let mut gate_ok = true;
-    let mut f32_row = run_cell(4, 1, &POLICIES[1], per_client, KernelLane::F32);
+    let mut f32_row = run_cell(4, 1, &POLICIES[1], per_client, KernelLane::F32, false);
     f32_row.cell = "parity";
-    let mut int_row = run_cell(4, 1, &POLICIES[1], per_client, KernelLane::IntGemm);
+    let mut int_row = run_cell(4, 1, &POLICIES[1], per_client, KernelLane::IntGemm, false);
     int_row.cell = "parity";
     if int_row.lane != KernelLane::IntGemm.as_str() {
         println!(
@@ -1367,6 +1398,201 @@ fn parity_cells(per_client: usize) -> (Row, Row, bool) {
         gate_ok = false;
     }
     (f32_row, int_row, gate_ok)
+}
+
+/// Frozen-vs-replay cells: the same k=8 checkpoint at the default lane,
+/// once compiled by the freeze/fusion compiler and once on the legacy
+/// layer-replay path, driven in-process on one thread so the comparison
+/// measures the plan (fused kernels, packed panels, arena intermediates)
+/// and not TCP framing. Requests are **single-sample** and the model is a
+/// deep, narrow MLP — the paper's constrained-device serving shape, where
+/// per-layer overhead (tensor allocation, separate bias and activation
+/// passes, dispatch) is commensurate with each layer's tiny GEMM, so the
+/// compiler's fusion and arena planning show up as throughput instead of
+/// vanishing under a 256-wide matmul. The model has no batch norm —
+/// nothing folds — so the frozen plan must be **bit-identical** to
+/// replay, and must not be slower. Timing uses paired interleaved rounds
+/// (same trick as the kernels gate) so a slow scheduling phase penalises
+/// both sides equally.
+fn freeze_cells(iters: usize) -> (Row, Row, bool) {
+    par::set_global_threads(1);
+    let mut gate_ok = true;
+    const FREEZE_DIMS: &[usize] = &[64, 64, 64, 64, 64, 64, 10];
+    let scheme = QuantScheme::fully_quantized(Bitwidth::new(8).expect("valid bitwidth"));
+    let mut net = models::mlp("freeze-bench", FREEZE_DIMS, &scheme, &mut rng::seeded(23))
+        .expect("model builds");
+    let blob = checkpoint::save_full(&mut net);
+    let spec = ModelSpec {
+        arch: ModelArch::Mlp(FREEZE_DIMS.to_vec()),
+        classes: *FREEZE_DIMS.last().expect("dims nonempty"),
+        img_size: 0,
+        width_mult: 1.0,
+    };
+    let replay =
+        InferenceSession::from_checkpoint_with_options(&spec, &blob, KernelLane::default(), false)
+            .expect("session loads");
+    let frozen =
+        InferenceSession::from_checkpoint_with_options(&spec, &blob, KernelLane::default(), true)
+            .expect("session loads");
+    if replay.is_frozen() {
+        println!("FAIL: freeze cell's replay session froze a plan");
+        gate_ok = false;
+    }
+    if !frozen.is_frozen() {
+        println!(
+            "FAIL: freeze cell's frozen session fell back to replay: {:?}",
+            frozen.freeze_reason()
+        );
+        gate_ok = false;
+    }
+
+    let batch = 1usize;
+    let mut r = rng::substream(1997, 0);
+    let samples: Vec<Vec<f32>> = (0..batch)
+        .map(|_| rng::normal(&[FREEZE_DIMS[0]], 1.0, &mut r).into_vec())
+        .collect();
+    let want = replay.infer_samples(&samples).expect("replay forward");
+    let got = frozen.infer_samples(&samples).expect("frozen forward");
+    let bit_exact = want.len() == got.len()
+        && want
+            .iter()
+            .zip(&got)
+            .all(|(w, g)| w.len() == g.len() && w.iter().zip(g).all(|(a, b)| a.to_bits() == b.to_bits()));
+    if !bit_exact {
+        println!("FAIL: frozen plan diverged from layer replay on a BN-free model");
+        gate_ok = false;
+    }
+
+    // Warm both paths (arena buffers, dequant caches), then time paired
+    // interleaved rounds.
+    for _ in 0..8 {
+        let _ = replay.infer_samples(&samples);
+        let _ = frozen.infer_samples(&samples);
+    }
+    const ROUNDS: usize = 10;
+    let per_round = iters.div_ceil(ROUNDS).max(1);
+    let mut replay_s = 0.0f64;
+    let mut frozen_s = 0.0f64;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        for _ in 0..per_round {
+            std::hint::black_box(replay.infer_samples(&samples).expect("replay forward"));
+        }
+        replay_s += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        for _ in 0..per_round {
+            std::hint::black_box(frozen.infer_samples(&samples).expect("frozen forward"));
+        }
+        frozen_s += t.elapsed().as_secs_f64();
+    }
+    let total = (ROUNDS * per_round * batch) as u64;
+    let replay_rps = total as f64 / replay_s.max(1e-9);
+    let frozen_rps = total as f64 / frozen_s.max(1e-9);
+    let ratio = frozen_rps / replay_rps.max(1e-9);
+    if frozen_rps >= replay_rps {
+        println!(
+            "ok: frozen {:.0} samples/s ≥ replay {:.0} samples/s ({ratio:.2}×), bit-identical",
+            frozen_rps, replay_rps
+        );
+    } else {
+        println!(
+            "FAIL: frozen plan {:.0} samples/s below layer replay {:.0} samples/s ({ratio:.2}×)",
+            frozen_rps, replay_rps
+        );
+        gate_ok = false;
+    }
+
+    let mk_row = |lane: &'static str, rps: f64, wall_s: f64| Row {
+        cell: "freeze",
+        bits: 8,
+        lane,
+        threads: 1,
+        policy: "inproc1",
+        max_batch: batch,
+        max_delay_us: 0,
+        clients: 1,
+        requests: total,
+        ok: total,
+        shed: 0,
+        deadline_expired: 0,
+        corrupted: if bit_exact { 0 } else { total },
+        lost: 0,
+        refused_accept: 0,
+        idle_reaped: 0,
+        slow_reaped: 0,
+        wall_ms: wall_s * 1e3,
+        rps,
+        p50_us: 0,
+        p90_us: 0,
+        p99_us: 0,
+        mean_batch: batch as f64,
+        swaps: 0,
+        evictions: 0,
+        quarantines: 0,
+        model_unavailable: 0,
+        swap_p99_us: 0,
+    };
+    (
+        mk_row("replay", replay_rps, replay_s),
+        mk_row("frozen", frozen_rps, frozen_s),
+        gate_ok,
+    )
+}
+
+/// Zero-allocation cell: the frozen plan's headline mechanical claim —
+/// once warm, `infer_into` on a frozen session performs **zero heap
+/// allocations per request**. Staging and output live in caller buffers,
+/// scratch is recycled through the session arena, and every intermediate
+/// sits at a compile-time offset inside that one scratch block. Runs on
+/// one thread (pool dispatch allocates job state by design) and counts
+/// allocator *calls* around a steady-state loop.
+fn zero_alloc_cell() -> bool {
+    par::set_global_threads(1);
+    let session = build_session(8);
+    if !session.is_frozen() {
+        println!(
+            "FAIL: zero-alloc cell needs a frozen session: {:?}",
+            session.freeze_reason()
+        );
+        return false;
+    }
+    let batch = 8usize;
+    let mut r = rng::substream(2003, 0);
+    let input = rng::normal(&[batch * DIMS[0]], 1.0, &mut r).into_vec();
+    let mut output = vec![0.0f32; batch * DIMS[DIMS.len() - 1]];
+
+    // Warm-up arms the arena's scratch capacity; the steady state must
+    // then be allocation-free.
+    for _ in 0..4 {
+        session
+            .infer_into(&input, batch, &mut output)
+            .expect("frozen forward");
+    }
+    const ITERS: usize = 1000;
+    let calls_before = alloc_calls();
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        session
+            .infer_into(&input, batch, &mut output)
+            .expect("frozen forward");
+    }
+    let wall = t.elapsed();
+    let delta = alloc_calls() - calls_before;
+    std::hint::black_box(&output);
+    let per_req_us = wall.as_secs_f64() * 1e6 / ITERS as f64;
+    if delta == 0 {
+        println!(
+            "ok: {ITERS} frozen batch-{batch} requests, 0 heap allocations \
+             ({per_req_us:.1}µs/request, 1 thread)"
+        );
+        true
+    } else {
+        println!(
+            "FAIL: frozen steady state performed {delta} heap allocations \
+             over {ITERS} requests (must be 0)"
+        );
+        false
+    }
 }
 
 fn print_row(r: &Row) {
@@ -1514,20 +1740,25 @@ fn smoke() -> bool {
     // coalesced batch amortises — the same path the gate has always
     // measured. With ≥ 4 cores the batch parallelises across the pool
     // and the strict form holds on the default lane.
-    let gate_lane = if cores >= 4 {
-        KernelLane::default()
+    // The single-core fallback also disables freezing: its floor leans on
+    // the fp32 lane's per-request dequantisation, which a frozen plan
+    // folds away at compile time. The ≥4-core strict form runs on what
+    // ships by default — the frozen plan on the default lane.
+    let (gate_lane, gate_freeze) = if cores >= 4 {
+        (KernelLane::default(), true)
     } else {
-        KernelLane::F32
+        (KernelLane::F32, false)
     };
     let per_client = 100;
 
     println!(
-        "# smoke cells: single vs batched @ k=8, {gate_threads} thread(s), {} lane",
-        gate_lane.as_str()
+        "# smoke cells: single vs batched @ k=8, {gate_threads} thread(s), {} lane{}",
+        gate_lane.as_str(),
+        if gate_freeze { "" } else { ", layer replay" }
     );
-    let single = run_cell(8, gate_threads, &POLICIES[0], per_client, gate_lane);
+    let single = run_cell(8, gate_threads, &POLICIES[0], per_client, gate_lane, gate_freeze);
     print_row(&single);
-    let batched = run_cell(8, gate_threads, &POLICIES[1], per_client, gate_lane);
+    let batched = run_cell(8, gate_threads, &POLICIES[1], per_client, gate_lane, gate_freeze);
     print_row(&batched);
 
     // Gate 1: nothing lost or corrupted under concurrent load.
@@ -1645,8 +1876,30 @@ fn smoke() -> bool {
     print_row(&parity_int);
     ok &= parity_ok;
 
+    println!(
+        "# smoke gate 10: freeze — compiled plan ≥ layer replay samples/s, bit-identical \
+         (k=8, single-sample in-process, 1 thread)"
+    );
+    let (freeze_replay, freeze_frozen, freeze_ok) = freeze_cells(2000);
+    print_row(&freeze_replay);
+    print_row(&freeze_frozen);
+    ok &= freeze_ok;
+
+    println!("# smoke gate 11: zero heap allocations per request on the frozen path");
+    ok &= zero_alloc_cell();
+
     write_outputs(&[
-        single, batched, soak, slow, over, fleet, corrupt, parity_f32, parity_int,
+        single,
+        batched,
+        soak,
+        slow,
+        over,
+        fleet,
+        corrupt,
+        parity_f32,
+        parity_int,
+        freeze_replay,
+        freeze_frozen,
     ]);
     ok
 }
@@ -1678,7 +1931,7 @@ fn main() {
         for &threads in &[1usize, 2, 4] {
             for policy in POLICIES {
                 for &lane in lanes {
-                    let row = run_cell(bits, threads, policy, 150, lane);
+                    let row = run_cell(bits, threads, policy, 150, lane, true);
                     print_row(&row);
                     rows.push(row);
                 }
@@ -1691,6 +1944,12 @@ fn main() {
     print_row(&parity_int);
     rows.push(parity_f32);
     rows.push(parity_int);
+    println!("# freeze cells: compiled plan vs layer replay on the same k=8 model");
+    let (freeze_replay, freeze_frozen, _) = freeze_cells(4000);
+    print_row(&freeze_replay);
+    print_row(&freeze_frozen);
+    rows.push(freeze_replay);
+    rows.push(freeze_frozen);
     println!("# robustness cells: soak / slowloris / overload / fleet / corruption");
     let (soak, _) = soak_cell(150);
     print_row(&soak);

@@ -33,6 +33,16 @@ pub enum NnError {
         /// Explanation of the failed check.
         reason: String,
     },
+    /// A layer (or layer configuration) cannot be lowered into a frozen
+    /// inference plan. Callers treat this as a *typed fallback signal* —
+    /// serving degrades to the per-layer replay path and records the
+    /// reason — never as a fatal load error.
+    Unfreezable {
+        /// Name of the layer that refused to lower.
+        layer: String,
+        /// Explanation of what the freeze compiler cannot express.
+        reason: String,
+    },
     /// An underlying tensor kernel failed.
     Tensor(apt_tensor::TensorError),
     /// An underlying quantisation operation failed.
@@ -53,6 +63,9 @@ impl fmt::Display for NnError {
                 write!(f, "unsupported checkpoint version {version}")
             }
             NnError::Corrupt { reason } => write!(f, "corrupt checkpoint: {reason}"),
+            NnError::Unfreezable { layer, reason } => {
+                write!(f, "layer `{layer}` cannot be frozen: {reason}")
+            }
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
             NnError::Quant(e) => write!(f, "quantisation error: {e}"),
         }
@@ -99,6 +112,11 @@ mod tests {
         assert!(!NnError::BadConfig { reason: "x".into() }
             .to_string()
             .is_empty());
+        let e = NnError::Unfreezable {
+            layer: "gap".into(),
+            reason: "unsupported".into(),
+        };
+        assert!(e.to_string().contains("gap") && e.to_string().contains("frozen"));
     }
 
     #[test]

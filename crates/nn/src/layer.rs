@@ -258,6 +258,28 @@ pub trait Layer: Send + Sync {
     fn visit_buffers(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
         let _ = f;
     }
+
+    /// Lowers this layer into the freeze compiler's step program by
+    /// appending steps to `builder`. Composite layers lower their children
+    /// in evaluation order (including branch/merge steps for residual
+    /// adds).
+    ///
+    /// The default implementation returns
+    /// [`NnError::Unfreezable`](crate::NnError::Unfreezable), which callers
+    /// of [`Network::freeze`](crate::Network::freeze) treat as a typed
+    /// per-model fallback signal, not a fatal error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::Unfreezable`] when the layer has no plan
+    /// lowering, and shape errors when the incoming value's dimensions are
+    /// incompatible.
+    fn lower(&self, _builder: &mut crate::plan::PlanBuilder) -> crate::Result<()> {
+        Err(crate::NnError::Unfreezable {
+            layer: self.name().to_string(),
+            reason: "layer type has no frozen-plan lowering".to_string(),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,11 @@ impl Layer for Relu {
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
     fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
+
+    fn lower(&self, builder: &mut crate::plan::PlanBuilder) -> crate::Result<()> {
+        builder.push_relu();
+        Ok(())
+    }
 }
 
 /// ReLU6 (`y = min(max(x, 0), 6)`) — MobileNetV2's activation (Sandler et
@@ -98,6 +103,11 @@ impl Layer for Relu6 {
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
     fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
+
+    fn lower(&self, builder: &mut crate::plan::PlanBuilder) -> crate::Result<()> {
+        builder.push_relu6();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -115,6 +115,14 @@ impl Layer for ActQuant {
     fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
         f(&self.clip);
     }
+
+    fn lower(&self, builder: &mut crate::plan::PlanBuilder) -> crate::Result<()> {
+        // Same grid derivation as `forward_inference`, captured at compile
+        // time — freezing snapshots the learned clip.
+        let alpha = self.clip_value().max(f32::MIN_POSITIVE);
+        let eps = alpha / self.bits.num_steps() as f32;
+        builder.push_act_quant(alpha, eps)
+    }
 }
 
 #[cfg(test)]

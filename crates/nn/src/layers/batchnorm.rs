@@ -258,6 +258,18 @@ impl Layer for BatchNorm2d {
         let var_name = format!("{}.running_var", self.name);
         f(&var_name, &mut self.running_var);
     }
+
+    fn lower(&self, builder: &mut crate::plan::PlanBuilder) -> crate::Result<()> {
+        let gamma = self.gamma.value();
+        let beta = self.beta.value();
+        builder.push_bn(
+            gamma.data(),
+            beta.data(),
+            self.running_mean.data(),
+            self.running_var.data(),
+            BN_EPS,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -246,6 +246,27 @@ impl Layer for BasicBlock {
             bn_s.visit_buffers(f);
         }
     }
+
+    fn lower(&self, builder: &mut crate::plan::PlanBuilder) -> crate::Result<()> {
+        let entry = builder.current_value();
+        self.conv1.lower(builder)?;
+        self.bn1.lower(builder)?;
+        builder.push_relu();
+        self.conv2.lower(builder)?;
+        self.bn2.lower(builder)?;
+        let main = builder.current_value();
+        let side = match &self.shortcut {
+            Some((conv_s, bn_s)) => {
+                builder.branch_from(entry)?;
+                conv_s.lower(builder)?;
+                bn_s.lower(builder)?;
+                builder.current_value()
+            }
+            None => entry,
+        };
+        builder.branch_from(main)?;
+        builder.push_add(side, apt_tensor::ops::fused::Epilogue::Relu)
+    }
 }
 
 #[cfg(test)]

@@ -313,6 +313,17 @@ impl Layer for Conv2d {
     fn visit_compute(&self, f: &mut dyn FnMut(&str, u64)) {
         f(self.weight.name(), self.macs);
     }
+
+    fn lower(&self, builder: &mut crate::plan::PlanBuilder) -> crate::Result<()> {
+        builder.push_conv(
+            &self.weight,
+            self.bias.as_ref(),
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.params,
+        )
+    }
 }
 
 #[cfg(test)]

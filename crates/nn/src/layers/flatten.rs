@@ -56,6 +56,11 @@ impl Layer for Flatten {
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
     fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
+
+    fn lower(&self, builder: &mut crate::plan::PlanBuilder) -> crate::Result<()> {
+        builder.push_flatten();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -254,6 +254,25 @@ impl Layer for InvertedResidual {
         self.bn_dw.visit_buffers(f);
         self.bn_proj.visit_buffers(f);
     }
+
+    fn lower(&self, builder: &mut crate::plan::PlanBuilder) -> crate::Result<()> {
+        let entry = builder.current_value();
+        if let Some((conv, bn, _)) = &self.expand {
+            conv.lower(builder)?;
+            bn.lower(builder)?;
+            builder.push_relu6();
+        }
+        self.depthwise.lower(builder)?;
+        self.bn_dw.lower(builder)?;
+        builder.push_relu6();
+        self.project.lower(builder)?;
+        self.bn_proj.lower(builder)?;
+        if self.use_skip {
+            // No activation after the merge — the linear bottleneck.
+            builder.push_add(entry, apt_tensor::ops::fused::Epilogue::None)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

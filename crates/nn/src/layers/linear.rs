@@ -248,6 +248,15 @@ impl Layer for Linear {
     fn visit_compute(&self, f: &mut dyn FnMut(&str, u64)) {
         f(self.weight.name(), self.macs);
     }
+
+    fn lower(&self, builder: &mut crate::plan::PlanBuilder) -> crate::Result<()> {
+        builder.push_linear(
+            &self.weight,
+            self.bias.as_ref(),
+            self.in_features,
+            self.out_features,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,10 @@ impl Layer for MaxPool2d {
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
     fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
+
+    fn lower(&self, builder: &mut crate::plan::PlanBuilder) -> crate::Result<()> {
+        builder.push_max_pool(self.k)
+    }
 }
 
 /// Non-overlapping average pooling with window and stride `k`.
@@ -102,6 +106,10 @@ impl Layer for AvgPool2d {
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
     fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
+
+    fn lower(&self, builder: &mut crate::plan::PlanBuilder) -> crate::Result<()> {
+        builder.push_avg_pool(self.k)
+    }
 }
 
 /// Global average pooling `[n, c, h, w] → [n, c]` (the ResNet/MobileNet
@@ -152,6 +160,10 @@ impl Layer for GlobalAvgPool {
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
     fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
+
+    fn lower(&self, builder: &mut crate::plan::PlanBuilder) -> crate::Result<()> {
+        builder.push_global_avg_pool()
+    }
 }
 
 #[cfg(test)]

@@ -40,11 +40,13 @@ pub mod layers;
 pub mod models;
 mod network;
 mod param;
+pub mod plan;
 
 pub use error::NnError;
 pub use layer::{KernelLane, Layer, Mode};
 pub use network::Network;
 pub use param::{Param, ParamKind, ParamPrecision, ParamStore, Projection, QuantScheme};
+pub use plan::{FrozenPlan, PlanBuilder, PlanReport};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, NnError>;

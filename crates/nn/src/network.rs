@@ -226,6 +226,37 @@ impl Network {
     pub fn layers(&self) -> &[Box<dyn Layer>] {
         &self.layers
     }
+
+    /// Compiles the network into an immutable, fused, arena-planned
+    /// [`FrozenPlan`](crate::FrozenPlan) for inputs of per-sample shape
+    /// `sample_dims`, targeting kernel `lane`.
+    ///
+    /// Each layer lowers itself into typed steps
+    /// ([`Layer::lower`](crate::Layer::lower)), then the plan pipeline
+    /// folds BatchNorm into preceding convolutions, fuses activations
+    /// into kernel epilogues, and pre-plans every intermediate buffer
+    /// into one scratch arena — see [`crate::plan`] for the contract.
+    /// The network itself is untouched (`&self`): training state, armed
+    /// inference plans and checkpointing behave exactly as before.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Unfreezable`](crate::NnError::Unfreezable) when
+    /// a layer has no plan lowering or the shapes cannot be threaded
+    /// through — callers treat this as a typed signal to fall back to
+    /// per-layer replay, not as a fatal error.
+    pub fn freeze(
+        &self,
+        sample_dims: &[usize],
+        lane: KernelLane,
+    ) -> crate::Result<crate::FrozenPlan> {
+        let mut builder = crate::PlanBuilder::new(sample_dims, lane)?;
+        for layer in &self.layers {
+            builder.set_layer(layer.name());
+            layer.lower(&mut builder)?;
+        }
+        builder.finish()
+    }
 }
 
 impl std::fmt::Debug for Network {

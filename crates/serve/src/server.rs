@@ -518,8 +518,11 @@ impl Reactor {
                 Ok((stream, _peer)) => {
                     progress = true;
                     if self.conns.len() >= self.limits.max_connections {
-                        refuse(stream, self.limits.max_connections);
+                        // Count before writing the frame: a client that
+                        // has read the typed refusal must already see it
+                        // in the stats.
                         self.ctx.stats.record_refused_accept();
+                        refuse(stream, self.limits.max_connections);
                         continue;
                     }
                     if stream.set_nonblocking(true).is_err() {

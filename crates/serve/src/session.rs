@@ -23,7 +23,7 @@
 //! allocation the runtime actually controls.
 
 use crate::ServeError;
-use apt_nn::{checkpoint, models, KernelLane, Network, QuantScheme};
+use apt_nn::{checkpoint, models, FrozenPlan, KernelLane, Network, PlanReport, QuantScheme};
 use apt_tensor::{rng, Tensor};
 use std::str::FromStr;
 use std::sync::{Arc, Mutex};
@@ -200,6 +200,11 @@ impl ScratchArena {
 #[derive(Debug, Clone)]
 pub struct InferenceSession {
     net: Arc<Network>,
+    /// Compiled frozen plan — the default serving path. `None` when the
+    /// session was built with freezing disabled or freezing fell back.
+    plan: Option<Arc<FrozenPlan>>,
+    /// Why freezing fell back to layer-by-layer replay, when it did.
+    freeze_reason: Option<Arc<str>>,
     arena: Arc<ScratchArena>,
     sample_dims: Vec<usize>,
     sample_len: usize,
@@ -232,9 +237,25 @@ impl InferenceSession {
         blob: &[u8],
         lane: KernelLane,
     ) -> Result<Self, ServeError> {
+        Self::from_checkpoint_with_options(spec, blob, lane, true)
+    }
+
+    /// [`from_checkpoint_with_lane`](Self::from_checkpoint_with_lane) with
+    /// the freeze compiler toggleable; see
+    /// [`from_network_with_options`](Self::from_network_with_options).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`from_checkpoint`](Self::from_checkpoint).
+    pub fn from_checkpoint_with_options(
+        spec: &ModelSpec,
+        blob: &[u8],
+        lane: KernelLane,
+        freeze: bool,
+    ) -> Result<Self, ServeError> {
         let mut net = spec.build()?;
         checkpoint::load(&mut net, blob)?;
-        Self::from_network_with_lane(net, &spec.sample_dims(), lane)
+        Self::from_network_with_options(net, &spec.sample_dims(), lane, freeze)
     }
 
     /// Freezes an already-constructed network (e.g. straight out of a
@@ -263,23 +284,73 @@ impl InferenceSession {
     /// Same contract as [`from_network`](Self::from_network), plus any
     /// plan-construction error from the layers.
     pub fn from_network_with_lane(
+        net: Network,
+        sample_dims: &[usize],
+        lane: KernelLane,
+    ) -> Result<Self, ServeError> {
+        Self::from_network_with_options(net, sample_dims, lane, true)
+    }
+
+    /// [`from_network_with_lane`](Self::from_network_with_lane) with the
+    /// freeze compiler toggleable. With `freeze = true` (the default
+    /// everywhere) the network is compiled into a [`FrozenPlan`]: BN
+    /// folded, activations fused, intermediates arena-planned, weights
+    /// packed at load. When compilation reports a typed
+    /// [`apt_nn::NnError::Unfreezable`] the session records the reason
+    /// ([`freeze_reason`](Self::freeze_reason)) and falls back to
+    /// layer-by-layer replay — a fallback is never a load failure. With
+    /// `freeze = false` the legacy replay path is used unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`from_network`](Self::from_network), plus any
+    /// plan-construction error from the layers.
+    pub fn from_network_with_options(
         mut net: Network,
         sample_dims: &[usize],
         lane: KernelLane,
+        freeze: bool,
     ) -> Result<Self, ServeError> {
         if sample_dims.is_empty() || sample_dims.contains(&0) {
             return Err(ServeError::BadRequest {
                 reason: format!("invalid sample dims {sample_dims:?}"),
             });
         }
-        let achieved = net.prepare_inference(lane)?;
         let sample_len: usize = sample_dims.iter().product();
+        let (plan, freeze_reason) = if freeze {
+            match net.freeze(sample_dims, lane) {
+                Ok(plan) => (Some(Arc::new(plan)), None),
+                Err(e) => (None, Some(Arc::<str>::from(e.to_string().as_str()))),
+            }
+        } else {
+            (None, Some(Arc::<str>::from("freezing disabled by request")))
+        };
+        if let Some(plan) = plan {
+            // Frozen path: the plan holds the compiled weights, so the
+            // layer-side lane is left unarmed (no double residency). A
+            // zero-sample probe validates the compiled program end to end.
+            let mut probe_out = vec![0.0f32; plan.output_len()];
+            plan.execute(&vec![0.0f32; sample_len], 1, &mut Vec::new(), &mut probe_out)?;
+            return Ok(InferenceSession {
+                net: Arc::new(net),
+                num_outputs: plan.output_len(),
+                lane: plan.lane(),
+                plan: Some(plan),
+                freeze_reason: None,
+                arena: Arc::new(ScratchArena::default()),
+                sample_dims: sample_dims.to_vec(),
+                sample_len,
+            });
+        }
+        let achieved = net.prepare_inference(lane)?;
         let mut probe_dims = vec![1];
         probe_dims.extend_from_slice(sample_dims);
         let probe = net.forward_inference(&Tensor::zeros(&probe_dims))?;
         let num_outputs = probe.len();
         Ok(InferenceSession {
             net: Arc::new(net),
+            plan: None,
+            freeze_reason,
             arena: Arc::new(ScratchArena::default()),
             sample_dims: sample_dims.to_vec(),
             sample_len,
@@ -291,6 +362,35 @@ impl InferenceSession {
     /// The frozen network.
     pub fn network(&self) -> &Arc<Network> {
         &self.net
+    }
+
+    /// Whether this session serves from a compiled [`FrozenPlan`] (as
+    /// opposed to layer-by-layer replay).
+    pub fn is_frozen(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Why freezing fell back to layer replay, when it did. `None` on the
+    /// frozen path.
+    pub fn freeze_reason(&self) -> Option<&str> {
+        self.freeze_reason.as_deref()
+    }
+
+    /// The compile report of the frozen plan, when one was compiled.
+    pub fn plan_report(&self) -> Option<&PlanReport> {
+        self.plan.as_deref().map(FrozenPlan::report)
+    }
+
+    /// Bytes this session keeps resident for serving: the parameter
+    /// stores plus whatever the compiled plan (or the per-layer lane
+    /// cache, on the fallback path) holds. This is the figure registry
+    /// budgets must count.
+    pub fn resident_bytes(&self) -> u64 {
+        self.net.resident_bytes()
+            + self
+                .plan
+                .as_deref()
+                .map_or(0, FrozenPlan::resident_bytes)
     }
 
     /// The kernel lane the session actually achieved at load time (the
@@ -326,7 +426,54 @@ impl InferenceSession {
     ///
     /// Propagates layer shape errors.
     pub fn infer_batch(&self, batch: &Tensor) -> Result<Tensor, ServeError> {
-        Ok(self.net.forward_inference(batch)?)
+        match &self.plan {
+            Some(plan) => Ok(plan.infer(batch)?),
+            None => Ok(self.net.forward_inference(batch)?),
+        }
+    }
+
+    /// Zero-allocation inference into a caller-provided output buffer:
+    /// `input` is `n` concatenated flat samples, `output` must hold
+    /// `n * num_outputs` floats. Steady state performs **no heap
+    /// allocation** — the plan's scratch arena is recycled through the
+    /// session arena and every intermediate lives at a precomputed offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Internal`] when the session is not frozen
+    /// (the replay path cannot honour the no-allocation contract), and
+    /// [`ServeError::BadRequest`] on geometry mismatches.
+    pub fn infer_into(
+        &self,
+        input: &[f32],
+        n: usize,
+        output: &mut [f32],
+    ) -> Result<(), ServeError> {
+        let plan = self.plan.as_ref().ok_or_else(|| ServeError::Internal {
+            reason: "infer_into requires a frozen session".into(),
+        })?;
+        if input.len() != n * self.sample_len {
+            return Err(ServeError::BadRequest {
+                reason: format!(
+                    "expected {} input floats for {n} samples, got {}",
+                    n * self.sample_len,
+                    input.len()
+                ),
+            });
+        }
+        if output.len() != n * self.num_outputs {
+            return Err(ServeError::BadRequest {
+                reason: format!(
+                    "expected {} output floats for {n} samples, got {}",
+                    n * self.num_outputs,
+                    output.len()
+                ),
+            });
+        }
+        let mut scratch = self.arena.take(plan.arena_floats_per_sample() * n);
+        plan.execute(input, n, &mut scratch, output)?;
+        self.arena.put(scratch);
+        Ok(())
     }
 
     /// Runs a set of flat samples as one coalesced batch and returns one
@@ -357,6 +504,18 @@ impl InferenceSession {
         let mut staging = self.arena.take(n * self.sample_len);
         for s in samples {
             staging.extend_from_slice(s);
+        }
+        if self.plan.is_some() {
+            // Frozen path: run straight out of the staging buffer into a
+            // recycled output buffer — no tensor wrapping, no per-request
+            // intermediate allocation.
+            let mut out = self.arena.take(n * self.num_outputs);
+            out.resize(n * self.num_outputs, 0.0);
+            self.infer_into(&staging, n, &mut out)?;
+            let rows = out.chunks(self.num_outputs).map(<[f32]>::to_vec).collect();
+            self.arena.put(staging);
+            self.arena.put(out);
+            return Ok(rows);
         }
         let mut dims = vec![n];
         dims.extend_from_slice(&self.sample_dims);

@@ -1,9 +1,17 @@
 //! Differential proof that the serving path is the training eval path:
-//! an [`InferenceSession`] loaded from a checkpoint must produce logits
-//! **bit-identical** to the trainer's own `forward(Mode::Eval)` on the
-//! network that wrote the checkpoint — across every checkpoint version the
-//! loader accepts (v1 unframed, v2 byte-granular, v3 packed+CRC) and both
-//! code-store backends (legacy one-`i64`-per-code and tiered physical).
+//! an [`InferenceSession`] loaded from a checkpoint must reproduce the
+//! trainer's own `forward(Mode::Eval)` on the network that wrote the
+//! checkpoint — across every checkpoint version the loader accepts (v1
+//! unframed, v2 byte-granular, v3 packed+CRC) and both code-store backends
+//! (legacy one-`i64`-per-code and tiered physical).
+//!
+//! Two grades of agreement, matching the two serving paths:
+//!
+//! * the **replay** path (freezing disabled) is **bit-identical** — it
+//!   runs the same layer kernels as the trainer's eval forward;
+//! * the default **frozen** path folds BatchNorm into conv weights at
+//!   compile time, which reassociates per-channel float multiplies, so
+//!   its logits agree within a small relative tolerance.
 //!
 //! The backend is selected through the process-global override, so this
 //! file holds a single serial `#[test]`.
@@ -84,14 +92,36 @@ fn session_matches_trainer_eval_across_versions_and_backends() {
 
         for version in [1u16, 2, 3] {
             let blob = checkpoint::save_full_as(&mut net, version).unwrap();
-            let session = InferenceSession::from_checkpoint(&spec(), &blob).unwrap();
-            let rows = session.infer_samples(&samples).unwrap();
+            // Replay path: bit-identical to the trainer's eval forward.
+            let replay = InferenceSession::from_checkpoint_with_options(
+                &spec(),
+                &blob,
+                apt_nn::KernelLane::default(),
+                false,
+            )
+            .unwrap();
+            assert!(!replay.is_frozen());
+            let rows = replay.infer_samples(&samples).unwrap();
             let got: Vec<u32> = rows.iter().flatten().map(|v| v.to_bits()).collect();
             assert_eq!(
                 got, want,
-                "serving logits diverged from trainer eval \
+                "replay serving logits diverged from trainer eval \
                  (checkpoint v{version}, backend {backend:?})"
             );
+            // Frozen path: BN folding drifts only by float reassociation.
+            let frozen = InferenceSession::from_checkpoint(&spec(), &blob).unwrap();
+            assert!(frozen.is_frozen(), "{:?}", frozen.freeze_reason());
+            let frows = frozen.infer_samples(&samples).unwrap();
+            for (row, frow) in rows.iter().zip(&frows) {
+                let scale = row.iter().fold(1.0f32, |m, v| m.max(v.abs()));
+                for (&e, &g) in row.iter().zip(frow) {
+                    assert!(
+                        (e - g).abs() <= 1e-4 * scale,
+                        "frozen logits drifted past tolerance: {e} vs {g} \
+                         (checkpoint v{version}, backend {backend:?})"
+                    );
+                }
+            }
         }
     }
     set_store_backend(StoreBackend::Tiered);

@@ -14,6 +14,13 @@
 //!    backbone, and across every checkpoint version (v1/v2/v3) and both
 //!    code-store backends on a *trained* network.
 //!
+//! Both claims are about the **layer replay** path, so sessions here are
+//! built with freezing disabled. The frozen-plan compiler keeps convs in
+//! f32 (packing conv panels would break the plan's zero-allocation arena
+//! contract), so a frozen conv net honestly reports the weakened
+//! `dequant-cache` lane under an `int-gemm` request — asserted below —
+//! while a frozen all-linear net still achieves the full integer lane.
+//!
 //! The store backend is a process global, so this file holds a single
 //! serial `#[test]` (integration tests compile to their own binary, so
 //! this cannot race `differential.rs`).
@@ -141,19 +148,29 @@ fn integer_lane_is_bit_close_everywhere_dequant_cache_bit_exact() {
         let samples = synth_samples(2, sample_len);
 
         let exact =
-            InferenceSession::from_checkpoint_with_lane(spec, &blob, KernelLane::F32).unwrap();
+            InferenceSession::from_checkpoint_with_options(spec, &blob, KernelLane::F32, false)
+                .unwrap();
         assert_eq!(exact.lane(), KernelLane::F32);
         assert_eq!(exact.network().plan_resident_bytes(), 0);
         let want = exact.infer_samples(&samples).unwrap();
 
-        let cached =
-            InferenceSession::from_checkpoint_with_lane(spec, &blob, KernelLane::DequantCache)
-                .unwrap();
+        let cached = InferenceSession::from_checkpoint_with_options(
+            spec,
+            &blob,
+            KernelLane::DequantCache,
+            false,
+        )
+        .unwrap();
         assert_eq!(cached.lane(), KernelLane::DequantCache);
         assert_rows_bitwise(&cached.infer_samples(&samples).unwrap(), &want, &ctx);
 
-        let int =
-            InferenceSession::from_checkpoint_with_lane(spec, &blob, KernelLane::IntGemm).unwrap();
+        let int = InferenceSession::from_checkpoint_with_options(
+            spec,
+            &blob,
+            KernelLane::IntGemm,
+            false,
+        )
+        .unwrap();
         assert_eq!(
             int.lane(),
             KernelLane::IntGemm,
@@ -164,6 +181,24 @@ fn integer_lane_is_bit_close_everywhere_dequant_cache_bit_exact() {
             "{ctx}: panels must be counted resident"
         );
         assert_rows_close(&int.infer_samples(&samples).unwrap(), &want, 0.06, &ctx);
+
+        // Frozen-path lane honesty: an all-linear plan packs integer
+        // panels and keeps the full lane; a plan with convs degrades to
+        // dequant-cache (convs compile f32) and must say so.
+        let frozen =
+            InferenceSession::from_checkpoint_with_lane(spec, &blob, KernelLane::IntGemm).unwrap();
+        assert!(frozen.is_frozen(), "{ctx}: {:?}", frozen.freeze_reason());
+        let expect_lane = if matches!(spec.arch, ModelArch::Mlp(_)) {
+            KernelLane::IntGemm
+        } else {
+            KernelLane::DequantCache
+        };
+        assert_eq!(frozen.lane(), expect_lane, "{ctx}");
+        assert!(
+            frozen.resident_bytes() > frozen.network().resident_bytes(),
+            "{ctx}: the compiled plan's weights must be counted resident"
+        );
+        assert_rows_close(&frozen.infer_samples(&samples).unwrap(), &want, 0.06, &ctx);
     }
 
     // ── Claim 2 on a trained network, across checkpoint versions and
@@ -175,13 +210,18 @@ fn integer_lane_is_bit_close_everywhere_dequant_cache_bit_exact() {
         let mut net = trained_network();
         let blob = checkpoint::save_full(&mut net);
         let exact =
-            InferenceSession::from_checkpoint_with_lane(&spec, &blob, KernelLane::F32).unwrap();
+            InferenceSession::from_checkpoint_with_options(&spec, &blob, KernelLane::F32, false)
+                .unwrap();
         let want = exact.infer_samples(&samples).unwrap();
         for version in [1u16, 2, 3] {
             let vblob = checkpoint::save_full_as(&mut net, version).unwrap();
-            let session =
-                InferenceSession::from_checkpoint_with_lane(&spec, &vblob, KernelLane::IntGemm)
-                    .unwrap();
+            let session = InferenceSession::from_checkpoint_with_options(
+                &spec,
+                &vblob,
+                KernelLane::IntGemm,
+                false,
+            )
+            .unwrap();
             assert_eq!(session.lane(), KernelLane::IntGemm);
             let ctx = format!("trained cifarnet v{version} {backend:?}");
             assert_rows_close(&session.infer_samples(&samples).unwrap(), &want, 0.06, &ctx);

@@ -35,7 +35,9 @@ thread_local! {
 }
 
 /// Run `f` on this thread's scratch buffer, grown to at least `len`.
-fn with_col_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+/// Shared with the fused conv kernel in [`crate::ops::fused`] so frozen
+/// plans reuse the same warm per-thread staging memory.
+pub(crate) fn with_col_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
     COL_SCRATCH.with(|cell| {
         let mut buf = cell.borrow_mut();
         if buf.len() < len {
@@ -145,9 +147,10 @@ impl Conv2dParams {
 }
 
 /// Lowers one image's group-slice into the im2col matrix
-/// `[c_g·kh·kw, oh·ow]`.
+/// `[c_g·kh·kw, oh·ow]`. Shared with [`crate::ops::fused`] so the fused
+/// conv epilogue kernel stages patches exactly like [`conv2d`] does.
 #[allow(clippy::too_many_arguments)]
-fn im2col_group(
+pub(crate) fn im2col_group(
     input: &[f32],
     c_start: usize,
     c_g: usize,

@@ -1,0 +1,579 @@
+//! Fused slice-level kernels for compiled inference plans.
+//!
+//! The freeze/fusion compiler in `apt-nn` lowers a layer list into a flat
+//! step program that runs on pre-planned arena slices instead of freshly
+//! allocated [`Tensor`](crate::Tensor)s. These entry points give that
+//! executor single-pass conv/linear kernels with the bias add and the
+//! activation folded in as an **epilogue**, plus `_into` pooling variants
+//! that write straight into a caller-provided slice.
+//!
+//! Bit-compatibility contract: every kernel here reuses the exact compute
+//! cores of the unfused ops (`matmul_impl::gemm*`, the same
+//! `im2col_group` staging and the same per-plane pooling loops), and the
+//! epilogue applies bias-then-activation per element in the same order
+//! the layer path applies them as separate passes. Element-wise passes
+//! commute with chunking, so fused output is bit-identical to the
+//! unfused sequence for every thread count.
+
+use crate::ops::conv::{im2col_group, with_col_scratch, Conv2dParams};
+use crate::ops::matmul_impl::{gemm, gemm_a_bt};
+use crate::{par, Result, TensorError};
+
+/// Activation applied in-register after a fused kernel's bias add.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Epilogue {
+    /// No activation: the kernel output is the affine result.
+    #[default]
+    None,
+    /// `y = max(x, 0)` — identical arithmetic to the `Relu` layer.
+    Relu,
+    /// `y = clamp(x, 0, 6)` — identical arithmetic to the `Relu6` layer.
+    Relu6,
+}
+
+impl Epilogue {
+    /// Applies the activation to a slice in place.
+    pub fn apply(self, data: &mut [f32]) {
+        match self {
+            Epilogue::None => {}
+            Epilogue::Relu => {
+                for v in data {
+                    *v = v.max(0.0);
+                }
+            }
+            Epilogue::Relu6 => {
+                for v in data {
+                    *v = v.clamp(0.0, 6.0);
+                }
+            }
+        }
+    }
+
+    /// Short display name for plan reports (`"-"`, `"relu"`, `"relu6"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Epilogue::None => "-",
+            Epilogue::Relu => "relu",
+            Epilogue::Relu6 => "relu6",
+        }
+    }
+}
+
+/// Fused fully-connected forward: `out = act(x·Wᵀ + b)` on flat slices.
+///
+/// * `input` — `[m × in_f]` row-major.
+/// * `weight` — `[out_f × in_f]` row-major.
+/// * `out` — `[m × out_f]`, fully overwritten.
+///
+/// Runs the same `gemm_a_bt` core as [`matmul_a_bt`](crate::ops::matmul_a_bt)
+/// on the zeroed destination, then adds the bias per row and applies the
+/// epilogue — bit-identical to the unfused matmul → bias-loop → map
+/// sequence.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when slice lengths disagree
+/// with the given geometry.
+pub fn linear_bias_act(
+    input: &[f32],
+    weight: &[f32],
+    out: &mut [f32],
+    m: usize,
+    in_f: usize,
+    out_f: usize,
+    bias: Option<&[f32]>,
+    act: Epilogue,
+) -> Result<()> {
+    if input.len() != m * in_f {
+        return Err(TensorError::LengthMismatch {
+            expected: m * in_f,
+            actual: input.len(),
+        });
+    }
+    if weight.len() != out_f * in_f {
+        return Err(TensorError::LengthMismatch {
+            expected: out_f * in_f,
+            actual: weight.len(),
+        });
+    }
+    if out.len() != m * out_f {
+        return Err(TensorError::LengthMismatch {
+            expected: m * out_f,
+            actual: out.len(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != out_f {
+            return Err(TensorError::LengthMismatch {
+                expected: out_f,
+                actual: b.len(),
+            });
+        }
+    }
+    out.fill(0.0);
+    gemm_a_bt(input, weight, out, m, out_f, in_f);
+    if let Some(b) = bias {
+        for row in out.chunks_mut(out_f) {
+            for (y, &bj) in row.iter_mut().zip(b) {
+                *y += bj;
+            }
+        }
+    }
+    act.apply(out);
+    Ok(())
+}
+
+/// Fused 2-D convolution forward: `out = act(conv(x, W) + b)` on flat
+/// NCHW slices.
+///
+/// * `input` — `[n, c_in, h, w]` flattened.
+/// * `weight` — `[c_out, c_in/groups, kh, kh]` flattened (square kernel).
+/// * `out` — `[n, c_out, oh, ow]` flattened, fully overwritten.
+///
+/// Replicates [`conv2d`](crate::ops::conv::conv2d)'s exact decomposition
+/// (same per-image parallel chunking, same `im2col_group` staging, same
+/// `gemm` core), then adds the per-channel bias and applies the epilogue
+/// inside each image's disjoint output slice — bit-identical to the
+/// unfused conv → bias → activation sequence for every thread count.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] for zero stride/groups or mismatched slice
+/// lengths.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_bias_act(
+    input: &[f32],
+    weight: &[f32],
+    out: &mut [f32],
+    n: usize,
+    c_in: usize,
+    h: usize,
+    w: usize,
+    c_out: usize,
+    kernel: usize,
+    params: &Conv2dParams,
+    bias: Option<&[f32]>,
+    act: Epilogue,
+) -> Result<()> {
+    let g = params.groups;
+    if params.stride == 0 || g == 0 || c_in % g != 0 || c_out % g != 0 || kernel == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_bias_act",
+            reason: format!(
+                "bad geometry: stride {} groups {g} channels {c_in}->{c_out} kernel {kernel}",
+                params.stride
+            ),
+        });
+    }
+    if h + 2 * params.padding < kernel || w + 2 * params.padding < kernel {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_bias_act",
+            reason: format!("kernel {kernel} larger than padded input {h}x{w}"),
+        });
+    }
+    let (oh, ow) = (params.out_size(h, kernel), params.out_size(w, kernel));
+    let (c_in_g, c_out_g) = (c_in / g, c_out / g);
+    let col_rows = c_in_g * kernel * kernel;
+    let col_w = oh * ow;
+    if input.len() != n * c_in * h * w {
+        return Err(TensorError::LengthMismatch {
+            expected: n * c_in * h * w,
+            actual: input.len(),
+        });
+    }
+    if weight.len() != c_out * col_rows {
+        return Err(TensorError::LengthMismatch {
+            expected: c_out * col_rows,
+            actual: weight.len(),
+        });
+    }
+    if out.len() != n * c_out * col_w {
+        return Err(TensorError::LengthMismatch {
+            expected: n * c_out * col_w,
+            actual: out.len(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != c_out {
+            return Err(TensorError::LengthMismatch {
+                expected: c_out,
+                actual: b.len(),
+            });
+        }
+    }
+    out.fill(0.0);
+    let img_len = c_out * col_w;
+    if n == 0 || img_len == 0 {
+        return Ok(());
+    }
+    let img_cost = 2 * c_out * col_rows * col_w;
+    let imgs_per_chunk = par::chunk_items(n, img_cost);
+    par::for_each_chunk_mut(out, imgs_per_chunk * img_len, |ci, out_chunk| {
+        for (local, out_img) in out_chunk.chunks_mut(img_len).enumerate() {
+            let img = ci * imgs_per_chunk + local;
+            let in_img = &input[img * c_in * h * w..(img + 1) * c_in * h * w];
+            with_col_scratch(col_rows * col_w, |col| {
+                for grp in 0..g {
+                    im2col_group(
+                        in_img,
+                        grp * c_in_g,
+                        c_in_g,
+                        h,
+                        w,
+                        kernel,
+                        kernel,
+                        params,
+                        oh,
+                        ow,
+                        col,
+                    );
+                    let w_grp = &weight[grp * c_out_g * col_rows..(grp + 1) * c_out_g * col_rows];
+                    let dst = &mut out_img[grp * c_out_g * col_w..(grp + 1) * c_out_g * col_w];
+                    gemm(w_grp, col, dst, c_out_g, col_rows, col_w);
+                }
+            });
+            if let Some(b) = bias {
+                for (ch, plane) in out_img.chunks_mut(col_w).enumerate() {
+                    let bch = b[ch];
+                    for v in plane.iter_mut() {
+                        *v += bch;
+                    }
+                }
+            }
+            act.apply(out_img);
+        }
+    });
+    Ok(())
+}
+
+fn check_pool_geometry(
+    op: &'static str,
+    input_len: usize,
+    out_len: usize,
+    planes: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+) -> Result<(usize, usize)> {
+    if k == 0 || h % k != 0 || w % k != 0 {
+        return Err(TensorError::InvalidArgument {
+            op,
+            reason: format!("window {k} must be >0 and divide {h}x{w}"),
+        });
+    }
+    let (oh, ow) = (h / k, w / k);
+    if input_len != planes * h * w {
+        return Err(TensorError::LengthMismatch {
+            expected: planes * h * w,
+            actual: input_len,
+        });
+    }
+    if out_len != planes * oh * ow {
+        return Err(TensorError::LengthMismatch {
+            expected: planes * oh * ow,
+            actual: out_len,
+        });
+    }
+    Ok((oh, ow))
+}
+
+/// Non-overlapping max pooling into a caller-provided slice.
+///
+/// `planes` is `n·c`; each `[h × w]` plane pools independently with the
+/// same serial window walk as [`max_pool2d`](crate::ops::pool::max_pool2d)
+/// (bit-identical output, no argmax table — this is a forward-only
+/// serving kernel).
+///
+/// # Errors
+///
+/// Same geometry contract as [`max_pool2d`](crate::ops::pool::max_pool2d).
+pub fn max_pool2d_into(
+    input: &[f32],
+    out: &mut [f32],
+    planes: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+) -> Result<()> {
+    let (oh, ow) = check_pool_geometry("max_pool2d_into", input.len(), out.len(), planes, h, w, k)?;
+    for (p, op) in out.chunks_mut(oh * ow).enumerate() {
+        let base = p * h * w;
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for di in 0..k {
+                    for dj in 0..k {
+                        let v = input[base + (oi * k + di) * w + oj * k + dj];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                op[oi * ow + oj] = best;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Non-overlapping average pooling into a caller-provided slice.
+///
+/// Accumulates each window in the same `di`-then-`dj` order as
+/// [`avg_pool2d`](crate::ops::pool::avg_pool2d), so output is
+/// bit-identical to the tensor kernel.
+///
+/// # Errors
+///
+/// Same geometry contract as [`avg_pool2d`](crate::ops::pool::avg_pool2d).
+pub fn avg_pool2d_into(
+    input: &[f32],
+    out: &mut [f32],
+    planes: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+) -> Result<()> {
+    let (oh, ow) = check_pool_geometry("avg_pool2d_into", input.len(), out.len(), planes, h, w, k)?;
+    let inv = 1.0 / (k * k) as f32;
+    for (p, op) in out.chunks_mut(oh * ow).enumerate() {
+        let base = p * h * w;
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut acc = 0.0;
+                for di in 0..k {
+                    for dj in 0..k {
+                        acc += input[base + (oi * k + di) * w + oj * k + dj];
+                    }
+                }
+                op[oi * ow + oj] = acc * inv;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Global average pooling `[planes, h·w] → [planes]` into a caller slice.
+///
+/// Uses the same serial `iter().sum()` per plane as
+/// [`global_avg_pool`](crate::ops::pool::global_avg_pool), so output is
+/// bit-identical.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] for zero spatial size or length mismatches.
+pub fn global_avg_pool_into(
+    input: &[f32],
+    out: &mut [f32],
+    planes: usize,
+    h: usize,
+    w: usize,
+) -> Result<()> {
+    if h * w == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "global_avg_pool_into",
+            reason: "zero spatial size".into(),
+        });
+    }
+    if input.len() != planes * h * w {
+        return Err(TensorError::LengthMismatch {
+            expected: planes * h * w,
+            actual: input.len(),
+        });
+    }
+    if out.len() != planes {
+        return Err(TensorError::LengthMismatch {
+            expected: planes,
+            actual: out.len(),
+        });
+    }
+    let inv = 1.0 / (h * w) as f32;
+    for (p, o) in out.iter_mut().enumerate() {
+        let s: f32 = input[p * h * w..(p + 1) * h * w].iter().sum();
+        *o = s * inv;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{self, pool};
+    use crate::{rng, Tensor};
+
+    fn assert_bits(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "[{i}] {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fused_linear_matches_unfused_sequence_bitwise() {
+        let mut r = rng::seeded(40);
+        for &(m, in_f, out_f) in &[(3usize, 16usize, 6usize), (12, 32, 10)] {
+            let x = rng::normal(&[m, in_f], 1.0, &mut r);
+            let wt = rng::normal(&[out_f, in_f], 1.0, &mut r);
+            let b = rng::normal(&[out_f], 1.0, &mut r);
+            // layer-path reference: matmul_a_bt → per-row bias loop → relu map
+            let mut want = ops::matmul_a_bt(&x, &wt).unwrap();
+            for i in 0..m {
+                for (y, &bj) in want.data_mut()[i * out_f..(i + 1) * out_f]
+                    .iter_mut()
+                    .zip(b.data())
+                {
+                    *y += bj;
+                }
+            }
+            let want = want.map(|v| v.max(0.0));
+            let mut got = vec![0.0f32; m * out_f];
+            linear_bias_act(
+                x.data(),
+                wt.data(),
+                &mut got,
+                m,
+                in_f,
+                out_f,
+                Some(b.data()),
+                Epilogue::Relu,
+            )
+            .unwrap();
+            assert_bits(&got, want.data());
+        }
+    }
+
+    #[test]
+    fn fused_conv_matches_unfused_sequence_bitwise() {
+        let mut r = rng::seeded(41);
+        for &(groups, c_in, c_out, stride) in &[(1usize, 3usize, 4usize, 1usize), (2, 4, 6, 2)] {
+            let p = Conv2dParams::new(stride, 1, groups);
+            let x = rng::normal(&[2, c_in, 6, 6], 1.0, &mut r);
+            let wt = rng::normal(&[c_out, c_in / groups, 3, 3], 1.0, &mut r);
+            let b = rng::normal(&[c_out], 1.0, &mut r);
+            let mut want = ops::conv::conv2d(&x, &wt, &p).unwrap();
+            let (n, c, oh, ow) = (
+                want.dims()[0],
+                want.dims()[1],
+                want.dims()[2],
+                want.dims()[3],
+            );
+            let wd = want.data_mut();
+            for img in 0..n {
+                for ch in 0..c {
+                    let bch = b.data()[ch];
+                    for v in &mut wd[(img * c + ch) * oh * ow..(img * c + ch + 1) * oh * ow] {
+                        *v += bch;
+                    }
+                }
+            }
+            let want = want.map(|v| v.clamp(0.0, 6.0));
+            let mut got = vec![0.0f32; want.len()];
+            conv2d_bias_act(
+                x.data(),
+                wt.data(),
+                &mut got,
+                2,
+                c_in,
+                6,
+                6,
+                c_out,
+                3,
+                &p,
+                Some(b.data()),
+                Epilogue::Relu6,
+            )
+            .unwrap();
+            assert_bits(&got, want.data());
+        }
+    }
+
+    #[test]
+    fn fused_conv_without_bias_or_act_is_plain_conv() {
+        let mut r = rng::seeded(42);
+        let p = Conv2dParams::new(1, 1, 1);
+        let x = rng::normal(&[1, 3, 5, 5], 1.0, &mut r);
+        let wt = rng::normal(&[4, 3, 3, 3], 1.0, &mut r);
+        let want = ops::conv::conv2d(&x, &wt, &p).unwrap();
+        let mut got = vec![0.0f32; want.len()];
+        conv2d_bias_act(
+            x.data(),
+            wt.data(),
+            &mut got,
+            1,
+            3,
+            5,
+            5,
+            4,
+            3,
+            &p,
+            None,
+            Epilogue::None,
+        )
+        .unwrap();
+        assert_bits(&got, want.data());
+    }
+
+    #[test]
+    fn pool_into_variants_match_tensor_kernels_bitwise() {
+        let mut r = rng::seeded(43);
+        let x = rng::normal(&[2, 3, 4, 4], 1.0, &mut r);
+        let mp = pool::max_pool2d(&x, 2).unwrap().output;
+        let mut got = vec![0.0f32; mp.len()];
+        max_pool2d_into(x.data(), &mut got, 6, 4, 4, 2).unwrap();
+        assert_bits(&got, mp.data());
+
+        let ap = pool::avg_pool2d(&x, 2).unwrap();
+        let mut got = vec![0.0f32; ap.len()];
+        avg_pool2d_into(x.data(), &mut got, 6, 4, 4, 2).unwrap();
+        assert_bits(&got, ap.data());
+
+        let gp = pool::global_avg_pool(&x).unwrap();
+        let mut got = vec![0.0f32; gp.len()];
+        global_avg_pool_into(x.data(), &mut got, 6, 4, 4).unwrap();
+        assert_bits(&got, gp.data());
+    }
+
+    #[test]
+    fn geometry_validation() {
+        let p = Conv2dParams::new(1, 0, 1);
+        let mut out = vec![0.0f32; 4];
+        assert!(linear_bias_act(&[0.0; 4], &[0.0; 4], &mut out, 2, 2, 2, Some(&[0.0]), Epilogue::None).is_err());
+        assert!(linear_bias_act(&[0.0; 3], &[0.0; 4], &mut out, 2, 2, 2, None, Epilogue::None).is_err());
+        assert!(conv2d_bias_act(&[0.0; 9], &[0.0; 9], &mut out, 1, 1, 3, 3, 1, 5, &p, None, Epilogue::None).is_err());
+        assert!(conv2d_bias_act(&[0.0; 9], &[0.0; 9], &mut out, 1, 1, 3, 3, 1, 3, &Conv2dParams::new(0, 0, 1), None, Epilogue::None).is_err());
+        assert!(max_pool2d_into(&[0.0; 9], &mut out, 1, 3, 3, 2).is_err());
+        assert!(avg_pool2d_into(&[0.0; 16], &mut out, 1, 4, 4, 0).is_err());
+        assert!(global_avg_pool_into(&[0.0; 16], &mut out, 1, 4, 0).is_err());
+        let _ = Tensor::zeros(&[1]);
+    }
+
+    #[test]
+    fn fused_conv_is_thread_count_invariant() {
+        let mut r = rng::seeded(44);
+        let p = Conv2dParams::new(1, 1, 1);
+        let x = rng::normal(&[4, 3, 6, 6], 1.0, &mut r);
+        let wt = rng::normal(&[4, 3, 3, 3], 1.0, &mut r);
+        let b = rng::normal(&[4], 1.0, &mut r);
+        let run = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut got = vec![0.0f32; 4 * 4 * 6 * 6];
+                conv2d_bias_act(
+                    x.data(),
+                    wt.data(),
+                    &mut got,
+                    4,
+                    3,
+                    6,
+                    6,
+                    4,
+                    3,
+                    &p,
+                    Some(b.data()),
+                    Epilogue::Relu,
+                )
+                .unwrap();
+                got
+            })
+        };
+        assert_bits(&run(1), &run(4));
+    }
+}

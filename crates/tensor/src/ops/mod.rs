@@ -7,6 +7,8 @@
 //! * [`int_gemm`] — integer-domain GEMM with fused per-channel rescale
 //!   (the dequant-free serving lane's compute kernel).
 //! * [`conv`] — 2-D convolution (im2col + GEMM) with both backward kernels.
+//! * [`fused`] — single-pass conv/linear kernels with bias + activation
+//!   epilogues for compiled inference plans.
 //! * [`pool`] — max/average/global-average pooling with backward.
 //! * [`reduce`] — sums, means, argmax and axis reductions.
 //! * [`pad`] — zero-padding, cropping and flipping (data augmentation).
@@ -17,6 +19,7 @@
 
 pub mod conv;
 pub mod elementwise;
+pub mod fused;
 pub mod int_gemm;
 mod matmul_impl;
 pub mod pad;

@@ -5,12 +5,17 @@
 //!     --img-size 12 --width-mult 0.25 --addr 127.0.0.1:7878
 //! ```
 //!
-//! Today the CLI has one subcommand, `serve`, which loads one trained
-//! `.aptc` checkpoint (`--checkpoint`) or a whole directory of them
+//! The CLI has two subcommands. `serve` loads one trained `.aptc`
+//! checkpoint (`--checkpoint`) or a whole directory of them
 //! (`--model-dir`, one model per file) into an
 //! [`apt_serve::ModelRegistry`] and exposes the fleet over the
-//! length-prefixed TCP protocol. Training stays with the `train` bench
-//! binary (`cargo run -p apt-bench --bin train`).
+//! length-prefixed TCP protocol; by default every ingested model is
+//! compiled into a frozen plan (BN folded, activations fused,
+//! arena-planned) — `--no-freeze` pins the legacy layer-replay path.
+//! `freeze` compiles a checkpoint without serving it and prints the plan
+//! report (step counts, fusions, arena size, achieved lane). Training
+//! stays with the `train` bench binary
+//! (`cargo run -p apt-bench --bin train`).
 //!
 //! Every malformed invocation exits with a one-line message and usage
 //! text (exit code 2); runtime failures exit 1. Nothing in this binary
@@ -73,6 +78,8 @@ serving:
   --lane LANE           compute kernel lane: fp32 | dequant-cache | int-gemm
                         (int-gemm serves straight from packed integer codes;
                         bit-close, not bit-exact)     [default dequant-cache]
+  --no-freeze           serve by layer-by-layer replay instead of compiling
+                        checkpoints into fused frozen plans
   --max-batch N         micro-batch coalescing cap    [default 8]
   --max-delay-us N      batching window in microsecs  [default 2000]
   --queue-depth N       admission queue bound         [default 128]
@@ -85,6 +92,26 @@ overload protection:
   --read-timeout-ms N   reap mid-frame stalls after   [default 10000, 0 = off]
   --request-timeout-ms N  shed queued requests after  [default 5000, 0 = off]
   --max-pipeline N      per-connection in-flight cap  [default 32]";
+
+const FREEZE_USAGE: &str = "usage: apt freeze CHECKPOINT --model MODEL [options]
+
+Compiles a trained .aptc checkpoint into a frozen inference plan without
+serving it, and prints the compile report: steps lowered vs kept,
+BN folds, activation fusions, packed weight panels, arena size, and the
+achieved kernel lane.
+
+required:
+  CHECKPOINT            a trained .aptc checkpoint (v1/v2/v3)
+  --model MODEL         cifarnet | vgg_small | resnet20 | resnet110 |
+                        mobilenet_v2 | mlp:IN-HIDDEN-...-OUT
+
+model geometry (must match how the checkpoint was trained):
+  --classes N           classifier outputs            [default 10]
+  --img-size N          input image side length       [default 12]
+  --width-mult F        channel width multiplier      [default 0.25]
+
+compilation:
+  --lane LANE           fp32 | dequant-cache | int-gemm [default dequant-cache]";
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
@@ -100,8 +127,19 @@ fn main() {
                 1
             }
         },
+        Some("freeze") => match run_freeze(&argv[2..]) {
+            Ok(()) => 0,
+            Err(CliError::Usage(m)) => {
+                eprintln!("apt freeze: {m}\n\n{FREEZE_USAGE}");
+                2
+            }
+            Err(CliError::Runtime(m)) => {
+                eprintln!("apt freeze: {m}");
+                1
+            }
+        },
         Some("--help") | Some("-h") | None => {
-            eprintln!("{USAGE}");
+            eprintln!("{USAGE}\n\n{FREEZE_USAGE}");
             if argv.len() < 2 {
                 2
             } else {
@@ -109,7 +147,9 @@ fn main() {
             }
         }
         Some(other) => {
-            eprintln!("apt: unknown subcommand `{other}` (only `serve` exists)\n\n{USAGE}");
+            eprintln!(
+                "apt: unknown subcommand `{other}` (have: serve, freeze)\n\n{USAGE}\n\n{FREEZE_USAGE}"
+            );
             2
         }
     };
@@ -143,6 +183,7 @@ struct ServeArgs {
     limits: ConnLimits,
     threads: Option<usize>,
     stats_every: u64,
+    freeze: bool,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
@@ -163,6 +204,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
         limits: ConnLimits::default(),
         threads: None,
         stats_every: 10,
+        freeze: true,
     };
     let mut i = 0;
     while i < args.len() {
@@ -170,6 +212,11 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
         if flag == "--help" || flag == "-h" {
             eprintln!("{USAGE}");
             std::process::exit(0);
+        }
+        if flag == "--no-freeze" {
+            out.freeze = false;
+            i += 1;
+            continue;
         }
         let value = args
             .get(i + 1)
@@ -267,6 +314,7 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
         quarantine_dir: a.quarantine_dir.clone().map(PathBuf::from),
         spec: Some(spec.clone()),
         lane: a.lane,
+        freeze: a.freeze,
     }));
 
     // Populate the fleet: one validated checkpoint, or a directory scan
@@ -326,15 +374,34 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
     let mut server = Server::start_with_registry(Arc::clone(&registry), config)
         .map_err(|e| CliError::Runtime(format!("cannot start server on `{}`: {e}", a.addr)))?;
     println!(
-        "serving {default_model} [{:?}] ({} inputs → {} outputs, {} resident bytes, {} models, lane {}) on {}",
+        "serving {default_model} [{:?}] ({} inputs → {} outputs, {} resident bytes, {} models, lane {}, {}) on {}",
         a.model,
         session.sample_len(),
         session.num_outputs(),
         registry.resident_bytes(),
         registry.models().len(),
         session.lane().as_str(),
+        if session.is_frozen() {
+            "frozen plan".to_string()
+        } else {
+            format!(
+                "layer replay: {}",
+                session.freeze_reason().unwrap_or("unknown reason")
+            )
+        },
         server.addr()
     );
+    if let Some(report) = session.plan_report() {
+        println!(
+            "frozen plan: {} steps (from {}), {} bn folds, {} act fusions, {} packed panels, arena {} floats/sample",
+            report.steps,
+            report.lowered_steps,
+            report.bn_folds,
+            report.act_fusions,
+            report.packed_panels,
+            report.arena_floats_per_sample
+        );
+    }
     println!(
         "policy: max_batch {}, max_delay {}µs, queue_depth {}",
         a.policy.max_batch,
@@ -380,7 +447,7 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
 
 fn print_stats(s: &apt_serve::StatsSnapshot) {
     println!(
-        "stats: {} ok / {} shed / {} expired / {} errors | p50 {}µs p90 {}µs p99 {}µs | mean batch {:.2} | conns {} open, {} refused, {} idle-reaped, {} slow-reaped | fleet {} resident ({} bytes), {} swaps, {} evictions, {} quarantined",
+        "stats: {} ok / {} shed / {} expired / {} errors | p50 {}µs p90 {}µs p99 {}µs | mean batch {:.2} | conns {} open, {} refused, {} idle-reaped, {} slow-reaped | fleet {} resident ({} bytes), {} swaps, {} evictions, {} quarantined | plans {} frozen, {} fallbacks",
         s.completed,
         s.shed,
         s.deadline_expired,
@@ -397,8 +464,99 @@ fn print_stats(s: &apt_serve::StatsSnapshot) {
         s.resident_bytes,
         s.swaps,
         s.evictions,
-        s.quarantines
+        s.quarantines,
+        s.plans_frozen,
+        s.freeze_fallbacks
     );
+}
+
+/// `apt freeze CHECKPOINT --model …` — compile a checkpoint into a frozen
+/// plan and print the compile report without serving anything.
+fn run_freeze(args: &[String]) -> Result<(), CliError> {
+    let mut checkpoint_path: Option<String> = None;
+    let mut model: Option<ModelArch> = None;
+    let mut classes = 10usize;
+    let mut img_size = 12usize;
+    let mut width_mult = 0.25f32;
+    let mut lane = KernelLane::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            eprintln!("{FREEZE_USAGE}");
+            std::process::exit(0);
+        }
+        if !flag.starts_with("--") {
+            if checkpoint_path.is_some() {
+                return Err(CliError::Usage(format!(
+                    "unexpected extra positional argument `{flag}`"
+                )));
+            }
+            checkpoint_path = Some(flag.to_string());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("missing value for {flag}")))?;
+        match flag {
+            "--model" => {
+                model = Some(
+                    value
+                        .parse::<ModelArch>()
+                        .map_err(|e| CliError::Usage(e.to_string()))?,
+                )
+            }
+            "--classes" => classes = parse_flag(flag, value)?,
+            "--img-size" => img_size = parse_flag(flag, value)?,
+            "--width-mult" => width_mult = parse_flag(flag, value)?,
+            "--lane" => {
+                lane = KernelLane::parse(value).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "bad value `{value}` for --lane (want fp32 | dequant-cache | int-gemm)"
+                    ))
+                })?
+            }
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+        i += 2;
+    }
+    let ckpt = checkpoint_path.ok_or_else(|| CliError::Usage("CHECKPOINT is required".into()))?;
+    let arch = model.ok_or_else(|| CliError::Usage("--model is required".into()))?;
+    let spec = ModelSpec {
+        arch: arch.clone(),
+        classes,
+        img_size,
+        width_mult,
+    };
+    let blob = std::fs::read(&ckpt)
+        .map_err(|e| CliError::Runtime(format!("cannot read `{ckpt}`: {e}")))?;
+    let mut net = spec
+        .build()
+        .map_err(|e| CliError::Runtime(format!("cannot build {arch:?}: {e}")))?;
+    apt_nn::checkpoint::load(&mut net, &blob).map_err(|e| {
+        CliError::Runtime(format!(
+            "cannot load `{ckpt}` as {arch:?} (classes {classes}, img {img_size}, width {width_mult}): {e}"
+        ))
+    })?;
+    let plan = net
+        .freeze(&spec.sample_dims(), lane)
+        .map_err(|e| CliError::Runtime(format!("cannot freeze `{ckpt}`: {e}")))?;
+    println!(
+        "frozen {} [{arch:?}] from `{ckpt}` (requested lane {})",
+        net.name(),
+        lane.as_str()
+    );
+    println!("{}", plan.report());
+    println!("steps: {}", plan.step_mnemonics().join(" → "));
+    println!(
+        "resident: {} plan bytes; arena {} floats per sample ({} inputs → {} outputs)",
+        plan.resident_bytes(),
+        plan.arena_floats_per_sample(),
+        plan.sample_len(),
+        plan.output_len()
+    );
+    Ok(())
 }
 
 /// Minimal `SIGINT`/`SIGTERM` latching without any signal-handling crate:

@@ -607,7 +607,10 @@ fn smoke() -> bool {
             let want = unfused(threads);
             let got = fused_run(threads);
             let bitwise_equal = want.len() == got.len()
-                && want.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
+                && want
+                    .iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
             if bitwise_equal {
                 println!("  fused == unfused bit-identical at {threads} thread(s)");
             } else {

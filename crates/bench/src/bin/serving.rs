@@ -1454,10 +1454,9 @@ fn freeze_cells(iters: usize) -> (Row, Row, bool) {
     let want = replay.infer_samples(&samples).expect("replay forward");
     let got = frozen.infer_samples(&samples).expect("frozen forward");
     let bit_exact = want.len() == got.len()
-        && want
-            .iter()
-            .zip(&got)
-            .all(|(w, g)| w.len() == g.len() && w.iter().zip(g).all(|(a, b)| a.to_bits() == b.to_bits()));
+        && want.iter().zip(&got).all(|(w, g)| {
+            w.len() == g.len() && w.iter().zip(g).all(|(a, b)| a.to_bits() == b.to_bits())
+        });
     if !bit_exact {
         println!("FAIL: frozen plan diverged from layer replay on a BN-free model");
         gate_ok = false;
@@ -1756,9 +1755,23 @@ fn smoke() -> bool {
         gate_lane.as_str(),
         if gate_freeze { "" } else { ", layer replay" }
     );
-    let single = run_cell(8, gate_threads, &POLICIES[0], per_client, gate_lane, gate_freeze);
+    let single = run_cell(
+        8,
+        gate_threads,
+        &POLICIES[0],
+        per_client,
+        gate_lane,
+        gate_freeze,
+    );
     print_row(&single);
-    let batched = run_cell(8, gate_threads, &POLICIES[1], per_client, gate_lane, gate_freeze);
+    let batched = run_cell(
+        8,
+        gate_threads,
+        &POLICIES[1],
+        per_client,
+        gate_lane,
+        gate_freeze,
+    );
     print_row(&batched);
 
     // Gate 1: nothing lost or corrupted under concurrent load.

@@ -52,6 +52,14 @@ pub enum CoreError {
         /// Within-epoch iteration at the cut.
         iteration: usize,
     },
+    /// A gradient-exchange peer vanished mid-step (its channel
+    /// disconnected before the exchange completed). Nothing was applied
+    /// for the in-flight step on this rank; the distributed coordinator
+    /// answers with a fleet rollback to the last lockstep checkpoint.
+    PeerLost {
+        /// The rank whose link went dead.
+        rank: usize,
+    },
     /// The integrity guard exhausted its self-healing budget: heal,
     /// rounding-stream re-roll and full sentinel rollback all failed to
     /// produce a step that passes the in-memory checks.
@@ -92,6 +100,10 @@ impl fmt::Display for CoreError {
                 f,
                 "training interrupted (simulated power cut) at epoch {epoch} iteration {iteration}"
             ),
+            CoreError::PeerLost { rank } => write!(
+                f,
+                "gradient-exchange peer rank {rank} lost mid-step (fleet rollback required)"
+            ),
             CoreError::IntegrityViolation {
                 epoch,
                 iteration,
@@ -119,6 +131,7 @@ impl Error for CoreError {
             | CoreError::Corrupt { .. }
             | CoreError::Diverged { .. }
             | CoreError::Interrupted { .. }
+            | CoreError::PeerLost { .. }
             | CoreError::IntegrityViolation { .. } => None,
         }
     }
@@ -156,17 +169,33 @@ mod tests {
 
     #[test]
     fn display_and_source_for_all_variants() {
-        let errs: Vec<CoreError> = vec![
-            CoreError::BadConfig { reason: "x".into() },
-            apt_data::DataError::BadConfig { reason: "y".into() }.into(),
-            apt_nn::NnError::BadConfig { reason: "z".into() }.into(),
-            apt_optim::OptimError::BadConfig { reason: "w".into() }.into(),
-            apt_quant::QuantError::InvalidBitwidth { bits: 1 }.into(),
-            apt_tensor::TensorError::IndexOutOfBounds { index: 0, bound: 0 }.into(),
+        let errs: Vec<(CoreError, bool)> = vec![
+            (CoreError::BadConfig { reason: "x".into() }, false),
+            (
+                apt_data::DataError::BadConfig { reason: "y".into() }.into(),
+                true,
+            ),
+            (
+                apt_nn::NnError::BadConfig { reason: "z".into() }.into(),
+                true,
+            ),
+            (
+                apt_optim::OptimError::BadConfig { reason: "w".into() }.into(),
+                true,
+            ),
+            (
+                apt_quant::QuantError::InvalidBitwidth { bits: 1 }.into(),
+                true,
+            ),
+            (
+                apt_tensor::TensorError::IndexOutOfBounds { index: 0, bound: 0 }.into(),
+                true,
+            ),
+            (CoreError::PeerLost { rank: 3 }, false),
         ];
-        for (i, e) in errs.iter().enumerate() {
+        for (e, sourced) in &errs {
             assert!(!e.to_string().is_empty());
-            assert_eq!(e.source().is_some(), i != 0);
+            assert_eq!(e.source().is_some(), *sourced);
         }
     }
 }

@@ -44,6 +44,7 @@ pub mod faults;
 pub mod gavg;
 pub mod integrity;
 pub mod policy;
+pub mod reduce;
 pub mod state;
 pub mod trainer;
 
@@ -60,6 +61,7 @@ pub use integrity::{
     StepGuard,
 };
 pub use policy::{adjust_bitwidth, apply_policy, PolicyConfig, PrecisionChange};
+pub use reduce::GradReducer;
 pub use state::{OptimizerState, TrainState};
 pub use trainer::{
     EpochRecord, GradQuant, OptimizerKind, SentinelConfig, TrainConfig, TrainReport, Trainer,

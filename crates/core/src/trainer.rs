@@ -17,6 +17,7 @@
 use crate::checkpoint::CheckpointConfig;
 use crate::faults::{FaultSurface, NoFaults, StepAction, StepHook, StepInfo, SurfaceKind};
 use crate::integrity::{IntegrityConfig, IntegrityReport, StepGuard};
+use crate::reduce::GradReducer;
 use crate::state::{OptimizerState, TrainState};
 use crate::{apply_policy, CoreError, GavgProfiler, PolicyConfig, PrecisionChange};
 use apt_data::{AugmentConfig, Batcher, Dataset};
@@ -567,7 +568,7 @@ impl Trainer {
     /// Returns [`CoreError::BadConfig`] for an empty training split and
     /// propagates any substrate error.
     pub fn train(&mut self, train: &Dataset, test: &Dataset) -> crate::Result<TrainReport> {
-        self.run(train, test, None, &mut NoFaults)
+        self.run(train, test, None, &mut NoFaults, None)
     }
 
     /// [`train`](Trainer::train) with a fault-injection [`StepHook`]
@@ -584,7 +585,63 @@ impl Trainer {
         test: &Dataset,
         hooks: &mut dyn StepHook,
     ) -> crate::Result<TrainReport> {
-        self.run(train, test, None, hooks)
+        self.run(train, test, None, hooks, None)
+    }
+
+    /// [`train`](Trainer::train) with a [`GradReducer`] invoked after every
+    /// backward pass — the data-parallel entry point (`apt-dist` drives one
+    /// of these per rank). `hooks` ride along so the fault campaigns can
+    /// kill a rank mid-exchange.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] when the sentinel or integrity guard is
+    /// armed: both perform *rank-local* rollbacks, which would silently
+    /// diverge the replicas. Otherwise as
+    /// [`train_with_hooks`](Trainer::train_with_hooks).
+    pub fn train_with_reducer(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+        hooks: &mut dyn StepHook,
+        reducer: &mut dyn GradReducer,
+    ) -> crate::Result<TrainReport> {
+        self.check_reducer_compat()?;
+        self.run(train, test, None, hooks, Some(reducer))
+    }
+
+    /// [`resume`](Trainer::resume) with a [`GradReducer`] — how a restarted
+    /// rank re-joins the fleet from its checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// As [`train_with_reducer`](Trainer::train_with_reducer) plus the
+    /// checkpoint-validation errors of [`resume`](Trainer::resume).
+    pub fn resume_with_reducer(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+        state: TrainState,
+        hooks: &mut dyn StepHook,
+        reducer: &mut dyn GradReducer,
+    ) -> crate::Result<TrainReport> {
+        self.check_reducer_compat()?;
+        self.run(train, test, Some(state), hooks, Some(reducer))
+    }
+
+    /// Rank-local recovery subsystems cannot compose with a cross-rank
+    /// reducer: a sentinel or guard rollback on one rank would rewind that
+    /// replica alone and break bit-identity. Distributed runs get their
+    /// resilience from the fleet-rollback protocol instead.
+    fn check_reducer_compat(&self) -> crate::Result<()> {
+        if self.cfg.sentinel.is_some() || self.cfg.integrity.is_some() {
+            return Err(CoreError::BadConfig {
+                reason: "gradient reduction cannot combine with the sentinel or integrity guard \
+                         (rank-local rollbacks would diverge the replicas)"
+                    .into(),
+            });
+        }
+        Ok(())
     }
 
     /// Continues an interrupted run from a captured [`TrainState`]: the
@@ -603,7 +660,7 @@ impl Trainer {
         test: &Dataset,
         state: TrainState,
     ) -> crate::Result<TrainReport> {
-        self.run(train, test, Some(state), &mut NoFaults)
+        self.run(train, test, Some(state), &mut NoFaults, None)
     }
 
     /// [`resume`](Trainer::resume) with a fault-injection hook.
@@ -618,7 +675,7 @@ impl Trainer {
         state: TrainState,
         hooks: &mut dyn StepHook,
     ) -> crate::Result<TrainReport> {
-        self.run(train, test, Some(state), hooks)
+        self.run(train, test, Some(state), hooks, None)
     }
 
     /// Resumes from the newest valid checkpoint in the configured
@@ -651,6 +708,7 @@ impl Trainer {
         test: &Dataset,
         resume: Option<TrainState>,
         hooks: &mut dyn StepHook,
+        mut reducer: Option<&mut dyn GradReducer>,
     ) -> crate::Result<TrainReport> {
         if train.is_empty() {
             return Err(CoreError::BadConfig {
@@ -830,6 +888,14 @@ impl Trainer {
                         g.refresh(&self.net, &self.profiler);
                         continue;
                     }
+                }
+
+                // Data-parallel seam: swap shard-local gradients for the
+                // globally reduced ones *before* Gavg profiling, so the
+                // precision policy sees identical EMAs on every rank.
+                if let Some(r) = reducer.as_mut() {
+                    let wire_bytes = r.reduce(&info, &mut self.net)?;
+                    self.meter.record_comm(wire_bytes);
                 }
 
                 // Algorithm 2 lines 6-9: profile Gavg on raw gradients

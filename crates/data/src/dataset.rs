@@ -163,6 +163,42 @@ impl Dataset {
         ))
     }
 
+    /// The deterministic shard of this dataset owned by `rank` out of
+    /// `world` data-parallel workers.
+    ///
+    /// Samples are dealt round-robin (`rank`, `rank + world`, …) over the
+    /// first `world · ⌊len/world⌋` samples, so every shard has **exactly**
+    /// the same size — the property that keeps all ranks' per-epoch batch
+    /// counts equal and the step barrier in lockstep. The few trailing
+    /// samples that don't fill a full deal are dropped on every rank
+    /// identically. `world == 1` returns the dataset unchanged (the
+    /// single-worker bit-identity path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] if `world == 0`, `rank >= world`,
+    /// or the dataset is too small to give every rank at least one sample.
+    pub fn shard(&self, rank: usize, world: usize) -> crate::Result<Dataset> {
+        if world == 0 || rank >= world {
+            return Err(DataError::BadConfig {
+                reason: format!("rank {rank} out of range for world size {world}"),
+            });
+        }
+        if world == 1 {
+            return Ok(self.clone());
+        }
+        let per_rank = self.len() / world;
+        if per_rank == 0 {
+            return Err(DataError::BadConfig {
+                reason: format!("{} samples cannot shard across {world} ranks", self.len()),
+            });
+        }
+        let idx = (0..per_rank).map(|i| rank + i * world);
+        let images = idx.clone().map(|i| self.images[i].clone()).collect();
+        let labels = idx.map(|i| self.labels[i]).collect();
+        Dataset::new(images, labels, self.num_classes)
+    }
+
     fn mean_std(&self) -> (f32, f32) {
         let mut count = 0usize;
         let mut sum = 0.0f64;
@@ -261,6 +297,42 @@ mod tests {
         let d = Dataset::new(vec![], vec![], 3).unwrap();
         assert!(d.is_empty());
         assert!(d.image_dims().is_none());
+    }
+
+    #[test]
+    fn shard_is_deterministic_equal_sized_and_disjoint() {
+        let images: Vec<Tensor> = (0..10).map(|i| img(i as f32)).collect();
+        let labels: Vec<usize> = (0..10).map(|i| i % 3).collect();
+        let d = Dataset::new(images, labels, 3).unwrap();
+        // world == 1 is the identity.
+        let whole = d.shard(0, 1).unwrap();
+        assert_eq!(whole.len(), 10);
+        for i in 0..10 {
+            assert_eq!(whole.image(i).data(), d.image(i).data());
+        }
+        // world == 3: 3 samples each, round-robin, sample 9 dropped.
+        let mut seen = Vec::new();
+        for rank in 0..3 {
+            let s = d.shard(rank, 3).unwrap();
+            assert_eq!(s.len(), 3, "equal shard sizes");
+            for i in 0..s.len() {
+                let v = s.image(i).data()[0] as usize;
+                assert_eq!(v, rank + i * 3, "round-robin deal");
+                assert_eq!(s.label(i), d.label(v));
+                seen.push(v);
+            }
+            // Deterministic: the same call yields the same shard.
+            let again = d.shard(rank, 3).unwrap();
+            for i in 0..s.len() {
+                assert_eq!(again.image(i).data(), s.image(i).data());
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..9).collect::<Vec<_>>(), "disjoint cover");
+        // Errors.
+        assert!(d.shard(3, 3).is_err());
+        assert!(d.shard(0, 0).is_err());
+        assert!(d.shard(0, 11).is_err());
     }
 
     #[test]

@@ -117,6 +117,18 @@ impl EnergyMeter {
         self.breakdown.iterations += 1;
     }
 
+    /// Charges gradient-exchange traffic: `bytes` actually moved on the
+    /// wire this step, billed at the memory-energy rate like any other
+    /// parameter traffic.
+    ///
+    /// The caller passes the **physical packed payload size** — the
+    /// `u64`-word framing of the `k`-bit codes plus scalar headers — not
+    /// the idealised `len · k / 8`. Same rule PR 4 established for
+    /// resident weights: energy follows the bits that really move.
+    pub fn record_comm(&mut self, bytes: u64) {
+        self.breakdown.memory_pj += self.model.mem_energy(bytes * 8);
+    }
+
     /// The running account.
     pub fn breakdown(&self) -> EnergyBreakdown {
         self.breakdown
@@ -222,6 +234,30 @@ mod tests {
         assert_eq!(meter.breakdown().iterations, 2);
         meter.reset();
         assert_eq!(meter.total_pj(), 0.0);
+    }
+
+    #[test]
+    fn comm_is_charged_at_physical_packed_width() {
+        // Bytes charged == bytes on the wire: encode a gradient panel at
+        // k=4, measure its canonical packed wire size, and pin the meter
+        // charge to exactly mem_energy(wire_bytes · 8) — no idealised
+        // len·k/8 discount, no hidden framing.
+        let codec = apt_quant::GradCodec::new(Bitwidth::new(4).unwrap());
+        let grad: Vec<f32> = (0..1000).map(|i| (i as f32 - 500.0) / 500.0).collect();
+        let mut residual = vec![0.0f32; grad.len()];
+        let store = codec.encode(&grad, &mut residual, codec.scale(1.0));
+        let wire_bytes = codec.to_wire(&store).len() as u64 * 8;
+        assert_eq!(wire_bytes, (1000u64 * 4).div_ceil(64) * 8);
+        let mut meter = EnergyMeter::default();
+        meter.record_comm(wire_bytes);
+        let charged = meter.breakdown().memory_pj;
+        assert_eq!(charged, meter.model().mem_energy(wire_bytes * 8));
+        assert_eq!(meter.breakdown().compute_pj, 0.0, "comm is pure traffic");
+        // An fp32 exchange of the same tensor moves 8x the bits at k=4 —
+        // the energy account must reflect the full ratio.
+        let mut fp32 = EnergyMeter::default();
+        fp32.record_comm(1000 * 4);
+        assert!(charged < 0.2 * fp32.breakdown().memory_pj);
     }
 
     #[test]

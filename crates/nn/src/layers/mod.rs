@@ -1,9 +1,10 @@
 //! Layer implementations.
 //!
 //! Primitive layers ([`Linear`], [`Conv2d`], [`BatchNorm2d`], [`Relu`],
-//! [`Relu6`], [`MaxPool2d`], [`AvgPool2d`], [`GlobalAvgPool`], [`Flatten`])
-//! plus the composite residual blocks used by the paper's backbones
-//! ([`BasicBlock`] for ResNet, [`InvertedResidual`] for MobileNetV2).
+//! [`Relu6`], [`MaxPool2d`], [`AvgPool2d`], [`GlobalAvgPool`], [`Flatten`],
+//! [`ZeroPad2d`]) plus the composite residual blocks used by the paper's
+//! backbones ([`BasicBlock`] for ResNet, [`InvertedResidual`] for
+//! MobileNetV2).
 
 mod activation;
 mod actquant;
@@ -13,6 +14,7 @@ mod conv;
 mod flatten;
 mod inverted;
 mod linear;
+mod pad;
 mod pool;
 
 pub use activation::{Relu, Relu6};
@@ -23,4 +25,5 @@ pub use conv::Conv2d;
 pub use flatten::Flatten;
 pub use inverted::InvertedResidual;
 pub use linear::Linear;
+pub use pad::ZeroPad2d;
 pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};

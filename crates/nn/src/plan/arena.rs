@@ -27,7 +27,7 @@ pub(crate) struct Layout {
     pub(crate) aliased: Vec<bool>,
 }
 
-fn find_root(parent: &mut Vec<usize>, v: usize) -> usize {
+fn find_root(parent: &mut [usize], v: usize) -> usize {
     let mut r = v;
     while parent[r] != r {
         r = parent[r];

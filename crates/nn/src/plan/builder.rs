@@ -38,7 +38,7 @@ impl PlanBuilder {
     ///
     /// Returns [`NnError::BadConfig`] for an empty or zero-sized shape.
     pub fn new(sample_dims: &[usize], lane: KernelLane) -> Result<Self> {
-        if sample_dims.is_empty() || sample_dims.iter().any(|&d| d == 0) {
+        if sample_dims.is_empty() || sample_dims.contains(&0) {
             return Err(NnError::BadConfig {
                 reason: format!("invalid plan input shape {sample_dims:?}"),
             });
@@ -195,17 +195,15 @@ impl PlanBuilder {
     ) -> Result<()> {
         let dims = self.current_dims();
         if dims.len() != 3 {
-            return Err(self.unfreezable(format!(
-                "conv expects a [c,h,w] value, got {dims:?}"
-            )));
+            return Err(self.unfreezable(format!("conv expects a [c,h,w] value, got {dims:?}")));
         }
         let (c, h, w) = (dims[0], dims[1], dims[2]);
         let g = params.groups;
         if c != in_channels
             || params.stride == 0
             || g == 0
-            || in_channels % g != 0
-            || out_channels % g != 0
+            || !in_channels.is_multiple_of(g)
+            || !out_channels.is_multiple_of(g)
             || kernel == 0
             || h + 2 * params.padding < kernel
             || w + 2 * params.padding < kernel
@@ -254,22 +252,22 @@ impl PlanBuilder {
     ) -> Result<()> {
         let dims = self.current_dims();
         if dims.len() != 3 {
-            return Err(self.unfreezable(format!(
-                "batchnorm expects a [c,h,w] value, got {dims:?}"
-            )));
+            return Err(
+                self.unfreezable(format!("batchnorm expects a [c,h,w] value, got {dims:?}"))
+            );
         }
         let (c, h, w) = (dims[0], dims[1], dims[2]);
-        if gamma.len() != c
-            || beta.len() != c
-            || running_mean.len() != c
-            || running_var.len() != c
+        if gamma.len() != c || beta.len() != c || running_mean.len() != c || running_var.len() != c
         {
             return Err(self.unfreezable(format!(
                 "batchnorm channel mismatch: value has {c}, params have {}",
                 gamma.len()
             )));
         }
-        let inv_std: Vec<f32> = running_var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        let inv_std: Vec<f32> = running_var
+            .iter()
+            .map(|&v| 1.0 / (v + eps).sqrt())
+            .collect();
         self.push_step(
             StepKind::Bn {
                 mean: running_mean.to_vec(),
@@ -314,6 +312,33 @@ impl PlanBuilder {
         Ok(())
     }
 
+    /// Lowers spatial zero padding on the current `[c,h,w]` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Unfreezable`] for a non-spatial value or a zero
+    /// padding.
+    pub fn push_pad(&mut self, pad: usize) -> Result<()> {
+        let dims = self.current_dims();
+        if dims.len() != 3 {
+            return Err(self.unfreezable(format!("pad expects a [c,h,w] value, got {dims:?}")));
+        }
+        if pad == 0 {
+            return Err(self.unfreezable("padding must be positive".to_string()));
+        }
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        self.push_step(
+            StepKind::Pad {
+                channels: c,
+                h,
+                w,
+                pad,
+            },
+            vec![c, h + 2 * pad, w + 2 * pad],
+        );
+        Ok(())
+    }
+
     /// Lowers a flatten: pure metadata, no step — the value's dims
     /// collapse to one axis in place.
     pub fn push_flatten(&mut self) {
@@ -324,15 +349,13 @@ impl PlanBuilder {
     fn pool_geometry(&self, k: usize) -> Result<(usize, usize, usize)> {
         let dims = self.current_dims();
         if dims.len() != 3 {
-            return Err(self.unfreezable(format!(
-                "pooling expects a [c,h,w] value, got {dims:?}"
-            )));
+            return Err(self.unfreezable(format!("pooling expects a [c,h,w] value, got {dims:?}")));
         }
         let (c, h, w) = (dims[0], dims[1], dims[2]);
         if k == 0 || h % k != 0 || w % k != 0 {
-            return Err(self.unfreezable(format!(
-                "pool window {k} must divide spatial dims {h}x{w}"
-            )));
+            return Err(
+                self.unfreezable(format!("pool window {k} must divide spatial dims {h}x{w}"))
+            );
         }
         Ok((c, h, w))
     }
@@ -437,9 +460,7 @@ impl PlanBuilder {
         let lowered_steps = steps.len();
         let output_value = current;
         let counters = optimize::run(&mut steps, output_value);
-        let achieved = weight_lanes
-            .iter()
-            .fold(lane, |acc, &l| acc.weakest(l));
+        let achieved = weight_lanes.iter().fold(lane, |acc, &l| acc.weakest(l));
         let value_len: Vec<usize> = values.iter().map(|d| d.iter().product()).collect();
         let layout = arena::plan(&steps, &value_len, output_value);
         let report = PlanReport {
@@ -448,6 +469,7 @@ impl PlanBuilder {
             bn_folds: counters.bn_folds,
             act_fusions: counters.act_fusions,
             quant_elims: counters.quant_elims,
+            pad_folds: counters.pad_folds,
             packed_panels,
             arena_floats_per_sample: layout.arena_len,
             lane: achieved,

@@ -163,11 +163,7 @@ impl FrozenPlan {
         if input.len() != n * self.sample_len {
             return Err(NnError::BadInput {
                 layer: "<plan>".to_string(),
-                reason: format!(
-                    "input length {} != {n} x {}",
-                    input.len(),
-                    self.sample_len
-                ),
+                reason: format!("input length {} != {n} x {}", input.len(), self.sample_len),
             });
         }
         if output.len() != n * self.output_len {
@@ -373,6 +369,27 @@ impl FrozenPlan {
                 let (src, dst) = rw(buf, s_off, s_len, d_off, d_len);
                 fused::global_avg_pool_into(src, dst, n * channels, *h, *w)?;
             }
+            StepKind::Pad {
+                channels,
+                h,
+                w,
+                pad,
+            } => {
+                // Same write pattern as the layer path: zero the border,
+                // copy each interior row — bit-identical by construction.
+                let (src, dst) = rw(buf, s_off, s_len, d_off, d_len);
+                let (oh, ow) = (h + 2 * pad, w + 2 * pad);
+                dst.fill(0.0);
+                for img in 0..n * channels {
+                    let s0 = img * h * w;
+                    let d0 = img * oh * ow;
+                    for row in 0..*h {
+                        let s = s0 + row * w;
+                        let d = d0 + (row + pad) * ow + pad;
+                        dst[d..d + w].copy_from_slice(&src[s..s + w]);
+                    }
+                }
+            }
             StepKind::Add { rhs, act } => {
                 // dst = src; dst += rhs; act(dst) — element-wise, so the
                 // result is bit-identical to ops::add + map on the layer
@@ -396,7 +413,13 @@ impl FrozenPlan {
 /// Splits one arena buffer into a read region and a disjoint write
 /// region. The arena planner guarantees a step's destination never
 /// overlaps a live operand, so the two regions are strictly ordered.
-fn rw(buf: &mut [f32], r_off: usize, r_len: usize, w_off: usize, w_len: usize) -> (&[f32], &mut [f32]) {
+fn rw(
+    buf: &mut [f32],
+    r_off: usize,
+    r_len: usize,
+    w_off: usize,
+    w_len: usize,
+) -> (&[f32], &mut [f32]) {
     debug_assert!(
         r_off + r_len <= w_off || w_off + w_len <= r_off,
         "overlapping arena regions: read [{r_off}, +{r_len}) write [{w_off}, +{w_len})"

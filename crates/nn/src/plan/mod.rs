@@ -51,6 +51,9 @@ pub struct PlanReport {
     pub act_fusions: usize,
     /// Redundant adjacent fake-quantisation steps eliminated.
     pub quant_elims: usize,
+    /// Zero-padding steps constant-folded (pad→pad merges and pads
+    /// absorbed into a convolution's padding parameter).
+    pub pad_folds: usize,
     /// Integer weight panels packed at compile time.
     pub packed_panels: usize,
     /// Scratch arena size, in f32 elements per sample.
@@ -69,6 +72,7 @@ impl fmt::Display for PlanReport {
         writeln!(f, "bn folds: {}", self.bn_folds)?;
         writeln!(f, "act fusions: {}", self.act_fusions)?;
         writeln!(f, "quant eliminations: {}", self.quant_elims)?;
+        writeln!(f, "pad folds: {}", self.pad_folds)?;
         writeln!(f, "packed int panels: {}", self.packed_panels)?;
         writeln!(
             f,
@@ -92,12 +96,21 @@ mod tests {
             bn_folds: 3,
             act_fusions: 2,
             quant_elims: 0,
+            pad_folds: 4,
             packed_panels: 1,
             arena_floats_per_sample: 4096,
             lane: KernelLane::IntGemm,
         };
         let s = r.to_string();
-        for needle in ["12", "7", "bn folds: 3", "act fusions: 2", "4096", "int-gemm"] {
+        for needle in [
+            "12",
+            "7",
+            "bn folds: 3",
+            "act fusions: 2",
+            "pad folds: 4",
+            "4096",
+            "int-gemm",
+        ] {
             assert!(s.contains(needle), "missing {needle} in {s}");
         }
     }

@@ -34,9 +34,7 @@ impl WeightSlot {
     pub(crate) fn resident_bytes(&self) -> u64 {
         match self {
             WeightSlot::F32(w) => w.len() as u64 * 4,
-            WeightSlot::Int { panel, dequant } => {
-                panel.resident_bytes() + dequant.len() as u64 * 4
-            }
+            WeightSlot::Int { panel, dequant } => panel.resident_bytes() + dequant.len() as u64 * 4,
         }
     }
 }
@@ -141,6 +139,20 @@ pub(crate) enum StepKind {
         /// Input spatial width.
         w: usize,
     },
+    /// Spatial zero padding `[c,h,w] → [c,h+2p,w+2p]`. Exists only until
+    /// the pad-fold pass absorbs it into a following convolution's
+    /// `padding` parameter; it survives when the consumer is shared, is
+    /// not a conv (e.g. pooling), or is the plan output.
+    Pad {
+        /// Channels per sample.
+        channels: usize,
+        /// Input spatial height.
+        h: usize,
+        /// Input spatial width.
+        w: usize,
+        /// Zero rows/columns added on each side.
+        pad: usize,
+    },
     /// Residual merge: `dst = act(src + rhs)`.
     Add {
         /// The second operand (the branch value).
@@ -163,6 +175,7 @@ impl StepKind {
             StepKind::MaxPool { .. } => "maxpool",
             StepKind::AvgPool { .. } => "avgpool",
             StepKind::GlobalAvgPool { .. } => "gap",
+            StepKind::Pad { .. } => "pad",
             StepKind::Add { .. } => "add",
         }
     }

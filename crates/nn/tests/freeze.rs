@@ -86,7 +86,12 @@ fn freeze_and_compare(net: &mut Network, dims: &[usize], lane: KernelLane, exact
     let expected = net.forward(&x, Mode::Eval).unwrap();
     let plan = net.freeze(&dims[1..], lane).unwrap();
     let got = plan.infer(&x).unwrap();
-    assert_close(&format!("{} [{}]", net.name(), lane.as_str()), &expected, &got, exact);
+    assert_close(
+        &format!("{} [{}]", net.name(), lane.as_str()),
+        &expected,
+        &got,
+        exact,
+    );
 }
 
 #[test]
@@ -101,8 +106,13 @@ fn frozen_plan_matches_layer_eval_across_backbones_and_schemes() {
 
 #[test]
 fn mlp_frozen_is_bit_identical_at_every_lane() {
-    for lane in [KernelLane::F32, KernelLane::DequantCache, KernelLane::IntGemm] {
-        let mut net = models::mlp("m", &[16, 8, 10], &QuantScheme::paper_apt(), &mut seeded(7)).unwrap();
+    for lane in [
+        KernelLane::F32,
+        KernelLane::DequantCache,
+        KernelLane::IntGemm,
+    ] {
+        let mut net =
+            models::mlp("m", &[16, 8, 10], &QuantScheme::paper_apt(), &mut seeded(7)).unwrap();
         freeze_and_compare(&mut net, &[2, 16], lane, true);
     }
 }
@@ -142,8 +152,7 @@ fn frozen_plan_matches_across_checkpoint_versions() {
 fn frozen_plan_reports_fusions_and_zero_bn_steps_on_plain_chains() {
     // cifarnet = (conv→bn→relu→pool)×2 → flatten → fc → relu → fc: every BN
     // must fold into its conv and every relu must fuse into its producer.
-    let mut net =
-        models::cifarnet(10, 8, 0.25, &QuantScheme::float32(), &mut seeded(3)).unwrap();
+    let mut net = models::cifarnet(10, 8, 0.25, &QuantScheme::float32(), &mut seeded(3)).unwrap();
     let x = normal(&[2, 3, 8, 8], 1.0, &mut seeded(4));
     let _ = net.forward(&x, Mode::Train).unwrap();
     let plan = net.freeze(&[3, 8, 8], KernelLane::DequantCache).unwrap();
@@ -157,6 +166,73 @@ fn frozen_plan_reports_fusions_and_zero_bn_steps_on_plain_chains() {
         plan.step_mnemonics()
     );
     assert!(!plan.step_mnemonics().contains(&"act"));
+}
+
+#[test]
+fn pad_chains_constant_fold_into_the_conv_bit_identically() {
+    // pad(1) → pad(1) → conv(k3, p0) → relu: the two pads first merge into
+    // one pad(2), which then vanishes into the conv's padding parameter.
+    // Explicit zeros and implicit boundary zeros feed the accumulators the
+    // same `+0.0` terms, so the folded plan is bit-identical.
+    use apt_nn::layers::{Conv2d, Relu, ZeroPad2d};
+    let mut r = seeded(31);
+    let conv = Conv2d::new(
+        "c",
+        2,
+        3,
+        3,
+        1,
+        0,
+        1,
+        ParamPrecision::Float32,
+        Some(ParamPrecision::Float32),
+        &mut r,
+    )
+    .unwrap();
+    let mut net = Network::new(
+        "padded",
+        vec![
+            Box::new(ZeroPad2d::new("p0", 1).unwrap()),
+            Box::new(ZeroPad2d::new("p1", 1).unwrap()),
+            Box::new(conv),
+            Box::new(Relu::new("r")),
+        ],
+    );
+    let x = normal(&[2, 2, 5, 5], 1.0, &mut seeded(32));
+    let expected = net.forward(&x, Mode::Eval).unwrap();
+    let plan = net.freeze(&[2, 5, 5], KernelLane::F32).unwrap();
+    let report = plan.report();
+    assert_eq!(report.pad_folds, 2, "pad→pad merge plus pad→conv: {report}");
+    assert!(
+        !plan.step_mnemonics().contains(&"pad"),
+        "no pad steps survive: {:?}",
+        plan.step_mnemonics()
+    );
+    // The relu still fuses into the (now padded) conv.
+    assert_eq!(plan.step_mnemonics(), vec!["conv"]);
+    let got = plan.infer(&x).unwrap();
+    assert_close("padded", &expected, &got, true);
+}
+
+#[test]
+fn standalone_pad_survives_and_executes_bit_identically() {
+    // A pad feeding a non-conv consumer (pooling) cannot fold; the plan
+    // keeps a pad step whose executor writes exactly the layer's picture.
+    use apt_nn::layers::{MaxPool2d, ZeroPad2d};
+    let mut net = Network::new(
+        "pad-pool",
+        vec![
+            Box::new(ZeroPad2d::new("p", 1).unwrap()),
+            Box::new(MaxPool2d::new("mp", 2)),
+        ],
+    );
+    let x = normal(&[2, 3, 4, 4], 1.0, &mut seeded(33));
+    let expected = net.forward(&x, Mode::Eval).unwrap();
+    let plan = net.freeze(&[3, 4, 4], KernelLane::F32).unwrap();
+    assert_eq!(plan.report().pad_folds, 0);
+    assert_eq!(plan.step_mnemonics(), vec!["pad", "maxpool"]);
+    let got = plan.infer(&x).unwrap();
+    assert_close("pad-pool", &expected, &got, true);
 }
 
 #[test]

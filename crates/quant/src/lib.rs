@@ -54,6 +54,7 @@ mod bitwidth;
 mod code_store;
 mod error;
 pub mod fake;
+mod grad;
 mod panel;
 mod per_channel;
 mod quantizer;
@@ -63,6 +64,7 @@ mod tensor_q;
 pub use bitwidth::Bitwidth;
 pub use code_store::{set_store_backend, store_backend, CodeStore, PackedCodes, StoreBackend};
 pub use error::QuantError;
+pub use grad::GradCodec;
 pub use panel::{ActPanel, WeightPanel};
 pub use per_channel::PerChannelQuantized;
 pub use quantizer::AffineQuantizer;

@@ -330,7 +330,12 @@ impl InferenceSession {
             // layer-side lane is left unarmed (no double residency). A
             // zero-sample probe validates the compiled program end to end.
             let mut probe_out = vec![0.0f32; plan.output_len()];
-            plan.execute(&vec![0.0f32; sample_len], 1, &mut Vec::new(), &mut probe_out)?;
+            plan.execute(
+                &vec![0.0f32; sample_len],
+                1,
+                &mut Vec::new(),
+                &mut probe_out,
+            )?;
             return Ok(InferenceSession {
                 net: Arc::new(net),
                 num_outputs: plan.output_len(),
@@ -386,11 +391,7 @@ impl InferenceSession {
     /// cache, on the fallback path) holds. This is the figure registry
     /// budgets must count.
     pub fn resident_bytes(&self) -> u64 {
-        self.net.resident_bytes()
-            + self
-                .plan
-                .as_deref()
-                .map_or(0, FrozenPlan::resident_bytes)
+        self.net.resident_bytes() + self.plan.as_deref().map_or(0, FrozenPlan::resident_bytes)
     }
 
     /// The kernel lane the session actually achieved at load time (the

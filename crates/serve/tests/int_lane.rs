@@ -164,13 +164,9 @@ fn integer_lane_is_bit_close_everywhere_dequant_cache_bit_exact() {
         assert_eq!(cached.lane(), KernelLane::DequantCache);
         assert_rows_bitwise(&cached.infer_samples(&samples).unwrap(), &want, &ctx);
 
-        let int = InferenceSession::from_checkpoint_with_options(
-            spec,
-            &blob,
-            KernelLane::IntGemm,
-            false,
-        )
-        .unwrap();
+        let int =
+            InferenceSession::from_checkpoint_with_options(spec, &blob, KernelLane::IntGemm, false)
+                .unwrap();
         assert_eq!(
             int.lane(),
             KernelLane::IntGemm,

@@ -74,6 +74,7 @@ impl Epilogue {
 ///
 /// Returns [`TensorError::LengthMismatch`] when slice lengths disagree
 /// with the given geometry.
+#[allow(clippy::too_many_arguments)]
 pub fn linear_bias_act(
     input: &[f32],
     weight: &[f32],
@@ -156,7 +157,12 @@ pub fn conv2d_bias_act(
     act: Epilogue,
 ) -> Result<()> {
     let g = params.groups;
-    if params.stride == 0 || g == 0 || c_in % g != 0 || c_out % g != 0 || kernel == 0 {
+    if params.stride == 0
+        || g == 0
+        || !c_in.is_multiple_of(g)
+        || !c_out.is_multiple_of(g)
+        || kernel == 0
+    {
         return Err(TensorError::InvalidArgument {
             op: "conv2d_bias_act",
             reason: format!(
@@ -255,7 +261,7 @@ fn check_pool_geometry(
     w: usize,
     k: usize,
 ) -> Result<(usize, usize)> {
-    if k == 0 || h % k != 0 || w % k != 0 {
+    if k == 0 || !h.is_multiple_of(k) || !w.is_multiple_of(k) {
         return Err(TensorError::InvalidArgument {
             op,
             reason: format!("window {k} must be >0 and divide {h}x{w}"),
@@ -536,10 +542,58 @@ mod tests {
     fn geometry_validation() {
         let p = Conv2dParams::new(1, 0, 1);
         let mut out = vec![0.0f32; 4];
-        assert!(linear_bias_act(&[0.0; 4], &[0.0; 4], &mut out, 2, 2, 2, Some(&[0.0]), Epilogue::None).is_err());
-        assert!(linear_bias_act(&[0.0; 3], &[0.0; 4], &mut out, 2, 2, 2, None, Epilogue::None).is_err());
-        assert!(conv2d_bias_act(&[0.0; 9], &[0.0; 9], &mut out, 1, 1, 3, 3, 1, 5, &p, None, Epilogue::None).is_err());
-        assert!(conv2d_bias_act(&[0.0; 9], &[0.0; 9], &mut out, 1, 1, 3, 3, 1, 3, &Conv2dParams::new(0, 0, 1), None, Epilogue::None).is_err());
+        assert!(linear_bias_act(
+            &[0.0; 4],
+            &[0.0; 4],
+            &mut out,
+            2,
+            2,
+            2,
+            Some(&[0.0]),
+            Epilogue::None
+        )
+        .is_err());
+        assert!(linear_bias_act(
+            &[0.0; 3],
+            &[0.0; 4],
+            &mut out,
+            2,
+            2,
+            2,
+            None,
+            Epilogue::None
+        )
+        .is_err());
+        assert!(conv2d_bias_act(
+            &[0.0; 9],
+            &[0.0; 9],
+            &mut out,
+            1,
+            1,
+            3,
+            3,
+            1,
+            5,
+            &p,
+            None,
+            Epilogue::None
+        )
+        .is_err());
+        assert!(conv2d_bias_act(
+            &[0.0; 9],
+            &[0.0; 9],
+            &mut out,
+            1,
+            1,
+            3,
+            3,
+            1,
+            3,
+            &Conv2dParams::new(0, 0, 1),
+            None,
+            Epilogue::None
+        )
+        .is_err());
         assert!(max_pool2d_into(&[0.0; 9], &mut out, 1, 3, 3, 2).is_err());
         assert!(avg_pool2d_into(&[0.0; 16], &mut out, 1, 4, 4, 0).is_err());
         assert!(global_avg_pool_into(&[0.0; 16], &mut out, 1, 4, 0).is_err());

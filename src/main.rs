@@ -5,7 +5,7 @@
 //!     --img-size 12 --width-mult 0.25 --addr 127.0.0.1:7878
 //! ```
 //!
-//! The CLI has two subcommands. `serve` loads one trained `.aptc`
+//! The CLI has three subcommands. `serve` loads one trained `.aptc`
 //! checkpoint (`--checkpoint`) or a whole directory of them
 //! (`--model-dir`, one model per file) into an
 //! [`apt_serve::ModelRegistry`] and exposes the fleet over the
@@ -13,8 +13,11 @@
 //! compiled into a frozen plan (BN folded, activations fused,
 //! arena-planned) — `--no-freeze` pins the legacy layer-replay path.
 //! `freeze` compiles a checkpoint without serving it and prints the plan
-//! report (step counts, fusions, arena size, achieved lane). Training
-//! stays with the `train` bench binary
+//! report (step counts, fusions, arena size, achieved lane). `train`
+//! trains on the synthetic-CIFAR workload, data-parallel across
+//! `--workers N` in-process ranks exchanging `--grad-bits k` quantised
+//! gradients (one worker takes the exact single-process path); the
+//! figure/table experiment harness stays with the bench binaries
 //! (`cargo run -p apt-bench --bin train`).
 //!
 //! Every malformed invocation exits with a one-line message and usage
@@ -113,6 +116,39 @@ model geometry (must match how the checkpoint was trained):
 compilation:
   --lane LANE           fp32 | dequant-cache | int-gemm [default dequant-cache]";
 
+const TRAIN_USAGE: &str = "usage: apt train --model MODEL [options]
+
+Trains a model data-parallel across N in-process worker ranks that
+exchange k-bit quantised gradients through a deterministic flat-tree
+all-reduce (exact integer-domain accumulation). One worker takes the
+exact single-process training path; N workers train on disjoint shards
+and are bit-reproducible run-to-run. With --checkpoint-dir, every rank
+writes APTS checkpoints on a lockstep cadence and a crashed fleet
+resumes from them automatically on the next invocation.
+
+required:
+  --model MODEL         cifarnet | vgg_small | resnet20 | resnet110 |
+                        mobilenet_v2 | mlp:IN-HIDDEN-...-OUT
+                        (an MLP input must equal 3 x img-size^2)
+
+fleet:
+  --workers N           worker ranks (data-parallel replicas) [default 1]
+  --grad-bits K         gradient exchange bitwidth, 2..=16    [default 4]
+  --recovery-rounds N   fleet rollback budget after a crash   [default 3]
+  --checkpoint-dir DIR  per-rank checkpoint root (rank0/, rank1/, ...)
+
+training:
+  --epochs N            [default 10]
+  --batch-size N        [default 8]
+  --seed N              shuffle/augmentation seed             [default 42]
+  --threads N           inner-op compute pool size            [default 1]
+
+data (synthetic CIFAR, sharded disjointly across ranks):
+  --classes N           [default 10]
+  --img-size N          [default 12]
+  --per-class N         training samples per class            [default 32]
+  --data-seed N         generator seed                        [default 3]";
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let code = match argv.get(1).map(String::as_str) {
@@ -138,8 +174,19 @@ fn main() {
                 1
             }
         },
+        Some("train") => match run_train(&argv[2..]) {
+            Ok(()) => 0,
+            Err(CliError::Usage(m)) => {
+                eprintln!("apt train: {m}\n\n{TRAIN_USAGE}");
+                2
+            }
+            Err(CliError::Runtime(m)) => {
+                eprintln!("apt train: {m}");
+                1
+            }
+        },
         Some("--help") | Some("-h") | None => {
-            eprintln!("{USAGE}\n\n{FREEZE_USAGE}");
+            eprintln!("{USAGE}\n\n{TRAIN_USAGE}\n\n{FREEZE_USAGE}");
             if argv.len() < 2 {
                 2
             } else {
@@ -148,7 +195,7 @@ fn main() {
         }
         Some(other) => {
             eprintln!(
-                "apt: unknown subcommand `{other}` (have: serve, freeze)\n\n{USAGE}\n\n{FREEZE_USAGE}"
+                "apt: unknown subcommand `{other}` (have: serve, train, freeze)\n\n{USAGE}\n\n{TRAIN_USAGE}\n\n{FREEZE_USAGE}"
             );
             2
         }
@@ -556,6 +603,171 @@ fn run_freeze(args: &[String]) -> Result<(), CliError> {
         plan.sample_len(),
         plan.output_len()
     );
+    Ok(())
+}
+
+/// `apt train --model … --workers N --grad-bits K` — deterministic
+/// data-parallel training with k-bit gradient exchange on the synthetic
+/// CIFAR workload.
+fn run_train(args: &[String]) -> Result<(), CliError> {
+    let mut model: Option<ModelArch> = None;
+    let mut workers = 1usize;
+    let mut grad_bits = 4u32;
+    let mut recovery_rounds = 3usize;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut checkpoint_every = 50usize;
+    let mut epochs = 10usize;
+    let mut batch_size = 8usize;
+    let mut seed = 42u64;
+    let mut threads = 1usize;
+    let mut classes = 10usize;
+    let mut img_size = 12usize;
+    let mut per_class = 32usize;
+    let mut data_seed = 3u64;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            eprintln!("{TRAIN_USAGE}");
+            std::process::exit(0);
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("missing value for {flag}")))?;
+        match flag {
+            "--model" => {
+                model = Some(
+                    value
+                        .parse::<ModelArch>()
+                        .map_err(|e| CliError::Usage(e.to_string()))?,
+                )
+            }
+            "--workers" => workers = parse_flag(flag, value)?,
+            "--grad-bits" => grad_bits = parse_flag(flag, value)?,
+            "--recovery-rounds" => recovery_rounds = parse_flag(flag, value)?,
+            "--checkpoint-dir" => checkpoint_dir = Some(value.clone()),
+            "--checkpoint-every" => checkpoint_every = parse_flag(flag, value)?,
+            "--epochs" => epochs = parse_flag(flag, value)?,
+            "--batch-size" => batch_size = parse_flag(flag, value)?,
+            "--seed" => seed = parse_flag(flag, value)?,
+            "--threads" => threads = parse_flag(flag, value)?,
+            "--classes" => classes = parse_flag(flag, value)?,
+            "--img-size" => img_size = parse_flag(flag, value)?,
+            "--per-class" => per_class = parse_flag(flag, value)?,
+            "--data-seed" => data_seed = parse_flag(flag, value)?,
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+        i += 2;
+    }
+    let arch = model.ok_or_else(|| CliError::Usage("--model is required".into()))?;
+    if workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".into()));
+    }
+    if !(2..=16).contains(&grad_bits) {
+        return Err(CliError::Usage(format!(
+            "--grad-bits must be in 2..=16, got {grad_bits}"
+        )));
+    }
+    if let ModelArch::Mlp(dims) = &arch {
+        let want = 3 * img_size * img_size;
+        if dims.first() != Some(&want) {
+            return Err(CliError::Usage(format!(
+                "mlp input must match the flattened image: want {want} (3 x {img_size}^2), got {:?}",
+                dims.first()
+            )));
+        }
+    }
+    if threads >= 1 {
+        apt_tensor::par::set_global_threads(threads);
+    }
+
+    let data = apt_data::SynthCifar::generate(&apt_data::SynthCifarConfig {
+        num_classes: classes,
+        train_per_class: per_class,
+        test_per_class: (per_class / 4).max(1),
+        img_size,
+        seed: data_seed,
+        ..apt_data::SynthCifarConfig::default()
+    })
+    .map_err(|e| CliError::Runtime(format!("cannot generate dataset: {e}")))?;
+
+    let bits = apt_quant::Bitwidth::new(grad_bits)
+        .map_err(|e| CliError::Usage(format!("bad --grad-bits: {e}")))?;
+    let cfg = apt_dist::DistConfig {
+        world: workers,
+        grad_bits: bits,
+        train: apt_core::TrainConfig {
+            epochs,
+            batch_size,
+            seed,
+            policy: Some(apt_core::PolicyConfig::default()),
+            checkpoint: checkpoint_dir
+                .as_ref()
+                .map(|dir| apt_core::CheckpointConfig {
+                    dir: PathBuf::from(dir),
+                    every: checkpoint_every,
+                    keep: 3,
+                }),
+            ..apt_core::TrainConfig::default()
+        },
+        max_recovery_rounds: recovery_rounds,
+    };
+    let spec = ModelSpec {
+        arch: arch.clone(),
+        classes,
+        img_size,
+        width_mult: 0.25,
+    };
+    let net_fn = move || {
+        spec.build().map_err(|e| apt_core::CoreError::BadConfig {
+            reason: format!("cannot build replica: {e}"),
+        })
+    };
+
+    println!(
+        "training {arch:?} on synthetic CIFAR ({} train / {} test), {workers} worker(s), \
+         {grad_bits}-bit gradient exchange",
+        data.train.len(),
+        data.test.len()
+    );
+    let start = Instant::now();
+    let report = apt_dist::DistTrainer::new(cfg, net_fn)
+        .map_err(|e| CliError::Usage(format!("bad fleet configuration: {e}")))?
+        .train(&data.train, &data.test)
+        .map_err(|e| CliError::Runtime(format!("training failed: {e}")))?;
+    let wall = start.elapsed().as_secs_f64();
+
+    for e in &report.report().epochs {
+        println!(
+            "epoch {:>3}: lr {:.4} loss {:.4} acc {:.3} energy {:.0} pJ",
+            e.epoch, e.lr, e.train_loss, e.test_accuracy, e.cumulative_energy_pj
+        );
+    }
+    let r = report.report();
+    println!(
+        "done in {wall:.1}s: final acc {:.3} (best {:.3}), energy {:.0} pJ, peak {} bits",
+        r.final_accuracy, r.best_accuracy, r.total_energy_pj, r.peak_memory_bits
+    );
+    if workers > 1 {
+        let ex = report.exchange();
+        println!(
+            "exchange: {} steps, {} digest checks, {} bytes on wire ({:.3}x fp32), \
+             recovery rounds {}",
+            ex.steps,
+            ex.digest_checks,
+            ex.bytes_on_wire,
+            ex.wire_ratio(),
+            report.recovery_rounds
+        );
+        if !report.replicas_in_lockstep() {
+            return Err(CliError::Runtime(
+                "replicas finished out of lockstep (this is a bug)".into(),
+            ));
+        }
+    }
+    if let Some(dir) = &checkpoint_dir {
+        println!("per-rank checkpoints under {dir}/rank<r>/");
+    }
     Ok(())
 }
 
